@@ -1,0 +1,104 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * batching granularity — batch-transfer cost vs working-set balance;
+//! * collective model — NCCL ring vs MPI-staged end-to-end;
+//! * tie-breaking — paper's quantized (tie-heavy) weights vs perturbed
+//!   distinct weights;
+//! * warp scheduling — vertices-per-warp (the SR-GPU §IV-D discussion).
+//!
+//! Measured quantity is host wall-clock of the full simulated run; the
+//! simulated times are reported per run by the table/fig binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ldgm_core::ld_gpu::{LdGpu, LdGpuConfig};
+use ldgm_core::ld_seq::ld_seq;
+use ldgm_gpusim::{CommModel, Platform};
+use ldgm_graph::gen::{rmat, RmatParams};
+use ldgm_graph::weights::make_weights_distinct;
+
+fn bench_batch_granularity(c: &mut Criterion) {
+    let g = rmat(1 << 14, 150_000, RmatParams::SOCIAL, 7);
+    let mut group = c.benchmark_group("ablation_batches");
+    group.sample_size(10);
+    for nb in [1usize, 3, 10] {
+        group.bench_function(BenchmarkId::from_parameter(nb), |b| {
+            b.iter(|| {
+                black_box(
+                    LdGpu::new(
+                        LdGpuConfig::new(Platform::dgx_a100())
+                            .devices(4)
+                            .batches(nb)
+                            .without_iteration_profile(),
+                    )
+                    .run(&g),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_comm_models(c: &mut Criterion) {
+    let g = rmat(1 << 14, 150_000, RmatParams::SOCIAL, 8);
+    let mut group = c.benchmark_group("ablation_comm_model");
+    group.sample_size(10);
+    for (name, comm) in [("nccl", CommModel::nccl()), ("mpi", CommModel::mpi_staged())] {
+        let platform = Platform::dgx_a100().with_comm(comm);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    LdGpu::new(
+                        LdGpuConfig::new(platform.clone())
+                            .devices(4)
+                            .without_iteration_profile(),
+                    )
+                    .run(&g),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tiebreak_regimes(c: &mut Criterion) {
+    let quantized = rmat(1 << 14, 150_000, RmatParams::SOCIAL, 9);
+    let distinct = make_weights_distinct(&quantized, 9);
+    let mut group = c.benchmark_group("ablation_tiebreak");
+    group.sample_size(10);
+    group.bench_function("quantized_weights", |b| b.iter(|| black_box(ld_seq(&quantized))));
+    group.bench_function("distinct_weights", |b| b.iter(|| black_box(ld_seq(&distinct))));
+    group.finish();
+}
+
+fn bench_vertices_per_warp(c: &mut Criterion) {
+    let g = rmat(1 << 14, 150_000, RmatParams::GAP_KRON, 10);
+    let mut group = c.benchmark_group("ablation_vertices_per_warp");
+    group.sample_size(10);
+    for vpw in [1usize, 8, 64] {
+        group.bench_function(BenchmarkId::from_parameter(vpw), |b| {
+            b.iter(|| {
+                black_box(
+                    LdGpu::new(
+                        LdGpuConfig::new(Platform::dgx_a100())
+                            .devices(2)
+                            .vertices_per_warp(vpw)
+                            .without_iteration_profile(),
+                    )
+                    .run(&g),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_granularity,
+    bench_comm_models,
+    bench_tiebreak_regimes,
+    bench_vertices_per_warp
+);
+criterion_main!(benches);

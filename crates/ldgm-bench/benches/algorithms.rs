@@ -1,0 +1,60 @@
+//! End-to-end matcher comparison on the host: the sequential/parallel
+//! baselines and the simulated LD-GPU driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ldgm_core::greedy::greedy;
+use ldgm_core::ld_gpu::{LdGpu, LdGpuConfig};
+use ldgm_core::ld_seq::ld_seq;
+use ldgm_core::local_max::local_max;
+use ldgm_core::suitor::suitor;
+use ldgm_core::suitor_par::suitor_par;
+use ldgm_gpusim::Platform;
+use ldgm_graph::gen::{rmat, RmatParams};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = rmat(1 << 14, 150_000, RmatParams::SOCIAL, 3);
+    let mut group = c.benchmark_group("matchers");
+    group.sample_size(10);
+    group.bench_function("ld_seq", |b| b.iter(|| black_box(ld_seq(&g))));
+    group.bench_function("local_max", |b| b.iter(|| black_box(local_max(&g))));
+    group.bench_function("greedy", |b| b.iter(|| black_box(greedy(&g))));
+    group.bench_function("suitor", |b| b.iter(|| black_box(suitor(&g))));
+    group.bench_function("suitor_par", |b| b.iter(|| black_box(suitor_par(&g))));
+    group.bench_function("ld_gpu_driver_4dev", |b| {
+        b.iter(|| {
+            black_box(
+                LdGpu::new(
+                    LdGpuConfig::new(Platform::dgx_a100()).devices(4).without_iteration_profile(),
+                )
+                .run(&g),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_ld_gpu_scaling(c: &mut Criterion) {
+    let g = rmat(1 << 15, 300_000, RmatParams::SOCIAL, 5);
+    let mut group = c.benchmark_group("ld_gpu_host_cost_by_devices");
+    group.sample_size(10);
+    for nd in [1usize, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(nd), |b| {
+            b.iter(|| {
+                black_box(
+                    LdGpu::new(
+                        LdGpuConfig::new(Platform::dgx_a100())
+                            .devices(nd)
+                            .without_iteration_profile(),
+                    )
+                    .run(&g),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_ld_gpu_scaling);
+criterion_main!(benches);

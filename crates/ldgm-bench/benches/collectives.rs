@@ -1,0 +1,47 @@
+//! Collective machinery: the host-side exact reduction and the analytical
+//! cost models (evaluated millions of times during sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ldgm_gpusim::{allreduce_max_merge, CommModel, Link, NONE_SENTINEL};
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_max_merge");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                // Four devices, disjoint quarters.
+                let mut arrays: Vec<Vec<u64>> = (0..4)
+                    .map(|d| {
+                        (0..n)
+                            .map(|i| if i % 4 == d { i as u64 } else { NONE_SENTINEL })
+                            .collect()
+                    })
+                    .collect();
+                let mut refs: Vec<&mut [u64]> =
+                    arrays.iter_mut().map(|a| a.as_mut_slice()).collect();
+                allreduce_max_merge(&mut refs);
+                black_box(arrays)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_cost_model");
+    let nccl = CommModel::nccl();
+    let mpi = CommModel::mpi_staged();
+    group.bench_function("nccl_8dev", |b| {
+        b.iter(|| black_box(nccl.allreduce_time(&Link::NVLINK_SXM4, 8, 1 << 20)))
+    });
+    group.bench_function("mpi_8dev", |b| {
+        b.iter(|| black_box(mpi.allreduce_time(&Link::NVLINK_SXM4, 8, 1 << 20)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge, bench_cost_models);
+criterion_main!(benches);

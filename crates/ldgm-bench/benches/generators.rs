@@ -1,0 +1,27 @@
+//! Generator throughput for every dataset family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ldgm_graph::gen;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_100k_edges");
+    group.sample_size(10);
+    group.bench_function("rmat", |b| {
+        b.iter(|| black_box(gen::rmat(1 << 14, 100_000, gen::RmatParams::GAP_KRON, 1)))
+    });
+    group.bench_function("urand", |b| b.iter(|| black_box(gen::urand(1 << 14, 100_000, 1))));
+    group.bench_function("web", |b| b.iter(|| black_box(gen::web(12_000, 8, 0.5, 1))));
+    group.bench_function("kmer", |b| b.iter(|| black_box(gen::kmer(50_000, 4.0, 40, 1))));
+    group.bench_function("lattice", |b| b.iter(|| black_box(gen::lattice(110, 110, 4, 1))));
+    group.bench_function("mycielskian", |b| b.iter(|| black_box(gen::mycielskian(11, 1))));
+    group.bench_function("geometric", |b| b.iter(|| black_box(gen::geometric(20_000, 0.015, 1))));
+    group.bench_function("similarity", |b| {
+        b.iter(|| black_box(gen::similarity(1200, 6, 0.8, 2000, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

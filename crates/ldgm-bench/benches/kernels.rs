@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the LD-GPU kernels (host execution): SETPOINTERS
+//! across densities and SETMATES.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ldgm_core::ld_gpu::{set_mates, set_pointers_batch};
+use ldgm_gpusim::NONE_SENTINEL;
+use ldgm_graph::gen::{rmat, urand, RmatParams};
+use ldgm_part::Partition;
+
+fn bench_set_pointers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_pointers");
+    group.sample_size(20);
+    for (name, g) in [
+        ("urand_sparse", urand(20_000, 80_000, 1)),
+        ("urand_dense", urand(20_000, 400_000, 1)),
+        ("rmat_skewed", rmat(1 << 14, 200_000, RmatParams::GAP_KRON, 1)),
+    ] {
+        let part = Partition::edge_balanced(&g, 1).parts[0];
+        let mate = vec![NONE_SENTINEL; g.num_vertices()];
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut pointers = vec![NONE_SENTINEL; g.num_vertices()];
+                let mut retired = vec![0u8; g.num_vertices()];
+                black_box(set_pointers_batch(
+                    &g,
+                    &part,
+                    &mate,
+                    &mut pointers,
+                    &mut retired,
+                    8,
+                    true,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_mates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_mates");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        // Pointers forming mutual pairs (i <-> i+1).
+        let pointers: Vec<u64> = (0..n as u64)
+            .map(|u| if u % 2 == 0 { u + 1 } else { u - 1 })
+            .collect();
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                let mut mate = vec![NONE_SENTINEL; n];
+                black_box(set_mates(&pointers, &mut mate))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_set_pointers, bench_set_mates);
+criterion_main!(benches);

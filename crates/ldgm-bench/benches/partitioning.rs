@@ -1,0 +1,47 @@
+//! Partitioning and batching throughput: the §III-A/B data-distribution
+//! machinery must be negligible next to matching itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ldgm_graph::gen::{rmat, web, RmatParams};
+use ldgm_part::{make_batches, min_batches_to_fit, Partition};
+
+fn bench_partition(c: &mut Criterion) {
+    let g = rmat(1 << 16, 600_000, RmatParams::GAP_KRON, 1);
+    let mut group = c.benchmark_group("edge_balanced_partition");
+    group.sample_size(30);
+    for parts in [2usize, 8, 16] {
+        group.bench_function(BenchmarkId::from_parameter(parts), |b| {
+            b.iter(|| black_box(Partition::edge_balanced(&g, parts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batches(c: &mut Criterion) {
+    let g = web(50_000, 12, 0.5, 2);
+    let p = Partition::edge_balanced(&g, 4);
+    let mut group = c.benchmark_group("batch_formation");
+    group.sample_size(30);
+    for nb in [2usize, 10] {
+        group.bench_function(BenchmarkId::from_parameter(nb), |b| {
+            b.iter(|| {
+                for part in &p.parts {
+                    black_box(make_batches(&g, part, nb));
+                }
+            })
+        });
+    }
+    group.bench_function("min_batches_to_fit", |b| {
+        b.iter(|| {
+            for part in &p.parts {
+                black_box(min_batches_to_fit(&g, part, g.num_vertices(), 1 << 21, 1));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition, bench_batches);
+criterion_main!(benches);

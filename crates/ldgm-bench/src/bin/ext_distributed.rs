@@ -1,0 +1,7 @@
+//! Regenerate the distributed-matching extension study. See
+//! `ldgm_bench::exp::ext_distributed`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::ext_distributed::run(&mut out).expect("report write failed");
+}

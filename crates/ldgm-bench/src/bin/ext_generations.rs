@@ -1,0 +1,7 @@
+//! Regenerate the GPU-generation outlook extension. See
+//! `ldgm_bench::exp::ext_generations`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::ext_generations::run(&mut out).expect("report write failed");
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig10. See `ldgm_bench::exp::fig10`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::fig10::run(&mut out).expect("report write failed");
+}

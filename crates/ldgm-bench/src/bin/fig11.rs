@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig11. See `ldgm_bench::exp::fig11`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::fig11::run(&mut out).expect("report write failed");
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig5. See `ldgm_bench::exp::fig5`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::fig5::run(&mut out).expect("report write failed");
+}

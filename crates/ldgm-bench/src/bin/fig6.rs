@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig6. See `ldgm_bench::exp::fig6`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::fig6::run(&mut out).expect("report write failed");
+}

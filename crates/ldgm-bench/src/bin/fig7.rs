@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig7. See `ldgm_bench::exp::fig7`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::fig7::run(&mut out).expect("report write failed");
+}

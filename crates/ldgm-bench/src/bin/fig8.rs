@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig8. See `ldgm_bench::exp::fig8`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::fig8::run(&mut out).expect("report write failed");
+}

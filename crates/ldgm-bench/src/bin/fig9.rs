@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig9. See `ldgm_bench::exp::fig9`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::fig9::run(&mut out).expect("report write failed");
+}

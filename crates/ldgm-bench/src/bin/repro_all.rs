@@ -1,0 +1,24 @@
+//! Run every experiment of the paper's evaluation section and write the
+//! reports under `target/repro/`, echoing each to stdout as it completes.
+
+use std::fs;
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let dir = std::path::Path::new("target/repro");
+    fs::create_dir_all(dir).expect("create target/repro");
+    let t0 = Instant::now();
+    for (id, runner) in ldgm_bench::exp::all() {
+        let ti = Instant::now();
+        let mut buf: Vec<u8> = Vec::new();
+        runner(&mut buf).expect("experiment failed");
+        let path = dir.join(format!("{id}.txt"));
+        fs::write(&path, &buf).expect("write report");
+        let mut out = std::io::stdout().lock();
+        out.write_all(&buf).unwrap();
+        writeln!(out, "[{id}] wrote {} in {:.1}s\n", path.display(), ti.elapsed().as_secs_f64())
+            .unwrap();
+    }
+    println!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's table1. See `ldgm_bench::exp::table1`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::table1::run(&mut out).expect("report write failed");
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's table2. See `ldgm_bench::exp::table2`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::table2::run(&mut out).expect("report write failed");
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's table3. See `ldgm_bench::exp::table3`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::table3::run(&mut out).expect("report write failed");
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's table4. See `ldgm_bench::exp::table4`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::table4::run(&mut out).expect("report write failed");
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's table5. See `ldgm_bench::exp::table5`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::table5::run(&mut out).expect("report write failed");
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's table6. See `ldgm_bench::exp::table6`.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    ldgm_bench::exp::table6::run(&mut out).expect("report write failed");
+}

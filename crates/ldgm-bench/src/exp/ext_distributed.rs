@@ -1,0 +1,55 @@
+//! **Extension**: distributed (multi-node) LD-GPU — the paper's §V future
+//! work. Scales a LARGE input from one DGX-A100 node to a 2- and 4-node
+//! InfiniBand cluster with hierarchical collectives, exposing the
+//! synchronization wall the paper predicts for "sustainable strong
+//! scalability on the next generation of HPC platforms".
+
+use std::io::{self, Write};
+
+use ldgm_core::ld_gpu::{LdGpu, LdGpuConfig};
+use ldgm_gpusim::Platform;
+
+use crate::datasets::{by_name, scaled_platform};
+use crate::runner::fmt_secs;
+use crate::table::Table;
+
+/// Graphs used for the distributed extension study.
+pub const GRAPHS: &[&str] = &["AGATHA-2015", "GAP-urand"];
+
+/// Run the experiment, writing the report to `w`.
+pub fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "# Extension: multi-node LD-GPU over InfiniBand (hierarchical collectives)\n")?;
+    writeln!(
+        w,
+        "Single-node DGX-A100 vs 2- and 4-node clusters (8 GPUs/node). The\n\
+         inter-node ring carries every per-iteration reduction across the\n\
+         ~25 GB/s IB link, so pointer/mate synchronization becomes the wall\n\
+         the paper's SV anticipates for distributed matching.\n"
+    )?;
+    let mut t = Table::new(vec!["Graph", "nodes", "GPUs", "time", "allreduce %", "speedup vs 1 node"]);
+    for name in GRAPHS {
+        let g = by_name(name).build();
+        let mut base: Option<f64> = None;
+        for nodes in [1usize, 2, 4] {
+            let platform = scaled_platform(Platform::dgx_a100_cluster(nodes));
+            let ndev = 8 * nodes;
+            let cfg = LdGpuConfig::new(platform).devices(ndev).without_iteration_profile();
+            let Ok(out) = LdGpu::new(cfg).try_run(&g) else {
+                continue;
+            };
+            if base.is_none() {
+                base = Some(out.sim_time);
+            }
+            let pct = out.profile.phases.percentages();
+            t.row(vec![
+                name.to_string(),
+                format!("{nodes}"),
+                format!("{ndev}"),
+                fmt_secs(out.sim_time),
+                format!("{:.0}", pct[2]),
+                format!("{:.2}x", base.unwrap() / out.sim_time),
+            ]);
+        }
+    }
+    writeln!(w, "{t}")
+}

@@ -1,0 +1,49 @@
+//! **Fig. 10**: LD-GPU scalability on the two dense-GPU systems — DGX-A100
+//! (8× A100, NVLink SXM4) vs DGX-2 (16× V100, NVLink SXM3) — for GAP-kron
+//! and com-Friendster, with the chosen batch count annotated.
+//!
+//! Expected shape (paper): 8 A100s beat even 16 V100s by ~8× (GAP-kron) to
+//! ~10× (com-Friendster); V100 times inflate with iteration count.
+
+use std::io::{self, Write};
+
+use ldgm_gpusim::Platform;
+
+use crate::datasets::{by_name, scaled_platform};
+use crate::runner::{fmt_secs, sweep_ld_gpu, BATCH_SWEEP};
+use crate::table::Table;
+
+/// The two graphs of the paper's Fig. 10.
+pub const GRAPHS: &[&str] = &["GAP-kron", "com-Friendster"];
+
+/// Run the experiment, writing the report to `w`.
+pub fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "# Fig. 10: DGX-A100 (8xA100) vs DGX-2 (16xV100), annotated #batches\n")?;
+    let a100 = scaled_platform(Platform::dgx_a100());
+    let dgx2 = scaled_platform(Platform::dgx2());
+    let mut t = Table::new(vec!["Graph", "platform", "GPUs", "best (s) [batches]"]);
+    for name in GRAPHS {
+        let g = by_name(name).build();
+        for nd in [1usize, 2, 4, 8] {
+            if let Some(best) = sweep_ld_gpu(&g, &a100, &[nd], BATCH_SWEEP) {
+                t.row(vec![
+                    name.to_string(),
+                    "DGX-A100".into(),
+                    format!("{nd}"),
+                    format!("{} [{}]", fmt_secs(best.output.sim_time), best.batches),
+                ]);
+            }
+        }
+        for nd in [1usize, 2, 4, 8, 16] {
+            if let Some(best) = sweep_ld_gpu(&g, &dgx2, &[nd], BATCH_SWEEP) {
+                t.row(vec![
+                    name.to_string(),
+                    "DGX-2".into(),
+                    format!("{nd}"),
+                    format!("{} [{}]", fmt_secs(best.output.sim_time), best.batches),
+                ]);
+            }
+        }
+    }
+    writeln!(w, "{t}")
+}

@@ -1,0 +1,52 @@
+//! **Fig. 11**: SM occupancy per LD-GPU iteration (Nsight-style achieved
+//! occupancy), sampled along the iteration progression.
+//!
+//! Expected shape (paper): ≈ 90% occupancy through 100% of iterations for
+//! most inputs; the small outliers (mycielskian18, mouse_gene) diverge in
+//! the later half, dipping to ~30–50% as useful work per launch dries up.
+
+use std::io::{self, Write};
+
+use ldgm_core::ld_gpu::{LdGpu, LdGpuConfig};
+use ldgm_gpusim::Platform;
+
+use crate::datasets::{by_name, scaled_platform};
+use crate::table::Table;
+
+/// Graphs shown (large stays saturated; small outliers dip).
+pub const GRAPHS: &[&str] = &[
+    "GAP-kron",
+    "com-Friendster",
+    "kmer_U1a",
+    "Queen_4147",
+    "mycielskian18",
+    "mouse_gene",
+];
+
+/// Run the experiment, writing the report to `w`.
+pub fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "# Fig. 11: SM occupancy (%) at points of the iteration progression\n")?;
+    let platform = scaled_platform(Platform::dgx_a100());
+    let marks = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let mut header = vec!["Graph".to_string()];
+    header.extend(marks.iter().map(|m| format!("{:.0}%", m * 100.0)));
+    header.push("min".into());
+    let mut t = Table::new(header);
+    for name in GRAPHS {
+        let g = by_name(name).build();
+        let out = LdGpu::new(LdGpuConfig::new(platform.clone())).run(&g);
+        let iters = &out.profile.iterations;
+        if iters.is_empty() {
+            continue;
+        }
+        let mut cells = vec![name.to_string()];
+        for m in marks {
+            let idx = ((iters.len() - 1) as f64 * m).round() as usize;
+            cells.push(format!("{:.0}", iters[idx].occupancy * 100.0));
+        }
+        let min = iters.iter().map(|r| r.occupancy).fold(1.0_f64, f64::min);
+        cells.push(format!("{:.0}", min * 100.0));
+        t.row(cells);
+    }
+    writeln!(w, "{t}")
+}

@@ -1,0 +1,46 @@
+//! **Fig. 4**: strong scaling of LD-GPU on 1–8 A100 GPUs over the LARGE
+//! inputs, best execution time over a range of batch counts.
+//!
+//! Expected shape (paper): up to ~47× superlinear speedup at 8 GPUs for
+//! inputs whose low-device-count runs pay sequential batch-processing and
+//! synchronization overheads (partitions stop needing batches beyond ~4
+//! devices); scalability plateaus past 4 GPUs once collectives dominate.
+
+use std::io::{self, Write};
+
+use ldgm_gpusim::Platform;
+
+use crate::datasets::{registry, scaled_platform, Group};
+use crate::runner::{fmt_secs, sweep_ld_gpu, BATCH_SWEEP};
+use crate::table::Table;
+
+/// Run the experiment, writing the report to `w`.
+pub fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "# Fig. 4: LD-GPU strong scaling on 1-8 A100 GPUs (LARGE inputs)\n")?;
+    writeln!(w, "Cells: best time over batch sweep (speedup vs 1 GPU).\n")?;
+    let platform = scaled_platform(Platform::dgx_a100());
+    let devices = [1usize, 2, 4, 8];
+    let mut header: Vec<String> = vec!["Graph".into()];
+    header.extend(devices.iter().map(|d| format!("{d} GPU")));
+    let mut t = Table::new(header);
+    for d in registry().into_iter().filter(|d| d.group == Group::Large) {
+        let g = d.build();
+        let mut cells = vec![d.name.to_string()];
+        let mut t1 = None;
+        for &nd in &devices {
+            match sweep_ld_gpu(&g, &platform, &[nd], BATCH_SWEEP) {
+                Some(best) => {
+                    let time = best.output.sim_time;
+                    if t1.is_none() {
+                        t1 = Some(time);
+                    }
+                    let spd = t1.unwrap() / time;
+                    cells.push(format!("{} ({spd:.1}x)", fmt_secs(time)));
+                }
+                None => cells.push("-".into()),
+            }
+        }
+        t.row(cells);
+    }
+    writeln!(w, "{t}")
+}

@@ -1,0 +1,48 @@
+//! **Fig. 9**: execution-time speedup of NVLink over PCIe for data
+//! transfer and multi-GPU communication.
+//!
+//! Expected shape (paper): average ≈ 3× in favor of NVLink, maximum ≈ 17×;
+//! the smallest graph (mouse_gene) is an outlier with mild, stable
+//! collective overheads up to 4 GPUs.
+
+use std::io::{self, Write};
+
+use ldgm_gpusim::Platform;
+
+use crate::datasets::{registry, scaled_platform};
+use crate::runner::{geomean, sweep_ld_gpu, BATCH_SWEEP};
+use crate::table::Table;
+
+/// Run the experiment, writing the report to `w`.
+pub fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "# Fig. 9: NVLink vs PCIe speedup (multi-GPU LD-GPU)\n")?;
+    let nvlink = scaled_platform(Platform::dgx_a100());
+    let pcie = scaled_platform(Platform::pcie_a100());
+    let devices: &[usize] = &[2, 4, 8];
+    let mut t = Table::new(vec!["Graph", "NVLink (s)", "PCIe (s)", "speedup"]);
+    let mut speedups = Vec::new();
+    for d in registry() {
+        let g = d.build();
+        let (Some(nv), Some(pc)) = (
+            sweep_ld_gpu(&g, &nvlink, devices, BATCH_SWEEP),
+            sweep_ld_gpu(&g, &pcie, devices, BATCH_SWEEP),
+        ) else {
+            continue;
+        };
+        let s = pc.output.sim_time / nv.output.sim_time;
+        speedups.push(s);
+        t.row(vec![
+            d.name.to_string(),
+            format!("{:.5}", nv.output.sim_time),
+            format!("{:.5}", pc.output.sim_time),
+            format!("{s:.1}x"),
+        ]);
+    }
+    writeln!(w, "{t}")?;
+    writeln!(
+        w,
+        "geomean speedup: {:.2}x, max: {:.1}x",
+        geomean(&speedups),
+        speedups.iter().fold(0.0_f64, |a, &b| a.max(b))
+    )
+}

@@ -1,0 +1,46 @@
+//! **Table VI**: the paper's Figure of Merit — Mega-Matching-Edges per
+//! Second (MMEPS) — for LD-GPU (best over configurations) vs SR-OMP.
+//!
+//! Expected shape (paper): LD-GPU 2–20× higher MMEPS, the sparse kmer
+//! family reaching the largest absolute rates.
+
+use std::io::{self, Write};
+
+use ldgm_core::fom::mmeps;
+use ldgm_core::suitor_par::suitor_par;
+use ldgm_gpusim::Platform;
+
+use crate::datasets::{by_name, scaled_platform};
+use crate::runner::{best_wall_of, sweep_ld_gpu, BATCH_SWEEP, DEVICE_SWEEP};
+use crate::table::Table;
+
+/// The six graphs of the paper's Table VI.
+pub const GRAPHS: &[&str] = &[
+    "AGATHA-2015",
+    "MOLIERE_2016",
+    "GAP-urand",
+    "GAP-kron",
+    "com-Friendster",
+    "kmer_U1a",
+];
+
+/// Run the experiment, writing the report to `w`.
+pub fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "# Table VI: Mega-Matching-Edges per Second (higher is better)\n")?;
+    let platform = scaled_platform(Platform::dgx_a100());
+    let mut t = Table::new(vec!["Graph", "LD-GPU", "SR-OMP", "ratio"]);
+    for name in GRAPHS {
+        let g = by_name(name).build();
+        let best = sweep_ld_gpu(&g, &platform, DEVICE_SWEEP, BATCH_SWEEP).unwrap();
+        let ld_fom = mmeps(best.output.matching.cardinality(), best.output.sim_time);
+        let (omp_time, omp) = best_wall_of(3, || suitor_par(&g));
+        let omp_fom = mmeps(omp.cardinality(), omp_time);
+        t.row(vec![
+            name.to_string(),
+            format!("{ld_fom:.2}"),
+            format!("{omp_fom:.2}"),
+            format!("{:.1}x", ld_fom / omp_fom),
+        ]);
+    }
+    writeln!(w, "{t}")
+}

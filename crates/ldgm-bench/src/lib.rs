@@ -1,0 +1,21 @@
+//! # ldgm-bench — evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! (§IV) against the synthetic stand-in datasets:
+//!
+//! * [`datasets`] — the registry of fourteen scaled stand-ins (plus the
+//!   Blossom-sized quality instances) and the memory-scaled platforms;
+//! * [`runner`] — timing and LD-GPU configuration-sweep helpers;
+//! * [`table`] — aligned text-table rendering;
+//! * [`exp`] — one module per experiment (`table1`..`table6`,
+//!   `fig4`..`fig11`), each with a same-named binary, plus `repro_all`.
+//!
+//! ```bash
+//! cargo run --release -p ldgm-bench --bin table1
+//! cargo run --release -p ldgm-bench --bin repro_all   # everything -> target/repro/
+//! ```
+
+pub mod datasets;
+pub mod exp;
+pub mod runner;
+pub mod table;

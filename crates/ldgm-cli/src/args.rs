@@ -1,0 +1,153 @@
+//! Minimal dependency-free argument parsing: `--key value` / `--flag`
+//! options after a subcommand.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Args {
+    /// First positional token.
+    pub command: String,
+    /// `--key value` pairs (keys without the leading dashes).
+    pub options: BTreeMap<String, String>,
+    /// Bare `--flag` tokens.
+    pub flags: Vec<String>,
+}
+
+/// Parsing failure with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse a token stream (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut it = tokens.into_iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand; try `ldgm help`".into()))?;
+        if command.starts_with('-') {
+            return Err(ArgError(format!("expected a subcommand, got option '{command}'")));
+        }
+        let mut args = Args { command, ..Default::default() };
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument '{tok}'")));
+            };
+            if key.is_empty() {
+                return Err(ArgError("empty option name '--'".into()));
+            }
+            // A value follows unless the next token is another option or
+            // the stream ends.
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = it.next().unwrap();
+                    if args.options.insert(key.to_string(), value).is_some() {
+                        return Err(ArgError(format!("duplicate option '--{key}'")));
+                    }
+                }
+                _ => args.flags.push(key.to_string()),
+            }
+        }
+        Ok(args)
+    }
+
+    /// Fetch a string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Fetch a string option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Fetch and parse a numeric option.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("option '--{key}' has invalid value '{v}'"))),
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Error if any option key is outside the allowed set (catches typos).
+    pub fn expect_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys().chain(self.flags.iter()) {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown option '--{key}' for '{}' (allowed: {})",
+                    self.command,
+                    allowed.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_options_flags() {
+        let a = Args::parse(toks("match --input g.mtx --devices 4 --verify")).unwrap();
+        assert_eq!(a.command, "match");
+        assert_eq!(a.get("input"), Some("g.mtx"));
+        assert_eq!(a.get_num("devices", 1usize).unwrap(), 4);
+        assert!(a.has_flag("verify"));
+        assert!(!a.has_flag("quiet"));
+    }
+
+    #[test]
+    fn rejects_missing_command_and_positional() {
+        assert!(Args::parse(Vec::new()).is_err());
+        assert!(Args::parse(toks("--input x")).is_err());
+        assert!(Args::parse(toks("gen stray")).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_numbers() {
+        assert!(Args::parse(toks("gen --seed 1 --seed 2")).is_err());
+        let a = Args::parse(toks("gen --vertices lots")).unwrap();
+        assert!(a.get_num("vertices", 0usize).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(toks("gen")).unwrap();
+        assert_eq!(a.get_or("family", "rmat"), "rmat");
+        assert_eq!(a.get_num("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn unknown_option_detection() {
+        let a = Args::parse(toks("gen --vertices 10 --typo 3")).unwrap();
+        assert!(a.expect_known(&["vertices", "seed"]).is_err());
+        assert!(a.expect_known(&["vertices", "typo"]).is_ok());
+    }
+
+    #[test]
+    fn trailing_flag_without_value() {
+        let a = Args::parse(toks("stats --verify")).unwrap();
+        assert!(a.has_flag("verify"));
+    }
+}

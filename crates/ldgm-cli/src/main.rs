@@ -1,0 +1,29 @@
+//! `ldgm` — command-line front end for the workspace. See
+//! [`commands::HELP`] or run `ldgm help`.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(tokens) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::HELP);
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

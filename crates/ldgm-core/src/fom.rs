@@ -1,0 +1,35 @@
+//! Figure of Merit: Mega-Matching-Edges per Second (MMEPS), §IV-D.
+//!
+//! The paper proposes MMEPS to compare matching implementations across
+//! architectures and parameter settings: the rate at which edges are
+//! committed to the matching, in millions per second of (pointing +
+//! matching) execution time. Higher is better.
+
+/// Compute MMEPS for a run that committed `matched_edges` edges in
+/// `seconds` of matching execution time.
+pub fn mmeps(matched_edges: usize, seconds: f64) -> f64 {
+    assert!(seconds > 0.0, "FoM needs a positive execution time");
+    matched_edges as f64 / 1e6 / seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_rates() {
+        assert!((mmeps(1_000_000, 1.0) - 1.0).abs() < 1e-12);
+        assert!((mmeps(500_000, 0.25) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_is_better_for_faster_runs() {
+        assert!(mmeps(1000, 0.001) > mmeps(1000, 0.002));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive execution time")]
+    fn rejects_zero_time() {
+        mmeps(1, 0.0);
+    }
+}

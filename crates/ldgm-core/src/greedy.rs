@@ -1,0 +1,87 @@
+//! Global greedy matching: sort all edges by weight, scan, take what fits.
+//!
+//! The classical sequential ½-approximation (Avis). It is the quality
+//! reference for the locally dominant family: under *distinct* weights,
+//! LD-SEQ, LocalMax and Suitor all produce exactly this matching — a
+//! property the integration tests exploit.
+
+use crate::matching::Matching;
+use ldgm_graph::csr::{CsrGraph, VertexId};
+
+/// Run global greedy matching on `g`.
+///
+/// Edge order: descending weight, then the same id-based tie-break as the
+/// pointer algorithms (lower endpoint ids first), so ties resolve
+/// consistently across implementations.
+pub fn greedy(g: &CsrGraph) -> Matching {
+    let mut edges: Vec<(VertexId, VertexId, f64)> = g.iter_edges().collect();
+    edges.sort_unstable_by(|a, b| {
+        b.2.total_cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+    });
+    let mut m = Matching::new(g.num_vertices());
+    for (u, v, _) in edges {
+        if !m.is_matched(u) && !m.is_matched(v) {
+            m.join(u, v);
+        }
+    }
+    m
+}
+
+/// Convenience: `w(greedy(g))`.
+pub fn greedy_weight(g: &CsrGraph) -> f64 {
+    greedy(g).weight(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{brute_force_mwm, half_approx_certificate};
+    use ldgm_graph::gen::urand;
+    use ldgm_graph::GraphBuilder;
+
+    #[test]
+    fn takes_heaviest_first() {
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 10.0)
+            .add_edge(2, 3, 1.0)
+            .build();
+        let m = greedy(&g);
+        assert_eq!(m.mate(1), Some(2));
+        assert_eq!(m.cardinality(), 1);
+    }
+
+    #[test]
+    fn maximal_valid_certified() {
+        for seed in 0..5 {
+            let g = urand(300, 2000, seed);
+            let m = greedy(&g);
+            assert_eq!(m.verify(&g), Ok(()));
+            assert!(m.is_maximal(&g));
+            assert!(half_approx_certificate(&g, &m));
+        }
+    }
+
+    #[test]
+    fn half_bound_vs_bruteforce() {
+        for seed in 100..115 {
+            let g = urand(8, 12, seed);
+            if g.num_edges() > 20 {
+                continue;
+            }
+            assert!(greedy_weight(&g) >= 0.5 * brute_force_mwm(&g) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1, 1.0)
+            .add_edge(0, 2, 1.0)
+            .add_edge(0, 3, 1.0)
+            .build();
+        let m = greedy(&g);
+        // Tie-break: (0,1) sorts first.
+        assert_eq!(m.mate(0), Some(1));
+    }
+}

@@ -1,0 +1,119 @@
+//! LD-GPU run configuration and errors.
+
+use ldgm_gpusim::Platform;
+
+/// Configuration of an LD-GPU run.
+#[derive(Clone, Debug)]
+pub struct LdGpuConfig {
+    /// Simulated platform (device model, interconnect, cost model, comm
+    /// runtime).
+    pub platform: Platform,
+    /// Devices to use (clamped to `platform.max_devices`).
+    pub devices: usize,
+    /// Batches per device; `None` selects the minimum count whose
+    /// double-buffered footprint fits device memory — the paper's default
+    /// policy ("we attempt to minimize the number of batches").
+    pub batches: Option<usize>,
+    /// Vertices assigned to each warp in the pointing kernel; `None`
+    /// derives it from the device's resident-warp capacity.
+    pub vertices_per_warp: Option<usize>,
+    /// Retire vertices whose neighborhoods are exhausted (LD-GPU behaviour;
+    /// the cuGraph-style baseline disables this and rescans every vertex
+    /// each iteration).
+    pub retire_exhausted: bool,
+    /// Multiplier on kernel compute cost (1.0 for LD-GPU; > 1 models less
+    /// specialized kernels in framework baselines).
+    pub kernel_overhead: f64,
+    /// Record per-iteration profiling (Figs. 8/11). Cheap; on by default.
+    pub collect_iterations: bool,
+    /// Record a full event [`ldgm_gpusim::Trace`] (copies, kernels,
+    /// collectives, syncs) for Gantt inspection. Off by default.
+    pub collect_trace: bool,
+}
+
+impl LdGpuConfig {
+    /// Default configuration on `platform`: 1 device, auto batches.
+    pub fn new(platform: Platform) -> Self {
+        LdGpuConfig {
+            platform,
+            devices: 1,
+            batches: None,
+            vertices_per_warp: None,
+            retire_exhausted: true,
+            kernel_overhead: 1.0,
+            collect_iterations: true,
+            collect_trace: false,
+        }
+    }
+
+    /// Set the device count.
+    pub fn devices(mut self, n: usize) -> Self {
+        self.devices = n.max(1);
+        self
+    }
+
+    /// Fix the batch count per device.
+    pub fn batches(mut self, b: usize) -> Self {
+        self.batches = Some(b.max(1));
+        self
+    }
+
+    /// Fix the vertices-per-warp work distribution.
+    pub fn vertices_per_warp(mut self, v: usize) -> Self {
+        self.vertices_per_warp = Some(v.max(1));
+        self
+    }
+
+    /// Disable per-iteration profiling.
+    pub fn without_iteration_profile(mut self) -> Self {
+        self.collect_iterations = false;
+        self
+    }
+
+    /// Enable event-trace recording (Gantt timelines).
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
+    }
+}
+
+/// Errors from an LD-GPU run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LdGpuError {
+    /// A device partition cannot fit in device memory at any batch count
+    /// (the |V|-sized global arrays or a single hub vertex overflow).
+    OutOfMemory {
+        /// Offending device index.
+        device: usize,
+        /// Device memory in bytes.
+        mem_bytes: u64,
+    },
+    /// An explicitly requested batch count does not fit in device memory.
+    BatchPlanTooLarge {
+        /// Offending device index.
+        device: usize,
+        /// Requested batches.
+        batches: usize,
+        /// Required bytes for the plan.
+        required: u64,
+        /// Device memory in bytes.
+        mem_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for LdGpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LdGpuError::OutOfMemory { device, mem_bytes } => write!(
+                f,
+                "device {device}: partition cannot fit in {mem_bytes} B at any batch count"
+            ),
+            LdGpuError::BatchPlanTooLarge { device, batches, required, mem_bytes } => write!(
+                f,
+                "device {device}: {batches}-batch plan needs {required} B, has {mem_bytes} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LdGpuError {}

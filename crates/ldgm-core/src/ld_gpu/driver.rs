@@ -1,0 +1,515 @@
+//! The LD-GPU driver: Algorithm 2 of the paper on the simulated platform.
+//!
+//! Per iteration: every device walks its batches — asynchronously loading
+//! batch `b+1` while the SETPOINTERS kernel of batch `b` runs on the other
+//! stream buffer, with explicit host synchronization when the batch count
+//! exceeds the two buffers — then the devices allreduce the pointer array
+//! (NCCL ring model), run SETMATES against the globally consistent
+//! pointers, and allreduce the mate array. Termination when an iteration
+//! sets no pointers (no available edges remain).
+//!
+//! Kernel logic executes for real (device-parallel via rayon, with the
+//! per-device vertex ranges borrowed disjointly); all simulated time comes
+//! from the `ldgm-gpusim` cost models.
+
+use rayon::prelude::*;
+
+use ldgm_gpusim::{
+    run_collective, DeviceTimer, EventKind, IterationRecord, KernelStats, Trace, NONE_SENTINEL,
+    PhaseBreakdown, RunProfile,
+};
+use ldgm_graph::csr::{CsrGraph, VertexId};
+use ldgm_part::{batch, memory, Partition, VertexRange};
+
+use super::config::{LdGpuConfig, LdGpuError};
+use super::kernels::{set_mates, set_pointers_batch, PointingResult};
+use crate::matching::Matching;
+
+/// Result of an LD-GPU run.
+#[derive(Clone, Debug)]
+pub struct LdGpuOutput {
+    /// The computed ½-approximate matching.
+    pub matching: Matching,
+    /// Matching iterations executed.
+    pub iterations: usize,
+    /// End-to-end simulated time in seconds (pointing + matching phases,
+    /// matching the paper's reporting convention).
+    pub sim_time: f64,
+    /// Component-wise timing and per-iteration records.
+    pub profile: RunProfile,
+    /// Devices actually used.
+    pub devices: usize,
+    /// Batches per device actually used.
+    pub batches: usize,
+    /// Event timeline, when [`LdGpuConfig::collect_trace`] is on.
+    pub trace: Option<Trace>,
+}
+
+/// The LD-GPU matcher.
+#[derive(Clone, Debug)]
+pub struct LdGpu {
+    cfg: LdGpuConfig,
+}
+
+/// Per-device state borrowed disjointly during the pointing phase.
+struct DeviceTask<'a> {
+    dev_idx: usize,
+    part: VertexRange,
+    batches: Vec<VertexRange>,
+    pointers: &'a mut [u64],
+    retired: &'a mut [u8],
+    timer: DeviceTimer,
+}
+
+/// What a device reports back after its pointing phase.
+#[derive(Default)]
+struct DeviceReport {
+    phases: PhaseBreakdown,
+    stats: KernelStats,
+    pointers_set: u64,
+    occ_weighted: f64,
+    occ_weight: f64,
+    trace: Trace,
+}
+
+impl LdGpu {
+    /// Create a matcher from a configuration.
+    pub fn new(cfg: LdGpuConfig) -> Self {
+        LdGpu { cfg }
+    }
+
+    /// Run on `g`, panicking on infeasible configurations.
+    pub fn run(&self, g: &CsrGraph) -> LdGpuOutput {
+        self.try_run(g).expect("LD-GPU configuration infeasible")
+    }
+
+    /// Run on `g`.
+    pub fn try_run(&self, g: &CsrGraph) -> Result<LdGpuOutput, LdGpuError> {
+        let cfg = &self.cfg;
+        let n = g.num_vertices();
+        let ndev = cfg.devices.clamp(1, cfg.platform.max_devices);
+        let partition = Partition::edge_balanced(g, ndev);
+        let mem = cfg.platform.device.mem_bytes;
+
+        // Batch plan: identical count per device (paper §III-C).
+        let nbatches = match cfg.batches {
+            Some(b) => {
+                for (d, part) in partition.parts.iter().enumerate() {
+                    let plan = batch::make_batches(g, part, b);
+                    let required = memory::device_footprint_bytes(&plan, n);
+                    if required > mem {
+                        return Err(LdGpuError::BatchPlanTooLarge {
+                            device: d,
+                            batches: b,
+                            required,
+                            mem_bytes: mem,
+                        });
+                    }
+                }
+                b
+            }
+            None => {
+                let mut needed = 1;
+                for (d, part) in partition.parts.iter().enumerate() {
+                    match batch::min_batches_to_fit(g, part, n, mem, 1) {
+                        Some(k) => needed = needed.max(k),
+                        None => return Err(LdGpuError::OutOfMemory { device: d, mem_bytes: mem }),
+                    }
+                }
+                needed
+            }
+        };
+
+        // Global device-resident arrays.
+        let mut pointers: Vec<u64> = vec![NONE_SENTINEL; n];
+        let mut mate: Vec<u64> = vec![NONE_SENTINEL; n];
+        let mut retired: Vec<u8> = vec![0; n];
+        let mut timers: Vec<DeviceTimer> = vec![DeviceTimer::new(); ndev];
+
+        let spec = &cfg.platform.device;
+        let cost = &cfg.platform.cost;
+        let h2d = cfg.platform.interconnect.h2d;
+        let peer = cfg.platform.interconnect.peer;
+        let comm = cfg.platform.comm;
+        let vpw = cfg.vertices_per_warp.unwrap_or_else(|| {
+            let slots = (spec.sm_count * spec.max_warps_per_sm) as usize;
+            n.div_ceil(ndev).div_ceil(slots).max(1)
+        });
+
+        let mut profile = RunProfile::default();
+        let mut iterations = 0usize;
+        let total_directed = g.num_directed_edges() as u64;
+        let mut trace = cfg.collect_trace.then(Trace::default);
+
+        loop {
+            // ---- Pointing phase (Algorithm 2 lines 3-6) ----
+            let reports: Vec<DeviceReport> = {
+                let mut tasks: Vec<DeviceTask<'_>> = Vec::with_capacity(ndev);
+                let mut ptr_rest: &mut [u64] = &mut pointers;
+                let mut ret_rest: &mut [u8] = &mut retired;
+                let mut cursor: usize = 0;
+                for (d, part) in partition.parts.iter().enumerate() {
+                    debug_assert_eq!(part.start as usize, cursor);
+                    let len = part.num_vertices();
+                    let (ptr_here, ptr_next) = ptr_rest.split_at_mut(len);
+                    let (ret_here, ret_next) = ret_rest.split_at_mut(len);
+                    ptr_rest = ptr_next;
+                    ret_rest = ret_next;
+                    cursor += len;
+                    tasks.push(DeviceTask {
+                        dev_idx: d,
+                        part: *part,
+                        batches: batch::make_batches(g, part, nbatches),
+                        pointers: ptr_here,
+                        retired: ret_here,
+                        timer: timers[d],
+                    });
+                }
+                let mate_ref = &mate;
+                let reports: Vec<(DeviceTimer, DeviceReport)> = tasks
+                    .into_par_iter()
+                    .map(|mut task| {
+                        let mut rep = DeviceReport::default();
+                        let dev_idx = task.dev_idx;
+                        let collect_trace = self.cfg.collect_trace;
+                        let nb = task.batches.len();
+                        for (b, brange) in task.batches.iter().enumerate() {
+                            // Async load into buffer b mod 2 (double
+                            // buffer). With ≤ 2 batches both stay resident
+                            // in the buffers: their initial load is the
+                            // host-device partition transfer the paper
+                            // excludes from timings. Beyond two batches the
+                            // buffers are re-streamed every iteration, which
+                            // is billed.
+                            if nb > 2 {
+                                let bytes = memory::batch_buffer_bytes(brange);
+                                let (cs, ce) = task.timer.schedule_h2d(b, bytes, &h2d);
+                                rep.phases.transfer += ce - cs;
+                                if collect_trace {
+                                    rep.trace.record(
+                                        dev_idx,
+                                        EventKind::H2dCopy,
+                                        format!("copy b{b}"),
+                                        cs,
+                                        ce,
+                                    );
+                                }
+                            }
+                            // Execute SETPOINTERS for real on the batch's
+                            // sub-slice of this device's pointer range.
+                            let lo = (brange.start - task.part.start) as usize;
+                            let hi = (brange.end - task.part.start) as usize;
+                            let PointingResult { stats, pointers_set } = set_pointers_batch(
+                                g,
+                                brange,
+                                mate_ref,
+                                &mut task.pointers[lo..hi],
+                                &mut task.retired[lo..hi],
+                                vpw,
+                                self.cfg.retire_exhausted,
+                            );
+                            let dur = spec.kernel_time(cost, &stats) * self.cfg.kernel_overhead;
+                            let (ks, ke) = task.timer.schedule_kernel(b, dur);
+                            if collect_trace {
+                                rep.trace.record(
+                                    dev_idx,
+                                    EventKind::Kernel,
+                                    format!("point b{b}"),
+                                    ks,
+                                    ke,
+                                );
+                            }
+                            rep.phases.pointing += dur;
+                            rep.pointers_set += pointers_set;
+                            rep.occ_weighted +=
+                                spec.occupancy(cost, &stats) * stats.warps_launched as f64;
+                            rep.occ_weight += stats.warps_launched as f64;
+                            rep.stats.merge(&stats);
+                            // Paper §III-D: explicit host-device sync when
+                            // more batches than stream buffers.
+                            if task.batches.len() > 2 {
+                                let sync_cost = cost.host_sync_us * 1e-6;
+                                let before = task.timer.horizon();
+                                task.timer.host_sync(sync_cost);
+                                rep.phases.sync += sync_cost;
+                                if collect_trace {
+                                    rep.trace.record(
+                                        dev_idx,
+                                        EventKind::HostSync,
+                                        format!("sync b{b}"),
+                                        before,
+                                        before + sync_cost,
+                                    );
+                                }
+                            }
+                        }
+                        task.timer.drain();
+                        (task.timer, rep)
+                    })
+                    .collect();
+                for (d, (timer, _)) in reports.iter().enumerate() {
+                    timers[d] = *timer;
+                }
+                reports.into_iter().map(|(_, r)| r).collect()
+            };
+
+            let pointers_set: u64 = reports.iter().map(|r| r.pointers_set).sum();
+            let mut iter_stats = KernelStats::default();
+            let mut occ_weighted = 0.0;
+            let mut occ_weight = 0.0;
+            let mut reports = reports;
+            for r in &mut reports {
+                if let Some(t) = trace.as_mut() {
+                    t.merge(std::mem::take(&mut r.trace));
+                }
+            }
+            for r in &reports {
+                iter_stats.merge(&r.stats);
+                occ_weighted += r.occ_weighted;
+                occ_weight += r.occ_weight;
+                profile.phases.pointing += r.phases.pointing / ndev as f64;
+                profile.phases.transfer += r.phases.transfer / ndev as f64;
+                profile.phases.sync += r.phases.sync / ndev as f64;
+            }
+
+            if pointers_set == 0 {
+                break; // no available edges anywhere: matching is maximal
+            }
+            iterations += 1;
+
+            // Devices idle at the collective until the slowest finishes its
+            // pointing phase — the paper's "explicit synchronization"
+            // component is dominated by exactly this imbalance wait.
+            let max_h = timers.iter().map(DeviceTimer::horizon).fold(0.0_f64, f64::max);
+            let wait: f64 = timers.iter().map(|t| max_h - t.horizon()).sum::<f64>();
+            profile.phases.sync += wait / ndev as f64;
+
+            // ---- AllReduce pointers (line 7) ----
+            let ar = comm.allreduce_time(&peer, ndev, 8 * n as u64);
+            let (ar_s, ar_e) = run_collective(&mut timers, ar);
+            if let Some(t) = trace.as_mut() {
+                for d in 0..ndev {
+                    t.record(d, EventKind::Collective, "allreduce ptr", ar_s, ar_e);
+                }
+            }
+            profile.phases.allreduce += ar;
+
+            // ---- Matching phase: SETMATES (line 8) ----
+            let (mstats, new_matches) = set_mates(&pointers, &mut mate);
+            let mdur = spec.kernel_time(cost, &mstats) * self.cfg.kernel_overhead;
+            for (d, tm) in timers.iter_mut().enumerate() {
+                let (ms, me) = tm.schedule_kernel_global(mdur);
+                tm.drain();
+                if let Some(t) = trace.as_mut() {
+                    t.record(d, EventKind::Kernel, "setmates", ms, me);
+                }
+            }
+            profile.phases.matching += mdur;
+
+            // ---- AllReduce mate (line 9) ----
+            let ar2 = comm.allreduce_time(&peer, ndev, 8 * n as u64);
+            let (ar2_s, ar2_e) = run_collective(&mut timers, ar2);
+            if let Some(t) = trace.as_mut() {
+                for d in 0..ndev {
+                    t.record(d, EventKind::Collective, "allreduce mate", ar2_s, ar2_e);
+                }
+            }
+            profile.phases.allreduce += ar2;
+
+            debug_assert!(new_matches > 0, "pointers set but nothing matched: livelock");
+
+            if cfg.collect_iterations {
+                let occ = if occ_weight > 0.0 { occ_weighted / occ_weight } else { 0.0 };
+                profile.iterations.push(IterationRecord::from_stats(
+                    iterations - 1,
+                    &iter_stats,
+                    total_directed,
+                    occ,
+                    new_matches,
+                ));
+            }
+            if new_matches == 0 {
+                break; // defensive: cannot happen under the total order
+            }
+        }
+
+        let sim_time = timers.iter().map(DeviceTimer::horizon).fold(0.0, f64::max);
+        profile.sim_time = sim_time;
+
+        let mut matching = Matching::new(n);
+        for (u, &v) in mate.iter().enumerate() {
+            if v != NONE_SENTINEL && (u as u64) < v {
+                matching.join(u as VertexId, v as VertexId);
+            }
+        }
+        Ok(LdGpuOutput {
+            matching,
+            iterations,
+            sim_time,
+            profile,
+            devices: ndev,
+            batches: nbatches,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ld_seq::ld_seq;
+    use crate::verify::half_approx_certificate;
+    use ldgm_gpusim::Platform;
+    use ldgm_graph::gen::{rmat, urand, RmatParams};
+
+    fn dgx() -> Platform {
+        Platform::dgx_a100()
+    }
+
+    #[test]
+    fn single_device_matches_ld_seq() {
+        for seed in 0..3 {
+            let g = urand(500, 3000, seed);
+            let out = LdGpu::new(LdGpuConfig::new(dgx())).run(&g);
+            let seq = ld_seq(&g);
+            assert_eq!(out.matching.mate_array(), seq.mate_array(), "seed {seed}");
+            assert_eq!(out.matching.verify(&g), Ok(()));
+        }
+    }
+
+    #[test]
+    fn multi_device_identical_to_ld_seq() {
+        let g = rmat(1024, 8000, RmatParams::GAP_KRON, 5);
+        let seq = ld_seq(&g);
+        for ndev in [2, 3, 4, 8] {
+            let out = LdGpu::new(LdGpuConfig::new(dgx()).devices(ndev)).run(&g);
+            assert_eq!(out.matching.mate_array(), seq.mate_array(), "{ndev} devices");
+            assert_eq!(out.devices, ndev);
+        }
+    }
+
+    #[test]
+    fn batching_does_not_change_result() {
+        let g = urand(800, 6400, 9);
+        let seq = ld_seq(&g);
+        for nb in [1, 2, 3, 5, 10] {
+            let out = LdGpu::new(LdGpuConfig::new(dgx()).devices(2).batches(nb)).run(&g);
+            assert_eq!(out.matching.mate_array(), seq.mate_array(), "{nb} batches");
+            assert_eq!(out.batches, nb);
+        }
+    }
+
+    #[test]
+    fn maximal_certified_and_profiled() {
+        let g = rmat(2048, 20_000, RmatParams::SOCIAL, 2);
+        let out = LdGpu::new(LdGpuConfig::new(dgx()).devices(4)).run(&g);
+        assert!(out.matching.is_maximal(&g));
+        assert!(half_approx_certificate(&g, &out.matching));
+        assert!(out.sim_time > 0.0);
+        assert_eq!(out.profile.iterations.len(), out.iterations);
+        assert!(out.profile.phases.total() > 0.0);
+        // First iteration scans the most edges.
+        let first = out.profile.iterations[0].edges_scanned;
+        for r in &out.profile.iterations[1..] {
+            assert!(r.edges_scanned <= first);
+        }
+    }
+
+    #[test]
+    fn tight_memory_forces_batches() {
+        let g = urand(2000, 30_000, 3);
+        // Shrink device memory to ~1/3 of the single-batch footprint.
+        let part = Partition::edge_balanced(&g, 1);
+        let single = memory::device_footprint_bytes(
+            &batch::make_batches(&g, &part.parts[0], 1),
+            g.num_vertices(),
+        );
+        let platform = dgx().with_device_memory(single * 2 / 5);
+        let out = LdGpu::new(LdGpuConfig::new(platform)).run(&g);
+        assert!(out.batches > 1, "expected batching, got {}", out.batches);
+        assert_eq!(out.matching.mate_array(), ld_seq(&g).mate_array());
+    }
+
+    #[test]
+    fn infeasible_memory_errors() {
+        let g = urand(1000, 5000, 4);
+        // Global arrays alone exceed memory.
+        let platform = dgx().with_device_memory(100);
+        let err = LdGpu::new(LdGpuConfig::new(platform)).try_run(&g).unwrap_err();
+        assert!(matches!(err, LdGpuError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn explicit_batch_plan_too_large_errors() {
+        let g = urand(1000, 20_000, 5);
+        let part = Partition::edge_balanced(&g, 1);
+        let single = memory::device_footprint_bytes(
+            &batch::make_batches(&g, &part.parts[0], 1),
+            g.num_vertices(),
+        );
+        let platform = dgx().with_device_memory(single / 2);
+        let err = LdGpu::new(LdGpuConfig::new(platform).batches(1)).try_run(&g).unwrap_err();
+        assert!(matches!(err, LdGpuError::BatchPlanTooLarge { .. }));
+    }
+
+    #[test]
+    fn more_devices_do_not_increase_iterations() {
+        let g = urand(1500, 12_000, 6);
+        let a = LdGpu::new(LdGpuConfig::new(dgx()).devices(1)).run(&g);
+        let b = LdGpu::new(LdGpuConfig::new(dgx()).devices(8)).run(&g);
+        assert_eq!(a.iterations, b.iterations, "iteration count is algorithm-determined");
+    }
+
+    #[test]
+    fn devices_clamped_to_platform() {
+        let g = urand(200, 800, 7);
+        let out = LdGpu::new(LdGpuConfig::new(dgx()).devices(64)).run(&g);
+        assert_eq!(out.devices, 8);
+    }
+
+    #[test]
+    fn empty_graph_terminates_immediately() {
+        let g = CsrGraph::empty(100);
+        let out = LdGpu::new(LdGpuConfig::new(dgx())).run(&g);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.matching.cardinality(), 0);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use ldgm_gpusim::{EventKind, Platform};
+    use ldgm_graph::gen::urand;
+
+    #[test]
+    fn trace_records_expected_event_kinds() {
+        let g = urand(800, 6400, 1);
+        let out =
+            LdGpu::new(LdGpuConfig::new(Platform::dgx_a100()).devices(2).batches(4).with_trace())
+                .run(&g);
+        let trace = out.trace.expect("trace requested");
+        let kinds: Vec<EventKind> =
+            [EventKind::H2dCopy, EventKind::Kernel, EventKind::Collective, EventKind::HostSync]
+                .into_iter()
+                .filter(|k| trace.events.iter().any(|e| e.kind == *k))
+                .collect();
+        assert_eq!(kinds.len(), 4, "4-batch run must exercise every event kind");
+        // Two collectives per iteration, recorded once per device.
+        let collectives =
+            trace.events.iter().filter(|e| e.kind == EventKind::Collective).count();
+        assert_eq!(collectives, 2 * out.iterations * out.devices);
+        // The trace horizon matches the simulated time.
+        let (_, hi) = trace.span().unwrap();
+        assert!((hi - out.sim_time).abs() < 1e-12);
+        // Gantt rendering works on real traces.
+        assert!(trace.render_gantt(80).contains("dev0"));
+    }
+
+    #[test]
+    fn trace_off_by_default() {
+        let g = urand(100, 400, 2);
+        let out = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100())).run(&g);
+        assert!(out.trace.is_none());
+    }
+}

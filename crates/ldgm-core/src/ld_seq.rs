@@ -1,0 +1,174 @@
+//! LD-SEQ: the sequential pointer-based locally dominant matching
+//! (Algorithm 1 of the paper).
+//!
+//! Each round has two phases. *Pointing*: every live vertex points at its
+//! heaviest available neighbor (ties broken by [`crate::matching::prefer`]).
+//! *Matching*: mutually pointing pairs are committed, and all their
+//! incident edges leave the graph. Vertices whose neighborhoods have been
+//! exhausted are retired ("removed from G"). The result is maximal and
+//! locally dominant, hence ½-approximate (Lemma II.2 / Corollary II.1).
+
+use crate::matching::{prefer, Matching, UNMATCHED};
+use ldgm_graph::csr::{CsrGraph, VertexId};
+
+/// Statistics of an LD-SEQ run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LdSeqStats {
+    /// Rounds until the graph emptied.
+    pub iterations: usize,
+    /// Total edge slots inspected across all pointing phases.
+    pub edges_scanned: u64,
+}
+
+/// Run LD-SEQ on `g`.
+pub fn ld_seq(g: &CsrGraph) -> Matching {
+    ld_seq_with_stats(g).0
+}
+
+/// Run LD-SEQ and return per-run statistics.
+pub fn ld_seq_with_stats(g: &CsrGraph) -> (Matching, LdSeqStats) {
+    let n = g.num_vertices();
+    let mut matching = Matching::new(n);
+    let mut pointer: Vec<VertexId> = vec![UNMATCHED; n];
+    // Live vertices: unmatched with at least one available edge remaining.
+    let mut live: Vec<VertexId> = (0..n as VertexId).filter(|&v| g.degree(v) > 0).collect();
+    let mut stats = LdSeqStats::default();
+
+    while !live.is_empty() {
+        stats.iterations += 1;
+        // Phase 1: pointing.
+        for &u in &live {
+            let mut best: VertexId = UNMATCHED;
+            let mut best_w = f64::NEG_INFINITY;
+            for (v, w) in g.edges_of(u) {
+                stats.edges_scanned += 1;
+                if !matching.is_matched(v) && prefer(w, v, best_w, best) {
+                    best = v;
+                    best_w = w;
+                }
+            }
+            pointer[u as usize] = best;
+        }
+        // Phase 2: matching (mutual pointers).
+        for &u in &live {
+            let v = pointer[u as usize];
+            if v != UNMATCHED && u < v && pointer[v as usize] == u {
+                matching.join(u, v);
+            }
+        }
+        // Retire matched and exhausted vertices.
+        live.retain(|&u| !matching.is_matched(u) && pointer[u as usize] != UNMATCHED);
+    }
+    (matching, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::half_approx_certificate;
+    use ldgm_graph::gen::{rmat, urand, RmatParams};
+    use ldgm_graph::GraphBuilder;
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        let m = ld_seq(&g);
+        assert_eq!(m.cardinality(), 0);
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = GraphBuilder::new(2).add_edge(0, 1, 3.0).build();
+        let m = ld_seq(&g);
+        assert_eq!(m.mate(0), Some(1));
+    }
+
+    #[test]
+    fn paper_figure1_example() {
+        // Fig. 1 of the paper: path 0-1-2-3-4-5 with weights 8,3,5,4,2 on
+        // consecutive edges. First round: {0,1} and {3,4} are locally
+        // dominant (8 and 5... per figure {1,0} and {3,4}).
+        let g = GraphBuilder::new(6)
+            .add_edge(0, 1, 8.0)
+            .add_edge(1, 2, 3.0)
+            .add_edge(2, 3, 5.0)
+            .add_edge(3, 4, 4.0)
+            .add_edge(4, 5, 2.0)
+            .build();
+        let m = ld_seq(&g);
+        assert_eq!(m.mate(0), Some(1));
+        assert_eq!(m.mate(2), Some(3));
+        // 4 and 5 pair up in a later round ({2,3} removal frees nothing —
+        // after {2,3} matched, 4's best available is 5).
+        assert_eq!(m.mate(4), Some(5));
+        assert_eq!(m.weight(&g), 8.0 + 5.0 + 2.0);
+    }
+
+    #[test]
+    fn heaviest_edge_always_matched() {
+        let g = urand(500, 3000, 1);
+        let m = ld_seq(&g);
+        let (hu, hv, _) = g
+            .iter_edges()
+            .max_by(|a, b| a.2.total_cmp(&b.2).then_with(|| (b.0, b.1).cmp(&(a.0, a.1))))
+            .unwrap();
+        // The globally heaviest edge's endpoints must both be matched at
+        // weight >= w(h): one of them matched the other or something equal.
+        let w = g.edge_weight(hu, hv).unwrap();
+        for x in [hu, hv] {
+            let mx = m.mate(x).expect("endpoint of heaviest edge unmatched");
+            assert!(g.edge_weight(x, mx).unwrap() >= w);
+        }
+    }
+
+    #[test]
+    fn maximal_and_valid_on_random_graphs() {
+        for seed in 0..5 {
+            let g = urand(400, 2400, seed);
+            let (m, stats) = ld_seq_with_stats(&g);
+            assert_eq!(m.verify(&g), Ok(()));
+            assert!(m.is_maximal(&g));
+            assert!(stats.iterations >= 1);
+            assert!(half_approx_certificate(&g, &m));
+        }
+    }
+
+    #[test]
+    fn handles_heavy_ties() {
+        // All weights equal: tie-breaking by id must still produce a
+        // maximal matching without livelock.
+        let g = urand(300, 1800, 7);
+        let uniform = ldgm_graph::weights::reweight_uniform(&g, 1);
+        let mut same = uniform.clone();
+        // Overwrite: every weight 0.5.
+        let offs = same.offsets().to_vec();
+        let adj = same.adjacency().to_vec();
+        let w = vec![0.5; adj.len()];
+        same = CsrGraph::from_raw(offs, adj, w);
+        let m = ld_seq(&same);
+        assert_eq!(m.verify(&same), Ok(()));
+        assert!(m.is_maximal(&same));
+    }
+
+    #[test]
+    fn first_iteration_scans_all_live_edges() {
+        let g = rmat(512, 4000, RmatParams::GAP_KRON, 3);
+        let (_, stats) = ld_seq_with_stats(&g);
+        // At least one full pass over the directed adjacency of non-isolated
+        // vertices happened.
+        assert!(stats.edges_scanned >= g.num_directed_edges() as u64);
+    }
+
+    #[test]
+    fn star_graph_matches_heaviest_leaf() {
+        let mut b = GraphBuilder::new(5);
+        b.push_edge(0, 1, 1.0);
+        b.push_edge(0, 2, 5.0);
+        b.push_edge(0, 3, 3.0);
+        b.push_edge(0, 4, 2.0);
+        let g = b.build();
+        let m = ld_seq(&g);
+        assert_eq!(m.mate(0), Some(2));
+        assert_eq!(m.cardinality(), 1);
+    }
+}

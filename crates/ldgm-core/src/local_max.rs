@@ -1,0 +1,125 @@
+//! LocalMax: the edge-centric locally dominant algorithm of Birn et al.
+//! ("Efficient parallel and external matching", Euro-Par 2013).
+//!
+//! Each round keeps the set of still-eligible edges; an edge is committed
+//! when it is the maximum (under a total order on edges) among all
+//! eligible edges sharing an endpoint with it. Implemented round-wise with
+//! per-vertex best-incident-edge computation: an edge is a local maximum
+//! iff it is the best incident edge of *both* endpoints.
+
+use crate::matching::Matching;
+use ldgm_graph::csr::{CsrGraph, VertexId};
+
+/// Total order on edges: weight, then lexicographic endpoint ids. Returns
+/// whether `a` is better than `b`.
+#[inline]
+fn edge_better(a: (f64, VertexId, VertexId), b: (f64, VertexId, VertexId)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && (a.1, a.2) < (b.1, b.2))
+}
+
+/// Statistics of a LocalMax run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LocalMaxStats {
+    /// Number of rounds.
+    pub rounds: usize,
+    /// Edge slots inspected across all rounds.
+    pub edges_scanned: u64,
+}
+
+/// Run LocalMax on `g`.
+pub fn local_max(g: &CsrGraph) -> Matching {
+    local_max_with_stats(g).0
+}
+
+/// Run LocalMax and return statistics.
+pub fn local_max_with_stats(g: &CsrGraph) -> (Matching, LocalMaxStats) {
+    let n = g.num_vertices();
+    let mut m = Matching::new(n);
+    let mut stats = LocalMaxStats::default();
+    // best[v]: best eligible incident edge of v as (w, lo, hi).
+    const NO_EDGE: (f64, VertexId, VertexId) = (f64::NEG_INFINITY, VertexId::MAX, VertexId::MAX);
+    let mut best: Vec<(f64, VertexId, VertexId)> = vec![NO_EDGE; n];
+    let mut live: Vec<VertexId> = (0..n as VertexId).filter(|&v| g.degree(v) > 0).collect();
+
+    while !live.is_empty() {
+        stats.rounds += 1;
+        for &v in &live {
+            best[v as usize] = NO_EDGE;
+        }
+        for &u in &live {
+            for (v, w) in g.edges_of(u) {
+                stats.edges_scanned += 1;
+                if m.is_matched(v) {
+                    continue;
+                }
+                let key = (w, u.min(v), u.max(v));
+                if edge_better(key, best[u as usize]) {
+                    best[u as usize] = key;
+                }
+            }
+        }
+        // Commit edges that are the best at both endpoints.
+        for &u in &live {
+            let (w, a, b) = best[u as usize];
+            if w == f64::NEG_INFINITY || u != a {
+                continue; // commit from the lower endpoint only
+            }
+            if best[b as usize] == (w, a, b) && !m.is_matched(a) && !m.is_matched(b) {
+                m.join(a, b);
+            }
+        }
+        live.retain(|&u| !m.is_matched(u) && best[u as usize].0 != f64::NEG_INFINITY);
+    }
+    (m, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy;
+    use crate::verify::half_approx_certificate;
+    use ldgm_graph::gen::{urand, web};
+    use ldgm_graph::weights::make_weights_distinct;
+    use ldgm_graph::GraphBuilder;
+
+    #[test]
+    fn single_edge() {
+        let g = GraphBuilder::new(2).add_edge(0, 1, 1.0).build();
+        assert_eq!(local_max(&g).cardinality(), 1);
+    }
+
+    #[test]
+    fn maximal_valid_certified() {
+        for seed in 0..5 {
+            let g = web(400, 4, 0.5, seed);
+            let (m, stats) = local_max_with_stats(&g);
+            assert_eq!(m.verify(&g), Ok(()));
+            assert!(m.is_maximal(&g));
+            assert!(half_approx_certificate(&g, &m));
+            assert!(stats.rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn equals_greedy_under_distinct_weights() {
+        for seed in 0..5 {
+            let g = make_weights_distinct(&urand(300, 1500, seed), seed);
+            let a = local_max(&g);
+            let b = greedy(&g);
+            assert_eq!(a.mate_array(), b.mate_array(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ties_resolve_deterministically() {
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(2, 3, 1.0)
+            .build();
+        let m = local_max(&g);
+        // Edge order ties break lexicographically: (0,1) then (2,3).
+        assert_eq!(m.mate(0), Some(1));
+        assert_eq!(m.mate(2), Some(3));
+    }
+}

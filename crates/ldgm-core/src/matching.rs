@@ -1,0 +1,242 @@
+//! The [`Matching`] result type and the vertex/edge preference order shared
+//! by every locally dominant algorithm in this crate.
+
+use ldgm_graph::csr::{CsrGraph, VertexId, Weight};
+
+/// Sentinel mate value: vertex is unmatched.
+pub const UNMATCHED: VertexId = VertexId::MAX;
+
+/// Total preference order on candidate edges incident to a fixed vertex:
+/// prefer higher weight, break ties toward the lower neighbor id.
+///
+/// Every pointer-based algorithm in this crate uses this order, which makes
+/// their outputs bit-identical (the cross-implementation test invariant)
+/// and guarantees progress: under a total order, the globally best
+/// available edge is always mutually preferred by its endpoints.
+#[inline]
+pub fn prefer(w_new: Weight, v_new: VertexId, w_cur: Weight, v_cur: VertexId) -> bool {
+    w_new > w_cur || (w_new == w_cur && v_new < v_cur)
+}
+
+/// A matching: a set of vertex-disjoint edges, stored as a mate array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    mate: Vec<VertexId>,
+}
+
+impl Matching {
+    /// The empty matching on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Matching { mate: vec![UNMATCHED; n] }
+    }
+
+    /// Wrap an existing mate array.
+    ///
+    /// # Panics
+    /// Panics if the array is not an involution (`mate[mate[u]] == u` for
+    /// every matched `u`).
+    pub fn from_mate(mate: Vec<VertexId>) -> Self {
+        let m = Matching { mate };
+        assert!(m.is_involution(), "mate array is not a valid involution");
+        m
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.mate.len()
+    }
+
+    /// Mate of `v`, if matched.
+    #[inline]
+    pub fn mate(&self, v: VertexId) -> Option<VertexId> {
+        let m = self.mate[v as usize];
+        (m != UNMATCHED).then_some(m)
+    }
+
+    /// Whether `v` is matched.
+    #[inline]
+    pub fn is_matched(&self, v: VertexId) -> bool {
+        self.mate[v as usize] != UNMATCHED
+    }
+
+    /// Match `u` with `v`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if either endpoint is already matched to a
+    /// different vertex.
+    #[inline]
+    pub fn join(&mut self, u: VertexId, v: VertexId) {
+        debug_assert_ne!(u, v);
+        debug_assert!(self.mate[u as usize] == UNMATCHED || self.mate[u as usize] == v);
+        debug_assert!(self.mate[v as usize] == UNMATCHED || self.mate[v as usize] == u);
+        self.mate[u as usize] = v;
+        self.mate[v as usize] = u;
+    }
+
+    /// Remove the matched pair `{u, v}` (used by augmentation-based
+    /// refinement).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `u` and `v` are not matched together.
+    #[inline]
+    pub fn unjoin(&mut self, u: VertexId, v: VertexId) {
+        debug_assert_eq!(self.mate[u as usize], v);
+        debug_assert_eq!(self.mate[v as usize], u);
+        self.mate[u as usize] = UNMATCHED;
+        self.mate[v as usize] = UNMATCHED;
+    }
+
+    /// The raw mate array.
+    pub fn mate_array(&self) -> &[VertexId] {
+        &self.mate
+    }
+
+    /// Number of matched edges (cardinality |M|).
+    pub fn cardinality(&self) -> usize {
+        self.mate.iter().filter(|&&m| m != UNMATCHED).count() / 2
+    }
+
+    /// Iterate matched edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.mate
+            .iter()
+            .enumerate()
+            .filter_map(|(u, &v)| (v != UNMATCHED && (u as VertexId) < v).then_some((u as VertexId, v)))
+    }
+
+    /// Total weight `w(M)` under graph `g`.
+    ///
+    /// # Panics
+    /// Panics if a matched pair is not an edge of `g`.
+    pub fn weight(&self, g: &CsrGraph) -> f64 {
+        self.edges()
+            .map(|(u, v)| {
+                g.edge_weight(u, v)
+                    .unwrap_or_else(|| panic!("matched pair {{{u},{v}}} is not an edge"))
+            })
+            .sum()
+    }
+
+    /// Whether the mate array is a consistent involution.
+    fn is_involution(&self) -> bool {
+        self.mate.iter().enumerate().all(|(u, &v)| {
+            v == UNMATCHED
+                || ((v as usize) < self.mate.len()
+                    && v as usize != u
+                    && self.mate[v as usize] == u as VertexId)
+        })
+    }
+
+    /// Full validity check against a graph: involution, all matched pairs
+    /// are edges.
+    pub fn verify(&self, g: &CsrGraph) -> Result<(), String> {
+        if self.mate.len() != g.num_vertices() {
+            return Err(format!(
+                "matching covers {} vertices, graph has {}",
+                self.mate.len(),
+                g.num_vertices()
+            ));
+        }
+        if !self.is_involution() {
+            return Err("mate array is not an involution".into());
+        }
+        for (u, v) in self.edges() {
+            if !g.has_edge(u, v) {
+                return Err(format!("matched pair {{{u},{v}}} is not an edge of the graph"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether no edge of `g` could be added (both endpoints unmatched).
+    pub fn is_maximal(&self, g: &CsrGraph) -> bool {
+        for u in 0..g.num_vertices() as VertexId {
+            if self.is_matched(u) {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                if !self.is_matched(v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldgm_graph::GraphBuilder;
+
+    fn path4() -> CsrGraph {
+        GraphBuilder::new(4)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 2.0)
+            .add_edge(2, 3, 1.0)
+            .build()
+    }
+
+    #[test]
+    fn prefer_orders_by_weight_then_id() {
+        assert!(prefer(2.0, 5, 1.0, 0));
+        assert!(!prefer(1.0, 0, 2.0, 5));
+        assert!(prefer(1.0, 2, 1.0, 7));
+        assert!(!prefer(1.0, 7, 1.0, 2));
+        assert!(!prefer(1.0, 3, 1.0, 3));
+    }
+
+    #[test]
+    fn empty_matching() {
+        let m = Matching::new(4);
+        assert_eq!(m.cardinality(), 0);
+        assert_eq!(m.weight(&path4()), 0.0);
+        assert!(!m.is_maximal(&path4()));
+        assert_eq!(m.verify(&path4()), Ok(()));
+    }
+
+    #[test]
+    fn join_and_accessors() {
+        let mut m = Matching::new(4);
+        m.join(1, 2);
+        assert_eq!(m.mate(1), Some(2));
+        assert_eq!(m.mate(2), Some(1));
+        assert_eq!(m.mate(0), None);
+        assert!(m.is_matched(1) && !m.is_matched(3));
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.edges().collect::<Vec<_>>(), vec![(1, 2)]);
+        assert_eq!(m.weight(&path4()), 2.0);
+        assert!(m.is_maximal(&path4()));
+        assert_eq!(m.verify(&path4()), Ok(()));
+    }
+
+    #[test]
+    fn verify_rejects_non_edges() {
+        let mut m = Matching::new(4);
+        m.join(0, 3);
+        assert!(m.verify(&path4()).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_size() {
+        let m = Matching::new(3);
+        assert!(m.verify(&path4()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "involution")]
+    fn from_mate_rejects_inconsistency() {
+        Matching::from_mate(vec![1, 0, 1, UNMATCHED]);
+    }
+
+    #[test]
+    fn maximality_of_endpoints_matching() {
+        let g = path4();
+        let mut m = Matching::new(4);
+        m.join(0, 1);
+        // Edge {2,3} still addable.
+        assert!(!m.is_maximal(&g));
+        m.join(2, 3);
+        assert!(m.is_maximal(&g));
+    }
+}

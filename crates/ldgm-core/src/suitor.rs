@@ -1,0 +1,156 @@
+//! Sequential Suitor matching (Manne & Halappanavar, IPDPS 2014).
+//!
+//! Each vertex proposes to its heaviest neighbor whose current suitor
+//! offer is worse than the proposal; a displaced suitor immediately
+//! re-proposes. Compared to the pointer algorithms, Suitor visits each
+//! adjacency list a bounded number of times in total instead of once per
+//! round, which is why the paper treats SR-OMP/SR-GPU as the
+//! state-of-the-art baselines.
+
+use crate::matching::{Matching, UNMATCHED};
+use ldgm_graph::csr::{CsrGraph, VertexId};
+
+/// Offer comparison: proposal `(w_new, u_new)` beats the standing offer
+/// `(w_cur, u_cur)` on higher weight, tie-broken toward the lower proposer
+/// id — the same total order as [`crate::matching::prefer`].
+#[inline]
+fn beats(w_new: f64, u_new: VertexId, w_cur: f64, u_cur: VertexId) -> bool {
+    w_new > w_cur || (w_new == w_cur && u_new < u_cur)
+}
+
+/// Statistics of a Suitor run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SuitorStats {
+    /// Total proposals performed (including displacements).
+    pub proposals: u64,
+    /// Edge slots inspected while searching for proposal targets.
+    pub edges_scanned: u64,
+    /// Largest per-vertex scan total — the straggler bound for
+    /// thread-per-vertex GPU executions (a hub repeatedly displaced
+    /// rescans its whole adjacency serially on one thread).
+    pub max_vertex_scans: u64,
+    /// Largest number of standing-offer updates received by a single
+    /// target vertex — on a GPU these are serialized atomic exchanges,
+    /// the contention hot spot of dense/hub-heavy graphs.
+    pub max_target_updates: u64,
+}
+
+/// Run sequential Suitor on `g`.
+pub fn suitor(g: &CsrGraph) -> Matching {
+    suitor_with_stats(g).0
+}
+
+/// Run sequential Suitor and return statistics.
+pub fn suitor_with_stats(g: &CsrGraph) -> (Matching, SuitorStats) {
+    let n = g.num_vertices();
+    // suitor[v] = current best proposer; ws[v] = its offer weight.
+    let mut suitor_of: Vec<VertexId> = vec![UNMATCHED; n];
+    let mut ws: Vec<f64> = vec![f64::NEG_INFINITY; n];
+    let mut stats = SuitorStats::default();
+    let mut vertex_scans: Vec<u64> = vec![0; n];
+    let mut target_updates: Vec<u64> = vec![0; n];
+
+    for start in 0..n as VertexId {
+        let mut u = start;
+        // Propose until settled or exhausted; displaced vertices continue
+        // the loop.
+        loop {
+            let mut best: VertexId = UNMATCHED;
+            let mut best_w = f64::NEG_INFINITY;
+            vertex_scans[u as usize] += g.degree(u) as u64;
+            for (v, w) in g.edges_of(u) {
+                stats.edges_scanned += 1;
+                // v is a valid target if u's offer would beat v's standing
+                // suitor, and the edge beats u's current best candidate.
+                if beats(w, u, ws[v as usize], suitor_of[v as usize])
+                    && beats(w, v, best_w, best)
+                {
+                    best = v;
+                    best_w = w;
+                }
+            }
+            let Some(v) = (best != UNMATCHED).then_some(best) else {
+                break; // no admissible target: u stays (for now) unmatched
+            };
+            stats.proposals += 1;
+            target_updates[v as usize] += 1;
+            let displaced = suitor_of[v as usize];
+            suitor_of[v as usize] = u;
+            ws[v as usize] = best_w;
+            if displaced == UNMATCHED {
+                break;
+            }
+            u = displaced;
+        }
+    }
+
+    stats.max_vertex_scans = vertex_scans.iter().copied().max().unwrap_or(0);
+    stats.max_target_updates = target_updates.iter().copied().max().unwrap_or(0);
+
+    let mut m = Matching::new(n);
+    for v in 0..n as VertexId {
+        let u = suitor_of[v as usize];
+        if u != UNMATCHED && u < v && suitor_of[u as usize] == v {
+            m.join(u, v);
+        }
+    }
+    (m, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy;
+    use crate::verify::half_approx_certificate;
+    use ldgm_graph::gen::{kmer, urand};
+    use ldgm_graph::weights::make_weights_distinct;
+    use ldgm_graph::GraphBuilder;
+
+    #[test]
+    fn single_edge() {
+        let g = GraphBuilder::new(2).add_edge(0, 1, 2.0).build();
+        assert_eq!(suitor(&g).cardinality(), 1);
+    }
+
+    #[test]
+    fn displacement_chain() {
+        // 0 proposes to 1; 2 (heavier) displaces 0, who settles for 3.
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1, 5.0)
+            .add_edge(1, 2, 9.0)
+            .add_edge(0, 3, 1.0)
+            .build();
+        let m = suitor(&g);
+        assert_eq!(m.mate(1), Some(2));
+        assert_eq!(m.mate(0), Some(3));
+    }
+
+    #[test]
+    fn maximal_valid_certified() {
+        for seed in 0..5 {
+            let g = urand(400, 2400, seed);
+            let (m, stats) = suitor_with_stats(&g);
+            assert_eq!(m.verify(&g), Ok(()));
+            assert!(m.is_maximal(&g), "seed {seed}");
+            assert!(half_approx_certificate(&g, &m), "seed {seed}");
+            assert!(stats.proposals as usize >= m.cardinality());
+        }
+    }
+
+    #[test]
+    fn equals_greedy_under_distinct_weights() {
+        for seed in 0..5 {
+            let g = make_weights_distinct(&kmer(500, 3.0, 25, seed), seed);
+            assert_eq!(suitor(&g).mate_array(), greedy(&g).mate_array(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn weight_equals_greedy_even_with_ties() {
+        // With the shared tie-break order the outputs coincide exactly.
+        for seed in 0..3 {
+            let g = urand(300, 1200, seed);
+            assert_eq!(suitor(&g).weight(&g), greedy(&g).weight(&g), "seed {seed}");
+        }
+    }
+}

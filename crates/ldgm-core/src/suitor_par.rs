@@ -1,0 +1,142 @@
+//! Parallel Suitor matching — the SR-OMP analog (Manne & Halappanavar,
+//! IPDPS 2014), on rayon instead of OpenMP.
+//!
+//! Vertices propose concurrently. Standing offers are published through
+//! atomics so scans can read them lock-free as *hints*; a proposal is
+//! committed only after re-validation under the target's per-vertex lock
+//! (parking_lot). Offers grow monotonically under the shared total order,
+//! so a vertex that finds no admissible target never regains one and can
+//! retire — the same argument that bounds the sequential algorithm's work.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use crate::matching::{Matching, UNMATCHED};
+use ldgm_graph::csr::{CsrGraph, VertexId};
+
+#[inline]
+fn beats(w_new: f64, u_new: VertexId, w_cur: f64, u_cur: VertexId) -> bool {
+    w_new > w_cur || (w_new == w_cur && u_new < u_cur)
+}
+
+/// Run parallel Suitor on `g` using the current rayon thread pool.
+pub fn suitor_par(g: &CsrGraph) -> Matching {
+    let n = g.num_vertices();
+    let ws: Vec<AtomicU64> = (0..n)
+        .map(|_| AtomicU64::new(f64::NEG_INFINITY.to_bits()))
+        .collect();
+    let suitor_of: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNMATCHED)).collect();
+    let locks: Vec<Mutex<()>> = (0..n).map(|_| Mutex::new(())).collect();
+
+    (0..n as VertexId).into_par_iter().for_each(|start| {
+        let mut u = start;
+        'propose: loop {
+            // Lock-free scan for the best admissible target. The pair
+            // (ws, suitor_of) is published suitor-first / weight-last
+            // (Release) and read weight-first (Acquire): a racing reader
+            // can only pair an OLD weight with a NEW suitor id, which —
+            // offers being monotone under the total order — can only
+            // overestimate admissibility. False positives are re-validated
+            // under the lock below; false negatives (which would make the
+            // final give-up unsound and the matching non-maximal) cannot
+            // occur.
+            let mut best: VertexId = UNMATCHED;
+            let mut best_w = f64::NEG_INFINITY;
+            for (v, w) in g.edges_of(u) {
+                let cur_w = f64::from_bits(ws[v as usize].load(Ordering::Acquire));
+                let cur_s = suitor_of[v as usize].load(Ordering::Relaxed);
+                if beats(w, u, cur_w, cur_s) && beats(w, v, best_w, best) {
+                    best = v;
+                    best_w = w;
+                }
+            }
+            if best == UNMATCHED {
+                return; // no admissible target now ⇒ never again (monotone)
+            }
+            let v = best;
+            let displaced = {
+                let _guard = locks[v as usize].lock();
+                let cur_w = f64::from_bits(ws[v as usize].load(Ordering::Relaxed));
+                let cur_s = suitor_of[v as usize].load(Ordering::Relaxed);
+                if !beats(best_w, u, cur_w, cur_s) {
+                    continue 'propose; // lost the race: rescan for u
+                }
+                // Publish suitor first, weight last (Release) — see the
+                // scan above for why this order is load-bearing.
+                suitor_of[v as usize].store(u, Ordering::Relaxed);
+                ws[v as usize].store(best_w.to_bits(), Ordering::Release);
+                cur_s
+            };
+            if displaced == UNMATCHED {
+                return;
+            }
+            u = displaced; // take over the displaced vertex's proposal
+        }
+    });
+
+    let suitor_final: Vec<VertexId> =
+        suitor_of.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    let mut m = Matching::new(n);
+    for v in 0..n as VertexId {
+        let u = suitor_final[v as usize];
+        if u != UNMATCHED && u < v && suitor_final[u as usize] == v {
+            m.join(u, v);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suitor::suitor;
+    use crate::verify::half_approx_certificate;
+    use ldgm_graph::gen::{rmat, urand, RmatParams};
+    use ldgm_graph::weights::make_weights_distinct;
+
+    #[test]
+    fn matches_sequential_suitor_distinct_weights() {
+        for seed in 0..5 {
+            let g = make_weights_distinct(&urand(500, 3000, seed), seed);
+            let par = suitor_par(&g);
+            let seq = suitor(&g);
+            assert_eq!(par.mate_array(), seq.mate_array(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn equal_weight_to_sequential_with_ties() {
+        for seed in 0..5 {
+            let g = urand(500, 3000, seed);
+            let par = suitor_par(&g);
+            let seq = suitor(&g);
+            assert_eq!(par.weight(&g), seq.weight(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn maximal_valid_certified_on_skewed_graph() {
+        let g = rmat(2048, 20_000, RmatParams::GAP_KRON, 9);
+        let m = suitor_par(&g);
+        assert_eq!(m.verify(&g), Ok(()));
+        assert!(m.is_maximal(&g));
+        assert!(half_approx_certificate(&g, &m));
+    }
+
+    #[test]
+    fn repeated_runs_are_stable() {
+        let g = make_weights_distinct(&urand(400, 2400, 11), 11);
+        let first = suitor_par(&g);
+        for _ in 0..5 {
+            assert_eq!(suitor_par(&g).mate_array(), first.mate_array());
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(10);
+        assert_eq!(suitor_par(&g).cardinality(), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Collective-communication cost models and host-side reductions.
+//!
+//! LD-GPU synchronizes twice per iteration with `ncclAllReduce` over the
+//! `pointers` and `mate` arrays (Algorithm 2, lines 7 and 9). The cost
+//! model is the standard ring-allreduce bound — `2·(N−1)/N · bytes / bw`
+//! plus per-hop latency and a launch overhead — evaluated over the
+//! platform's peer fabric. A second, MPI-style model (RAFT-comms as used
+//! by RAPIDS cuGraph, Table V) stages traffic through host memory with
+//! much higher software overhead.
+//!
+//! The *data* reduction itself is performed for real by
+//! [`allreduce_max_merge`], which the driver calls at the same program
+//! points — vertex partitions are disjoint, so an element-wise max over
+//! sentinel-initialized arrays reproduces NCCL's behaviour exactly.
+
+use crate::interconnect::Link;
+
+/// Which communication runtime the collectives emulate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CommModel {
+    /// NCCL over CUDA streams (the paper's implementation).
+    Nccl {
+        /// Collective launch overhead in µs (~20 µs for NCCL).
+        launch_us: f64,
+    },
+    /// MPI-based RAFT-comms as in multi-GPU cuGraph: host-staged rings
+    /// with per-call software overhead an order of magnitude higher.
+    MpiStaged {
+        /// Per-call software overhead in µs.
+        launch_us: f64,
+        /// Effective bandwidth derating versus the raw link.
+        bw_derate: f64,
+    },
+    /// Hierarchical multi-node collective (the paper's §V distributed
+    /// future work): NVLink reduce-scatter within each node, an
+    /// inter-node ring over the node leaders, then an intra-node
+    /// broadcast. The `peer` link passed to
+    /// [`CommModel::allreduce_time`] is the *intra-node* fabric.
+    Hierarchical {
+        /// GPUs per node.
+        gpus_per_node: usize,
+        /// Inter-node link (e.g. [`crate::interconnect::Link::INFINIBAND_HDR`]).
+        inter: Link,
+        /// NCCL launch overhead in µs.
+        launch_us: f64,
+    },
+}
+
+impl CommModel {
+    /// Default NCCL model.
+    pub fn nccl() -> Self {
+        CommModel::Nccl { launch_us: 20.0 }
+    }
+
+    /// Default cuGraph/RAFT model.
+    pub fn mpi_staged() -> Self {
+        CommModel::MpiStaged { launch_us: 250.0, bw_derate: 0.25 }
+    }
+
+    /// Simulated duration of an allreduce of `bytes` over `n_devices`
+    /// devices connected by `peer`.
+    pub fn allreduce_time(&self, peer: &Link, n_devices: usize, bytes: u64) -> f64 {
+        match *self {
+            CommModel::Nccl { launch_us } => {
+                if n_devices <= 1 {
+                    // Single-rank NCCL degenerates to a cheap device-local
+                    // pass: a fraction of the launch cost plus one sweep at
+                    // HBM-class bandwidth.
+                    return launch_us * 0.1 * 1e-6 + bytes as f64 / 400e9;
+                }
+                let n = n_devices as f64;
+                let ring_bytes = 2.0 * (n - 1.0) / n * bytes as f64;
+                launch_us * 1e-6
+                    + 2.0 * (n - 1.0) * peer.latency_us * 1e-6
+                    + ring_bytes / (peer.bw_gbps * 1e9)
+            }
+            CommModel::MpiStaged { launch_us, bw_derate } => {
+                if n_devices <= 1 {
+                    return launch_us * 1e-6;
+                }
+                let n = n_devices as f64;
+                let ring_bytes = 2.0 * (n - 1.0) / n * bytes as f64;
+                launch_us * 1e-6
+                    + 2.0 * (n - 1.0) * (peer.latency_us * 4.0) * 1e-6
+                    + ring_bytes / (peer.bw_gbps * 1e9 * bw_derate)
+            }
+            CommModel::Hierarchical { gpus_per_node, inter, launch_us } => {
+                let local = CommModel::Nccl { launch_us };
+                let per_node = n_devices.min(gpus_per_node.max(1));
+                let nodes = n_devices.div_ceil(gpus_per_node.max(1)).max(1);
+                if nodes <= 1 {
+                    return local.allreduce_time(peer, n_devices, bytes);
+                }
+                // Intra-node reduce-scatter + broadcast ≈ one intra-node
+                // allreduce; inter-node ring over the node leaders carries
+                // the full payload across the slow link.
+                let intra = local.allreduce_time(peer, per_node, bytes);
+                let nn = nodes as f64;
+                let inter_ring = 2.0 * (nn - 1.0) / nn * bytes as f64 / (inter.bw_gbps * 1e9)
+                    + 2.0 * (nn - 1.0) * inter.latency_us * 1e-6;
+                intra + inter_ring + launch_us * 1e-6
+            }
+        }
+    }
+}
+
+/// Sentinel for "no value" entries in reduced arrays.
+pub const NONE_SENTINEL: u64 = u64::MAX;
+
+/// Host-side realization of the allreduce: element-wise merge of per-device
+/// arrays where exactly one device holds a non-sentinel value per slot
+/// (disjoint vertex ownership). `u64::MAX` is the identity. Writes the
+/// merged result back into every device's array.
+///
+/// # Panics
+/// In debug builds, panics if two devices claim the same slot with
+/// different values — that would indicate a partitioning bug.
+pub fn allreduce_max_merge(arrays: &mut [&mut [u64]]) {
+    if arrays.is_empty() {
+        return;
+    }
+    let len = arrays[0].len();
+    debug_assert!(arrays.iter().all(|a| a.len() == len), "ragged allreduce");
+    for slot in 0..len {
+        let mut merged = NONE_SENTINEL;
+        for a in arrays.iter() {
+            let v = a[slot];
+            if v != NONE_SENTINEL {
+                debug_assert!(
+                    merged == NONE_SENTINEL || merged == v,
+                    "conflicting values {merged} vs {v} at slot {slot}"
+                );
+                if merged == NONE_SENTINEL {
+                    merged = v;
+                }
+            }
+        }
+        for a in arrays.iter_mut() {
+            a[slot] = merged;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_cost_grows_with_devices_for_small_payloads() {
+        let m = CommModel::nccl();
+        let l = Link::NVLINK_SXM4;
+        let t2 = m.allreduce_time(&l, 2, 1 << 20);
+        let t8 = m.allreduce_time(&l, 8, 1 << 20);
+        assert!(t8 > t2, "latency term should dominate small payloads");
+    }
+
+    #[test]
+    fn ring_bandwidth_term_saturates_for_large_payloads() {
+        let m = CommModel::nccl();
+        let l = Link::NVLINK_SXM4;
+        // 2(N−1)/N approaches 2: 8-dev cost < 2× the 2-dev cost for huge
+        // payloads.
+        let t2 = m.allreduce_time(&l, 2, 8 << 30);
+        let t8 = m.allreduce_time(&l, 8, 8 << 30);
+        assert!(t8 < 2.0 * t2, "t2 {t2} t8 {t8}");
+    }
+
+    #[test]
+    fn single_device_is_cheap() {
+        let m = CommModel::nccl();
+        let l = Link::NVLINK_SXM4;
+        // Typical pointer-array payloads: the local pass avoids both the
+        // ring latency and most of the launch overhead.
+        assert!(m.allreduce_time(&l, 1, 1 << 20) < 0.2 * m.allreduce_time(&l, 2, 1 << 20));
+    }
+
+    #[test]
+    fn mpi_model_order_of_magnitude_slower() {
+        let nccl = CommModel::nccl();
+        let mpi = CommModel::mpi_staged();
+        let l = Link::NVLINK_SXM4;
+        let ratio = mpi.allreduce_time(&l, 4, 1 << 20) / nccl.allreduce_time(&l, 4, 1 << 20);
+        assert!(ratio > 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn nvlink_collectives_beat_pcie() {
+        let m = CommModel::nccl();
+        let big = 64 << 20;
+        let nv = m.allreduce_time(&Link::NVLINK_SXM4, 8, big);
+        let pcie = m.allreduce_time(&Link::PCIE_GEN4, 8, big);
+        assert!(pcie / nv > 3.0, "ratio {}", pcie / nv);
+    }
+
+    #[test]
+    fn merge_is_exact_for_disjoint_ownership() {
+        let mut a = vec![1, NONE_SENTINEL, NONE_SENTINEL, 7];
+        let mut b = vec![NONE_SENTINEL, 5, NONE_SENTINEL, NONE_SENTINEL];
+        allreduce_max_merge(&mut [&mut a, &mut b]);
+        assert_eq!(a, vec![1, 5, NONE_SENTINEL, 7]);
+        assert_eq!(b, vec![1, 5, NONE_SENTINEL, 7]);
+    }
+
+    #[test]
+    fn merge_empty_input() {
+        allreduce_max_merge(&mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting")]
+    #[cfg(debug_assertions)]
+    fn merge_detects_ownership_conflicts() {
+        let mut a = vec![1u64];
+        let mut b = vec![2u64];
+        allreduce_max_merge(&mut [&mut a, &mut b]);
+    }
+}
+
+#[cfg(test)]
+mod hierarchical_tests {
+    use super::*;
+
+    #[test]
+    fn single_node_degenerates_to_nccl() {
+        let h = CommModel::Hierarchical {
+            gpus_per_node: 8,
+            inter: Link::INFINIBAND_HDR,
+            launch_us: 20.0,
+        };
+        let n = CommModel::Nccl { launch_us: 20.0 };
+        let l = Link::NVLINK_SXM4;
+        assert_eq!(h.allreduce_time(&l, 8, 1 << 20), n.allreduce_time(&l, 8, 1 << 20));
+    }
+
+    #[test]
+    fn crossing_nodes_costs_more_than_staying_inside() {
+        let h = CommModel::Hierarchical {
+            gpus_per_node: 8,
+            inter: Link::INFINIBAND_HDR,
+            launch_us: 20.0,
+        };
+        let l = Link::NVLINK_SXM4;
+        // 16 GPUs over 2 nodes is slower than 8 GPUs in 1 node, despite
+        // doubling the devices: the IB ring dominates.
+        let t8 = h.allreduce_time(&l, 8, 8 << 20);
+        let t16 = h.allreduce_time(&l, 16, 8 << 20);
+        assert!(t16 > 2.0 * t8, "t8 {t8} t16 {t16}");
+    }
+
+    #[test]
+    fn inter_node_cost_grows_with_node_count() {
+        let h = CommModel::Hierarchical {
+            gpus_per_node: 8,
+            inter: Link::INFINIBAND_HDR,
+            launch_us: 20.0,
+        };
+        let l = Link::NVLINK_SXM4;
+        let t2 = h.allreduce_time(&l, 16, 1 << 20);
+        let t4 = h.allreduce_time(&l, 32, 1 << 20);
+        assert!(t4 > t2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Interconnect models: NVLink generations, PCIe, and host-staged paths.
+//!
+//! Two links matter to LD-GPU: the **host link** over which batch buffers
+//! are copied to the device (`cudaMemcpyAsync` HtoD), and the **peer
+//! fabric** over which the NCCL collectives run. The paper's Fig. 9
+//! compares proprietary NVLink (SXM) against standard PCIe for "data
+//! transfer and multi-GPU communication", citing Foley & Danskin's ~5×
+//! NVLink-over-PCIe bandwidth figure; the presets below carry the
+//! per-direction bandwidths of the respective generations.
+
+/// A point-to-point link with bandwidth and per-message latency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Per-direction bandwidth in GB/s.
+    pub bw_gbps: f64,
+    /// Per-message latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl Link {
+    /// NVLink 3 / NVSwitch as in DGX-A100 (SXM4): 600 GB/s per GPU.
+    pub const NVLINK_SXM4: Link = Link { name: "NVLink-SXM4", bw_gbps: 600.0, latency_us: 2.0 };
+    /// NVLink 2 / NVSwitch as in DGX-2 (SXM3): 300 GB/s per GPU.
+    pub const NVLINK_SXM3: Link = Link { name: "NVLink-SXM3", bw_gbps: 300.0, latency_us: 3.0 };
+    /// PCIe gen4 x16 (A100 PCIe systems): ~25 GB/s effective.
+    pub const PCIE_GEN4: Link = Link { name: "PCIe-gen4", bw_gbps: 25.0, latency_us: 5.0 };
+    /// PCIe gen3 x16 (V100 PCIe systems): ~13 GB/s effective.
+    pub const PCIE_GEN3: Link = Link { name: "PCIe-gen3", bw_gbps: 13.0, latency_us: 6.0 };
+    /// InfiniBand HDR (200 Gb/s) inter-node link: ~25 GB/s per direction,
+    /// microsecond-scale RDMA latency.
+    pub const INFINIBAND_HDR: Link =
+        Link { name: "InfiniBand-HDR", bw_gbps: 25.0, latency_us: 1.5 };
+    /// NVLink 4 as in DGX-H100 (SXM5): 900 GB/s per GPU.
+    pub const NVLINK_SXM5: Link = Link { name: "NVLink-SXM5", bw_gbps: 900.0, latency_us: 1.5 };
+    /// NVLink 5 as in GB200 NVL72: 1.8 TB/s per GPU across the rack.
+    pub const NVLINK_5: Link = Link { name: "NVLink-5", bw_gbps: 1800.0, latency_us: 1.2 };
+    /// PCIe gen5 x16 (Hopper/Blackwell hosts): ~50 GB/s effective.
+    pub const PCIE_GEN5: Link = Link { name: "PCIe-gen5", bw_gbps: 50.0, latency_us: 4.0 };
+
+    /// Time to move `bytes` across the link.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / (self.bw_gbps * 1e9)
+    }
+}
+
+/// The communication fabric of a multi-GPU node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interconnect {
+    /// Host-to-device link used for batch loads.
+    pub h2d: Link,
+    /// Device-to-device fabric used by collectives.
+    pub peer: Link,
+}
+
+impl Interconnect {
+    /// DGX-A100 fabric: NVSwitch peer traffic, PCIe gen4 host link.
+    pub fn dgx_a100() -> Self {
+        Interconnect { h2d: Link::PCIE_GEN4, peer: Link::NVLINK_SXM4 }
+    }
+
+    /// DGX-2 fabric: NVSwitch (SXM3) peer traffic, PCIe gen3 host link.
+    pub fn dgx2() -> Self {
+        Interconnect { h2d: Link::PCIE_GEN3, peer: Link::NVLINK_SXM3 }
+    }
+
+    /// A100 PCIe-only variant (Fig. 9 comparison): peer traffic staged
+    /// through the PCIe root complex — effective bandwidth halves and
+    /// latency doubles versus a direct PCIe hop.
+    pub fn pcie_a100() -> Self {
+        let staged = Link {
+            name: "PCIe-gen4-staged",
+            bw_gbps: Link::PCIE_GEN4.bw_gbps / 2.0,
+            latency_us: Link::PCIE_GEN4.latency_us * 2.0,
+        };
+        Interconnect { h2d: Link::PCIE_GEN4, peer: staged }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let l = Link::NVLINK_SXM4;
+        let t1 = l.transfer_time(1 << 20);
+        let t2 = l.transfer_time(1 << 30);
+        assert!(t2 > t1 * 100.0);
+    }
+
+    #[test]
+    fn latency_floors_small_messages() {
+        let l = Link::PCIE_GEN3;
+        assert!(l.transfer_time(1) >= 6e-6);
+    }
+
+    #[test]
+    fn nvlink_beats_pcie_by_foley_factor() {
+        // Foley & Danskin report ~5×; SXM4 vs gen4 is far beyond.
+        let big = 1u64 << 30;
+        let nv = Link::NVLINK_SXM4.transfer_time(big);
+        let pcie = Link::PCIE_GEN4.transfer_time(big);
+        assert!(pcie / nv > 5.0, "ratio {}", pcie / nv);
+    }
+
+    #[test]
+    fn staged_pcie_is_slower_than_direct() {
+        let ic = Interconnect::pcie_a100();
+        assert!(ic.peer.transfer_time(1 << 20) > ic.h2d.transfer_time(1 << 20));
+    }
+}

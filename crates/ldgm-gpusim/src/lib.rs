@@ -1,0 +1,37 @@
+//! # ldgm-gpusim — deterministic multi-GPU platform simulator
+//!
+//! This crate is the hardware-substitution substrate of the `ldgm`
+//! workspace: it stands in for the CUDA + NCCL + NVLink stack of the
+//! paper's DGX evaluation machines. Kernel *logic* runs for real on the
+//! host (in `ldgm-core`); this crate supplies everything needed to bill
+//! that execution with simulated time and to profile it the way the paper
+//! does:
+//!
+//! * [`device`] — [`device::DeviceSpec`] presets (A100/V100) and the
+//!   warp-centric kernel cost model over [`device::KernelStats`];
+//! * [`interconnect`] — NVLink SXM3/SXM4 and PCIe link models;
+//! * [`collective`] — NCCL ring-allreduce and MPI-staged (cuGraph/RAFT)
+//!   cost models, plus the exact host-side reduction
+//!   [`collective::allreduce_max_merge`];
+//! * [`timer`] — per-device timelines with dual-buffer copy/compute
+//!   overlap and explicit host synchronization;
+//! * [`platform`] — [`platform::Platform`] presets: DGX-A100, DGX-2,
+//!   PCIe variants;
+//! * [`profile`] — phase breakdowns, per-iteration warp-edge work, and
+//!   occupancy records (the paper's Figs. 5, 7, 8, 11).
+
+pub mod collective;
+pub mod device;
+pub mod interconnect;
+pub mod platform;
+pub mod profile;
+pub mod timer;
+pub mod trace;
+
+pub use collective::{allreduce_max_merge, CommModel, NONE_SENTINEL};
+pub use device::{CostModel, DeviceSpec, KernelStats};
+pub use interconnect::{Interconnect, Link};
+pub use platform::Platform;
+pub use profile::{IterationRecord, PhaseBreakdown, RunProfile};
+pub use timer::{run_collective, DeviceTimer};
+pub use trace::{EventKind, Trace, TraceEvent};

@@ -1,0 +1,223 @@
+//! Multi-GPU platform presets.
+//!
+//! A [`Platform`] bundles everything the LD-GPU driver needs to bill
+//! simulated time: the device model, the node's interconnect, the kernel
+//! cost model and the collective runtime. The two presets mirror the
+//! paper's evaluation machines — the DGX-A100 (8× A100, NVLink SXM4) and
+//! the DGX-2 (16× V100, NVLink SXM3) — plus the PCIe variant used in the
+//! Fig. 9 interconnect study.
+
+use crate::collective::CommModel;
+use crate::device::{CostModel, DeviceSpec};
+use crate::interconnect::Interconnect;
+
+/// A single-node multi-GPU platform.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Platform {
+    /// Platform name for reports.
+    pub name: &'static str,
+    /// Per-device model (homogeneous nodes).
+    pub device: DeviceSpec,
+    /// Number of GPUs installed.
+    pub max_devices: usize,
+    /// Node fabric (host link + peer fabric).
+    pub interconnect: Interconnect,
+    /// Kernel/driver cost model.
+    pub cost: CostModel,
+    /// Collective runtime model.
+    pub comm: CommModel,
+}
+
+impl Platform {
+    /// NVIDIA DGX-A100: 8× A100-SXM4-40GB over NVSwitch.
+    pub fn dgx_a100() -> Self {
+        Platform {
+            name: "DGX-A100",
+            device: DeviceSpec::a100(),
+            max_devices: 8,
+            interconnect: Interconnect::dgx_a100(),
+            cost: CostModel::default(),
+            comm: CommModel::nccl(),
+        }
+    }
+
+    /// NVIDIA DGX-2: 16× V100-SXM3-32GB over NVSwitch.
+    pub fn dgx2() -> Self {
+        Platform {
+            name: "DGX-2",
+            device: DeviceSpec::v100(),
+            max_devices: 16,
+            interconnect: Interconnect::dgx2(),
+            cost: CostModel::default(),
+            comm: CommModel::nccl(),
+        }
+    }
+
+    /// NVIDIA DGX-H100: 8× H100-SXM5-80GB over NVSwitch (one generation
+    /// past the paper).
+    pub fn dgx_h100() -> Self {
+        Platform {
+            name: "DGX-H100",
+            device: DeviceSpec::h100(),
+            max_devices: 8,
+            interconnect: Interconnect {
+                h2d: crate::interconnect::Link::PCIE_GEN5,
+                peer: crate::interconnect::Link::NVLINK_SXM5,
+            },
+            cost: CostModel::default(),
+            comm: CommModel::nccl(),
+        }
+    }
+
+    /// NVIDIA GB200 NVL72: 72× B200 in one NVLink-5 rack domain — the
+    /// Blackwell platform the paper's introduction motivates.
+    pub fn nvl72() -> Self {
+        Platform {
+            name: "GB200-NVL72",
+            device: DeviceSpec::b200(),
+            max_devices: 72,
+            interconnect: Interconnect {
+                h2d: crate::interconnect::Link::PCIE_GEN5,
+                peer: crate::interconnect::Link::NVLINK_5,
+            },
+            cost: CostModel::default(),
+            comm: CommModel::nccl(),
+        }
+    }
+
+    /// A cluster of DGX-A100 nodes joined by InfiniBand HDR — the
+    /// distributed setting the paper's §V names as future work.
+    /// Collectives become hierarchical (NVLink within a node, IB ring
+    /// across node leaders).
+    pub fn dgx_a100_cluster(nodes: usize) -> Self {
+        assert!(nodes >= 1);
+        let base = Self::dgx_a100();
+        Platform {
+            name: "DGX-A100-cluster",
+            max_devices: 8 * nodes,
+            comm: CommModel::Hierarchical {
+                gpus_per_node: 8,
+                inter: crate::interconnect::Link::INFINIBAND_HDR,
+                launch_us: 20.0,
+            },
+            ..base
+        }
+    }
+
+    /// A100 node with PCIe-only communication (Fig. 9's baseline).
+    pub fn pcie_a100() -> Self {
+        Platform {
+            name: "A100-PCIe",
+            device: DeviceSpec::a100(),
+            max_devices: 8,
+            interconnect: Interconnect::pcie_a100(),
+            cost: CostModel::default(),
+            comm: CommModel::nccl(),
+        }
+    }
+
+    /// Replace the collective runtime (e.g. the cuGraph/RAFT model).
+    pub fn with_comm(mut self, comm: CommModel) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Override per-device memory (scaled-down experiments force batching
+    /// by shrinking capacity instead of growing the graph).
+    pub fn with_device_memory(mut self, bytes: u64) -> Self {
+        self.device.mem_bytes = bytes;
+        self
+    }
+
+    /// Divide every *fixed* overhead — kernel launch, host sync,
+    /// collective launch, link latencies — by `div`. Scaled-down
+    /// experiments shrink graphs (hence kernel and bandwidth terms) by a
+    /// known factor; the fixed microsecond-scale overheads must shrink by
+    /// the same factor or they dominate artificially and erase the
+    /// relative behaviour the paper measures at full scale.
+    pub fn with_overheads_scaled(mut self, div: f64) -> Self {
+        assert!(div > 0.0);
+        self.cost.kernel_launch_us /= div;
+        self.cost.host_sync_us /= div;
+        self.interconnect.h2d.latency_us /= div;
+        self.interconnect.peer.latency_us /= div;
+        self.comm = match self.comm {
+            crate::collective::CommModel::Nccl { launch_us } => {
+                crate::collective::CommModel::Nccl { launch_us: launch_us / div }
+            }
+            crate::collective::CommModel::MpiStaged { launch_us, bw_derate } => {
+                crate::collective::CommModel::MpiStaged { launch_us: launch_us / div, bw_derate }
+            }
+            crate::collective::CommModel::Hierarchical { gpus_per_node, mut inter, launch_us } => {
+                inter.latency_us /= div;
+                crate::collective::CommModel::Hierarchical {
+                    gpus_per_node,
+                    inter,
+                    launch_us: launch_us / div,
+                }
+            }
+        };
+        self
+    }
+
+    /// A tiny deterministic platform for unit tests.
+    pub fn toy(max_devices: usize, mem_bytes: u64) -> Self {
+        Platform {
+            name: "TOY",
+            device: DeviceSpec::toy(mem_bytes),
+            max_devices,
+            interconnect: Interconnect::dgx_a100(),
+            cost: CostModel::default(),
+            comm: CommModel::nccl(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_machines() {
+        let a = Platform::dgx_a100();
+        assert_eq!(a.max_devices, 8);
+        assert_eq!(a.device.name, "A100-SXM4-40GB");
+        let v = Platform::dgx2();
+        assert_eq!(v.max_devices, 16);
+        assert_eq!(v.device.name, "V100-SXM3-32GB");
+    }
+
+    #[test]
+    fn pcie_variant_has_slower_peer_fabric() {
+        let nv = Platform::dgx_a100();
+        let pcie = Platform::pcie_a100();
+        assert!(nv.interconnect.peer.bw_gbps > 10.0 * pcie.interconnect.peer.bw_gbps);
+    }
+
+    #[test]
+    fn future_generation_presets() {
+        let h = Platform::dgx_h100();
+        assert_eq!(h.max_devices, 8);
+        assert!(h.device.achieved_bw_bytes() > Platform::dgx_a100().device.achieved_bw_bytes());
+        let nvl = Platform::nvl72();
+        assert_eq!(nvl.max_devices, 72);
+        assert!(nvl.interconnect.peer.bw_gbps > h.interconnect.peer.bw_gbps);
+        assert_eq!(nvl.device.mem_bytes, 192 * (1 << 30));
+    }
+
+    #[test]
+    fn cluster_preset_is_hierarchical() {
+        let c = Platform::dgx_a100_cluster(4);
+        assert_eq!(c.max_devices, 32);
+        assert!(matches!(c.comm, CommModel::Hierarchical { gpus_per_node: 8, .. }));
+    }
+
+    #[test]
+    fn overrides_compose() {
+        let p = Platform::dgx_a100()
+            .with_device_memory(1 << 20)
+            .with_comm(CommModel::mpi_staged());
+        assert_eq!(p.device.mem_bytes, 1 << 20);
+        assert!(matches!(p.comm, CommModel::MpiStaged { .. }));
+    }
+}

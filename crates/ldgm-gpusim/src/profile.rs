@@ -1,0 +1,180 @@
+//! Execution profiling: the measurements behind the paper's Figs. 5, 7
+//! (component-wise timing), Fig. 8 (warp-edge work) and Fig. 11 (SM
+//! occupancy).
+
+use crate::device::KernelStats;
+
+/// Simulated time attributed to each high-level component of Algorithm 2.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// SETPOINTERS kernels.
+    pub pointing: f64,
+    /// SETMATES kernels.
+    pub matching: f64,
+    /// NCCL/MPI collectives (pointers + mate reductions).
+    pub allreduce: f64,
+    /// Batch H2D transfers.
+    pub transfer: f64,
+    /// Explicit host-device synchronization.
+    pub sync: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total attributed time.
+    pub fn total(&self) -> f64 {
+        self.pointing + self.matching + self.allreduce + self.transfer + self.sync
+    }
+
+    /// Percentages in display order (pointing, matching, allreduce,
+    /// transfer, sync); all zeros if nothing was recorded.
+    pub fn percentages(&self) -> [f64; 5] {
+        let t = self.total();
+        if t == 0.0 {
+            return [0.0; 5];
+        }
+        [
+            self.pointing / t * 100.0,
+            self.matching / t * 100.0,
+            self.allreduce / t * 100.0,
+            self.transfer / t * 100.0,
+            self.sync / t * 100.0,
+        ]
+    }
+
+    /// Accumulate another breakdown.
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        self.pointing += other.pointing;
+        self.matching += other.matching;
+        self.allreduce += other.allreduce;
+        self.transfer += other.transfer;
+        self.sync += other.sync;
+    }
+}
+
+/// Per-iteration record of the matching progression.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration index (0-based).
+    pub iter: usize,
+    /// Edge slots scanned by SETPOINTERS this iteration (all devices).
+    pub edges_scanned: u64,
+    /// `edges_scanned` as a percentage of the graph's directed edges.
+    pub pct_edges: f64,
+    /// Mean edges scanned per launched warp.
+    pub warp_mean: f64,
+    /// Standard deviation of edges scanned per launched warp.
+    pub warp_std: f64,
+    /// Achieved-occupancy estimate of the pointing launches (0..=1).
+    pub occupancy: f64,
+    /// Edges committed to the matching this iteration.
+    pub new_matches: u64,
+}
+
+impl IterationRecord {
+    /// Build a record from aggregated pointing-phase kernel stats.
+    pub fn from_stats(
+        iter: usize,
+        stats: &KernelStats,
+        total_directed_edges: u64,
+        occupancy: f64,
+        new_matches: u64,
+    ) -> Self {
+        let warps = stats.warps_launched.max(1) as f64;
+        let mean = stats.edges_scanned as f64 / warps;
+        let var = (stats.warp_edges_sumsq / warps - mean * mean).max(0.0);
+        IterationRecord {
+            iter,
+            edges_scanned: stats.edges_scanned,
+            pct_edges: stats.edges_scanned as f64 / total_directed_edges.max(1) as f64 * 100.0,
+            warp_mean: mean,
+            warp_std: var.sqrt(),
+            occupancy,
+            new_matches,
+        }
+    }
+}
+
+/// Full profile of one simulated run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunProfile {
+    /// Component-wise simulated time.
+    pub phases: PhaseBreakdown,
+    /// Per-iteration records, in order.
+    pub iterations: Vec<IterationRecord>,
+    /// End-to-end simulated time (max over devices).
+    pub sim_time: f64,
+}
+
+impl RunProfile {
+    /// Number of matching iterations executed.
+    pub fn num_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Fraction of iterations that scanned less than `pct`% of the edges —
+    /// the paper's Fig. 8 headline is that 90% of iterations touch < 20%.
+    pub fn fraction_iterations_below_pct(&self, pct: f64) -> f64 {
+        if self.iterations.is_empty() {
+            return 0.0;
+        }
+        self.iterations.iter().filter(|r| r.pct_edges < pct).count() as f64
+            / self.iterations.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let p = PhaseBreakdown {
+            pointing: 1.0,
+            matching: 2.0,
+            allreduce: 3.0,
+            transfer: 4.0,
+            sync: 0.0,
+        };
+        let pct = p.percentages();
+        assert!((pct.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((pct[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_all_zero() {
+        assert_eq!(PhaseBreakdown::default().percentages(), [0.0; 5]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PhaseBreakdown { pointing: 1.0, ..Default::default() };
+        a.merge(&PhaseBreakdown { pointing: 2.0, sync: 1.0, ..Default::default() });
+        assert_eq!(a.pointing, 3.0);
+        assert_eq!(a.sync, 1.0);
+    }
+
+    #[test]
+    fn iteration_record_moments() {
+        // Two warps: 10 and 30 edges -> mean 20, std 10.
+        let s = KernelStats {
+            warps_launched: 2,
+            edges_scanned: 40,
+            warp_edges_sumsq: 100.0 + 900.0,
+            ..Default::default()
+        };
+        let r = IterationRecord::from_stats(0, &s, 400, 0.9, 5);
+        assert!((r.warp_mean - 20.0).abs() < 1e-9);
+        assert!((r.warp_std - 10.0).abs() < 1e-9);
+        assert!((r.pct_edges - 10.0).abs() < 1e-9);
+        assert_eq!(r.new_matches, 5);
+    }
+
+    #[test]
+    fn fraction_below_pct() {
+        let mut p = RunProfile::default();
+        for (i, pct) in [5.0, 10.0, 50.0, 3.0].iter().enumerate() {
+            p.iterations.push(IterationRecord { iter: i, pct_edges: *pct, ..Default::default() });
+        }
+        assert!((p.fraction_iterations_below_pct(20.0) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-device simulated timelines with dual-buffer stream semantics.
+//!
+//! Each device carries three logical queues matching the paper's execution
+//! structure (§III-B, Fig. 2): a copy engine (async `cudaMemcpyAsync`
+//! HtoD), a compute queue (kernel launches), and two batch buffers that
+//! alternate between streams. Copy of batch *b+1* overlaps the kernel of
+//! batch *b*; a buffer cannot be overwritten until the kernel consuming it
+//! has finished; with more than two batches the driver inserts explicit
+//! host synchronization (paper §III-D).
+
+use crate::interconnect::Link;
+
+/// Simulated clock state of one device.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DeviceTimer {
+    /// Host-visible "all prior work complete" point.
+    now: f64,
+    /// Copy engine available at.
+    copy_free: f64,
+    /// Compute queue available at.
+    kernel_free: f64,
+    /// Per-buffer: last kernel consuming the buffer finishes at.
+    buffer_busy: [f64; 2],
+    /// Per-buffer: last copy into the buffer finishes at.
+    copy_done: [f64; 2],
+}
+
+impl DeviceTimer {
+    /// A fresh timer at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current host-visible time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Completion time of everything scheduled so far.
+    pub fn horizon(&self) -> f64 {
+        self.now.max(self.copy_free).max(self.kernel_free)
+    }
+
+    /// Schedule an async host-to-device copy of `bytes` into buffer `buf`
+    /// over `link`. Returns `(start, end)`.
+    pub fn schedule_h2d(&mut self, buf: usize, bytes: u64, link: &Link) -> (f64, f64) {
+        let start = self.copy_free.max(self.buffer_busy[buf & 1]).max(self.now);
+        let end = start + link.transfer_time(bytes);
+        self.copy_free = end;
+        self.copy_done[buf & 1] = end;
+        (start, end)
+    }
+
+    /// Schedule a kernel of duration `dur` consuming buffer `buf`.
+    /// Returns `(start, end)`.
+    pub fn schedule_kernel(&mut self, buf: usize, dur: f64) -> (f64, f64) {
+        let start = self.kernel_free.max(self.copy_done[buf & 1]).max(self.now);
+        let end = start + dur;
+        self.kernel_free = end;
+        self.buffer_busy[buf & 1] = end;
+        (start, end)
+    }
+
+    /// Schedule a kernel that reads only resident global arrays (no batch
+    /// buffer dependency), e.g. SETMATES.
+    pub fn schedule_kernel_global(&mut self, dur: f64) -> (f64, f64) {
+        let start = self.kernel_free.max(self.now);
+        let end = start + dur;
+        self.kernel_free = end;
+        (start, end)
+    }
+
+    /// Explicit host-device synchronization costing `cost` seconds:
+    /// advances `now` past all outstanding work.
+    pub fn host_sync(&mut self, cost: f64) {
+        let t = self.horizon() + cost;
+        self.now = t;
+        self.copy_free = t;
+        self.kernel_free = t;
+    }
+
+    /// Wait for all outstanding work without extra cost.
+    pub fn drain(&mut self) {
+        let t = self.horizon();
+        self.now = t;
+        self.copy_free = t;
+        self.kernel_free = t;
+    }
+
+    /// Jump the whole timeline to `t` (used after collectives; `t` must not
+    /// be in the device's past).
+    pub fn align_to(&mut self, t: f64) {
+        debug_assert!(t >= self.horizon() - 1e-12, "aligning into the past");
+        self.now = t;
+        self.copy_free = t;
+        self.kernel_free = t;
+        self.buffer_busy = [t; 2];
+        self.copy_done = [t; 2];
+    }
+}
+
+/// Run a barrier collective across `timers`: all devices drain, the
+/// operation costs `cost` seconds, and every timeline is aligned to the
+/// common completion point. Returns `(start, end)`.
+pub fn run_collective(timers: &mut [DeviceTimer], cost: f64) -> (f64, f64) {
+    let start = timers
+        .iter()
+        .map(DeviceTimer::horizon)
+        .fold(0.0_f64, f64::max);
+    let end = start + cost;
+    for t in timers.iter_mut() {
+        t.align_to(end);
+    }
+    (start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interconnect::Link;
+
+    const L: Link = Link { name: "test", bw_gbps: 1.0, latency_us: 0.0 };
+
+    #[test]
+    fn copy_and_kernel_overlap_across_buffers() {
+        let mut t = DeviceTimer::new();
+        // Batch 0: copy then kernel.
+        let (c0s, c0e) = t.schedule_h2d(0, 1_000_000_000, &L); // 1 s
+        assert_eq!((c0s, c0e), (0.0, 1.0));
+        let (k0s, k0e) = t.schedule_kernel(0, 2.0);
+        assert_eq!((k0s, k0e), (1.0, 3.0));
+        // Batch 1 copy starts immediately after copy 0 (copy engine free at
+        // 1.0, buffer 1 never used): overlaps kernel 0.
+        let (c1s, c1e) = t.schedule_h2d(1, 1_000_000_000, &L);
+        assert_eq!((c1s, c1e), (1.0, 2.0));
+        // Kernel 1 waits for kernel 0 (compute queue), not the copy.
+        let (k1s, k1e) = t.schedule_kernel(1, 2.0);
+        assert_eq!((k1s, k1e), (3.0, 5.0));
+        assert_eq!(c1e, 2.0);
+        assert_eq!(t.horizon(), 5.0);
+    }
+
+    #[test]
+    fn buffer_reuse_waits_for_consumer() {
+        let mut t = DeviceTimer::new();
+        t.schedule_h2d(0, 1_000_000_000, &L); // copy0: 0-1
+        t.schedule_kernel(0, 5.0); // kernel0: 1-6 holds buffer 0
+        // Copy into buffer 0 again (batch 2) must wait for kernel0.
+        let (c2s, _) = t.schedule_h2d(2, 1_000_000_000, &L);
+        assert_eq!(c2s, 6.0);
+    }
+
+    #[test]
+    fn kernel_waits_for_its_copy() {
+        let mut t = DeviceTimer::new();
+        t.schedule_h2d(0, 3_000_000_000, &L); // 0-3
+        let (ks, _) = t.schedule_kernel(0, 1.0);
+        assert_eq!(ks, 3.0);
+    }
+
+    #[test]
+    fn host_sync_adds_cost_past_horizon() {
+        let mut t = DeviceTimer::new();
+        t.schedule_h2d(0, 1_000_000_000, &L);
+        t.schedule_kernel(0, 2.0); // horizon 3
+        t.host_sync(0.5);
+        assert_eq!(t.now(), 3.5);
+    }
+
+    #[test]
+    fn global_kernel_ignores_buffers() {
+        let mut t = DeviceTimer::new();
+        t.schedule_h2d(0, 10_000_000_000, &L); // copy busy until 10
+        let (s, e) = t.schedule_kernel_global(1.0);
+        assert_eq!((s, e), (0.0, 1.0));
+    }
+
+    #[test]
+    fn collective_aligns_all_devices() {
+        let mut a = DeviceTimer::new();
+        a.schedule_kernel_global(2.0);
+        let mut b = DeviceTimer::new();
+        b.schedule_kernel_global(5.0);
+        let mut ts = [a, b];
+        let (start, end) = run_collective(&mut ts, 1.0);
+        assert_eq!(start, 5.0);
+        assert_eq!(end, 6.0);
+        assert_eq!(ts[0].now(), 6.0);
+        assert_eq!(ts[1].now(), 6.0);
+    }
+
+    #[test]
+    fn drain_is_free() {
+        let mut t = DeviceTimer::new();
+        t.schedule_kernel_global(2.0);
+        t.drain();
+        assert_eq!(t.now(), 2.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Execution tracing: a per-device event timeline and an ASCII Gantt
+//! renderer, the simulator's equivalent of an Nsight Systems view. Used to
+//! inspect how copies overlap kernels under the dual-buffer scheme and
+//! where collectives serialize the devices.
+
+/// What a timeline span represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Host-to-device batch copy.
+    H2dCopy,
+    /// Compute kernel.
+    Kernel,
+    /// Cross-device collective.
+    Collective,
+    /// Explicit host-device synchronization.
+    HostSync,
+}
+
+impl EventKind {
+    /// One-character lane symbol for the Gantt view.
+    pub fn symbol(&self) -> char {
+        match self {
+            EventKind::H2dCopy => 'c',
+            EventKind::Kernel => 'K',
+            EventKind::Collective => 'A',
+            EventKind::HostSync => 's',
+        }
+    }
+}
+
+/// One timeline span on one device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Device index.
+    pub device: usize,
+    /// Span kind.
+    pub kind: EventKind,
+    /// Free-form label (e.g. `"point b2 it0"`).
+    pub label: String,
+    /// Start time (seconds).
+    pub start: f64,
+    /// End time (seconds).
+    pub end: f64,
+}
+
+/// An execution trace: events in arbitrary order, normalized on render.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Recorded spans.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Record a span.
+    pub fn record(
+        &mut self,
+        device: usize,
+        kind: EventKind,
+        label: impl Into<String>,
+        start: f64,
+        end: f64,
+    ) {
+        debug_assert!(end >= start, "negative-duration event");
+        self.events.push(TraceEvent { device, kind, label: label.into(), start, end });
+    }
+
+    /// Merge another trace (e.g. from a per-device worker).
+    pub fn merge(&mut self, other: Trace) {
+        self.events.extend(other.events);
+    }
+
+    /// Total span `(min start, max end)`; `None` when empty.
+    pub fn span(&self) -> Option<(f64, f64)> {
+        let lo = self.events.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
+        let hi = self.events.iter().map(|e| e.end).fold(f64::NEG_INFINITY, f64::max);
+        (lo.is_finite() && hi.is_finite()).then_some((lo, hi))
+    }
+
+    /// Busy time per kind on one device.
+    pub fn busy_time(&self, device: usize, kind: EventKind) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.device == device && e.kind == kind)
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+
+    /// Render an ASCII Gantt chart, one lane per device, `width`
+    /// characters across the full span. Overlapping spans on one device
+    /// (copy engine vs compute queue) are drawn in priority order
+    /// collective > kernel > copy > sync.
+    pub fn render_gantt(&self, width: usize) -> String {
+        let Some((lo, hi)) = self.span() else {
+            return "(empty trace)\n".to_string();
+        };
+        let width = width.max(10);
+        let scale = if hi > lo { width as f64 / (hi - lo) } else { 0.0 };
+        let ndev = self.events.iter().map(|e| e.device).max().unwrap_or(0) + 1;
+        let mut out = String::new();
+        let priority = |k: EventKind| match k {
+            EventKind::Collective => 3,
+            EventKind::Kernel => 2,
+            EventKind::H2dCopy => 1,
+            EventKind::HostSync => 0,
+        };
+        for d in 0..ndev {
+            let mut lane = vec![('.', -1i32); width];
+            for e in self.events.iter().filter(|e| e.device == d) {
+                let a = ((e.start - lo) * scale).floor() as usize;
+                let b = (((e.end - lo) * scale).ceil() as usize).clamp(a + 1, width);
+                for slot in lane.iter_mut().take(b.min(width)).skip(a.min(width - 1)) {
+                    if priority(e.kind) > slot.1 {
+                        *slot = (e.kind.symbol(), priority(e.kind));
+                    }
+                }
+            }
+            out.push_str(&format!("dev{d:<2} |"));
+            out.extend(lane.iter().map(|&(c, _)| c));
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "       span {:.1} us   (K kernel, c copy, A collective, s sync)\n",
+            (hi - lo) * 1e6
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::default();
+        t.record(0, EventKind::H2dCopy, "copy b0", 0.0, 1.0);
+        t.record(0, EventKind::Kernel, "point b0", 1.0, 3.0);
+        t.record(1, EventKind::Kernel, "point b0", 0.5, 2.0);
+        t.record(0, EventKind::Collective, "allreduce", 3.0, 4.0);
+        t.record(1, EventKind::Collective, "allreduce", 3.0, 4.0);
+        t
+    }
+
+    #[test]
+    fn span_and_busy_time() {
+        let t = sample();
+        assert_eq!(t.span(), Some((0.0, 4.0)));
+        assert_eq!(t.busy_time(0, EventKind::Kernel), 2.0);
+        assert_eq!(t.busy_time(1, EventKind::Kernel), 1.5);
+        assert_eq!(t.busy_time(1, EventKind::H2dCopy), 0.0);
+    }
+
+    #[test]
+    fn gantt_renders_lanes() {
+        let g = sample().render_gantt(40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("dev0"));
+        assert!(lines[0].contains('c') && lines[0].contains('K') && lines[0].contains('A'));
+        assert!(lines[1].contains('K'));
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert_eq!(Trace::default().span(), None);
+        assert!(Trace::default().render_gantt(40).contains("empty"));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = sample();
+        let mut b = Trace::default();
+        b.record(2, EventKind::HostSync, "sync", 0.0, 0.5);
+        a.merge(b);
+        assert_eq!(a.events.len(), 6);
+        assert!(a.render_gantt(30).contains("dev2"));
+    }
+
+    #[test]
+    fn priority_overlap() {
+        let mut t = Trace::default();
+        t.record(0, EventKind::H2dCopy, "copy", 0.0, 10.0);
+        t.record(0, EventKind::Kernel, "kernel", 0.0, 10.0);
+        let g = t.render_gantt(20);
+        // Kernel wins the overlap everywhere.
+        assert!(!g.lines().next().unwrap().contains('c'));
+    }
+}

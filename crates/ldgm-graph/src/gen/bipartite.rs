@@ -1,0 +1,87 @@
+//! Bipartite assignment-instance generator.
+//!
+//! Matching's flagship application (the paper's introduction cites the
+//! resident–hospital assignment problem) is bipartite: `left` agents,
+//! `right` tasks, and a preference weight per compatible pair. Vertices
+//! `0..left` are agents, `left..left+right` are tasks.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use crate::rng::Xoshiro256;
+use crate::weights::sample_weight;
+
+/// Generate a sparse bipartite graph where each left vertex is connected to
+/// `choices` uniformly random right vertices (a preference list).
+pub fn bipartite(left: usize, right: usize, choices: usize, seed: u64) -> CsrGraph {
+    assert!(left >= 1 && right >= 1);
+    assert!(choices >= 1 && choices <= right);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let n = left + right;
+    let mut b = GraphBuilder::with_capacity(n, left * choices);
+    for u in 0..left {
+        // Sample `choices` distinct right endpoints by partial shuffle when
+        // dense, rejection when sparse.
+        if choices * 3 >= right {
+            let mut all: Vec<VertexId> = (0..right as VertexId).collect();
+            rng.shuffle(&mut all);
+            for &r in all.iter().take(choices) {
+                let w = sample_weight(&mut rng);
+                b.push_edge(u as VertexId, left as VertexId + r, w);
+            }
+        } else {
+            let mut picks: Vec<VertexId> = Vec::with_capacity(choices);
+            while picks.len() < choices {
+                let r = rng.below(right as u64) as VertexId;
+                if picks.contains(&r) {
+                    continue;
+                }
+                picks.push(r);
+                let w = sample_weight(&mut rng);
+                b.push_edge(u as VertexId, left as VertexId + r, w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Whether `g` is bipartite with parts `0..left` and `left..n` (no
+/// intra-part edges).
+pub fn is_bipartition(g: &CsrGraph, left: usize) -> bool {
+    g.iter_edges()
+        .all(|(u, v, _)| ((u as usize) < left) != ((v as usize) < left))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_are_respected() {
+        let g = bipartite(100, 120, 5, 1);
+        assert!(is_bipartition(&g, 100));
+        assert_eq!(g.num_vertices(), 220);
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn left_degrees_near_choices() {
+        let g = bipartite(200, 300, 4, 2);
+        // Picks are distinct per left vertex, so degree is exactly `choices`.
+        for u in 0..200u32 {
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn dense_choice_path() {
+        let g = bipartite(10, 12, 10, 3);
+        for u in 0..10u32 {
+            assert_eq!(g.degree(u), 10);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(bipartite(50, 60, 3, 4), bipartite(50, 60, 3, 4));
+    }
+}

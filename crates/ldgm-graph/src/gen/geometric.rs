@@ -1,0 +1,111 @@
+//! Random geometric graph generator.
+//!
+//! `n` points are scattered uniformly in the unit square; two points are
+//! adjacent when their Euclidean distance is below `radius`, and the edge
+//! weight is `1 − distance/radius` (closer ⇒ heavier) — the natural
+//! weighting for the matching-as-assignment applications (computer vision
+//! correspondences, facility location) the paper's introduction motivates.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use crate::rng::Xoshiro256;
+
+/// Generate a random geometric graph with connection radius `radius`.
+pub fn geometric(n: usize, radius: f64, seed: u64) -> CsrGraph {
+    let (g, _) = geometric_with_points(n, radius, seed);
+    g
+}
+
+/// As [`geometric`], also returning the sampled point coordinates.
+pub fn geometric_with_points(n: usize, radius: f64, seed: u64) -> (CsrGraph, Vec<(f64, f64)>) {
+    assert!(n >= 1);
+    assert!(radius > 0.0 && radius <= 1.0);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+    // Uniform grid bucketing: only compare points in neighboring cells,
+    // bringing expected work to O(n · E[deg]).
+    let cells = ((1.0 / radius).floor() as usize).clamp(1, 4096);
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
+        let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
+        (cx, cy)
+    };
+    let mut grid: Vec<Vec<VertexId>> = vec![Vec::new(); cells * cells];
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        grid[cy * cells + cx].push(i as VertexId);
+    }
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of((x, y));
+        for dy in cy.saturating_sub(1)..=(cy + 1).min(cells - 1) {
+            for dx in cx.saturating_sub(1)..=(cx + 1).min(cells - 1) {
+                for &j in &grid[dy * cells + dx] {
+                    if (j as usize) <= i {
+                        continue;
+                    }
+                    let (px, py) = pts[j as usize];
+                    let d2 = (x - px) * (x - px) + (y - py) * (y - py);
+                    if d2 < r2 {
+                        let w = 1.0 - d2.sqrt() / radius;
+                        if w > 0.0 {
+                            b.push_edge(i as VertexId, j, w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (b.build(), pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_density() {
+        let n = 5000;
+        let radius = 0.03;
+        let g = geometric(n, radius, 1);
+        // E[deg] ≈ n·π·r² (ignoring boundary): ≈ 14.1.
+        let expect = n as f64 * std::f64::consts::PI * radius * radius;
+        let d = g.avg_degree();
+        assert!(d > 0.5 * expect && d < 1.2 * expect, "d_avg {d} vs expected {expect}");
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn weights_decrease_with_distance() {
+        let (g, pts) = geometric_with_points(2000, 0.05, 2);
+        for (u, v, w) in g.iter_edges().take(500) {
+            let (ax, ay) = pts[u as usize];
+            let (bx, by) = pts[v as usize];
+            let d = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+            assert!((w - (1.0 - d / 0.05)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(geometric(500, 0.1, 3), geometric(500, 0.1, 3));
+    }
+
+    #[test]
+    fn grid_matches_bruteforce() {
+        let n = 300;
+        let radius = 0.15;
+        let (g, pts) = geometric_with_points(n, radius, 4);
+        let mut expected = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d2 = (pts[i].0 - pts[j].0).powi(2) + (pts[i].1 - pts[j].1).powi(2);
+                if d2 < radius * radius && 1.0 - d2.sqrt() / radius > 0.0 {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(g.num_edges(), expected);
+    }
+}

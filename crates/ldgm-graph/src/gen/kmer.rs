@@ -1,0 +1,91 @@
+//! k-mer (de Bruijn-like) genomic graph generator.
+//!
+//! Stand-in for kmer_U1a (d_avg ≈ 4) and kmer_V2a (d_avg ≈ 2): genome
+//! assembly graphs are overwhelmingly made of long simple chains
+//! (degree-2 runs) punctuated by branch vertices where reads diverge. We
+//! generate a collection of long paths and then add random short-range
+//! branch edges until the average degree target is met.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use crate::rng::Xoshiro256;
+use crate::weights::sample_weight;
+
+/// Generate a k-mer-like graph.
+///
+/// * `n` — vertex count.
+/// * `avg_degree` — target average degree (≥ ~1.5; kmer_V2a ≈ 2,
+///   kmer_U1a ≈ 4).
+/// * `chain_len` — mean length of unbranched runs (contigs).
+pub fn kmer(n: usize, avg_degree: f64, chain_len: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    assert!(avg_degree >= 1.0, "kmer graphs need avg degree >= 1");
+    assert!(chain_len >= 2);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let target_m = (n as f64 * avg_degree / 2.0) as usize;
+    let mut b = GraphBuilder::with_capacity(n, target_m + target_m / 10);
+    // Backbone: consecutive chains with a break roughly every `chain_len`
+    // vertices (chains are disjoint contigs).
+    let break_p = 1.0 / chain_len as f64;
+    let mut backbone = 0usize;
+    for v in 0..(n - 1) as VertexId {
+        if rng.chance(break_p) {
+            continue;
+        }
+        let w = sample_weight(&mut rng);
+        b.push_edge(v, v + 1, w);
+        backbone += 1;
+    }
+    // Branches: short-range chords (genomic repeats connect nearby
+    // contigs), added until the edge budget is reached.
+    let window = (4 * chain_len).max(8) as u64;
+    let mut extra = target_m.saturating_sub(backbone);
+    while extra > 0 {
+        let u = rng.below(n as u64);
+        let span = 2 + rng.below(window - 1);
+        let v = u + span;
+        if v >= n as u64 {
+            continue; // avoid piling clamped chords onto the last vertex
+        }
+        let w = sample_weight(&mut rng);
+        b.push_edge(u as VertexId, v as VertexId, w);
+        extra -= 1;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::stats;
+
+    #[test]
+    fn low_degree_profile() {
+        let g = kmer(50_000, 4.0, 30, 1);
+        let s = stats(&g);
+        assert!(s.d_avg > 3.0 && s.d_avg < 4.5, "d_avg = {}", s.d_avg);
+        // k-mer graphs have tiny max degree (paper: 70 for kmer_U1a at 68M
+        // vertices; at our scale anything ≤ 40 is the right character).
+        assert!(s.d_max <= 40, "d_max = {}", s.d_max);
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn sparse_variant() {
+        let g = kmer(50_000, 2.0, 60, 2);
+        let s = stats(&g);
+        assert!(s.d_avg > 1.5 && s.d_avg < 2.5, "d_avg = {}", s.d_avg);
+    }
+
+    #[test]
+    fn mostly_chains() {
+        let g = kmer(10_000, 2.0, 50, 3);
+        let deg2 = (0..10_000u32).filter(|&v| g.degree(v) <= 2).count();
+        assert!(deg2 as f64 > 0.6 * 10_000.0, "only {deg2} chain-like vertices");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(kmer(2000, 3.0, 20, 5), kmer(2000, 3.0, 20, 5));
+    }
+}

@@ -1,0 +1,190 @@
+//! Synthetic graph generators covering every structural family of the
+//! paper's Table I dataset suite.
+//!
+//! Each generator is an ordinary function (see the submodules), and
+//! [`GraphGen`] offers a fluent facade:
+//!
+//! ```
+//! use ldgm_graph::gen::GraphGen;
+//! let g = GraphGen::rmat().vertices(1 << 10).avg_degree(8).seed(42).build();
+//! assert_eq!(g.num_vertices(), 1024);
+//! ```
+
+pub mod bipartite;
+pub mod geometric;
+pub mod kmer;
+pub mod lattice;
+pub mod mycielskian;
+pub mod rmat;
+pub mod similarity;
+pub mod urand;
+pub mod web;
+
+pub use bipartite::{bipartite, is_bipartition};
+pub use geometric::{geometric, geometric_with_points};
+pub use kmer::kmer;
+pub use lattice::lattice;
+pub use mycielskian::{mycielskian, mycielskian_edges, mycielskian_vertices};
+pub use rmat::{rmat, RmatParams};
+pub use similarity::similarity;
+pub use urand::urand;
+pub use web::web;
+
+use crate::csr::CsrGraph;
+
+/// Which structural family to generate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Family {
+    /// Power-law Kronecker ([`rmat`]).
+    Rmat(RmatParams),
+    /// Uniform random ([`urand`]).
+    Urand,
+    /// Genomic chains ([`kmer`]) with the given mean chain length.
+    Kmer { chain_len: usize },
+    /// Web crawl copy model ([`web`]) with the given copy probability.
+    Web { copy_p: f64 },
+    /// Stencil lattice ([`lattice`]) with the given radius; vertex count is
+    /// rounded to the nearest square.
+    Lattice { radius: usize },
+    /// Random geometric graph with the given radius.
+    Geometric { radius: f64 },
+    /// Dense modular similarity graph with the given block count and
+    /// intra-block probability.
+    Similarity { blocks: usize, intra_p: f64 },
+}
+
+/// Fluent generator configuration.
+#[derive(Clone, Debug)]
+pub struct GraphGen {
+    family: Family,
+    n: usize,
+    avg_degree: f64,
+    seed: u64,
+}
+
+impl GraphGen {
+    /// Start configuring a generator for `family`.
+    pub fn new(family: Family) -> Self {
+        GraphGen { family, n: 1024, avg_degree: 8.0, seed: 0 }
+    }
+
+    /// GAP-kron-style power-law graph.
+    pub fn rmat() -> Self {
+        Self::new(Family::Rmat(RmatParams::GAP_KRON))
+    }
+
+    /// Social-network-style (milder skew) power-law graph.
+    pub fn social() -> Self {
+        Self::new(Family::Rmat(RmatParams::SOCIAL))
+    }
+
+    /// GAP-urand-style uniform random graph.
+    pub fn urand() -> Self {
+        Self::new(Family::Urand)
+    }
+
+    /// Genomic k-mer chains.
+    pub fn kmer() -> Self {
+        Self::new(Family::Kmer { chain_len: 40 })
+    }
+
+    /// Web-crawl copy model.
+    pub fn web() -> Self {
+        Self::new(Family::Web { copy_p: 0.5 })
+    }
+
+    /// FEM-style stencil lattice.
+    pub fn lattice(radius: usize) -> Self {
+        Self::new(Family::Lattice { radius })
+    }
+
+    /// Random geometric graph.
+    pub fn geometric(radius: f64) -> Self {
+        Self::new(Family::Geometric { radius })
+    }
+
+    /// Gene-similarity-style dense modular graph.
+    pub fn similarity(blocks: usize) -> Self {
+        Self::new(Family::Similarity { blocks, intra_p: 0.8 })
+    }
+
+    /// Set the vertex count.
+    pub fn vertices(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Set the target average degree (families that control density
+    /// through other parameters — lattice, geometric, similarity — ignore
+    /// this and derive density from their own knobs).
+    pub fn avg_degree(mut self, d: impl Into<f64>) -> Self {
+        self.avg_degree = d.into();
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Generate the graph.
+    pub fn build(&self) -> CsrGraph {
+        let target_m = (self.n as f64 * self.avg_degree / 2.0).ceil() as usize;
+        match self.family {
+            Family::Rmat(p) => rmat(self.n, target_m, p, self.seed),
+            Family::Urand => urand(self.n, target_m, self.seed),
+            Family::Kmer { chain_len } => kmer(self.n, self.avg_degree, chain_len, self.seed),
+            Family::Web { copy_p } => {
+                let out_deg = (self.avg_degree / 2.0).round().max(1.0) as usize;
+                web(self.n, out_deg, copy_p, self.seed)
+            }
+            Family::Lattice { radius } => {
+                let side = (self.n as f64).sqrt().round().max(1.0) as usize;
+                lattice(side, side, radius, self.seed)
+            }
+            Family::Geometric { radius } => geometric(self.n, radius, self.seed),
+            Family::Similarity { blocks, intra_p } => {
+                similarity(self.n, blocks, intra_p, self.n, self.seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_builds_each_family() {
+        for gg in [
+            GraphGen::rmat().vertices(512).avg_degree(6),
+            GraphGen::social().vertices(512).avg_degree(6),
+            GraphGen::urand().vertices(512).avg_degree(6),
+            GraphGen::kmer().vertices(512).avg_degree(3),
+            GraphGen::web().vertices(512).avg_degree(8),
+            GraphGen::lattice(2).vertices(400),
+            GraphGen::geometric(0.08).vertices(512),
+            GraphGen::similarity(4).vertices(256),
+        ] {
+            let gg = gg.seed(1);
+            let g = gg.build();
+            assert!(g.num_vertices() >= 256, "family {:?}", gg.family);
+            assert!(g.num_edges() > 0, "family {:?}", gg.family);
+            assert_eq!(g.validate(), Ok(()), "family {:?}", gg.family);
+        }
+    }
+
+    #[test]
+    fn facade_seed_determinism() {
+        let a = GraphGen::web().vertices(300).avg_degree(6).seed(5).build();
+        let b = GraphGen::web().vertices(300).avg_degree(6).seed(5).build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lattice_rounds_to_square() {
+        let g = GraphGen::lattice(1).vertices(1000).build();
+        assert_eq!(g.num_vertices(), 32 * 32);
+    }
+}

@@ -1,0 +1,132 @@
+//! Mycielski construction.
+//!
+//! The paper's mycielskian18 input is the 18th graph of the Mycielski
+//! sequence starting from K2. We build the *exact same construction* at a
+//! smaller level: given `G_k` on vertices `v_1..v_n`, the Mycielskian
+//! `M(G_k)` adds shadow vertices `u_1..u_n` and an apex `z`, with edges
+//! `{u_i, v_j}` for every original edge `{v_i, v_j}`, and `{u_i, z}` for
+//! all `i`. Sizes follow `n' = 2n + 1`, `m' = 3m + n`, so edge counts grow
+//! ~3× per level — level 12 (3071 vertices, ~204 K edges) is the SMALL
+//! stand-in, level 14 the performance stand-in.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use crate::rng::Xoshiro256;
+use crate::weights::sample_weight;
+
+/// Number of vertices of `mycielskian(level)` (level ≥ 2; level 2 is K2).
+pub fn mycielskian_vertices(level: u32) -> usize {
+    assert!(level >= 2);
+    let mut n = 2usize;
+    for _ in 2..level {
+        n = 2 * n + 1;
+    }
+    n
+}
+
+/// Number of edges of `mycielskian(level)`.
+pub fn mycielskian_edges(level: u32) -> usize {
+    assert!(level >= 2);
+    let (mut n, mut m) = (2usize, 1usize);
+    for _ in 2..level {
+        m = 3 * m + n;
+        n = 2 * n + 1;
+    }
+    m
+}
+
+/// Build `mycielskian(level)` with uniform 3-decimal weights.
+pub fn mycielskian(level: u32, seed: u64) -> CsrGraph {
+    assert!((2..=16).contains(&level), "levels above 16 exceed simulator scale");
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    // Edge list representation of the current level.
+    let mut n: usize = 2;
+    let mut edges: Vec<(VertexId, VertexId)> = vec![(0, 1)];
+    for _ in 2..level {
+        let mut next = Vec::with_capacity(3 * edges.len() + n);
+        // Original edges.
+        next.extend_from_slice(&edges);
+        // Shadow edges: u_i (= n + i) adjacent to every neighbor of v_i.
+        for &(a, b) in &edges {
+            next.push((n as VertexId + a, b));
+            next.push((n as VertexId + b, a));
+        }
+        // Apex z = 2n adjacent to every shadow vertex.
+        let z = (2 * n) as VertexId;
+        for i in 0..n {
+            next.push((z, (n + i) as VertexId));
+        }
+        edges = next;
+        n = 2 * n + 1;
+    }
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        let w = sample_weight(&mut rng);
+        b.push_edge(u, v, w);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::stats;
+
+    #[test]
+    fn closed_form_sizes() {
+        assert_eq!(mycielskian_vertices(2), 2);
+        assert_eq!(mycielskian_edges(2), 1);
+        assert_eq!(mycielskian_vertices(3), 5); // C5 (Grötzsch sequence)
+        assert_eq!(mycielskian_edges(3), 5);
+        assert_eq!(mycielskian_vertices(4), 11); // Grötzsch graph
+        assert_eq!(mycielskian_edges(4), 20);
+        assert_eq!(mycielskian_vertices(12), 3071);
+    }
+
+    #[test]
+    fn construction_matches_closed_form() {
+        for level in 2..=10 {
+            let g = mycielskian(level, 1);
+            assert_eq!(g.num_vertices(), mycielskian_vertices(level), "level {level}");
+            assert_eq!(g.num_edges(), mycielskian_edges(level), "level {level}");
+            assert_eq!(g.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn level3_is_c5() {
+        let g = mycielskian(3, 2);
+        // Every vertex of C5 has degree 2 and the graph is connected.
+        assert!((0..5u32).all(|v| g.degree(v) == 2));
+        assert_eq!(stats(&g).components, 1);
+    }
+
+    #[test]
+    fn triangle_free_small_levels() {
+        // Mycielskians preserve triangle-freeness; K2 is triangle-free.
+        let g = mycielskian(6, 3);
+        // Direct triangle scan.
+        let mut triangles = 0;
+        for (u, v, _) in g.iter_edges() {
+            for &x in g.neighbors(u) {
+                if x > v && g.has_edge(v, x) {
+                    triangles += 1;
+                }
+            }
+        }
+        assert_eq!(triangles, 0);
+    }
+
+    #[test]
+    fn skewed_degree_at_higher_levels() {
+        let g = mycielskian(10, 4);
+        let s = stats(&g);
+        // Apex-like vertices dominate: d_max far above d_avg.
+        assert!(s.d_max as f64 > 4.0 * s.d_avg, "d_max {} d_avg {}", s.d_max, s.d_avg);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(mycielskian(8, 9), mycielskian(8, 9));
+    }
+}

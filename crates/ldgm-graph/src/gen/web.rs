@@ -1,0 +1,99 @@
+//! Web-crawl graph generator (copy model).
+//!
+//! Stand-in for uk-2007-05 and webbase-2001. The copy model (Kumar et al.)
+//! reproduces the two defining features of crawl graphs: heavy-tailed
+//! degrees (pages copy links from popular prototypes) and strong locality
+//! (most links point to recently seen, lexicographically close pages —
+//! which in crawl orderings means nearby ids).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use crate::rng::Xoshiro256;
+use crate::weights::sample_weight;
+
+/// Generate a web-crawl-like graph.
+///
+/// * `n` — vertex count.
+/// * `out_degree` — links added per arriving vertex (≈ d_avg / 2 … d_avg).
+/// * `copy_p` — probability a link copies the prototype's target instead of
+///   a uniform earlier vertex (higher ⇒ heavier tail).
+pub fn web(n: usize, out_degree: usize, copy_p: f64, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    assert!(out_degree >= 1);
+    assert!((0.0..=1.0).contains(&copy_p));
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * out_degree);
+    // Flat targets list doubles as a preferential-attachment sampler: a
+    // uniform pick from it is degree-proportional.
+    let mut targets: Vec<VertexId> = Vec::with_capacity(n * out_degree);
+    b.push_edge(0, 1, sample_weight(&mut rng));
+    targets.push(0);
+    targets.push(1);
+    for v in 2..n as VertexId {
+        for _ in 0..out_degree.min(v as usize) {
+            let t = if rng.chance(copy_p) {
+                // Copy: degree-proportional pick (popular pages get more
+                // in-links).
+                targets[rng.below(targets.len() as u64) as usize]
+            } else {
+                // Locality: uniform pick among recent vertices.
+                let window = 256.min(v as u64);
+                (v as u64 - 1 - rng.below(window)) as VertexId
+            };
+            if t == v {
+                continue;
+            }
+            let w = sample_weight(&mut rng);
+            b.push_edge(v, t, w);
+            // Weight the sampler toward in-link targets (twice) over the
+            // arriving page (once): in-degree-proportional copying with a
+            // heavier tail than plain preferential attachment, matching
+            // crawl-graph degree exponents (< 3).
+            targets.push(t);
+            targets.push(t);
+            targets.push(v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{degree_cv, stats};
+
+    #[test]
+    fn heavy_tail() {
+        let g = web(20_000, 8, 0.5, 1);
+        let s = stats(&g);
+        assert!(s.d_max > 50, "d_max = {}", s.d_max);
+        // Markedly more skewed than a uniform graph of the same density.
+        let u = crate::gen::urand::urand(20_000, g.num_edges(), 1);
+        assert!(
+            degree_cv(&g) > 2.0 * degree_cv(&u),
+            "web cv {} vs urand cv {}",
+            degree_cv(&g),
+            degree_cv(&u)
+        );
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn edge_count_near_target() {
+        let g = web(10_000, 10, 0.4, 2);
+        let m = g.num_edges();
+        assert!(m > 80_000 && m <= 100_000, "m = {m}");
+    }
+
+    #[test]
+    fn higher_copy_p_heavier_tail() {
+        let lo = web(10_000, 6, 0.1, 3);
+        let hi = web(10_000, 6, 0.8, 3);
+        assert!(stats(&hi).d_max > stats(&lo).d_max);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(web(1000, 4, 0.5, 7), web(1000, 4, 0.5, 7));
+    }
+}

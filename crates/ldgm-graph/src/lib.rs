@@ -1,0 +1,27 @@
+//! # ldgm-graph — weighted graph substrate
+//!
+//! Storage, construction, generation and I/O of the undirected weighted
+//! graphs consumed by the `ldgm` matching crates:
+//!
+//! * [`csr::CsrGraph`] — CSR storage with 64-bit edge offsets (the paper's
+//!   §III-A representation);
+//! * [`builder::GraphBuilder`] — edge-list assembly with dedup/symmetrize;
+//! * [`gen`] — synthetic generators for every dataset family of the
+//!   paper's Table I (R-MAT/Kron, uniform random, k-mer chains, web crawl,
+//!   Mycielskian, stencil lattice, geometric, dense similarity, bipartite);
+//! * [`io`] — Matrix Market and binary CSR cache formats;
+//! * [`weights`] — the paper's uniform 3-decimal weight scheme;
+//! * [`stats`] — Table-I-style property summaries;
+//! * [`rng`] — deterministic Xoshiro256++ PRNG.
+
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod rng;
+pub mod stats;
+pub mod weights;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, VertexId, Weight};
+pub use rng::Xoshiro256;

@@ -1,0 +1,175 @@
+//! Graph statistics: the properties reported in the paper's Table I
+//! (|V|, |E|, d_max, d_avg) plus degree distribution and connectivity
+//! summaries used when validating that synthetic stand-ins match their
+//! target families.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// |V|
+    pub vertices: usize,
+    /// |E| (undirected)
+    pub edges: usize,
+    /// Maximum degree.
+    pub d_max: usize,
+    /// Average degree `2m/n`.
+    pub d_avg: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+    /// Number of connected components (isolated vertices count as
+    /// singleton components).
+    pub components: usize,
+}
+
+/// Compute [`GraphStats`] for `g`.
+pub fn stats(g: &CsrGraph) -> GraphStats {
+    let n = g.num_vertices();
+    let mut d_max = 0;
+    let mut isolated = 0;
+    for v in 0..n as VertexId {
+        let d = g.degree(v);
+        d_max = d_max.max(d);
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    GraphStats {
+        vertices: n,
+        edges: g.num_edges(),
+        d_max,
+        d_avg: g.avg_degree(),
+        isolated,
+        components: count_components(g),
+    }
+}
+
+/// Count connected components with an iterative BFS.
+pub fn count_components(g: &CsrGraph) -> usize {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut queue: Vec<VertexId> = Vec::new();
+    let mut comps = 0;
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        comps += 1;
+        seen[s] = true;
+        queue.push(s as VertexId);
+        while let Some(v) = queue.pop() {
+            for &u in g.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    queue.push(u);
+                }
+            }
+        }
+    }
+    comps
+}
+
+/// Histogram of degrees in log2-spaced buckets: bucket `i` counts vertices
+/// with degree in `[2^i, 2^(i+1))`; bucket 0 also holds degree 0 and 1.
+pub fn degree_histogram_log2(g: &CsrGraph) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut hist = vec![0usize; 33];
+    for v in 0..n as VertexId {
+        let d = g.degree(v);
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - (d.leading_zeros())) as usize - 1 };
+        hist[bucket.min(32)] += 1;
+    }
+    while hist.len() > 1 && *hist.last().unwrap() == 0 {
+        hist.pop();
+    }
+    hist
+}
+
+/// Coefficient of variation of the degree distribution (σ/μ) — a quick
+/// skewness proxy separating power-law (high CV) from near-regular (low
+/// CV) families.
+pub fn degree_cv(g: &CsrGraph) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = g.avg_degree();
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = (0..n as VertexId)
+        .map(|v| {
+            let d = g.degree(v) as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_of_path() {
+        // 0-1-2-3 plus isolated vertex 4.
+        let g = GraphBuilder::new(5)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(2, 3, 1.0)
+            .build();
+        let s = stats(&g);
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.d_max, 2);
+        assert_eq!(s.isolated, 1);
+        assert_eq!(s.components, 2);
+        assert!((s.d_avg - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_of_disjoint_triangles() {
+        let mut b = GraphBuilder::new(9);
+        for t in 0..3u32 {
+            let base = t * 3;
+            b.push_edge(base, base + 1, 1.0);
+            b.push_edge(base + 1, base + 2, 1.0);
+            b.push_edge(base, base + 2, 1.0);
+        }
+        assert_eq!(count_components(&b.build()), 3);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // Star: center degree 8, leaves degree 1.
+        let mut b = GraphBuilder::new(9);
+        for v in 1..9u32 {
+            b.push_edge(0, v, 1.0);
+        }
+        let h = degree_histogram_log2(&b.build());
+        assert_eq!(h[0], 8); // eight degree-1 leaves
+        assert_eq!(h[3], 1); // center, degree 8 in [8,16)
+    }
+
+    #[test]
+    fn cv_zero_for_regular() {
+        // Cycle: all degrees 2.
+        let mut b = GraphBuilder::new(6);
+        for v in 0..6u32 {
+            b.push_edge(v, (v + 1) % 6, 1.0);
+        }
+        assert!(degree_cv(&b.build()) < 1e-12);
+    }
+
+    #[test]
+    fn cv_high_for_star() {
+        let mut b = GraphBuilder::new(101);
+        for v in 1..101u32 {
+            b.push_edge(0, v, 1.0);
+        }
+        assert!(degree_cv(&b.build()) > 2.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Edge-weight assignment.
+//!
+//! The paper (§IV, Datasets): *"In cases where natural edge weights were
+//! absent from the datasets (weights not present or assigned 1), we sample
+//! weights from a uniform distribution range of three decimal points from
+//! [0, 1]."* We reproduce that scheme exactly — uniform on
+//! `{0.001, 0.002, …, 1.000}` (the weight function must be strictly
+//! positive, so 0.000 is excluded).
+
+use crate::csr::{CsrGraph, VertexId, Weight};
+use crate::rng::{splitmix64, Xoshiro256};
+
+/// Number of distinct weight levels (three decimal points).
+pub const WEIGHT_LEVELS: u64 = 1000;
+
+/// Sample one weight from the paper's distribution.
+#[inline]
+pub fn sample_weight(rng: &mut Xoshiro256) -> Weight {
+    (rng.below(WEIGHT_LEVELS) + 1) as f64 / WEIGHT_LEVELS as f64
+}
+
+/// Deterministic per-edge weight derived from the endpoints and a seed.
+///
+/// Both orientations of an undirected edge hash identically, which lets a
+/// symmetric CSR be reweighted in place without a rebuild.
+#[inline]
+pub fn edge_hash_weight(u: VertexId, v: VertexId, seed: u64) -> Weight {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    let mut s = seed ^ ((a as u64) << 32 | b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let h = splitmix64(&mut s);
+    ((h % WEIGHT_LEVELS) + 1) as f64 / WEIGHT_LEVELS as f64
+}
+
+/// Replace every weight of `g` with a hash-derived uniform 3-decimal weight.
+///
+/// Used for inputs (e.g. Matrix Market pattern files) that carry no natural
+/// weights, mirroring the paper's preprocessing.
+pub fn reweight_uniform(g: &CsrGraph, seed: u64) -> CsrGraph {
+    let n = g.num_vertices();
+    let offsets = g.offsets().to_vec();
+    let adj = g.adjacency().to_vec();
+    let mut weights = Vec::with_capacity(adj.len());
+    for u in 0..n as VertexId {
+        for &v in g.neighbors(u) {
+            weights.push(edge_hash_weight(u, v, seed));
+        }
+    }
+    CsrGraph::from_raw(offsets, adj, weights)
+}
+
+/// Perturb weights so they become pairwise distinct while preserving the
+/// original order: `w' = w + ε·rank_hash`. Useful for experiments that need
+/// a unique-weights regime (where all locally-dominant algorithms coincide
+/// with global greedy).
+pub fn make_weights_distinct(g: &CsrGraph, seed: u64) -> CsrGraph {
+    let n = g.num_vertices();
+    let offsets = g.offsets().to_vec();
+    let adj = g.adjacency().to_vec();
+    let mut weights = Vec::with_capacity(adj.len());
+    // Tie-break perturbation smaller than the smallest weight gap (1e-3 for
+    // the paper's scheme) divided by the number of edges.
+    let eps = 1e-4 / (g.num_directed_edges().max(1) as f64);
+    for u in 0..n as VertexId {
+        for (v, w) in g.edges_of(u) {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            let mut s = seed ^ ((a as u64) << 32 | b as u64);
+            let jitter = (splitmix64(&mut s) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            weights.push(w + eps * jitter);
+        }
+    }
+    CsrGraph::from_raw(offsets, adj, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn sample_weight_in_range_and_quantized() {
+        let mut r = Xoshiro256::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let w = sample_weight(&mut r);
+            assert!(w > 0.0 && w <= 1.0);
+            let scaled = w * 1000.0;
+            assert!((scaled - scaled.round()).abs() < 1e-9, "not 3-decimal: {w}");
+        }
+    }
+
+    #[test]
+    fn edge_hash_weight_symmetric() {
+        for (u, v) in [(0, 1), (5, 99), (1000, 3)] {
+            assert_eq!(edge_hash_weight(u, v, 7), edge_hash_weight(v, u, 7));
+        }
+    }
+
+    #[test]
+    fn edge_hash_weight_seed_sensitive() {
+        assert_ne!(edge_hash_weight(0, 1, 1), edge_hash_weight(0, 1, 2));
+    }
+
+    #[test]
+    fn reweight_preserves_structure() {
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1, 9.0)
+            .add_edge(1, 2, 9.0)
+            .add_edge(2, 3, 9.0)
+            .build();
+        let rw = reweight_uniform(&g, 42);
+        assert_eq!(rw.validate(), Ok(()));
+        assert_eq!(rw.num_edges(), 3);
+        assert_eq!(rw.neighbors(1), g.neighbors(1));
+        for (_, _, w) in rw.iter_edges() {
+            assert!(w > 0.0 && w <= 1.0);
+        }
+    }
+
+    #[test]
+    fn make_distinct_preserves_order_and_distinctness() {
+        let g = GraphBuilder::new(6)
+            .add_edge(0, 1, 0.5)
+            .add_edge(1, 2, 0.5)
+            .add_edge(2, 3, 0.5)
+            .add_edge(3, 4, 0.9)
+            .add_edge(4, 5, 0.1)
+            .build();
+        let d = make_weights_distinct(&g, 3);
+        assert_eq!(d.validate(), Ok(()));
+        let mut ws: Vec<f64> = d.iter_edges().map(|(_, _, w)| w).collect();
+        let len = ws.len();
+        ws.sort_by(f64::total_cmp);
+        ws.dedup();
+        assert_eq!(ws.len(), len, "weights not distinct");
+        // Order preserved: 0.9-edge still heaviest, 0.1-edge still lightest.
+        assert!(d.edge_weight(3, 4).unwrap() > d.edge_weight(0, 1).unwrap());
+        assert!(d.edge_weight(4, 5).unwrap() < d.edge_weight(2, 3).unwrap());
+    }
+}

@@ -1,0 +1,210 @@
+//! Batch formation within a device partition (paper §III-B).
+//!
+//! Batches are contiguous vertex sub-ranges of a device's partition,
+//! formed by the same edge-based scheme as the device partition itself —
+//! binary search on the CSR prefix sums — so every batch holds a similar
+//! number of edges. The driver processes batches through two alternating
+//! stream buffers; the paper minimizes #batches to bound transfer
+//! overheads, and [`min_batches_to_fit`] computes that minimum under the
+//! device-memory model.
+
+use crate::memory;
+use crate::partition::VertexRange;
+use ldgm_graph::csr::{CsrGraph, VertexId};
+
+/// Split the partition `part` of `g` into `n_batches` contiguous,
+/// edge-balanced batches. Trailing batches may be empty when the partition
+/// has fewer vertices than batches.
+pub fn make_batches(g: &CsrGraph, part: &VertexRange, n_batches: usize) -> Vec<VertexRange> {
+    assert!(n_batches >= 1, "need at least one batch");
+    let offsets = g.offsets();
+    let total = part.edge_end - part.edge_start;
+    let mut batches = Vec::with_capacity(n_batches);
+    let mut start = part.start;
+    for b in 0..n_batches {
+        let target = part.edge_start + total * (b as u64 + 1) / n_batches as u64;
+        let end = if b + 1 == n_batches {
+            part.end
+        } else {
+            split_in_range(offsets, part, target).clamp(start, part.end)
+        };
+        batches.push(VertexRange {
+            start,
+            end,
+            edge_start: offsets[start as usize],
+            edge_end: offsets[end as usize],
+        });
+        start = end;
+    }
+    batches
+}
+
+/// Smallest batch count (≥ `min_batches`) whose double-buffered footprint
+/// plus global state fits into `mem_bytes`; `None` if even one-vertex
+/// batches cannot fit (global arrays alone exceed memory, or a single
+/// vertex's adjacency overflows a buffer).
+pub fn min_batches_to_fit(
+    g: &CsrGraph,
+    part: &VertexRange,
+    n_global_vertices: usize,
+    mem_bytes: u64,
+    min_batches: usize,
+) -> Option<usize> {
+    let nv = part.num_vertices();
+    if nv == 0 {
+        return Some(min_batches.max(1));
+    }
+    // Quick infeasibility checks.
+    if memory::global_state_bytes(n_global_vertices) > mem_bytes {
+        return None;
+    }
+    let max_vertex_bytes = (part.start..part.end)
+        .map(|v| {
+            let single = VertexRange {
+                start: v,
+                end: v + 1,
+                edge_start: g.offsets()[v as usize],
+                edge_end: g.offsets()[v as usize + 1],
+            };
+            memory::batch_buffer_bytes(&single)
+        })
+        .max()
+        .unwrap();
+    if 2 * max_vertex_bytes + memory::global_state_bytes(n_global_vertices) > mem_bytes {
+        return None;
+    }
+    // The footprint is (near-)monotone non-increasing in batch count, so
+    // scan upward geometrically. Note this is conservative: contiguous
+    // edge-balanced splitting can, under extreme skew plus zero-degree
+    // vertices, co-locate two medium-degree vertices even at k = nv, so a
+    // feasible instance may still be reported infeasible — LD-GPU then
+    // fails loudly (OutOfMemory) rather than silently overcommitting.
+    let mut k = min_batches.max(1);
+    loop {
+        let batches = make_batches(g, part, k);
+        if memory::fits(&batches, n_global_vertices, mem_bytes) {
+            return Some(k);
+        }
+        if k >= nv {
+            // One vertex per batch and still failing means a single hub
+            // vertex overflows — caught above, but guard regardless.
+            return None;
+        }
+        k = (k * 2).min(nv);
+    }
+}
+
+/// As [`split_in_range`], restricted to `[part.start, part.end]`.
+fn split_in_range(offsets: &[u64], part: &VertexRange, target: u64) -> VertexId {
+    let lo = part.start as usize;
+    let hi = part.end as usize;
+    let window = &offsets[lo..=hi];
+    let idx = window.partition_point(|&o| o < target).min(hi - lo);
+    let abs = lo + idx;
+    if abs == lo {
+        return part.start;
+    }
+    if target - offsets[abs - 1] <= offsets[abs] - target {
+        (abs - 1) as VertexId
+    } else {
+        abs as VertexId
+    }
+}
+
+/// Validate that `batches` tile `part` contiguously with edge bounds
+/// matching the CSR offsets.
+pub fn validate_batches(g: &CsrGraph, part: &VertexRange, batches: &[VertexRange]) -> Result<(), String> {
+    let mut expect = part.start;
+    for (i, b) in batches.iter().enumerate() {
+        if b.start != expect {
+            return Err(format!("batch {i} starts at {} expected {expect}", b.start));
+        }
+        if b.edge_start != g.offsets()[b.start as usize] || b.edge_end != g.offsets()[b.end as usize] {
+            return Err(format!("batch {i} edge bounds inconsistent"));
+        }
+        expect = b.end;
+    }
+    if expect != part.end {
+        return Err(format!("batches end at {expect}, partition ends at {}", part.end));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+    use ldgm_graph::gen::{urand, web};
+
+    #[test]
+    fn batches_tile_partition() {
+        let g = urand(2000, 16_000, 1);
+        let p = Partition::edge_balanced(&g, 3);
+        for part in &p.parts {
+            for nb in [1, 2, 3, 5, 10] {
+                let batches = make_batches(&g, part, nb);
+                assert_eq!(batches.len(), nb);
+                assert_eq!(validate_batches(&g, part, &batches), Ok(()));
+            }
+        }
+    }
+
+    #[test]
+    fn batches_edge_balanced() {
+        let g = urand(4000, 40_000, 2);
+        let p = Partition::edge_balanced(&g, 2);
+        let batches = make_batches(&g, &p.parts[0], 5);
+        let ideal = p.parts[0].num_edges() as f64 / 5.0;
+        for b in &batches {
+            assert!(
+                (b.num_edges() as f64) < 1.3 * ideal + g.max_degree() as f64,
+                "batch has {} edges, ideal {ideal}",
+                b.num_edges()
+            );
+        }
+    }
+
+    #[test]
+    fn min_batches_single_when_memory_large() {
+        let g = urand(1000, 8000, 3);
+        let p = Partition::edge_balanced(&g, 2);
+        let k = min_batches_to_fit(&g, &p.parts[0], 1000, u64::MAX, 1);
+        assert_eq!(k, Some(1));
+    }
+
+    #[test]
+    fn min_batches_grows_when_memory_tight() {
+        let g = web(2000, 8, 0.5, 4);
+        let p = Partition::edge_balanced(&g, 1);
+        let whole = memory::device_footprint_bytes(&make_batches(&g, &p.parts[0], 1), 2000);
+        // Allow only ~40% of the single-batch footprint: multiple batches
+        // become necessary.
+        let k = min_batches_to_fit(&g, &p.parts[0], 2000, whole * 2 / 5, 1).unwrap();
+        assert!(k > 1, "k = {k}");
+        let batches = make_batches(&g, &p.parts[0], k);
+        assert!(memory::fits(&batches, 2000, whole * 2 / 5));
+    }
+
+    #[test]
+    fn min_batches_none_when_globals_dont_fit() {
+        let g = urand(1000, 4000, 5);
+        let p = Partition::edge_balanced(&g, 1);
+        assert_eq!(min_batches_to_fit(&g, &p.parts[0], 1000, 100, 1), None);
+    }
+
+    #[test]
+    fn respects_min_batches_floor() {
+        let g = urand(1000, 8000, 6);
+        let p = Partition::edge_balanced(&g, 1);
+        let k = min_batches_to_fit(&g, &p.parts[0], 1000, u64::MAX, 4);
+        assert_eq!(k, Some(4));
+    }
+
+    #[test]
+    fn empty_partition_batches() {
+        let g = ldgm_graph::CsrGraph::empty(4);
+        let p = Partition::edge_balanced(&g, 2);
+        let batches = make_batches(&g, &p.parts[1], 3);
+        assert_eq!(validate_batches(&g, &p.parts[1], &batches), Ok(()));
+    }
+}

@@ -1,0 +1,14 @@
+//! # ldgm-part — graph distribution for multi-device matching
+//!
+//! Implements the paper's §III-A/B data distribution: contiguous,
+//! edge-balanced vertex [`partition::Partition`]s across devices, and the
+//! [`batch`] scheme that sub-divides a partition into working sets sized
+//! to the device-memory model in [`memory`].
+
+pub mod batch;
+pub mod memory;
+pub mod partition;
+
+pub use batch::{make_batches, min_batches_to_fit, validate_batches};
+pub use memory::{batch_buffer_bytes, device_footprint_bytes, fits, global_state_bytes};
+pub use partition::{Partition, VertexRange};

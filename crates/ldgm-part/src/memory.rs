@@ -1,0 +1,72 @@
+//! Device-memory accounting (paper §III-B/C).
+//!
+//! A device processing partition `G_i` in batches must hold:
+//! * two batch buffers (double buffering) each sized for the largest batch
+//!   — a batch buffer stores the batch's offset slice plus its adjacency
+//!   and weight arrays, all 64-bit as in the paper;
+//! * two *global* arrays of length |V| (`pointers` and `mate`) — the
+//!   paper's accepted trade-off for imposing vertex-based independence
+//!   (§III-C: "this requires two arrays of size |V| to be allocated on
+//!   each device").
+
+use crate::partition::VertexRange;
+
+/// Bytes of one batch buffer holding the vertex range's CSR slice:
+/// `(|V_b|+1)` 64-bit offsets plus `|E_b|` (adjacency, weight) pairs.
+pub fn batch_buffer_bytes(r: &VertexRange) -> u64 {
+    (r.num_vertices() as u64 + 1) * 8 + r.num_edges() * (8 + 8)
+}
+
+/// Bytes of the per-device global matching state: `pointers` and `mate`,
+/// each one 64-bit word per vertex of the *whole* graph.
+pub fn global_state_bytes(n_global_vertices: usize) -> u64 {
+    2 * n_global_vertices as u64 * 8
+}
+
+/// Total device footprint for a batch plan: double-buffered largest batch
+/// plus global state.
+pub fn device_footprint_bytes(batches: &[VertexRange], n_global_vertices: usize) -> u64 {
+    let max_batch = batches.iter().map(batch_buffer_bytes).max().unwrap_or(0);
+    2 * max_batch + global_state_bytes(n_global_vertices)
+}
+
+/// Whether a batch plan fits in `mem_bytes` of device memory.
+pub fn fits(batches: &[VertexRange], n_global_vertices: usize, mem_bytes: u64) -> bool {
+    device_footprint_bytes(batches, n_global_vertices) <= mem_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(nv: usize, ne: u64) -> VertexRange {
+        VertexRange { start: 0, end: nv as u32, edge_start: 0, edge_end: ne }
+    }
+
+    #[test]
+    fn batch_bytes_formula() {
+        let r = range(10, 100);
+        assert_eq!(batch_buffer_bytes(&r), 11 * 8 + 100 * 16);
+    }
+
+    #[test]
+    fn global_state_is_two_words_per_vertex() {
+        assert_eq!(global_state_bytes(1000), 16_000);
+    }
+
+    #[test]
+    fn footprint_uses_largest_batch_twice() {
+        let small = range(10, 50);
+        let large = range(10, 200);
+        let fp = device_footprint_bytes(&[small, large], 100);
+        assert_eq!(fp, 2 * batch_buffer_bytes(&large) + global_state_bytes(100));
+    }
+
+    #[test]
+    fn fits_boundary() {
+        let b = [range(10, 100)];
+        let need = device_footprint_bytes(&b, 50);
+        assert!(fits(&b, 50, need));
+        assert!(!fits(&b, 50, need - 1));
+    }
+}

@@ -1,0 +1,48 @@
+//! # ldgm — locally dominant weighted graph matching on simulated multi-GPU platforms
+//!
+//! This is the umbrella crate of the `ldgm` workspace, a from-scratch Rust
+//! reproduction of *"Efficient Weighted Graph Matching on GPUs"* (SC 2024).
+//! It re-exports the four library crates so applications can depend on a
+//! single package:
+//!
+//! * [`graph`] — weighted graph substrate: CSR storage, synthetic
+//!   generators for the paper's fourteen dataset families, Matrix Market
+//!   I/O, and deterministic weight sampling.
+//! * [`part`] — edge-balanced contiguous vertex partitioning and batch
+//!   formation (the paper's §III-A/B).
+//! * [`gpusim`] — a deterministic multi-GPU platform simulator standing in
+//!   for CUDA/NCCL/NVLink hardware: device specs (A100/V100), dual-buffer
+//!   streams, ring-allreduce collectives, warp-centric kernel cost models,
+//!   and per-iteration profiling.
+//! * [`core`] — the matching algorithms: the paper's **LD-GPU**
+//!   (multi-device, batched, pointer-based locally dominant matching) plus
+//!   every baseline it is evaluated against (Suitor sequential/parallel/
+//!   simulated-GPU, LocalMax, global greedy, red-blue auction, an exact
+//!   Blossom solver, and a cuGraph-style multi-GPU baseline).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ldgm::graph::gen::GraphGen;
+//! use ldgm::gpusim::Platform;
+//! use ldgm::core::ld_gpu::{LdGpu, LdGpuConfig};
+//!
+//! // A small power-law graph with uniform [0,1] weights.
+//! let g = GraphGen::rmat().vertices(1 << 10).avg_degree(8).seed(42).build();
+//!
+//! // Run LD-GPU on two simulated A100 devices of a DGX-A100 node.
+//! let cfg = LdGpuConfig::new(Platform::dgx_a100()).devices(2);
+//! let out = LdGpu::new(cfg).run(&g);
+//!
+//! assert!(out.matching.verify(&g).is_ok());
+//! println!("matched weight = {:.3} in {} iterations, simulated {:.3} ms",
+//!          out.matching.weight(&g), out.iterations, out.sim_time * 1e3);
+//! ```
+//!
+//! See `examples/` for complete applications and `crates/ldgm-bench` for
+//! the harness regenerating every table and figure of the paper.
+
+pub use ldgm_core as core;
+pub use ldgm_gpusim as gpusim;
+pub use ldgm_graph as graph;
+pub use ldgm_part as part;

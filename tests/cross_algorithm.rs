@@ -1,0 +1,105 @@
+//! Cross-algorithm invariants spanning every matcher in the workspace:
+//! structural validity, maximality, the ½-approximation dominance
+//! certificate, and the family-equality theorems the implementations are
+//! designed around.
+
+use ldgm::core::{
+    auction::auction,
+    greedy::greedy,
+    ld_gpu::{LdGpu, LdGpuConfig},
+    ld_seq::ld_seq,
+    local_max::local_max,
+    suitor::suitor,
+    suitor_par::suitor_par,
+    verify::half_approx_certificate,
+    Matching,
+};
+use ldgm::gpusim::Platform;
+use ldgm::graph::gen::GraphGen;
+use ldgm::graph::weights::make_weights_distinct;
+use ldgm::graph::CsrGraph;
+
+fn families(seed: u64) -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("rmat", GraphGen::rmat().vertices(700).avg_degree(10).seed(seed).build()),
+        ("urand", GraphGen::urand().vertices(700).avg_degree(8).seed(seed).build()),
+        ("kmer", GraphGen::kmer().vertices(900).avg_degree(3).seed(seed).build()),
+        ("web", GraphGen::web().vertices(700).avg_degree(10).seed(seed).build()),
+        ("lattice", GraphGen::lattice(2).vertices(625).seed(seed).build()),
+        ("geometric", GraphGen::geometric(0.06).vertices(600).seed(seed).build()),
+        ("similarity", GraphGen::similarity(5).vertices(400).seed(seed).build()),
+    ]
+}
+
+fn all_matchers(g: &CsrGraph, seed: u64) -> Vec<(&'static str, Matching)> {
+    let ld_gpu = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100()).devices(3)).run(g);
+    vec![
+        ("ld_seq", ld_seq(g)),
+        ("local_max", local_max(g)),
+        ("greedy", greedy(g)),
+        ("suitor", suitor(g)),
+        ("suitor_par", suitor_par(g)),
+        ("auction", auction(g, seed)),
+        ("ld_gpu", ld_gpu.matching),
+    ]
+}
+
+#[test]
+fn every_algorithm_valid_maximal_certified_on_every_family() {
+    for seed in [1u64, 2] {
+        for (fam, g) in families(seed) {
+            for (alg, m) in all_matchers(&g, seed) {
+                assert_eq!(m.verify(&g), Ok(()), "{alg} on {fam} seed {seed}");
+                assert!(m.is_maximal(&g), "{alg} on {fam} seed {seed} not maximal");
+                if alg != "auction" {
+                    // The locally dominant family carries the static
+                    // certificate; the randomized auction does not.
+                    assert!(
+                        half_approx_certificate(&g, &m),
+                        "{alg} on {fam} seed {seed} fails dominance certificate"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pointer_family_is_bit_identical() {
+    for (fam, g) in families(7) {
+        let a = ld_seq(&g);
+        let b = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100()).devices(4)).run(&g).matching;
+        assert_eq!(a.mate_array(), b.mate_array(), "LD-SEQ vs LD-GPU differ on {fam}");
+    }
+}
+
+#[test]
+fn all_locally_dominant_algorithms_equal_greedy_under_distinct_weights() {
+    for (fam, g) in families(13) {
+        let g = make_weights_distinct(&g, 99);
+        let reference = greedy(&g);
+        for (alg, m) in [
+            ("ld_seq", ld_seq(&g)),
+            ("local_max", local_max(&g)),
+            ("suitor", suitor(&g)),
+            ("suitor_par", suitor_par(&g)),
+        ] {
+            assert_eq!(
+                m.mate_array(),
+                reference.mate_array(),
+                "{alg} != greedy on {fam} with distinct weights"
+            );
+        }
+    }
+}
+
+#[test]
+fn weights_equal_across_ld_family_even_with_ties() {
+    // The paper's uniform 3-decimal weights produce heavy ties; the shared
+    // tie-break keeps the whole family on one matching.
+    for (fam, g) in families(21) {
+        let w0 = ld_seq(&g).weight(&g);
+        assert_eq!(local_max(&g).weight(&g), w0, "{fam}");
+        assert_eq!(suitor(&g).weight(&g), w0, "{fam}");
+    }
+}

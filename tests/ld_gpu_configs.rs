@@ -1,0 +1,130 @@
+//! LD-GPU configuration-space invariants: the computed matching must be
+//! invariant under every execution configuration (devices, batches,
+//! platform, memory pressure), while simulated time responds to the
+//! configuration the way the paper's evaluation describes.
+
+use ldgm::core::ld_gpu::{LdGpu, LdGpuConfig};
+use ldgm::core::ld_seq::ld_seq;
+use ldgm::gpusim::Platform;
+use ldgm::graph::gen::GraphGen;
+use ldgm::graph::CsrGraph;
+
+fn test_graph(seed: u64) -> CsrGraph {
+    GraphGen::web().vertices(3000).avg_degree(12).seed(seed).build()
+}
+
+#[test]
+fn matching_invariant_across_device_and_batch_grid() {
+    let g = test_graph(1);
+    let reference = ld_seq(&g);
+    for nd in [1usize, 2, 3, 5, 8] {
+        for nb in [1usize, 2, 4, 7] {
+            let out = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100()).devices(nd).batches(nb))
+                .run(&g);
+            assert_eq!(
+                out.matching.mate_array(),
+                reference.mate_array(),
+                "devices={nd} batches={nb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matching_invariant_across_platforms() {
+    let g = test_graph(2);
+    let reference = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100()).devices(4)).run(&g);
+    for platform in [Platform::dgx2(), Platform::pcie_a100(), Platform::toy(4, u64::MAX)] {
+        let out = LdGpu::new(LdGpuConfig::new(platform.clone()).devices(4)).run(&g);
+        assert_eq!(
+            out.matching.mate_array(),
+            reference.matching.mate_array(),
+            "platform {}",
+            platform.name
+        );
+        assert_eq!(out.iterations, reference.iterations, "platform {}", platform.name);
+    }
+}
+
+#[test]
+fn memory_pressure_changes_batches_not_result() {
+    let g = test_graph(3);
+    let reference = ld_seq(&g);
+    let full = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100())).run(&g);
+    assert_eq!(full.batches, 1);
+    // Squeeze memory until several batch counts emerge.
+    let footprint = 2 * g.csr_bytes() + 16 * g.num_vertices() as u64;
+    for frac in [2u64, 4, 8] {
+        let platform = Platform::dgx_a100().with_device_memory(footprint / frac);
+        let out = LdGpu::new(LdGpuConfig::new(platform)).run(&g);
+        assert!(out.batches > 1, "frac {frac} should force batching");
+        assert_eq!(out.matching.mate_array(), reference.mate_array(), "frac {frac}");
+    }
+}
+
+#[test]
+fn sim_time_positive_and_phases_account_for_it() {
+    let g = test_graph(4);
+    let out = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100()).devices(4).batches(3)).run(&g);
+    assert!(out.sim_time > 0.0);
+    let p = out.profile.phases;
+    assert!(p.pointing > 0.0 && p.matching > 0.0 && p.allreduce > 0.0);
+    assert!(p.transfer > 0.0, "3 batches must re-stream buffers");
+    assert!(p.sync > 0.0, "3 batches require explicit host syncs");
+}
+
+#[test]
+fn nvlink_beats_pcie_at_same_configuration() {
+    let g = GraphGen::rmat().vertices(20_000).avg_degree(16).seed(5).build();
+    let nv = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100()).devices(8)).run(&g);
+    let pc = LdGpu::new(LdGpuConfig::new(Platform::pcie_a100()).devices(8)).run(&g);
+    assert_eq!(nv.matching.mate_array(), pc.matching.mate_array());
+    assert!(
+        pc.sim_time > nv.sim_time,
+        "PCIe collectives must cost more: {} vs {}",
+        pc.sim_time,
+        nv.sim_time
+    );
+}
+
+#[test]
+fn a100_beats_v100_at_same_configuration() {
+    let g = GraphGen::rmat().vertices(20_000).avg_degree(16).seed(6).build();
+    let a = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100()).devices(4)).run(&g);
+    let v = LdGpu::new(LdGpuConfig::new(Platform::dgx2()).devices(4)).run(&g);
+    assert_eq!(a.matching.mate_array(), v.matching.mate_array());
+    assert!(v.sim_time > a.sim_time);
+}
+
+#[test]
+fn per_iteration_records_are_consistent() {
+    let g = test_graph(7);
+    let out = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100()).devices(2)).run(&g);
+    assert_eq!(out.profile.iterations.len(), out.iterations);
+    let total_matched: u64 = out.profile.iterations.iter().map(|r| r.new_matches).sum();
+    assert_eq!(total_matched as usize, out.matching.cardinality());
+    // First iteration touches every live directed edge.
+    let first = &out.profile.iterations[0];
+    assert!(first.pct_edges > 99.0, "first iteration scans ~100%, got {}", first.pct_edges);
+    // Edge work never grows.
+    for w in out.profile.iterations.windows(2) {
+        assert!(w[1].edges_scanned <= w[0].edges_scanned);
+    }
+    // Occupancies are probabilities.
+    for r in &out.profile.iterations {
+        assert!((0.0..=1.0).contains(&r.occupancy));
+    }
+}
+
+#[test]
+fn retire_flag_does_not_change_matching() {
+    let g = test_graph(8);
+    let on = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100()).devices(2)).run(&g);
+    let cfg = LdGpuConfig { retire_exhausted: false, ..LdGpuConfig::new(Platform::dgx_a100()).devices(2) };
+    let off = LdGpu::new(cfg).run(&g);
+    assert_eq!(on.matching.mate_array(), off.matching.mate_array());
+    // Retirement only prunes rescans of hopeless vertices.
+    let on_scans: u64 = on.profile.iterations.iter().map(|r| r.edges_scanned).sum();
+    let off_scans: u64 = off.profile.iterations.iter().map(|r| r.edges_scanned).sum();
+    assert!(on_scans <= off_scans);
+}
