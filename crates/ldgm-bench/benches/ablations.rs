@@ -50,9 +50,7 @@ fn bench_comm_models(c: &mut Criterion) {
             b.iter(|| {
                 black_box(
                     LdGpu::new(
-                        LdGpuConfig::new(platform.clone())
-                            .devices(4)
-                            .without_iteration_profile(),
+                        LdGpuConfig::new(platform.clone()).devices(4).without_iteration_profile(),
                     )
                     .run(&g),
                 )

@@ -15,9 +15,7 @@ fn bench_merge(c: &mut Criterion) {
                 // Four devices, disjoint quarters.
                 let mut arrays: Vec<Vec<u64>> = (0..4)
                     .map(|d| {
-                        (0..n)
-                            .map(|i| if i % 4 == d { i as u64 } else { NONE_SENTINEL })
-                            .collect()
+                        (0..n).map(|i| if i % 4 == d { i as u64 } else { NONE_SENTINEL }).collect()
                     })
                     .collect();
                 let mut refs: Vec<&mut [u64]> =

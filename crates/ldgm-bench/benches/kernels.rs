@@ -43,9 +43,8 @@ fn bench_set_mates(c: &mut Criterion) {
     group.sample_size(20);
     for n in [10_000usize, 100_000] {
         // Pointers forming mutual pairs (i <-> i+1).
-        let pointers: Vec<u64> = (0..n as u64)
-            .map(|u| if u % 2 == 0 { u + 1 } else { u - 1 })
-            .collect();
+        let pointers: Vec<u64> =
+            (0..n as u64).map(|u| if u % 2 == 0 { u + 1 } else { u - 1 }).collect();
         group.bench_function(BenchmarkId::from_parameter(n), |b| {
             b.iter(|| {
                 let mut mate = vec![NONE_SENTINEL; n];

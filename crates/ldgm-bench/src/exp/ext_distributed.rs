@@ -26,7 +26,8 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
          ~25 GB/s IB link, so pointer/mate synchronization becomes the wall\n\
          the paper's SV anticipates for distributed matching.\n"
     )?;
-    let mut t = Table::new(vec!["Graph", "nodes", "GPUs", "time", "allreduce %", "speedup vs 1 node"]);
+    let mut t =
+        Table::new(vec!["Graph", "nodes", "GPUs", "time", "allreduce %", "speedup vs 1 node"]);
     for name in GRAPHS {
         let g = by_name(name).build();
         let mut base: Option<f64> = None;

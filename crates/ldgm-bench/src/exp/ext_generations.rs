@@ -34,7 +34,9 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         for (platform, ndev) in &platforms {
             let p = scaled_platform(platform.clone());
             let cfg = LdGpuConfig::new(p).devices(*ndev).without_iteration_profile();
-            let Ok(out) = LdGpu::new(cfg).try_run(&g) else { continue };
+            let Ok(out) = LdGpu::new(cfg).try_run(&g) else {
+                continue;
+            };
             if base.is_none() {
                 base = Some(out.sim_time);
             }

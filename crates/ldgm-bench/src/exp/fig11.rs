@@ -14,14 +14,8 @@ use crate::datasets::{by_name, scaled_platform};
 use crate::table::Table;
 
 /// Graphs shown (large stays saturated; small outliers dip).
-pub const GRAPHS: &[&str] = &[
-    "GAP-kron",
-    "com-Friendster",
-    "kmer_U1a",
-    "Queen_4147",
-    "mycielskian18",
-    "mouse_gene",
-];
+pub const GRAPHS: &[&str] =
+    &["GAP-kron", "com-Friendster", "kmer_U1a", "Queen_4147", "mycielskian18", "mouse_gene"];
 
 /// Run the experiment, writing the report to `w`.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {

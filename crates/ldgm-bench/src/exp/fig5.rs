@@ -24,7 +24,9 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         let g = d.build();
         for nd in [1usize, 4, 8] {
             let cfg = LdGpuConfig::new(platform.clone()).devices(nd).without_iteration_profile();
-            let Ok(out) = LdGpu::new(cfg).try_run(&g) else { continue };
+            let Ok(out) = LdGpu::new(cfg).try_run(&g) else {
+                continue;
+            };
             let pct = out.profile.phases.percentages();
             t.row(vec![
                 d.name.to_string(),

@@ -15,16 +15,17 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     writeln!(w, "# Fig. 7: kmer_U1a component timing (% of overall) across batch counts\n")?;
     let platform = scaled_platform(Platform::dgx_a100());
     let g = by_name("kmer_U1a").build();
-    let mut t = Table::new(vec![
-        "batches", "GPUs", "point%", "match%", "allred%", "xfer%", "sync%",
-    ]);
+    let mut t =
+        Table::new(vec!["batches", "GPUs", "point%", "match%", "allred%", "xfer%", "sync%"]);
     for &nb in super::fig6::BATCHES {
         for nd in [1usize, 2, 4, 8] {
             let cfg = LdGpuConfig::new(platform.clone())
                 .devices(nd)
                 .batches(nb)
                 .without_iteration_profile();
-            let Ok(out) = LdGpu::new(cfg).try_run(&g) else { continue };
+            let Ok(out) = LdGpu::new(cfg).try_run(&g) else {
+                continue;
+            };
             let pct = out.profile.phases.percentages();
             t.row(vec![
                 format!("{nb}"),

@@ -15,21 +15,21 @@ use crate::datasets::{by_name, scaled_platform};
 use crate::table::Table;
 
 /// Graphs shown (a SMALL/LARGE selection like the paper's panel).
-pub const GRAPHS: &[&str] = &[
-    "GAP-kron",
-    "com-Friendster",
-    "kmer_U1a",
-    "mycielskian18",
-    "com-Orkut",
-    "mouse_gene",
-];
+pub const GRAPHS: &[&str] =
+    &["GAP-kron", "com-Friendster", "kmer_U1a", "mycielskian18", "com-Orkut", "mouse_gene"];
 
 /// Run the experiment, writing the report to `w`.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {
     writeln!(w, "# Fig. 8: % of edges accessed per pointing iteration (mean/std across warps)\n")?;
     let platform = scaled_platform(Platform::dgx_a100());
     let mut t = Table::new(vec![
-        "Graph", "iters", "it0 %edges", "it1 %edges", "med %edges", "frac<20%", "max warp-std",
+        "Graph",
+        "iters",
+        "it0 %edges",
+        "it1 %edges",
+        "med %edges",
+        "frac<20%",
+        "max warp-std",
     ]);
     for name in GRAPHS {
         let g = by_name(name).build();

@@ -30,8 +30,16 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     )?;
     let platform = scaled_platform(Platform::dgx_a100());
     let mut t = Table::new(vec![
-        "Graph", "|V|", "|E|", "d_max", "d_avg", "SR-OMP", "SR-GPU", "LD-GPU(#GPUs)",
-        "vs SR-OMP", "vs SR-GPU",
+        "Graph",
+        "|V|",
+        "|E|",
+        "d_max",
+        "d_avg",
+        "SR-OMP",
+        "SR-GPU",
+        "LD-GPU(#GPUs)",
+        "vs SR-OMP",
+        "vs SR-GPU",
     ]);
     for d in registry() {
         let g = d.build();

@@ -15,14 +15,8 @@ use crate::runner::geomean;
 use crate::table::Table;
 
 /// The six graphs of the paper's Table III.
-pub const GRAPHS: &[&str] = &[
-    "Queen_4147",
-    "mycielskian18",
-    "com-Orkut",
-    "kmer_U1a",
-    "kmer_V2a",
-    "mouse_gene",
-];
+pub const GRAPHS: &[&str] =
+    &["Queen_4147", "mycielskian18", "com-Orkut", "kmer_U1a", "kmer_V2a", "mouse_gene"];
 
 /// Run the experiment, writing the report to `w`.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {
@@ -33,20 +27,13 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     let mut ratios = Vec::new();
     for name in GRAPHS {
         let g = by_name(name).build();
-        let ta = LdGpu::new(LdGpuConfig::new(a100.clone()).without_iteration_profile())
-            .run(&g)
-            .sim_time;
-        let tv = LdGpu::new(LdGpuConfig::new(v100.clone()).without_iteration_profile())
-            .run(&g)
-            .sim_time;
+        let ta =
+            LdGpu::new(LdGpuConfig::new(a100.clone()).without_iteration_profile()).run(&g).sim_time;
+        let tv =
+            LdGpu::new(LdGpuConfig::new(v100.clone()).without_iteration_profile()).run(&g).sim_time;
         let r = tv / ta;
         ratios.push(r);
-        t.row(vec![
-            name.to_string(),
-            format!("{ta:.5}"),
-            format!("{tv:.5}"),
-            format!("{r:.2}x"),
-        ]);
+        t.row(vec![name.to_string(), format!("{ta:.5}"), format!("{tv:.5}"), format!("{r:.2}x")]);
     }
     t.row(vec![
         "Geo. Mean".to_string(),

@@ -32,12 +32,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         .run(&g)
         .sim_time;
         let cu = cugraph_sim(&g, &platform, 4).expect("cuGraph-sim feasible on SMALL").sim_time;
-        t.row(vec![
-            name.to_string(),
-            fmt_secs(ld),
-            fmt_secs(cu),
-            format!("{:.1}x", cu / ld),
-        ]);
+        t.row(vec![name.to_string(), fmt_secs(ld), fmt_secs(cu), format!("{:.1}x", cu / ld)]);
     }
     writeln!(w, "{t}")
 }

@@ -15,14 +15,8 @@ use crate::runner::{best_wall_of, sweep_ld_gpu, BATCH_SWEEP, DEVICE_SWEEP};
 use crate::table::Table;
 
 /// The six graphs of the paper's Table VI.
-pub const GRAPHS: &[&str] = &[
-    "AGATHA-2015",
-    "MOLIERE_2016",
-    "GAP-urand",
-    "GAP-kron",
-    "com-Friendster",
-    "kmer_U1a",
-];
+pub const GRAPHS: &[&str] =
+    &["AGATHA-2015", "MOLIERE_2016", "GAP-urand", "GAP-kron", "com-Friendster", "kmer_U1a"];
 
 /// Run the experiment, writing the report to `w`.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {

@@ -1,7 +1,8 @@
-//! Timing and sweep helpers shared by the experiment binaries.
+//! Timing and sweep helpers shared by the experiment binaries, plus the
+//! JSON record format experiment results are exported in.
 
 use ldgm_core::ld_gpu::{LdGpu, LdGpuConfig, LdGpuOutput};
-use ldgm_gpusim::Platform;
+use ldgm_gpusim::{Json, Platform};
 use ldgm_graph::csr::CsrGraph;
 use std::time::Instant;
 
@@ -73,6 +74,67 @@ pub fn sweep_ld_gpu(
     best
 }
 
+/// One benchmark measurement, exportable as a JSON record so experiment
+/// sweeps can be archived and diffed across runs (same spirit as the
+/// CLI's `--report-json`, but one compact row per configuration).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Dataset name (Table I stand-in identifier).
+    pub dataset: String,
+    /// Algorithm registry name.
+    pub algorithm: String,
+    /// Platform preset, empty for host algorithms.
+    pub platform: String,
+    /// Devices used.
+    pub devices: usize,
+    /// Batches per device.
+    pub batches: usize,
+    /// Run time in seconds (simulated or wall-clock).
+    pub time: f64,
+    /// Matched edges.
+    pub cardinality: u64,
+    /// Matching weight.
+    pub weight: f64,
+    /// Iterations/rounds.
+    pub iterations: u64,
+}
+
+impl BenchRecord {
+    /// Record the winning configuration of an LD-GPU sweep.
+    pub fn from_sweep(dataset: &str, platform: &str, g: &CsrGraph, best: &SweepBest) -> Self {
+        BenchRecord {
+            dataset: dataset.to_string(),
+            algorithm: "ld-gpu".to_string(),
+            platform: platform.to_string(),
+            devices: best.devices,
+            batches: best.batches,
+            time: best.output.sim_time,
+            cardinality: best.output.matching.cardinality() as u64,
+            weight: best.output.matching.weight(g),
+            iterations: best.output.iterations as u64,
+        }
+    }
+
+    /// Serialize to a flat JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("dataset", self.dataset.clone())
+            .with("algorithm", self.algorithm.clone())
+            .with("platform", self.platform.clone())
+            .with("devices", self.devices)
+            .with("batches", self.batches)
+            .with("time", self.time)
+            .with("cardinality", self.cardinality)
+            .with("weight", self.weight)
+            .with("iterations", self.iterations)
+    }
+}
+
+/// Serialize a result set as a JSON array document.
+pub fn records_to_json(records: &[BenchRecord]) -> Json {
+    Json::Array(records.iter().map(BenchRecord::to_json).collect())
+}
+
 /// The paper's sweep ranges: 1–8 devices, up to 15 batches (we sample the
 /// batch range).
 pub const DEVICE_SWEEP: &[usize] = &[1, 2, 4, 6, 8];
@@ -126,6 +188,20 @@ mod tests {
         let g = urand(400, 2000, 2);
         let p = Platform::dgx_a100().with_device_memory(10); // nothing fits
         assert!(sweep_ld_gpu(&g, &p, &[1], &[1]).is_none());
+    }
+
+    #[test]
+    fn bench_record_round_trips_through_json() {
+        let g = urand(400, 2000, 3);
+        let best = sweep_ld_gpu(&g, &Platform::dgx_a100(), &[1, 2], &[1]).unwrap();
+        let rec = BenchRecord::from_sweep("urand-400", "dgx-a100", &g, &best);
+        let doc = records_to_json(std::slice::from_ref(&rec));
+        let parsed = ldgm_gpusim::json::parse(&doc.to_string_pretty()).unwrap();
+        let row = &parsed.as_array().unwrap()[0];
+        assert_eq!(row.get("dataset").and_then(Json::as_str), Some("urand-400"));
+        assert_eq!(row.get("algorithm").and_then(Json::as_str), Some("ld-gpu"));
+        assert_eq!(row.get("time").and_then(Json::as_f64), Some(best.output.sim_time));
+        assert_eq!(row.get("cardinality").and_then(Json::as_f64), Some(rec.cardinality as f64));
     }
 
     #[test]

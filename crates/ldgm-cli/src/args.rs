@@ -1,5 +1,6 @@
-//! Minimal dependency-free argument parsing: `--key value` / `--flag`
-//! options after a subcommand.
+//! Minimal dependency-free argument parsing: `--key value`, `--key=value`
+//! and `--flag` options after a subcommand, plus extra positionals (used
+//! by `ldgm help <command>`; everything else rejects them).
 
 use std::collections::BTreeMap;
 
@@ -8,10 +9,12 @@ use std::collections::BTreeMap;
 pub struct Args {
     /// First positional token.
     pub command: String,
-    /// `--key value` pairs (keys without the leading dashes).
+    /// `--key value` / `--key=value` pairs (keys without the dashes).
     pub options: BTreeMap<String, String>,
     /// Bare `--flag` tokens.
     pub flags: Vec<String>,
+    /// Positional tokens after the subcommand.
+    pub positionals: Vec<String>,
 }
 
 /// Parsing failure with a user-facing message.
@@ -30,22 +33,32 @@ impl Args {
     /// Parse a token stream (without the program name).
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
         let mut it = tokens.into_iter().peekable();
-        let command = it
-            .next()
-            .ok_or_else(|| ArgError("missing subcommand; try `ldgm help`".into()))?;
+        let command =
+            it.next().ok_or_else(|| ArgError("missing subcommand; try `ldgm help`".into()))?;
         if command.starts_with('-') {
             return Err(ArgError(format!("expected a subcommand, got option '{command}'")));
         }
         let mut args = Args { command, ..Default::default() };
         while let Some(tok) = it.next() {
             let Some(key) = tok.strip_prefix("--") else {
-                return Err(ArgError(format!("unexpected positional argument '{tok}'")));
+                args.positionals.push(tok);
+                continue;
             };
             if key.is_empty() {
                 return Err(ArgError("empty option name '--'".into()));
             }
-            // A value follows unless the next token is another option or
-            // the stream ends.
+            // `--key=value` carries its value inline; otherwise a value
+            // follows unless the next token is another option or the
+            // stream ends.
+            if let Some((k, v)) = key.split_once('=') {
+                if k.is_empty() {
+                    return Err(ArgError(format!("empty option name in '{tok}'")));
+                }
+                if args.options.insert(k.to_string(), v.to_string()).is_some() {
+                    return Err(ArgError(format!("duplicate option '--{k}'")));
+                }
+                continue;
+            }
             match it.peek() {
                 Some(next) if !next.starts_with("--") => {
                     let value = it.next().unwrap();
@@ -73,9 +86,9 @@ impl Args {
     pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("option '--{key}' has invalid value '{v}'"))),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError(format!("option '--{key}' has invalid value '{v}'")))
+            }
         }
     }
 
@@ -84,8 +97,15 @@ impl Args {
         self.flags.iter().any(|f| f == key)
     }
 
-    /// Error if any option key is outside the allowed set (catches typos).
+    /// Error if any option key is outside the allowed set (catches typos)
+    /// or a stray positional was given.
     pub fn expect_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        if let Some(stray) = self.positionals.first() {
+            return Err(ArgError(format!(
+                "unexpected positional argument '{stray}' for '{}'",
+                self.command
+            )));
+        }
         for key in self.options.keys().chain(self.flags.iter()) {
             if !allowed.contains(&key.as_str()) {
                 return Err(ArgError(format!(
@@ -121,14 +141,31 @@ mod tests {
     fn rejects_missing_command_and_positional() {
         assert!(Args::parse(Vec::new()).is_err());
         assert!(Args::parse(toks("--input x")).is_err());
-        assert!(Args::parse(toks("gen stray")).is_err());
+        // Positionals parse (`help <command>` needs them) but every
+        // option-validated command rejects them.
+        let a = Args::parse(toks("gen stray")).unwrap();
+        assert_eq!(a.positionals, vec!["stray"]);
+        assert!(a.expect_known(&["vertices"]).is_err());
     }
 
     #[test]
     fn rejects_duplicates_and_bad_numbers() {
         assert!(Args::parse(toks("gen --seed 1 --seed 2")).is_err());
+        assert!(Args::parse(toks("gen --seed=1 --seed 2")).is_err());
         let a = Args::parse(toks("gen --vertices lots")).unwrap();
         assert!(a.get_num("vertices", 0usize).is_err());
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = Args::parse(toks("match --input=g.mtx --devices=4 --verify")).unwrap();
+        assert_eq!(a.get("input"), Some("g.mtx"));
+        assert_eq!(a.get_num("devices", 1usize).unwrap(), 4);
+        assert!(a.has_flag("verify"));
+        // Values may themselves contain '=' (only the first splits).
+        let a = Args::parse(toks("gen --out=a=b.mtx")).unwrap();
+        assert_eq!(a.get("out"), Some("a=b.mtx"));
+        assert!(Args::parse(toks("gen --=x")).is_err());
     }
 
     #[test]

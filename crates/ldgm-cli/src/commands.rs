@@ -1,18 +1,18 @@
 //! Subcommand implementations. Each returns its report as a `String` so
 //! the logic is unit-testable without capturing stdout.
+//!
+//! Algorithm dispatch goes through [`MatcherRegistry`] — the CLI never
+//! names an algorithm twice: the registry provides the name list for
+//! `--algorithm` validation, the `match`/`profile` implementations, and
+//! the error messages. Likewise `--platform` is validated against
+//! [`Platform::presets`], the single source of preset truth.
 
 use std::fmt::Write as _;
 
 use ldgm_core::augment::augment_short;
-use ldgm_core::blossom::blossom_mwm;
-use ldgm_core::ld_gpu::{LdGpu, LdGpuConfig};
-use ldgm_core::ld_seq::ld_seq;
-use ldgm_core::local_max::local_max;
-use ldgm_core::suitor::suitor;
-use ldgm_core::suitor_par::suitor_par;
 use ldgm_core::verify::half_approx_certificate;
-use ldgm_core::{auction::auction, greedy::greedy, Matching};
-use ldgm_gpusim::Platform;
+use ldgm_core::{MatchResult, MatcherRegistry, MatcherSetup};
+use ldgm_gpusim::{chrome_trace_json, timeline_breakdown, PhaseBreakdown, Platform, RunReport};
 use ldgm_graph::csr::CsrGraph;
 use ldgm_graph::gen::GraphGen;
 use ldgm_graph::io;
@@ -24,36 +24,122 @@ use crate::args::{ArgError, Args};
 pub const HELP: &str = "\
 ldgm - locally dominant weighted graph matching (SC'24 LD-GPU reproduction)
 
-USAGE: ldgm <command> [--option value]...
+USAGE: ldgm <command> [--option value | --option=value]...
 
 COMMANDS:
-  gen       generate a synthetic graph and write it as Matrix Market
-              --family rmat|social|urand|kmer|web|lattice|geometric|similarity
-              --vertices N  --avg-degree D  --seed S  --out FILE
-  match     compute a matching on a Matrix Market graph
-              --input FILE
-              --algorithm ld-gpu|ld-seq|local-max|greedy|suitor|suitor-par|
-                          auction|blossom  (default ld-gpu)
-              --devices N  --batches B  (ld-gpu)
-              --platform dgx-a100|dgx2|dgx-h100|nvl72|pcie-a100
-                          (default dgx-a100)
-              --augment PASSES   refine with 2/3 short augmentations
-              --verify           run validity/maximality/certificate checks
-  stats     print Table-I-style properties of a graph
-              --input FILE
-  platforms list the simulated platform presets
-  help      show this text
+  gen        generate a synthetic graph and write it as Matrix Market
+  match      compute a matching on a Matrix Market graph
+  profile    phase/metric comparison of several algorithms on one graph
+  stats      print Table-I-style properties of a graph
+  platforms  list the simulated platform presets
+  help       show this text; `ldgm help <command>` for per-command options
 ";
+
+/// Per-command help texts, keyed by command name.
+const COMMAND_HELP: &[(&str, &str)] = &[
+    (
+        "gen",
+        "\
+ldgm gen - generate a synthetic graph and write it as Matrix Market
+
+OPTIONS:
+  --family F      rmat|social|urand|kmer|web|lattice|geometric|similarity
+                  (default rmat)
+  --vertices N    vertex count (default 1024)
+  --avg-degree D  average degree (default 8)
+  --seed S        generator seed (default 0)
+  --out FILE      write the graph as Matrix Market
+",
+    ),
+    (
+        "match",
+        "\
+ldgm match - compute a matching on a Matrix Market graph
+
+OPTIONS:
+  --input FILE        graph to read (required)
+  --algorithm A       one of the registry algorithms (default ld-gpu);
+                      run `ldgm profile` or see the error text for names
+  --devices N         devices for simulated algorithms (default 1)
+  --batches B         batches per device for ld-gpu (default auto)
+  --platform P        simulated platform preset (default dgx-a100);
+                      `ldgm platforms` lists them
+  --seed S            seed for randomized algorithms (default 0)
+  --augment PASSES    refine with 2/3 short augmentations
+  --verify            run validity/maximality/certificate checks
+  --trace-out FILE    write a Chrome-trace/Perfetto JSON event timeline
+                      (simulated algorithms; open in chrome://tracing or
+                      https://ui.perfetto.dev)
+  --report-json FILE  write a schema-versioned JSON run report (phases,
+                      metrics, matching quality); phase totals equal the
+                      reported run time
+",
+    ),
+    (
+        "profile",
+        "\
+ldgm profile - phase/metric comparison of several algorithms on one graph
+
+Runs each algorithm through the Matcher registry and prints a phase
+table (time attribution summing to each run time), occupancy, and the
+top metrics per algorithm.
+
+OPTIONS:
+  --input FILE      graph to read (required)
+  --algorithms L    comma-separated registry names, or 'all'
+                    (default ld-gpu,ld-seq,local-max,suitor-gpu)
+  --platform P      simulated platform preset (default dgx-a100)
+  --devices N       devices for simulated algorithms (default 1)
+  --batches B       batches per device for ld-gpu (default auto)
+  --seed S          seed for randomized algorithms (default 0)
+  --metrics N       metrics rows per algorithm (default 6)
+",
+    ),
+    (
+        "stats",
+        "\
+ldgm stats - print Table-I-style properties of a graph
+
+OPTIONS:
+  --input FILE  graph to read (required)
+  --seed S      weight-synthesis seed for pattern-only inputs (default 0)
+",
+    ),
+    (
+        "platforms",
+        "\
+ldgm platforms - list the simulated platform presets
+
+Each row shows the preset name accepted by --platform, the device model
+and count, per-device memory, and the peer/h2d interconnects.
+",
+    ),
+];
 
 /// Dispatch a parsed command line.
 pub fn run(args: &Args) -> Result<String, ArgError> {
     match args.command.as_str() {
         "gen" => cmd_gen(args),
         "match" => cmd_match(args),
+        "profile" => cmd_profile(args),
         "stats" => cmd_stats(args),
         "platforms" => Ok(cmd_platforms()),
-        "help" | "--help" => Ok(HELP.to_string()),
+        "help" | "--help" => cmd_help(args),
         other => Err(ArgError(format!("unknown command '{other}'; try `ldgm help`"))),
+    }
+}
+
+fn cmd_help(args: &Args) -> Result<String, ArgError> {
+    match args.positionals.first().map(String::as_str) {
+        None => Ok(HELP.to_string()),
+        Some(topic) => COMMAND_HELP
+            .iter()
+            .find(|(name, _)| *name == topic)
+            .map(|(_, text)| text.to_string())
+            .ok_or_else(|| {
+                let names: Vec<&str> = COMMAND_HELP.iter().map(|(n, _)| *n).collect();
+                ArgError(format!("no help for '{topic}' (commands: {})", names.join(", ")))
+            }),
     }
 }
 
@@ -65,16 +151,43 @@ fn load_graph(args: &Args) -> Result<CsrGraph, ArgError> {
         .map_err(|e| ArgError(format!("failed to read '{path}': {e}")))
 }
 
+/// Validate `--platform` against the preset registry.
 fn parse_platform(name: &str) -> Result<Platform, ArgError> {
-    match name {
-        "dgx-a100" => Ok(Platform::dgx_a100()),
-        "dgx2" => Ok(Platform::dgx2()),
-        "dgx-h100" => Ok(Platform::dgx_h100()),
-        "nvl72" => Ok(Platform::nvl72()),
-        "pcie-a100" => Ok(Platform::pcie_a100()),
-        other => Err(ArgError(format!(
-            "unknown platform '{other}' (dgx-a100, dgx2, dgx-h100, nvl72, pcie-a100)"
-        ))),
+    Platform::by_name(name).ok_or_else(|| {
+        ArgError(format!(
+            "unknown platform '{name}' (valid: {})",
+            Platform::preset_names().join(", ")
+        ))
+    })
+}
+
+/// Build the matcher setup shared by `match` and `profile`.
+fn matcher_setup(args: &Args, collect_trace: bool) -> Result<MatcherSetup, ArgError> {
+    Ok(MatcherSetup {
+        platform: parse_platform(args.get_or("platform", "dgx-a100"))?,
+        devices: args.get_num("devices", 1usize)?,
+        batches: match args.get("batches") {
+            None => None,
+            Some(b) => Some(b.parse().map_err(|_| ArgError(format!("bad --batches '{b}'")))?),
+        },
+        seed: args.get_num("seed", 0u64)?,
+        collect_trace,
+        ..Default::default()
+    })
+}
+
+/// Phase attribution for a finished run, honoring the report invariant
+/// (phases sum to the run time): prefer the exact timeline sweep over the
+/// event trace, then the algorithm's own profile, and fall back to
+/// attributing everything to the matching phase for uninstrumented host
+/// algorithms.
+fn result_phases(r: &MatchResult) -> PhaseBreakdown {
+    if let Some(t) = &r.trace {
+        return timeline_breakdown(t, r.run_time);
+    }
+    match &r.profile {
+        Some(p) => p.phases,
+        None => PhaseBreakdown { matching: r.run_time, ..Default::default() },
     }
 }
 
@@ -114,53 +227,72 @@ fn cmd_gen(args: &Args) -> Result<String, ArgError> {
 
 fn cmd_match(args: &Args) -> Result<String, ArgError> {
     args.expect_known(&[
-        "input", "algorithm", "devices", "batches", "platform", "augment", "seed", "verify",
+        "input",
+        "algorithm",
+        "devices",
+        "batches",
+        "platform",
+        "augment",
+        "seed",
+        "verify",
+        "trace-out",
+        "report-json",
     ])?;
     let g = load_graph(args)?;
     let algorithm = args.get_or("algorithm", "ld-gpu");
+    let want_trace = args.get("trace-out").is_some() || args.get("report-json").is_some();
+    let setup = matcher_setup(args, want_trace)?;
+    let registry = MatcherRegistry::with_defaults(&setup);
+    let matcher = registry.get(algorithm).ok_or_else(|| {
+        ArgError(format!(
+            "unknown algorithm '{algorithm}' (valid: {})",
+            registry.names().join(", ")
+        ))
+    })?;
+    let result = matcher.run(&g).map_err(|e| ArgError(e.0))?;
+
     let mut out = String::new();
     let mut sim_note = String::new();
-    let matching: Matching = match algorithm {
-        "ld-seq" => ld_seq(&g),
-        "local-max" => local_max(&g),
-        "greedy" => greedy(&g),
-        "suitor" => suitor(&g),
-        "suitor-par" => suitor_par(&g),
-        "auction" => auction(&g, args.get_num("seed", 0u64)?),
-        "blossom" => {
-            if g.num_vertices() > 2000 {
-                return Err(ArgError(format!(
-                    "blossom is O(n^3); {} vertices is too many (limit 2000)",
-                    g.num_vertices()
-                )));
-            }
-            blossom_mwm(&g, 1_000_000.0)
-        }
-        "ld-gpu" => {
-            let platform = parse_platform(args.get_or("platform", "dgx-a100"))?;
-            let mut cfg = LdGpuConfig::new(platform).devices(args.get_num("devices", 1usize)?);
-            if let Some(b) = args.get("batches") {
-                cfg = cfg.batches(
-                    b.parse()
-                        .map_err(|_| ArgError(format!("bad --batches '{b}'")))?,
-                );
-            }
-            let run = LdGpu::new(cfg)
-                .try_run(&g)
-                .map_err(|e| ArgError(format!("LD-GPU failed: {e}")))?;
-            writeln!(
-                sim_note,
-                "simulated {:.3} ms on {} device(s), {} batch(es), {} iterations",
-                run.sim_time * 1e3,
-                run.devices,
-                run.batches,
-                run.iterations
-            )
-            .unwrap();
-            run.matching
-        }
-        other => return Err(ArgError(format!("unknown algorithm '{other}'"))),
-    };
+    if result.simulated {
+        let devices = result.metrics.gauge("driver.devices").unwrap_or(1.0) as u64;
+        writeln!(
+            sim_note,
+            "simulated {:.3} ms on {} device(s), {} iterations",
+            result.run_time * 1e3,
+            devices.max(1),
+            result.iterations
+        )
+        .unwrap();
+    }
+
+    if let Some(path) = args.get("trace-out") {
+        let trace = result.trace.as_ref().ok_or_else(|| {
+            ArgError(format!("--trace-out: algorithm '{algorithm}' does not record traces"))
+        })?;
+        let doc = chrome_trace_json(trace);
+        std::fs::write(path, doc.to_string_compact())
+            .map_err(|e| ArgError(format!("failed to write '{path}': {e}")))?;
+        writeln!(out, "wrote trace {path} ({} events)", trace.events.len()).unwrap();
+    }
+    if let Some(path) = args.get("report-json") {
+        let report = RunReport {
+            algorithm: algorithm.to_string(),
+            platform: result.simulated.then(|| args.get_or("platform", "dgx-a100").to_string()),
+            vertices: g.num_vertices() as u64,
+            directed_edges: g.num_directed_edges() as u64,
+            cardinality: result.matching.cardinality() as u64,
+            weight: result.matching.weight(&g),
+            sim_time: result.run_time,
+            iterations: result.iterations,
+            phases: result_phases(&result),
+            metrics: result.metrics.clone(),
+        };
+        std::fs::write(path, report.to_json().to_string_pretty())
+            .map_err(|e| ArgError(format!("failed to write '{path}': {e}")))?;
+        writeln!(out, "wrote report {path}").unwrap();
+    }
+
+    let matching = result.matching;
     let passes: usize = args.get_num("augment", 0usize)?;
     let matching = if passes > 0 {
         let before = matching.weight(&g);
@@ -196,7 +328,8 @@ fn cmd_match(args: &Args) -> Result<String, ArgError> {
             // dominant* matchings; augmentation trades it for weight (the
             // refined matching is at least as heavy, so the 1/2 bound
             // still holds transitively).
-            writeln!(out, "verify: 1/2 bound inherited from the pre-augmentation matching").unwrap();
+            writeln!(out, "verify: 1/2 bound inherited from the pre-augmentation matching")
+                .unwrap();
         } else {
             writeln!(
                 out,
@@ -204,6 +337,100 @@ fn cmd_match(args: &Args) -> Result<String, ArgError> {
                 half_approx_certificate(&g, &matching)
             )
             .unwrap();
+        }
+    }
+    Ok(out)
+}
+
+/// Default algorithm list for `ldgm profile`: one representative per
+/// execution style (multi-GPU LD, sequential LD, edge-centric host,
+/// single-GPU Suitor).
+const PROFILE_DEFAULT_ALGORITHMS: &str = "ld-gpu,ld-seq,local-max,suitor-gpu";
+
+fn cmd_profile(args: &Args) -> Result<String, ArgError> {
+    args.expect_known(&[
+        "input",
+        "algorithms",
+        "platform",
+        "devices",
+        "batches",
+        "seed",
+        "metrics",
+    ])?;
+    let g = load_graph(args)?;
+    let setup = matcher_setup(args, true)?;
+    let registry = MatcherRegistry::with_defaults(&setup);
+    let names: Vec<String> = match args.get_or("algorithms", PROFILE_DEFAULT_ALGORITHMS) {
+        "all" => registry.names().iter().map(|s| s.to_string()).collect(),
+        list => list.split(',').map(|s| s.trim().to_string()).collect(),
+    };
+    let top_n: usize = args.get_num("metrics", 6usize)?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "profile: |V|={} 2|E|={} platform={} devices={}",
+        g.num_vertices(),
+        g.num_directed_edges(),
+        args.get_or("platform", "dgx-a100"),
+        setup.devices
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<11} {:>12} {:>6}  {:>6} {:>6} {:>6} {:>6} {:>6}  {:>5}",
+        "algorithm", "time(ms)", "iters", "point%", "match%", "allr%", "xfer%", "sync%", "occ"
+    )
+    .unwrap();
+
+    let mut runs: Vec<(String, MatchResult)> = Vec::new();
+    for name in &names {
+        let matcher = registry.get(name).ok_or_else(|| {
+            ArgError(format!("unknown algorithm '{name}' (valid: {})", registry.names().join(", ")))
+        })?;
+        match matcher.run(&g) {
+            Err(e) => writeln!(out, "{name:<11} skipped: {e}").unwrap(),
+            Ok(r) => {
+                let phases = result_phases(&r);
+                let total = phases.total().max(1e-30);
+                let pct = |v: f64| v / total * 100.0;
+                let occ = match r.metrics.gauge("kernel.occupancy") {
+                    Some(o) => format!("{o:>5.2}"),
+                    None => format!("{:>5}", "-"),
+                };
+                writeln!(
+                    out,
+                    "{:<11} {:>12.3} {:>6}  {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}  {}",
+                    name,
+                    r.run_time * 1e3,
+                    r.iterations,
+                    pct(phases.pointing),
+                    pct(phases.matching),
+                    pct(phases.allreduce),
+                    pct(phases.transfer),
+                    pct(phases.sync),
+                    occ
+                )
+                .unwrap();
+                runs.push((name.clone(), r));
+            }
+        }
+    }
+
+    for (name, r) in &runs {
+        if r.metrics.is_empty() {
+            continue;
+        }
+        writeln!(out, "\n{name}: top metrics").unwrap();
+        let mut entries: Vec<(&str, f64, &'static str)> =
+            r.metrics.iter().map(|(k, m)| (k, m.scalar(), m.kind())).collect();
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        for (key, value, kind) in entries.into_iter().take(top_n) {
+            if kind == "counter" {
+                writeln!(out, "  {key:<28} {value:>14.0}").unwrap();
+            } else {
+                writeln!(out, "  {key:<28} {value:>14.4}").unwrap();
+            }
         }
     }
     Ok(out)
@@ -229,16 +456,11 @@ fn cmd_stats(args: &Args) -> Result<String, ArgError> {
 
 fn cmd_platforms() -> String {
     let mut out = String::new();
-    for p in [
-        Platform::dgx_a100(),
-        Platform::dgx2(),
-        Platform::dgx_h100(),
-        Platform::nvl72(),
-        Platform::pcie_a100(),
-    ] {
+    for (name, p) in Platform::presets() {
         writeln!(
             out,
-            "{:<10} {} x{:<2}  mem {:>2} GB/dev  peer {} ({} GB/s)  h2d {} ({} GB/s)",
+            "{:<16} {:<16} {} x{:<2}  mem {:>3} GB/dev  peer {} ({} GB/s)  h2d {} ({} GB/s)",
+            name,
             p.name,
             p.device.name,
             p.max_devices,
@@ -256,6 +478,7 @@ fn cmd_platforms() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ldgm_gpusim::json;
 
     fn args(s: &str) -> Args {
         Args::parse(s.split_whitespace().map(String::from)).unwrap()
@@ -275,10 +498,9 @@ mod tests {
         assert!(r.contains("generated urand"));
         let r = run(&args(&format!("stats --input {path}"))).unwrap();
         assert!(r.contains("|V|        300"));
-        let r = run(&args(&format!(
-            "match --input {path} --algorithm ld-gpu --devices 2 --verify"
-        )))
-        .unwrap();
+        let r =
+            run(&args(&format!("match --input {path} --algorithm ld-gpu --devices 2 --verify")))
+                .unwrap();
         assert!(r.contains("structurally valid"));
         assert!(r.contains("maximal = true"));
         assert!(r.contains("certificate = true"));
@@ -289,10 +511,14 @@ mod tests {
     fn every_algorithm_runs() {
         let path = tmp("ldgm_cli_algos.mtx");
         run(&args(&format!("gen --vertices 200 --avg-degree 5 --seed 2 --out {path}"))).unwrap();
-        for alg in [
-            "ld-seq", "local-max", "greedy", "suitor", "suitor-par", "auction", "blossom",
-            "ld-gpu",
-        ] {
+        // Every registry algorithm works through the CLI.
+        let names: Vec<String> = MatcherRegistry::with_defaults(&MatcherSetup::default())
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(names.len() >= 8);
+        for alg in &names {
             let r = run(&args(&format!("match --input {path} --algorithm {alg} --verify")))
                 .unwrap_or_else(|e| panic!("{alg}: {e}"));
             assert!(r.contains("matched"), "{alg}");
@@ -304,10 +530,9 @@ mod tests {
     fn augment_improves_or_preserves() {
         let path = tmp("ldgm_cli_aug.mtx");
         run(&args(&format!("gen --vertices 250 --avg-degree 6 --seed 3 --out {path}"))).unwrap();
-        let r = run(&args(&format!(
-            "match --input {path} --algorithm ld-seq --augment 4 --verify"
-        )))
-        .unwrap();
+        let r =
+            run(&args(&format!("match --input {path} --algorithm ld-seq --augment 4 --verify")))
+                .unwrap();
         assert!(r.contains("augmented:"));
         assert!(r.contains("maximal = true"));
         std::fs::remove_file(&path).ok();
@@ -319,23 +544,26 @@ mod tests {
         assert!(run(&args("bogus")).unwrap_err().0.contains("unknown command"));
         let path = tmp("ldgm_cli_err.mtx");
         run(&args(&format!("gen --vertices 100 --avg-degree 4 --seed 4 --out {path}"))).unwrap();
-        assert!(run(&args(&format!("match --input {path} --algorithm nope")))
-            .unwrap_err()
-            .0
-            .contains("unknown algorithm"));
+        let e = run(&args(&format!("match --input {path} --algorithm nope"))).unwrap_err();
+        assert!(e.0.contains("unknown algorithm"));
+        assert!(e.0.contains("ld-gpu"), "error must list valid names: {e}");
         assert!(run(&args(&format!("match --input {path} --platforms x")))
             .unwrap_err()
             .0
             .contains("unknown option"));
+        let e = run(&args(&format!("match --input {path} --platform dgx9000"))).unwrap_err();
+        assert!(e.0.contains("unknown platform"));
+        assert!(e.0.contains("dgx-a100"), "error must list presets: {e}");
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn platforms_lists_presets() {
         let r = run(&args("platforms")).unwrap();
+        for name in Platform::preset_names() {
+            assert!(r.contains(name), "{name} missing from platform listing");
+        }
         assert!(r.contains("DGX-A100"));
-        assert!(r.contains("DGX-2"));
-        assert!(r.contains("NVLink"));
     }
 
     #[test]
@@ -347,5 +575,141 @@ mod tests {
             .0
             .contains("O(n^3)"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn per_command_help() {
+        assert_eq!(run(&args("help")).unwrap(), HELP);
+        for cmd in ["gen", "match", "profile", "stats", "platforms"] {
+            let h = run(&args(&format!("help {cmd}"))).unwrap();
+            assert!(h.starts_with(&format!("ldgm {cmd}")), "{cmd}: {h}");
+        }
+        assert!(run(&args("help bogus")).unwrap_err().0.contains("no help for"));
+    }
+
+    #[test]
+    fn equals_option_syntax_accepted() {
+        let path = tmp("ldgm_cli_eq.mtx");
+        run(&args(&format!("gen --vertices=150 --avg-degree=5 --seed=6 --out={path}"))).unwrap();
+        let r = run(&args(&format!("match --input={path} --algorithm=greedy"))).unwrap();
+        assert!(r.contains("greedy: matched"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_and_report_outputs() {
+        let gpath = tmp("ldgm_cli_trace.mtx");
+        let tpath = tmp("ldgm_cli_trace.json");
+        let rpath = tmp("ldgm_cli_report.json");
+        run(&args(&format!("gen --vertices 300 --avg-degree 6 --seed 7 --out {gpath}"))).unwrap();
+        let r = run(&args(&format!(
+            "match --input {gpath} --algorithm ld-gpu --devices 2 \
+             --trace-out {tpath} --report-json {rpath}"
+        )))
+        .unwrap();
+        assert!(r.contains("wrote trace"));
+        assert!(r.contains("wrote report"));
+
+        // Trace: valid JSON array of events; every X event has the Chrome
+        // trace envelope.
+        let trace = json::parse(&std::fs::read_to_string(&tpath).unwrap()).unwrap();
+        let events = trace.as_array().expect("trace must be a JSON array");
+        let durations: Vec<&json::Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(json::Json::as_str) == Some("X"))
+            .collect();
+        assert!(!durations.is_empty());
+        for e in durations {
+            for key in ["name", "pid", "tid", "ts", "dur"] {
+                assert!(e.get(key).is_some(), "event missing {key}");
+            }
+        }
+
+        // Report: phase total equals sim_time within 1e-6 relative.
+        let report = json::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+        assert_eq!(report.get("algorithm").and_then(json::Json::as_str), Some("ld-gpu"));
+        assert_eq!(report.get("platform").and_then(json::Json::as_str), Some("dgx-a100"));
+        let sim_time = report.get("sim_time").and_then(json::Json::as_f64).unwrap();
+        let total =
+            report.get("phases").and_then(|p| p.get("total")).and_then(json::Json::as_f64).unwrap();
+        assert!(sim_time > 0.0);
+        assert!((total - sim_time).abs() <= 1e-6 * sim_time, "{total} vs {sim_time}");
+        for p in [&gpath, &tpath, &rpath] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn report_for_host_algorithm() {
+        let gpath = tmp("ldgm_cli_hostrep.mtx");
+        let rpath = tmp("ldgm_cli_hostrep.json");
+        run(&args(&format!("gen --vertices 200 --avg-degree 5 --seed 8 --out {gpath}"))).unwrap();
+        for alg in ["ld-seq", "greedy", "suitor-gpu"] {
+            run(&args(&format!("match --input {gpath} --algorithm {alg} --report-json {rpath}")))
+                .unwrap_or_else(|e| panic!("{alg}: {e}"));
+            let report = json::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+            let sim_time = report.get("sim_time").and_then(json::Json::as_f64).unwrap();
+            let total = report
+                .get("phases")
+                .and_then(|p| p.get("total"))
+                .and_then(json::Json::as_f64)
+                .unwrap();
+            assert!(
+                (total - sim_time).abs() <= 1e-6 * sim_time.max(1e-12),
+                "{alg}: {total} vs {sim_time}"
+            );
+            // Host algorithms report a null platform.
+            if alg != "suitor-gpu" {
+                assert_eq!(report.get("platform"), Some(&json::Json::Null));
+            }
+        }
+        std::fs::remove_file(&gpath).ok();
+        std::fs::remove_file(&rpath).ok();
+    }
+
+    #[test]
+    fn trace_out_rejected_for_host_algorithm() {
+        let gpath = tmp("ldgm_cli_notrace.mtx");
+        run(&args(&format!("gen --vertices 100 --avg-degree 4 --seed 9 --out {gpath}"))).unwrap();
+        let e = run(&args(&format!(
+            "match --input {gpath} --algorithm greedy --trace-out /tmp/nope.json"
+        )))
+        .unwrap_err();
+        assert!(e.0.contains("does not record traces"));
+        std::fs::remove_file(&gpath).ok();
+    }
+
+    #[test]
+    fn profile_prints_phase_table() {
+        let gpath = tmp("ldgm_cli_profile.mtx");
+        run(&args(&format!("gen --vertices 400 --avg-degree 6 --seed 10 --out {gpath}"))).unwrap();
+        let r = run(&args(&format!("profile --input {gpath}"))).unwrap();
+        // Default set: four algorithms, all present as table rows.
+        for alg in ["ld-gpu", "ld-seq", "local-max", "suitor-gpu"] {
+            assert!(r.contains(alg), "{alg} missing:\n{r}");
+        }
+        assert!(r.contains("point%"));
+        assert!(r.contains("top metrics"));
+        assert!(r.contains("kernel.edges_scanned"));
+        // Explicit list incl. a platform selection.
+        let r = run(&args(&format!(
+            "profile --input {gpath} --algorithms ld-gpu,cugraph --platform dgx2 --devices 4"
+        )))
+        .unwrap();
+        assert!(r.contains("platform=dgx2"));
+        assert!(r.contains("cugraph"));
+        std::fs::remove_file(&gpath).ok();
+    }
+
+    #[test]
+    fn profile_all_skips_guarded_algorithms() {
+        let gpath = tmp("ldgm_cli_profall.mtx");
+        run(&args(&format!("gen --vertices 2500 --avg-degree 4 --seed 11 --out {gpath}"))).unwrap();
+        let r = run(&args(&format!("profile --input {gpath} --algorithms all"))).unwrap();
+        // Blossom exceeds its size guard: reported as skipped, not fatal.
+        assert!(r.contains("blossom"));
+        assert!(r.contains("skipped:"));
+        assert!(r.contains("ld-gpu"));
+        std::fs::remove_file(&gpath).ok();
     }
 }

@@ -1,0 +1,5 @@
+//! `ldgm` command-line front end, exposed as a library so integration
+//! tests can drive the exact subcommand implementations the binary ships.
+
+pub mod args;
+pub mod commands;

@@ -1,9 +1,7 @@
 //! `ldgm` — command-line front end for the workspace. See
 //! [`commands::HELP`] or run `ldgm help`.
 
-mod args;
-mod commands;
-
+use ldgm_cli::{args, commands};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

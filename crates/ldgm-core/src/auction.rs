@@ -87,9 +87,7 @@ pub fn auction(g: &CsrGraph, seed: u64) -> Matching {
         } else {
             stale_rounds = 0;
         }
-        live.retain(|&u| {
-            !m.is_matched(u) && g.neighbors(u).iter().any(|&v| !m.is_matched(v))
-        });
+        live.retain(|&u| !m.is_matched(u) && g.neighbors(u).iter().any(|&v| !m.is_matched(v)));
     }
     m
 }

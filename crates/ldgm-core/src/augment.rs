@@ -121,13 +121,8 @@ fn best_augmentation(g: &CsrGraph, m: &Matching, v: VertexId) -> Option<Augmenta
                 if let Some((y, w_xy)) = best_y {
                     let gain = base + w_xy;
                     if gain > 1e-15 && best.as_ref().is_none_or(|b| gain > b.gain) {
-                        best = Some(Augmentation {
-                            v,
-                            u,
-                            drop: Some(x),
-                            rematch: Some((x, y)),
-                            gain,
-                        });
+                        best =
+                            Some(Augmentation { v, u, drop: Some(x), rematch: Some((x, y)), gain });
                     }
                 }
             }

@@ -105,9 +105,7 @@ impl BMatching {
     /// an endpoint's budget.
     pub fn is_maximal(&self, g: &CsrGraph, b: &dyn Fn(VertexId) -> usize) -> bool {
         g.iter_edges().all(|(u, v, _)| {
-            self.contains(u, v)
-                || self.partners(u).len() >= b(u)
-                || self.partners(v).len() >= b(v)
+            self.contains(u, v) || self.partners(u).len() >= b(u) || self.partners(v).len() >= b(v)
         })
     }
 }
@@ -164,8 +162,7 @@ pub fn b_suitor(g: &CsrGraph, budget: impl Fn(VertexId) -> usize) -> BMatching {
     let mut next: Vec<usize> = vec![0; n];
 
     let sorted_of = |g: &CsrGraph, u: VertexId| -> Vec<(Weight, VertexId)> {
-        let mut a: Vec<(Weight, VertexId)> =
-            g.edges_of(u).map(|(v, w)| (w, v)).collect();
+        let mut a: Vec<(Weight, VertexId)> = g.edges_of(u).map(|(v, w)| (w, v)).collect();
         a.sort_unstable_by(|x, y| {
             if beats(x.0, x.1, y.0, y.1) {
                 std::cmp::Ordering::Less
@@ -221,10 +218,8 @@ pub fn b_suitor(g: &CsrGraph, budget: impl Fn(VertexId) -> usize) -> BMatching {
 
     // Materialize: u-v matched iff u is a standing suitor of v AND v is a
     // standing suitor of u.
-    let standing: Vec<Vec<VertexId>> = suitors
-        .iter()
-        .map(|h| h.iter().map(|o| o.proposer).collect())
-        .collect();
+    let standing: Vec<Vec<VertexId>> =
+        suitors.iter().map(|h| h.iter().map(|o| o.proposer).collect()).collect();
     let mut m = BMatching::new(n);
     for v in 0..n as VertexId {
         for &u in &standing[v as usize] {
@@ -240,9 +235,7 @@ pub fn b_suitor(g: &CsrGraph, budget: impl Fn(VertexId) -> usize) -> BMatching {
 /// accept when both endpoints have residual capacity.
 pub fn b_greedy(g: &CsrGraph, budget: impl Fn(VertexId) -> usize) -> BMatching {
     let mut edges: Vec<(VertexId, VertexId, Weight)> = g.iter_edges().collect();
-    edges.sort_unstable_by(|a, b| {
-        b.2.total_cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
-    });
+    edges.sort_unstable_by(|a, b| b.2.total_cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
     let mut m = BMatching::new(g.num_vertices());
     for (u, v, _) in edges {
         if m.partners(u).len() < budget(u) && m.partners(v).len() < budget(v) {
@@ -365,11 +358,7 @@ mod tests {
     fn unmatch_keeps_consistency() {
         let g = urand(50, 300, 13);
         let mut m = b_suitor(&g, |_| 2);
-        if let Some((&v, &u)) = m
-            .partners(0)
-            .first()
-            .map(|v| (v, &0))
-        {
+        if let Some((&v, &u)) = m.partners(0).first().map(|v| (v, &0)) {
             b_unmatch(&mut m, u, v);
             assert!(!m.contains(u, v));
             assert_eq!(m.verify(&g, &|_| 2), Ok(()));

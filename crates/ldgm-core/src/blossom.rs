@@ -53,9 +53,8 @@ pub fn max_weight_matching(nvertex: usize, edge_list: &[(usize, usize, i64)]) ->
     let maxweight = edges.iter().map(|e| e.2).max().unwrap().max(0);
 
     // endpoint[p]: vertex at endpoint p of edge p/2.
-    let endpoint: Vec<usize> = (0..2 * nedge)
-        .map(|p| if p % 2 == 0 { edges[p / 2].0 } else { edges[p / 2].1 })
-        .collect();
+    let endpoint: Vec<usize> =
+        (0..2 * nedge).map(|p| if p % 2 == 0 { edges[p / 2].0 } else { edges[p / 2].1 }).collect();
     // neighbend[v]: remote endpoints of edges incident to v.
     let mut neighbend: Vec<Vec<usize>> = vec![Vec::new(); nvertex];
     for (k, &(i, j, _)) in edges.iter().enumerate() {
@@ -72,14 +71,14 @@ pub fn max_weight_matching(nvertex: usize, edge_list: &[(usize, usize, i64)]) ->
     let mut inblossom: Vec<usize> = (0..nvertex).collect();
     let mut blossomparent: Vec<usize> = vec![NONE; 2 * nvertex];
     let mut blossomchilds: Vec<Vec<usize>> = vec![Vec::new(); 2 * nvertex];
-    let mut blossombase: Vec<usize> = (0..nvertex).chain(std::iter::repeat_n(NONE, nvertex)).collect();
+    let mut blossombase: Vec<usize> =
+        (0..nvertex).chain(std::iter::repeat_n(NONE, nvertex)).collect();
     let mut blossomendps: Vec<Vec<usize>> = vec![Vec::new(); 2 * nvertex];
     let mut bestedge: Vec<usize> = vec![NONE; 2 * nvertex];
     let mut blossombestedges: Vec<Option<Vec<usize>>> = vec![None; 2 * nvertex];
     let mut unusedblossoms: Vec<usize> = (nvertex..2 * nvertex).collect();
-    let mut dualvar: Vec<i64> = std::iter::repeat_n(maxweight, nvertex)
-        .chain(std::iter::repeat_n(0, nvertex))
-        .collect();
+    let mut dualvar: Vec<i64> =
+        std::iter::repeat_n(maxweight, nvertex).chain(std::iter::repeat_n(0, nvertex)).collect();
     let mut allowedge: Vec<bool> = vec![false; nedge];
     let mut queue: Vec<usize> = Vec::new();
 
@@ -209,8 +208,19 @@ pub fn max_weight_matching(nvertex: usize, edge_list: &[(usize, usize, i64)]) ->
         for v in 0..nvertex {
             if mate[v] == NONE && label[inblossom[v]] == 0 {
                 assign_label(
-                    v, 1, NONE, nvertex, &endpoint, &mate, &mut label, &mut labelend,
-                    &inblossom, &blossombase, &blossomchilds, &mut bestedge, &mut queue,
+                    v,
+                    1,
+                    NONE,
+                    nvertex,
+                    &endpoint,
+                    &mate,
+                    &mut label,
+                    &mut labelend,
+                    &inblossom,
+                    &blossombase,
+                    &blossomchilds,
+                    &mut bestedge,
+                    &mut queue,
                 );
             }
         }
@@ -239,28 +249,67 @@ pub fn max_weight_matching(nvertex: usize, edge_list: &[(usize, usize, i64)]) ->
                         if label[inblossom[w]] == 0 {
                             // (C1) free vertex: label T.
                             assign_label(
-                                w, 2, p ^ 1, nvertex, &endpoint, &mate, &mut label,
-                                &mut labelend, &inblossom, &blossombase, &blossomchilds,
-                                &mut bestedge, &mut queue,
+                                w,
+                                2,
+                                p ^ 1,
+                                nvertex,
+                                &endpoint,
+                                &mate,
+                                &mut label,
+                                &mut labelend,
+                                &inblossom,
+                                &blossombase,
+                                &blossomchilds,
+                                &mut bestedge,
+                                &mut queue,
                             );
                         } else if label[inblossom[w]] == 1 {
                             // (C2) S-vertex: blossom or augmenting path.
                             let base = scan_blossom(
-                                v, w, &mut label, &labelend, &inblossom, &blossombase, &mate,
+                                v,
+                                w,
+                                &mut label,
+                                &labelend,
+                                &inblossom,
+                                &blossombase,
+                                &mate,
                             );
                             if base != NONE {
                                 add_blossom(
-                                    base, k, nvertex, &edges, &endpoint, &neighbend, &mate,
-                                    &mut label, &mut labelend, &mut inblossom,
-                                    &mut blossomparent, &mut blossomchilds, &mut blossombase,
-                                    &mut blossomendps, &mut bestedge, &mut blossombestedges,
-                                    &mut unusedblossoms, &mut dualvar, &mut queue,
+                                    base,
+                                    k,
+                                    nvertex,
+                                    &edges,
+                                    &endpoint,
+                                    &neighbend,
+                                    &mate,
+                                    &mut label,
+                                    &mut labelend,
+                                    &mut inblossom,
+                                    &mut blossomparent,
+                                    &mut blossomchilds,
+                                    &mut blossombase,
+                                    &mut blossomendps,
+                                    &mut bestedge,
+                                    &mut blossombestedges,
+                                    &mut unusedblossoms,
+                                    &mut dualvar,
+                                    &mut queue,
                                 );
                             } else {
                                 augment_matching(
-                                    k, nvertex, &edges, &endpoint, &mut mate, &label,
-                                    &labelend, &inblossom, &mut blossomchilds,
-                                    &mut blossomendps, &mut blossombase, &blossomparent,
+                                    k,
+                                    nvertex,
+                                    &edges,
+                                    &endpoint,
+                                    &mut mate,
+                                    &label,
+                                    &labelend,
+                                    &inblossom,
+                                    &mut blossomchilds,
+                                    &mut blossomendps,
+                                    &mut blossombase,
+                                    &blossomparent,
                                 );
                                 augmented = true;
                                 broke = true;
@@ -366,11 +415,24 @@ pub fn max_weight_matching(nvertex: usize, edge_list: &[(usize, usize, i64)]) ->
                 }
                 4 => {
                     expand_blossom(
-                        deltablossom, false, nvertex, &endpoint, &mate, &mut label,
-                        &mut labelend, &mut inblossom, &mut blossomparent,
-                        &mut blossomchilds, &mut blossombase, &mut blossomendps,
-                        &mut bestedge, &mut blossombestedges, &mut unusedblossoms,
-                        &mut dualvar, &mut allowedge, &mut queue,
+                        deltablossom,
+                        false,
+                        nvertex,
+                        &endpoint,
+                        &mate,
+                        &mut label,
+                        &mut labelend,
+                        &mut inblossom,
+                        &mut blossomparent,
+                        &mut blossomchilds,
+                        &mut blossombase,
+                        &mut blossomendps,
+                        &mut bestedge,
+                        &mut blossombestedges,
+                        &mut unusedblossoms,
+                        &mut dualvar,
+                        &mut allowedge,
+                        &mut queue,
                     );
                 }
                 _ => unreachable!(),
@@ -389,11 +451,24 @@ pub fn max_weight_matching(nvertex: usize, edge_list: &[(usize, usize, i64)]) ->
                 && dualvar[b] == 0
             {
                 expand_blossom(
-                    b, true, nvertex, &endpoint, &mate, &mut label, &mut labelend,
-                    &mut inblossom, &mut blossomparent, &mut blossomchilds,
-                    &mut blossombase, &mut blossomendps, &mut bestedge,
-                    &mut blossombestedges, &mut unusedblossoms, &mut dualvar,
-                    &mut allowedge, &mut queue,
+                    b,
+                    true,
+                    nvertex,
+                    &endpoint,
+                    &mate,
+                    &mut label,
+                    &mut labelend,
+                    &mut inblossom,
+                    &mut blossomparent,
+                    &mut blossomchilds,
+                    &mut blossombase,
+                    &mut blossomendps,
+                    &mut bestedge,
+                    &mut blossombestedges,
+                    &mut unusedblossoms,
+                    &mut dualvar,
+                    &mut allowedge,
+                    &mut queue,
                 );
             }
         }
@@ -448,9 +523,7 @@ fn add_blossom(
         blossomparent[bv] = b;
         path.push(bv);
         endps.push(labelend[bv]);
-        debug_assert!(
-            label[bv] == 2 || (label[bv] == 1 && labelend[bv] == mate[blossombase[bv]])
-        );
+        debug_assert!(label[bv] == 2 || (label[bv] == 1 && labelend[bv] == mate[blossombase[bv]]));
         debug_assert!(labelend[bv] != NONE);
         v = endpoint[labelend[bv]];
         bv = inblossom[v];
@@ -464,9 +537,7 @@ fn add_blossom(
         blossomparent[bw] = b;
         path.push(bw);
         endps.push(labelend[bw] ^ 1);
-        debug_assert!(
-            label[bw] == 2 || (label[bw] == 1 && labelend[bw] == mate[blossombase[bw]])
-        );
+        debug_assert!(label[bw] == 2 || (label[bw] == 1 && labelend[bw] == mate[blossombase[bw]]));
         debug_assert!(labelend[bw] != NONE);
         w = endpoint[labelend[bw]];
         bw = inblossom[w];
@@ -499,9 +570,7 @@ fn add_blossom(
             None => {
                 let mut lvs = Vec::new();
                 leaves_of(bvv, nvertex, blossomchilds, &mut lvs);
-                lvs.iter()
-                    .map(|&lv| neighbend[lv].iter().map(|&p| p / 2).collect())
-                    .collect()
+                lvs.iter().map(|&lv| neighbend[lv].iter().map(|&p| p / 2).collect()).collect()
             }
         };
         for nblist in nblists {
@@ -514,7 +583,8 @@ fn add_blossom(
                 let bj = inblossom[j];
                 if bj != b
                     && label[bj] == 1
-                    && (bestedgeto[bj] == NONE || slack(dualvar, kk) < slack(dualvar, bestedgeto[bj]))
+                    && (bestedgeto[bj] == NONE
+                        || slack(dualvar, kk) < slack(dualvar, bestedgeto[bj]))
                 {
                     bestedgeto[bj] = kk;
                 }
@@ -588,9 +658,24 @@ fn expand_blossom(
             inblossom[s] = s;
         } else if endstage && dualvar[s] == 0 {
             expand_blossom(
-                s, endstage, nvertex, endpoint, mate, label, labelend, inblossom,
-                blossomparent, blossomchilds, blossombase, blossomendps, bestedge,
-                blossombestedges, unusedblossoms, dualvar, allowedge, queue,
+                s,
+                endstage,
+                nvertex,
+                endpoint,
+                mate,
+                label,
+                labelend,
+                inblossom,
+                blossomparent,
+                blossomchilds,
+                blossombase,
+                blossomendps,
+                bestedge,
+                blossombestedges,
+                unusedblossoms,
+                dualvar,
+                allowedge,
+                queue,
             );
         } else {
             let mut lvs = Vec::new();
@@ -605,10 +690,9 @@ fn expand_blossom(
         debug_assert!(labelend[b] != NONE);
         let entrychild = inblossom[endpoint[labelend[b] ^ 1]];
         let len = blossomchilds[b].len() as isize;
-        let mut j = blossomchilds[b]
-            .iter()
-            .position(|&c| c == entrychild)
-            .expect("entry child missing") as isize;
+        let mut j =
+            blossomchilds[b].iter().position(|&c| c == entrychild).expect("entry child missing")
+                as isize;
         let (jstep, endptrick): (isize, usize) = if j & 1 != 0 {
             j -= len;
             (1, 0)
@@ -626,8 +710,19 @@ fn expand_blossom(
             let ep = blossomendps[b][idx(j - endptrick as isize)] ^ endptrick ^ 1;
             label[endpoint[ep]] = 0;
             assign_label_free(
-                endpoint[p ^ 1], 2, p, nvertex, endpoint, mate, label, labelend,
-                inblossom, blossombase, blossomchilds, bestedge, queue,
+                endpoint[p ^ 1],
+                2,
+                p,
+                nvertex,
+                endpoint,
+                mate,
+                label,
+                labelend,
+                inblossom,
+                blossombase,
+                blossomchilds,
+                bestedge,
+                queue,
             );
             allowedge[blossomendps[b][idx(j - endptrick as isize)] / 2] = true;
             j += jstep;
@@ -665,8 +760,19 @@ fn expand_blossom(
                 label[vfound] = 0;
                 label[endpoint[mate[blossombase[bv]]]] = 0;
                 assign_label_free(
-                    vfound, 2, labelend[vfound], nvertex, endpoint, mate, label,
-                    labelend, inblossom, blossombase, blossomchilds, bestedge, queue,
+                    vfound,
+                    2,
+                    labelend[vfound],
+                    nvertex,
+                    endpoint,
+                    mate,
+                    label,
+                    labelend,
+                    inblossom,
+                    blossombase,
+                    blossomchilds,
+                    bestedge,
+                    queue,
                 );
             }
             j += jstep;
@@ -756,7 +862,14 @@ fn augment_blossom(
     }
     if t >= nvertex {
         augment_blossom(
-            t, v, nvertex, endpoint, mate, blossomparent, blossomchilds, blossomendps,
+            t,
+            v,
+            nvertex,
+            endpoint,
+            mate,
+            blossomparent,
+            blossomchilds,
+            blossomendps,
             blossombase,
         );
     }
@@ -776,16 +889,30 @@ fn augment_blossom(
         let p = blossomendps[b][idx(j - endptrick as isize)] ^ endptrick;
         if t1 >= nvertex {
             augment_blossom(
-                t1, endpoint[p], nvertex, endpoint, mate, blossomparent, blossomchilds,
-                blossomendps, blossombase,
+                t1,
+                endpoint[p],
+                nvertex,
+                endpoint,
+                mate,
+                blossomparent,
+                blossomchilds,
+                blossomendps,
+                blossombase,
             );
         }
         j += jstep;
         let t2 = blossomchilds[b][idx(j)];
         if t2 >= nvertex {
             augment_blossom(
-                t2, endpoint[p ^ 1], nvertex, endpoint, mate, blossomparent,
-                blossomchilds, blossomendps, blossombase,
+                t2,
+                endpoint[p ^ 1],
+                nvertex,
+                endpoint,
+                mate,
+                blossomparent,
+                blossomchilds,
+                blossomendps,
+                blossombase,
             );
         }
         mate[endpoint[p]] = p ^ 1;
@@ -824,8 +951,15 @@ fn augment_matching(
             debug_assert_eq!(labelend[bs], mate[blossombase[bs]]);
             if bs >= nvertex {
                 augment_blossom(
-                    bs, s, nvertex, endpoint, mate, blossomparent, blossomchilds,
-                    blossomendps, blossombase,
+                    bs,
+                    s,
+                    nvertex,
+                    endpoint,
+                    mate,
+                    blossomparent,
+                    blossomchilds,
+                    blossomendps,
+                    blossombase,
                 );
             }
             mate[s] = p;
@@ -841,8 +975,15 @@ fn augment_matching(
             debug_assert_eq!(blossombase[bt], t);
             if bt >= nvertex {
                 augment_blossom(
-                    bt, j, nvertex, endpoint, mate, blossomparent, blossomchilds,
-                    blossomendps, blossombase,
+                    bt,
+                    j,
+                    nvertex,
+                    endpoint,
+                    mate,
+                    blossomparent,
+                    blossomchilds,
+                    blossomendps,
+                    blossombase,
                 );
             }
             mate[j] = labelend[bt];
@@ -908,25 +1049,13 @@ mod tests {
     fn s_blossom_relabeled_as_t() {
         // van Rantwijk test16: create S-blossom, relabel as T-blossom, use
         // for augmentation.
-        let edges = [
-            (1usize, 2usize, 9i64),
-            (1, 3, 8),
-            (2, 3, 10),
-            (1, 4, 5),
-            (4, 5, 4),
-            (1, 6, 3),
-        ];
+        let edges =
+            [(1usize, 2usize, 9i64), (1, 3, 8), (2, 3, 10), (1, 4, 5), (4, 5, 4), (1, 6, 3)];
         let mate = max_weight_matching(7, &edges);
         assert_eq!(&mate[1..], &[6, 3, 2, 5, 4, 1]);
         // test17: same but the pendant edges make a different relabel path.
-        let edges = [
-            (1usize, 2usize, 9i64),
-            (1, 3, 8),
-            (2, 3, 10),
-            (1, 4, 5),
-            (4, 5, 3),
-            (3, 6, 4),
-        ];
+        let edges =
+            [(1usize, 2usize, 9i64), (1, 3, 8), (2, 3, 10), (1, 4, 5), (4, 5, 3), (3, 6, 4)];
         let mate = max_weight_matching(7, &edges);
         assert_eq!(&mate[1..], &[2, 1, 6, 5, 4, 3]);
     }

@@ -28,19 +28,29 @@ pub fn cugraph_sim(
     platform: &Platform,
     devices: usize,
 ) -> Result<LdGpuOutput, LdGpuError> {
+    cugraph_sim_traced(g, platform, devices, false)
+}
+
+/// [`cugraph_sim`] with an optional event trace.
+pub fn cugraph_sim_traced(
+    g: &CsrGraph,
+    platform: &Platform,
+    devices: usize,
+    trace: bool,
+) -> Result<LdGpuOutput, LdGpuError> {
     // RAFT's per-call software overhead (host-side MPI/UCX bookkeeping,
     // ~250 µs) is independent of problem size, so — unlike bandwidth terms
     // — it must NOT shrink with scaled-down data. This fixed cost is
     // exactly why the paper measures cuGraph an order of magnitude behind
     // NCCL-over-streams on medium graphs.
-    let cfg = LdGpuConfig::new(platform.clone().with_comm(CommModel::mpi_staged()))
+    let mut cfg = LdGpuConfig::new(platform.clone().with_comm(CommModel::mpi_staged()))
         .devices(devices)
         .batches(1);
-    let cfg = LdGpuConfig {
-        retire_exhausted: false,
-        kernel_overhead: CUGRAPH_KERNEL_OVERHEAD,
-        ..cfg
-    };
+    if trace {
+        cfg = cfg.with_trace();
+    }
+    let cfg =
+        LdGpuConfig { retire_exhausted: false, kernel_overhead: CUGRAPH_KERNEL_OVERHEAD, ..cfg };
     LdGpu::new(cfg).try_run(g)
 }
 

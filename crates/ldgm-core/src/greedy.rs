@@ -15,9 +15,7 @@ use ldgm_graph::csr::{CsrGraph, VertexId};
 /// consistently across implementations.
 pub fn greedy(g: &CsrGraph) -> Matching {
     let mut edges: Vec<(VertexId, VertexId, f64)> = g.iter_edges().collect();
-    edges.sort_unstable_by(|a, b| {
-        b.2.total_cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
-    });
+    edges.sort_unstable_by(|a, b| b.2.total_cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
     let mut m = Matching::new(g.num_vertices());
     for (u, v, _) in edges {
         if !m.is_matched(u) && !m.is_matched(v) {

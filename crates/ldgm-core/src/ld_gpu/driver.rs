@@ -15,8 +15,8 @@
 use rayon::prelude::*;
 
 use ldgm_gpusim::{
-    run_collective, DeviceTimer, EventKind, IterationRecord, KernelStats, Trace, NONE_SENTINEL,
-    PhaseBreakdown, RunProfile,
+    run_collective, DeviceTimer, EventKind, IterationRecord, KernelStats, MetricsRegistry,
+    PhaseBreakdown, RunProfile, Trace, NONE_SENTINEL,
 };
 use ldgm_graph::csr::{CsrGraph, VertexId};
 use ldgm_part::{batch, memory, Partition, VertexRange};
@@ -43,6 +43,8 @@ pub struct LdGpuOutput {
     pub batches: usize,
     /// Event timeline, when [`LdGpuConfig::collect_trace`] is on.
     pub trace: Option<Trace>,
+    /// Run metrics: kernel work, collective traffic, buffer stalls.
+    pub metrics: MetricsRegistry,
 }
 
 /// The LD-GPU matcher.
@@ -67,6 +69,7 @@ struct DeviceReport {
     phases: PhaseBreakdown,
     stats: KernelStats,
     pointers_set: u64,
+    vertices_retired: u64,
     occ_weighted: f64,
     occ_weight: f64,
     trace: Trace,
@@ -140,6 +143,9 @@ impl LdGpu {
         let mut iterations = 0usize;
         let total_directed = g.num_directed_edges() as u64;
         let mut trace = cfg.collect_trace.then(Trace::default);
+        let mut metrics = MetricsRegistry::new();
+        let mut run_occ_weighted = 0.0_f64;
+        let mut run_occ_weight = 0.0_f64;
 
         loop {
             // ---- Pointing phase (Algorithm 2 lines 3-6) ----
@@ -199,15 +205,16 @@ impl LdGpu {
                             // sub-slice of this device's pointer range.
                             let lo = (brange.start - task.part.start) as usize;
                             let hi = (brange.end - task.part.start) as usize;
-                            let PointingResult { stats, pointers_set } = set_pointers_batch(
-                                g,
-                                brange,
-                                mate_ref,
-                                &mut task.pointers[lo..hi],
-                                &mut task.retired[lo..hi],
-                                vpw,
-                                self.cfg.retire_exhausted,
-                            );
+                            let PointingResult { stats, pointers_set, vertices_retired } =
+                                set_pointers_batch(
+                                    g,
+                                    brange,
+                                    mate_ref,
+                                    &mut task.pointers[lo..hi],
+                                    &mut task.retired[lo..hi],
+                                    vpw,
+                                    self.cfg.retire_exhausted,
+                                );
                             let dur = spec.kernel_time(cost, &stats) * self.cfg.kernel_overhead;
                             let (ks, ke) = task.timer.schedule_kernel(b, dur);
                             if collect_trace {
@@ -221,6 +228,7 @@ impl LdGpu {
                             }
                             rep.phases.pointing += dur;
                             rep.pointers_set += pointers_set;
+                            rep.vertices_retired += vertices_retired;
                             rep.occ_weighted +=
                                 spec.occupancy(cost, &stats) * stats.warps_launched as f64;
                             rep.occ_weight += stats.warps_launched as f64;
@@ -270,7 +278,17 @@ impl LdGpu {
                 profile.phases.pointing += r.phases.pointing / ndev as f64;
                 profile.phases.transfer += r.phases.transfer / ndev as f64;
                 profile.phases.sync += r.phases.sync / ndev as f64;
+                metrics.counter_add("kernel.vertices_retired", r.vertices_retired);
             }
+            metrics.counter_add("kernel.edges_scanned", iter_stats.edges_scanned);
+            metrics.counter_add("kernel.warps_launched", iter_stats.warps_launched);
+            metrics.counter_add("kernel.pointers_set", pointers_set);
+            metrics.counter_add(
+                "kernel.bytes_moved",
+                iter_stats.bytes_read + iter_stats.bytes_written,
+            );
+            run_occ_weighted += occ_weighted;
+            run_occ_weight += occ_weight;
 
             if pointers_set == 0 {
                 break; // no available edges anywhere: matching is maximal
@@ -285,7 +303,8 @@ impl LdGpu {
             profile.phases.sync += wait / ndev as f64;
 
             // ---- AllReduce pointers (line 7) ----
-            let ar = comm.allreduce_time(&peer, ndev, 8 * n as u64);
+            let payload = 8 * n as u64;
+            let ar = comm.allreduce_time(&peer, ndev, payload);
             let (ar_s, ar_e) = run_collective(&mut timers, ar);
             if let Some(t) = trace.as_mut() {
                 for d in 0..ndev {
@@ -293,9 +312,14 @@ impl LdGpu {
                 }
             }
             profile.phases.allreduce += ar;
+            metrics.counter_add("comm.allreduce_calls", 1);
+            // Ring allreduce wire traffic: every device sends
+            // 2 (p-1)/p x payload, so the fabric carries 2 (p-1) x payload.
+            metrics.counter_add("comm.collective_bytes", 2 * (ndev as u64 - 1) * payload);
 
             // ---- Matching phase: SETMATES (line 8) ----
             let (mstats, new_matches) = set_mates(&pointers, &mut mate);
+            metrics.counter_add("matching.edges_committed", new_matches);
             let mdur = spec.kernel_time(cost, &mstats) * self.cfg.kernel_overhead;
             for (d, tm) in timers.iter_mut().enumerate() {
                 let (ms, me) = tm.schedule_kernel_global(mdur);
@@ -307,7 +331,7 @@ impl LdGpu {
             profile.phases.matching += mdur;
 
             // ---- AllReduce mate (line 9) ----
-            let ar2 = comm.allreduce_time(&peer, ndev, 8 * n as u64);
+            let ar2 = comm.allreduce_time(&peer, ndev, payload);
             let (ar2_s, ar2_e) = run_collective(&mut timers, ar2);
             if let Some(t) = trace.as_mut() {
                 for d in 0..ndev {
@@ -315,6 +339,8 @@ impl LdGpu {
                 }
             }
             profile.phases.allreduce += ar2;
+            metrics.counter_add("comm.allreduce_calls", 1);
+            metrics.counter_add("comm.collective_bytes", 2 * (ndev as u64 - 1) * payload);
 
             debug_assert!(new_matches > 0, "pointers set but nothing matched: livelock");
 
@@ -336,6 +362,22 @@ impl LdGpu {
         let sim_time = timers.iter().map(DeviceTimer::horizon).fold(0.0, f64::max);
         profile.sim_time = sim_time;
 
+        metrics.counter_add("driver.iterations", iterations as u64);
+        metrics.counter_add(
+            "timer.buffer_stalls",
+            timers.iter().map(DeviceTimer::buffer_stalls).sum(),
+        );
+        metrics.gauge_set(
+            "timer.buffer_stall_time",
+            timers.iter().map(DeviceTimer::buffer_stall_time).sum(),
+        );
+        metrics.gauge_set(
+            "kernel.occupancy",
+            if run_occ_weight > 0.0 { run_occ_weighted / run_occ_weight } else { 0.0 },
+        );
+        metrics.gauge_set("driver.devices", ndev as f64);
+        metrics.gauge_set("driver.batches", nbatches as f64);
+
         let mut matching = Matching::new(n);
         for (u, &v) in mate.iter().enumerate() {
             if v != NONE_SENTINEL && (u as u64) < v {
@@ -350,6 +392,7 @@ impl LdGpu {
             devices: ndev,
             batches: nbatches,
             trace,
+            metrics,
         })
     }
 }
@@ -413,6 +456,44 @@ mod tests {
         for r in &out.profile.iterations[1..] {
             assert!(r.edges_scanned <= first);
         }
+    }
+
+    #[test]
+    fn metrics_track_real_work() {
+        let g = urand(900, 7000, 11);
+        let out = LdGpu::new(LdGpuConfig::new(dgx()).devices(4)).run(&g);
+        let m = &out.metrics;
+        // Edge scans: at least one full pass over the directed adjacency.
+        assert!(m.counter("kernel.edges_scanned") >= g.num_directed_edges() as u64);
+        // Every matched edge was committed exactly once.
+        assert_eq!(m.counter("matching.edges_committed"), out.matching.cardinality() as u64);
+        // Two collectives per iteration.
+        assert_eq!(m.counter("comm.allreduce_calls"), 2 * out.iterations as u64);
+        assert!(m.counter("comm.collective_bytes") > 0);
+        // Pointers set >= matches committed * 2 (mutual pairs).
+        assert!(m.counter("kernel.pointers_set") >= 2 * m.counter("matching.edges_committed"));
+        assert_eq!(m.counter("driver.iterations"), out.iterations as u64);
+        let occ = m.gauge("kernel.occupancy").unwrap();
+        assert!((0.0..=1.0).contains(&occ));
+        assert_eq!(m.gauge("driver.devices"), Some(4.0));
+    }
+
+    #[test]
+    fn retirement_metric_matches_config() {
+        let g = urand(700, 3500, 12);
+        let on = LdGpu::new(LdGpuConfig::new(dgx())).run(&g);
+        assert!(on.metrics.counter("kernel.vertices_retired") > 0);
+        let cfg = LdGpuConfig { retire_exhausted: false, ..LdGpuConfig::new(dgx()) };
+        let off = LdGpu::new(cfg).run(&g);
+        assert_eq!(off.metrics.counter("kernel.vertices_retired"), 0);
+    }
+
+    #[test]
+    fn single_device_has_no_wire_traffic() {
+        let g = urand(300, 1200, 13);
+        let out = LdGpu::new(LdGpuConfig::new(dgx()).devices(1)).run(&g);
+        assert_eq!(out.metrics.counter("comm.collective_bytes"), 0);
+        assert_eq!(out.metrics.counter("comm.allreduce_calls"), 2 * out.iterations as u64);
     }
 
     #[test]
@@ -496,8 +577,7 @@ mod trace_tests {
                 .collect();
         assert_eq!(kinds.len(), 4, "4-batch run must exercise every event kind");
         // Two collectives per iteration, recorded once per device.
-        let collectives =
-            trace.events.iter().filter(|e| e.kind == EventKind::Collective).count();
+        let collectives = trace.events.iter().filter(|e| e.kind == EventKind::Collective).count();
         assert_eq!(collectives, 2 * out.iterations * out.devices);
         // The trace horizon matches the simulated time.
         let (_, hi) = trace.span().unwrap();

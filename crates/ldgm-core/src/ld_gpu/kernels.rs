@@ -25,6 +25,8 @@ pub struct PointingResult {
     pub stats: KernelStats,
     /// Vertices that set a (non-sentinel) pointer.
     pub pointers_set: u64,
+    /// Vertices retired this launch (neighborhood exhausted).
+    pub vertices_retired: u64,
 }
 
 /// SETPOINTERS over the batch `[batch.start, batch.end)`.
@@ -59,14 +61,12 @@ pub fn set_pointers_batch(
         .enumerate()
         .map(|(warp_idx, (ptr_chunk, ret_chunk))| {
             let first = base + (warp_idx * vpw) as VertexId;
-            let mut stats = KernelStats {
-                warps_launched: 1,
-                ..Default::default()
-            };
+            let mut stats = KernelStats { warps_launched: 1, ..Default::default() };
             let mut warp_edges: u64 = 0;
             let mut warp_waves: u64 = 0;
             let mut processed: u64 = 0;
             let mut set: u64 = 0;
+            let mut retired_count: u64 = 0;
             for (i, ptr) in ptr_chunk.iter_mut().enumerate() {
                 let u = first + i as VertexId;
                 stats.vertices += 1;
@@ -93,6 +93,7 @@ pub fn set_pointers_batch(
                     *ptr = NONE_SENTINEL;
                     if retire {
                         ret_chunk[i] = 1;
+                        retired_count += 1;
                     }
                 }
             }
@@ -111,11 +112,12 @@ pub fn set_pointers_batch(
             stats.bytes_read =
                 stats.vertices * 8 + processed * 16 + warp_waves * 32 * (8 + 8) + warp_edges * 32;
             stats.bytes_written = processed * 8;
-            PointingResult { stats, pointers_set: set }
+            PointingResult { stats, pointers_set: set, vertices_retired: retired_count }
         })
         .reduce(PointingResult::default, |mut a, b| {
             a.stats.merge(&b.stats);
             a.pointers_set += b.pointers_set;
+            a.vertices_retired += b.vertices_retired;
             a
         })
 }
@@ -191,10 +193,7 @@ mod tests {
 
     #[test]
     fn pointing_skips_matched_neighbors() {
-        let g = GraphBuilder::new(3)
-            .add_edge(0, 1, 5.0)
-            .add_edge(0, 2, 1.0)
-            .build();
+        let g = GraphBuilder::new(3).add_edge(0, 1, 5.0).add_edge(0, 2, 1.0).build();
         let mut pointers = vec![NONE_SENTINEL; 3];
         let mut retired = vec![0u8; 3];
         let mut mate = vec![NONE_SENTINEL; 3];
@@ -218,6 +217,7 @@ mod tests {
         assert_eq!(retired[0], 1);
         assert_eq!(pointers[0], NONE_SENTINEL);
         assert_eq!(r.pointers_set, 0);
+        assert_eq!(r.vertices_retired, 1);
     }
 
     #[test]

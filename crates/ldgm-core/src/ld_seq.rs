@@ -8,7 +8,10 @@
 //! exhausted are retired ("removed from G"). The result is maximal and
 //! locally dominant, hence ½-approximate (Lemma II.2 / Corollary II.1).
 
+use std::time::Instant;
+
 use crate::matching::{prefer, Matching, UNMATCHED};
+use ldgm_gpusim::{IterationRecord, MetricsRegistry, RunProfile};
 use ldgm_graph::csr::{CsrGraph, VertexId};
 
 /// Statistics of an LD-SEQ run.
@@ -20,6 +23,20 @@ pub struct LdSeqStats {
     pub edges_scanned: u64,
 }
 
+/// Result of a profiled LD-SEQ run: the matching plus the same
+/// profile/metrics shapes LD-GPU emits, with wall-clock phase timing in
+/// place of simulated time (`profile.sim_time` is the phase sum by
+/// construction).
+#[derive(Clone, Debug)]
+pub struct LdSeqProfiled {
+    /// The computed matching.
+    pub matching: Matching,
+    /// Wall-clock phase breakdown and per-round records.
+    pub profile: RunProfile,
+    /// Run metrics (edge scans, pointers set, committed edges, rounds).
+    pub metrics: MetricsRegistry,
+}
+
 /// Run LD-SEQ on `g`.
 pub fn ld_seq(g: &CsrGraph) -> Matching {
     ld_seq_with_stats(g).0
@@ -27,39 +44,79 @@ pub fn ld_seq(g: &CsrGraph) -> Matching {
 
 /// Run LD-SEQ and return per-run statistics.
 pub fn ld_seq_with_stats(g: &CsrGraph) -> (Matching, LdSeqStats) {
+    let out = ld_seq_profiled(g);
+    let stats = LdSeqStats {
+        iterations: out.profile.num_iterations(),
+        edges_scanned: out.metrics.counter("kernel.edges_scanned"),
+    };
+    (out.matching, stats)
+}
+
+/// Run LD-SEQ with full observability: phase timing (pointing vs matching
+/// vs retirement), per-round iteration records, and run metrics.
+pub fn ld_seq_profiled(g: &CsrGraph) -> LdSeqProfiled {
     let n = g.num_vertices();
     let mut matching = Matching::new(n);
     let mut pointer: Vec<VertexId> = vec![UNMATCHED; n];
     // Live vertices: unmatched with at least one available edge remaining.
     let mut live: Vec<VertexId> = (0..n as VertexId).filter(|&v| g.degree(v) > 0).collect();
-    let mut stats = LdSeqStats::default();
+    let mut profile = RunProfile::default();
+    let mut metrics = MetricsRegistry::new();
+    let total_directed = g.num_directed_edges().max(1) as u64;
 
     while !live.is_empty() {
-        stats.iterations += 1;
+        let round = profile.iterations.len();
+        let mut round_edges: u64 = 0;
+        let mut pointers_set: u64 = 0;
         // Phase 1: pointing.
+        let t0 = Instant::now();
         for &u in &live {
             let mut best: VertexId = UNMATCHED;
             let mut best_w = f64::NEG_INFINITY;
             for (v, w) in g.edges_of(u) {
-                stats.edges_scanned += 1;
+                round_edges += 1;
                 if !matching.is_matched(v) && prefer(w, v, best_w, best) {
                     best = v;
                     best_w = w;
                 }
             }
             pointer[u as usize] = best;
+            pointers_set += (best != UNMATCHED) as u64;
         }
+        profile.phases.pointing += t0.elapsed().as_secs_f64();
         // Phase 2: matching (mutual pointers).
+        let before = matching.cardinality();
+        let t1 = Instant::now();
         for &u in &live {
             let v = pointer[u as usize];
             if v != UNMATCHED && u < v && pointer[v as usize] == u {
                 matching.join(u, v);
             }
         }
-        // Retire matched and exhausted vertices.
+        profile.phases.matching += t1.elapsed().as_secs_f64();
+        // Retire matched and exhausted vertices ("remove from G").
+        let t2 = Instant::now();
+        let live_before = live.len();
         live.retain(|&u| !matching.is_matched(u) && pointer[u as usize] != UNMATCHED);
+        profile.phases.sync += t2.elapsed().as_secs_f64();
+        let new_matches = (matching.cardinality() - before) as u64;
+        let exhausted = live_before - live.len() - 2 * new_matches as usize;
+
+        metrics.counter_add("kernel.edges_scanned", round_edges);
+        metrics.counter_add("kernel.pointers_set", pointers_set);
+        metrics.counter_add("kernel.vertices_retired", exhausted as u64);
+        metrics.counter_add("matching.edges_committed", new_matches);
+        profile.iterations.push(IterationRecord {
+            iter: round,
+            edges_scanned: round_edges,
+            pct_edges: round_edges as f64 / total_directed as f64 * 100.0,
+            new_matches,
+            ..Default::default()
+        });
     }
-    (matching, stats)
+    metrics.counter_add("driver.iterations", profile.iterations.len() as u64);
+    profile.sim_time = profile.phases.total();
+    LdSeqProfiled { matching, profile, metrics }
 }
 
 #[cfg(test)]
@@ -157,6 +214,25 @@ mod tests {
         // At least one full pass over the directed adjacency of non-isolated
         // vertices happened.
         assert!(stats.edges_scanned >= g.num_directed_edges() as u64);
+    }
+
+    #[test]
+    fn profiled_run_is_consistent() {
+        let g = urand(500, 3000, 9);
+        let out = ld_seq_profiled(&g);
+        assert_eq!(out.matching.mate_array(), ld_seq(&g).mate_array());
+        // Phase sum defines the run time.
+        assert!((out.profile.sim_time - out.profile.phases.total()).abs() < 1e-12);
+        assert!(out.profile.sim_time > 0.0);
+        // Committed edges metric equals the matching's cardinality.
+        assert_eq!(
+            out.metrics.counter("matching.edges_committed"),
+            out.matching.cardinality() as u64
+        );
+        assert_eq!(out.metrics.counter("driver.iterations"), out.profile.num_iterations() as u64);
+        // Per-round edge scans sum to the total.
+        let per_round: u64 = out.profile.iterations.iter().map(|r| r.edges_scanned).sum();
+        assert_eq!(per_round, out.metrics.counter("kernel.edges_scanned"));
     }
 
     #[test]

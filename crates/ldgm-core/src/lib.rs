@@ -20,7 +20,9 @@
 //! * [`augment`] — Pettie–Sanders short-augmentation refinement toward a
 //!   ⅔-approximation (the paper's §V future-work direction);
 //! * [`matching`] / [`verify`] / [`fom`] — result types, certificates and
-//!   the paper's MMEPS figure of merit.
+//!   the paper's MMEPS figure of merit;
+//! * [`matcher`] — the unified [`Matcher`](matcher::Matcher) trait and
+//!   name-keyed registry putting every algorithm above behind one API.
 
 pub mod auction;
 pub mod augment;
@@ -32,10 +34,12 @@ pub mod greedy;
 pub mod ld_gpu;
 pub mod ld_seq;
 pub mod local_max;
+pub mod matcher;
 pub mod matching;
 pub mod suitor;
 pub mod suitor_par;
 pub mod suitor_sim;
 pub mod verify;
 
+pub use matcher::{MatchError, MatchResult, Matcher, MatcherRegistry, MatcherSetup};
 pub use matching::{prefer, Matching, UNMATCHED};

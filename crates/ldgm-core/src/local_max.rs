@@ -7,7 +7,10 @@
 //! per-vertex best-incident-edge computation: an edge is a local maximum
 //! iff it is the best incident edge of *both* endpoints.
 
+use std::time::Instant;
+
 use crate::matching::Matching;
+use ldgm_gpusim::{IterationRecord, MetricsRegistry, RunProfile};
 use ldgm_graph::csr::{CsrGraph, VertexId};
 
 /// Total order on edges: weight, then lexicographic endpoint ids. Returns
@@ -26,6 +29,19 @@ pub struct LocalMaxStats {
     pub edges_scanned: u64,
 }
 
+/// Result of a profiled LocalMax run: matching plus the LD-GPU
+/// profile/metrics shapes with wall-clock phase timing (`sim_time` is the
+/// phase sum by construction).
+#[derive(Clone, Debug)]
+pub struct LocalMaxProfiled {
+    /// The computed matching.
+    pub matching: Matching,
+    /// Wall-clock phase breakdown and per-round records.
+    pub profile: RunProfile,
+    /// Run metrics.
+    pub metrics: MetricsRegistry,
+}
+
 /// Run LocalMax on `g`.
 pub fn local_max(g: &CsrGraph) -> Matching {
     local_max_with_stats(g).0
@@ -33,22 +49,37 @@ pub fn local_max(g: &CsrGraph) -> Matching {
 
 /// Run LocalMax and return statistics.
 pub fn local_max_with_stats(g: &CsrGraph) -> (Matching, LocalMaxStats) {
+    let out = local_max_profiled(g);
+    let stats = LocalMaxStats {
+        rounds: out.profile.num_iterations(),
+        edges_scanned: out.metrics.counter("kernel.edges_scanned"),
+    };
+    (out.matching, stats)
+}
+
+/// Run LocalMax with full observability. The best-incident-edge scan is
+/// billed as pointing, the commit sweep as matching, retirement as sync.
+pub fn local_max_profiled(g: &CsrGraph) -> LocalMaxProfiled {
     let n = g.num_vertices();
     let mut m = Matching::new(n);
-    let mut stats = LocalMaxStats::default();
+    let mut profile = RunProfile::default();
+    let mut metrics = MetricsRegistry::new();
+    let total_directed = g.num_directed_edges().max(1) as u64;
     // best[v]: best eligible incident edge of v as (w, lo, hi).
     const NO_EDGE: (f64, VertexId, VertexId) = (f64::NEG_INFINITY, VertexId::MAX, VertexId::MAX);
     let mut best: Vec<(f64, VertexId, VertexId)> = vec![NO_EDGE; n];
     let mut live: Vec<VertexId> = (0..n as VertexId).filter(|&v| g.degree(v) > 0).collect();
 
     while !live.is_empty() {
-        stats.rounds += 1;
+        let round = profile.iterations.len();
+        let mut round_edges: u64 = 0;
+        let t0 = Instant::now();
         for &v in &live {
             best[v as usize] = NO_EDGE;
         }
         for &u in &live {
             for (v, w) in g.edges_of(u) {
-                stats.edges_scanned += 1;
+                round_edges += 1;
                 if m.is_matched(v) {
                     continue;
                 }
@@ -58,7 +89,12 @@ pub fn local_max_with_stats(g: &CsrGraph) -> (Matching, LocalMaxStats) {
                 }
             }
         }
+        profile.phases.pointing += t0.elapsed().as_secs_f64();
+        let pointers_set =
+            live.iter().filter(|&&u| best[u as usize].0 != f64::NEG_INFINITY).count();
         // Commit edges that are the best at both endpoints.
+        let before = m.cardinality();
+        let t1 = Instant::now();
         for &u in &live {
             let (w, a, b) = best[u as usize];
             if w == f64::NEG_INFINITY || u != a {
@@ -68,9 +104,29 @@ pub fn local_max_with_stats(g: &CsrGraph) -> (Matching, LocalMaxStats) {
                 m.join(a, b);
             }
         }
+        profile.phases.matching += t1.elapsed().as_secs_f64();
+        let t2 = Instant::now();
+        let live_before = live.len();
         live.retain(|&u| !m.is_matched(u) && best[u as usize].0 != f64::NEG_INFINITY);
+        profile.phases.sync += t2.elapsed().as_secs_f64();
+        let new_matches = (m.cardinality() - before) as u64;
+        let removed = live_before - live.len();
+
+        metrics.counter_add("kernel.edges_scanned", round_edges);
+        metrics.counter_add("kernel.pointers_set", pointers_set as u64);
+        metrics.counter_add("kernel.vertices_retired", (removed - 2 * new_matches as usize) as u64);
+        metrics.counter_add("matching.edges_committed", new_matches);
+        profile.iterations.push(IterationRecord {
+            iter: round,
+            edges_scanned: round_edges,
+            pct_edges: round_edges as f64 / total_directed as f64 * 100.0,
+            new_matches,
+            ..Default::default()
+        });
     }
-    (m, stats)
+    metrics.counter_add("driver.iterations", profile.iterations.len() as u64);
+    profile.sim_time = profile.phases.total();
+    LocalMaxProfiled { matching: m, profile, metrics }
 }
 
 #[cfg(test)]
@@ -108,6 +164,20 @@ mod tests {
             let b = greedy(&g);
             assert_eq!(a.mate_array(), b.mate_array(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn profiled_run_is_consistent() {
+        let g = urand(400, 2400, 6);
+        let out = local_max_profiled(&g);
+        assert_eq!(out.matching.mate_array(), local_max(&g).mate_array());
+        assert!((out.profile.sim_time - out.profile.phases.total()).abs() < 1e-12);
+        assert_eq!(
+            out.metrics.counter("matching.edges_committed"),
+            out.matching.cardinality() as u64
+        );
+        let per_round: u64 = out.profile.iterations.iter().map(|r| r.edges_scanned).sum();
+        assert_eq!(per_round, out.metrics.counter("kernel.edges_scanned"));
     }
 
     #[test]

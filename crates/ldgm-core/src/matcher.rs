@@ -1,0 +1,496 @@
+//! The unified matcher API: every algorithm in this crate behind one
+//! trait, discoverable through a name-keyed registry.
+//!
+//! A [`Matcher`] computes a [`MatchResult`]: the matching itself plus
+//! whatever observability the algorithm supports — run time (simulated
+//! seconds for platform algorithms, wall-clock for host algorithms), a
+//! [`RunProfile`] phase breakdown, a [`MetricsRegistry`], and optionally a
+//! full event [`Trace`]. The CLI's `match` and `profile` commands and the
+//! cross-algorithm test suite all dispatch through
+//! [`MatcherRegistry::with_defaults`] instead of hand-rolled match arms,
+//! so a new algorithm only needs a `Matcher` impl and one `register` call
+//! to appear everywhere.
+
+use std::fmt;
+use std::time::Instant;
+
+use ldgm_gpusim::{MetricsRegistry, Platform, RunProfile, Trace};
+use ldgm_graph::csr::CsrGraph;
+
+use crate::auction::auction;
+use crate::blossom::blossom_mwm;
+use crate::cugraph_sim::cugraph_sim_traced;
+use crate::greedy::greedy;
+use crate::ld_gpu::{LdGpu, LdGpuConfig, LdGpuOutput};
+use crate::ld_seq::ld_seq_profiled;
+use crate::local_max::local_max_profiled;
+use crate::matching::Matching;
+use crate::suitor::suitor_with_stats;
+use crate::suitor_par::suitor_par;
+use crate::suitor_sim::suitor_sim;
+
+/// Why a matcher could not run (infeasible configuration, out of memory,
+/// input too large for an exact method).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatchError(pub String);
+
+impl fmt::Display for MatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+/// Result of one matcher run: the matching plus optional observability.
+#[derive(Clone, Debug)]
+pub struct MatchResult {
+    /// The computed matching.
+    pub matching: Matching,
+    /// End-to-end run time in seconds: simulated when `simulated`,
+    /// wall-clock otherwise.
+    pub run_time: f64,
+    /// Whether `run_time` is simulated platform time.
+    pub simulated: bool,
+    /// Iterations/rounds executed (0 when the notion doesn't apply).
+    pub iterations: u64,
+    /// Phase breakdown + per-iteration records, when the algorithm is
+    /// instrumented.
+    pub profile: Option<RunProfile>,
+    /// Run metrics (possibly empty).
+    pub metrics: MetricsRegistry,
+    /// Event timeline, when requested and supported.
+    pub trace: Option<Trace>,
+}
+
+impl MatchResult {
+    /// A bare result for an uninstrumented host algorithm.
+    fn host(matching: Matching, wall: f64) -> Self {
+        MatchResult {
+            matching,
+            run_time: wall,
+            simulated: false,
+            iterations: 0,
+            profile: None,
+            metrics: MetricsRegistry::new(),
+            trace: None,
+        }
+    }
+}
+
+/// A named matching algorithm.
+pub trait Matcher: Send + Sync {
+    /// Registry key (`"ld-gpu"`, `"suitor"`, ...).
+    fn name(&self) -> &str;
+    /// Compute a matching on `g`.
+    fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError>;
+}
+
+/// Shared configuration for [`MatcherRegistry::with_defaults`].
+#[derive(Clone, Debug)]
+pub struct MatcherSetup {
+    /// Platform for simulated matchers.
+    pub platform: Platform,
+    /// Devices for multi-GPU matchers.
+    pub devices: usize,
+    /// Batches per device for LD-GPU (`None` = auto).
+    pub batches: Option<usize>,
+    /// Seed for randomized matchers (auction).
+    pub seed: u64,
+    /// Record event traces where supported (LD-GPU, cuGraph).
+    pub collect_trace: bool,
+    /// Vertex-count guard for the O(n^3) exact blossom matcher.
+    pub blossom_limit: usize,
+}
+
+impl Default for MatcherSetup {
+    fn default() -> Self {
+        MatcherSetup {
+            platform: Platform::dgx_a100(),
+            devices: 1,
+            batches: None,
+            seed: 0,
+            collect_trace: false,
+            blossom_limit: 2000,
+        }
+    }
+}
+
+/// Name-keyed collection of matchers.
+#[derive(Default)]
+pub struct MatcherRegistry {
+    entries: Vec<Box<dyn Matcher>>,
+}
+
+impl MatcherRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every algorithm this crate ships, configured from `setup`.
+    pub fn with_defaults(setup: &MatcherSetup) -> Self {
+        let mut reg = Self::new();
+        reg.register(Box::new(LdGpuMatcher::from_setup(setup)));
+        reg.register(Box::new(LdSeqMatcher));
+        reg.register(Box::new(LocalMaxMatcher));
+        reg.register(Box::new(GreedyMatcher));
+        reg.register(Box::new(SuitorMatcher));
+        reg.register(Box::new(SuitorParMatcher));
+        reg.register(Box::new(SuitorGpuMatcher { platform: setup.platform.clone() }));
+        reg.register(Box::new(AuctionMatcher { seed: setup.seed }));
+        reg.register(Box::new(BlossomMatcher { limit: setup.blossom_limit }));
+        reg.register(Box::new(CugraphMatcher {
+            platform: setup.platform.clone(),
+            devices: setup.devices,
+            collect_trace: setup.collect_trace,
+        }));
+        reg
+    }
+
+    /// Add (or replace, by name) a matcher.
+    pub fn register(&mut self, matcher: Box<dyn Matcher>) {
+        if let Some(slot) = self.entries.iter_mut().find(|m| m.name() == matcher.name()) {
+            *slot = matcher;
+        } else {
+            self.entries.push(matcher);
+        }
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Matcher> {
+        self.entries.iter().find(|m| m.name() == name).map(|m| m.as_ref())
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|m| m.name()).collect()
+    }
+
+    /// Iterate matchers in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Matcher> {
+        self.entries.iter().map(|m| m.as_ref())
+    }
+
+    /// Number of registered matchers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// LD-GPU on a simulated platform.
+pub struct LdGpuMatcher {
+    /// Full LD-GPU configuration.
+    pub cfg: LdGpuConfig,
+}
+
+impl LdGpuMatcher {
+    fn from_setup(setup: &MatcherSetup) -> Self {
+        let mut cfg = LdGpuConfig::new(setup.platform.clone()).devices(setup.devices);
+        if let Some(b) = setup.batches {
+            cfg = cfg.batches(b);
+        }
+        if setup.collect_trace {
+            cfg = cfg.with_trace();
+        }
+        LdGpuMatcher { cfg }
+    }
+}
+
+/// Convert a driver output into a [`MatchResult`].
+pub fn ld_gpu_result(out: LdGpuOutput) -> MatchResult {
+    MatchResult {
+        matching: out.matching,
+        run_time: out.sim_time,
+        simulated: true,
+        iterations: out.iterations as u64,
+        profile: Some(out.profile),
+        metrics: out.metrics,
+        trace: out.trace,
+    }
+}
+
+impl Matcher for LdGpuMatcher {
+    fn name(&self) -> &str {
+        "ld-gpu"
+    }
+    fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
+        let out = LdGpu::new(self.cfg.clone())
+            .try_run(g)
+            .map_err(|e| MatchError(format!("LD-GPU failed: {e}")))?;
+        Ok(ld_gpu_result(out))
+    }
+}
+
+/// Sequential pointer algorithm, instrumented.
+pub struct LdSeqMatcher;
+
+impl Matcher for LdSeqMatcher {
+    fn name(&self) -> &str {
+        "ld-seq"
+    }
+    fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
+        let out = ld_seq_profiled(g);
+        Ok(MatchResult {
+            matching: out.matching,
+            run_time: out.profile.sim_time,
+            simulated: false,
+            iterations: out.profile.num_iterations() as u64,
+            profile: Some(out.profile),
+            metrics: out.metrics,
+            trace: None,
+        })
+    }
+}
+
+/// Edge-centric LocalMax, instrumented.
+pub struct LocalMaxMatcher;
+
+impl Matcher for LocalMaxMatcher {
+    fn name(&self) -> &str {
+        "local-max"
+    }
+    fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
+        let out = local_max_profiled(g);
+        Ok(MatchResult {
+            matching: out.matching,
+            run_time: out.profile.sim_time,
+            simulated: false,
+            iterations: out.profile.num_iterations() as u64,
+            profile: Some(out.profile),
+            metrics: out.metrics,
+            trace: None,
+        })
+    }
+}
+
+/// Global-sort greedy.
+pub struct GreedyMatcher;
+
+impl Matcher for GreedyMatcher {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+    fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
+        let t0 = Instant::now();
+        let m = greedy(g);
+        Ok(MatchResult::host(m, t0.elapsed().as_secs_f64()))
+    }
+}
+
+/// Sequential Suitor with proposal metrics.
+pub struct SuitorMatcher;
+
+impl Matcher for SuitorMatcher {
+    fn name(&self) -> &str {
+        "suitor"
+    }
+    fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
+        let t0 = Instant::now();
+        let (m, stats) = suitor_with_stats(g);
+        let mut result = MatchResult::host(m, t0.elapsed().as_secs_f64());
+        result.metrics.counter_add("kernel.edges_scanned", stats.edges_scanned);
+        result.metrics.counter_add("kernel.pointers_set", stats.proposals);
+        result
+            .metrics
+            .counter_add("matching.edges_committed", result.matching.cardinality() as u64);
+        Ok(result)
+    }
+}
+
+/// Rayon-parallel Suitor.
+pub struct SuitorParMatcher;
+
+impl Matcher for SuitorParMatcher {
+    fn name(&self) -> &str {
+        "suitor-par"
+    }
+    fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
+        let t0 = Instant::now();
+        let m = suitor_par(g);
+        Ok(MatchResult::host(m, t0.elapsed().as_secs_f64()))
+    }
+}
+
+/// SR-GPU: Suitor on one simulated device.
+pub struct SuitorGpuMatcher {
+    /// Platform whose first device runs the kernel.
+    pub platform: Platform,
+}
+
+impl Matcher for SuitorGpuMatcher {
+    fn name(&self) -> &str {
+        "suitor-gpu"
+    }
+    fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
+        let out = suitor_sim(g, &self.platform).map_err(|e| MatchError(e.to_string()))?;
+        Ok(MatchResult {
+            matching: out.matching,
+            run_time: out.sim_time,
+            simulated: true,
+            iterations: out.metrics.counter("driver.iterations"),
+            profile: Some(out.profile),
+            metrics: out.metrics,
+            trace: None,
+        })
+    }
+}
+
+/// Red-blue auction matching.
+pub struct AuctionMatcher {
+    /// Coloring seed.
+    pub seed: u64,
+}
+
+impl Matcher for AuctionMatcher {
+    fn name(&self) -> &str {
+        "auction"
+    }
+    fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
+        let t0 = Instant::now();
+        let m = auction(g, self.seed);
+        Ok(MatchResult::host(m, t0.elapsed().as_secs_f64()))
+    }
+}
+
+/// Exact maximum-weight matching (O(n^3); size-guarded).
+pub struct BlossomMatcher {
+    /// Maximum vertex count accepted.
+    pub limit: usize,
+}
+
+impl Matcher for BlossomMatcher {
+    fn name(&self) -> &str {
+        "blossom"
+    }
+    fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
+        if g.num_vertices() > self.limit {
+            return Err(MatchError(format!(
+                "blossom is O(n^3); {} vertices is too many (limit {})",
+                g.num_vertices(),
+                self.limit
+            )));
+        }
+        let t0 = Instant::now();
+        let m = blossom_mwm(g, 1_000_000.0);
+        Ok(MatchResult::host(m, t0.elapsed().as_secs_f64()))
+    }
+}
+
+/// cuGraph-style multi-GPU baseline.
+pub struct CugraphMatcher {
+    /// Base platform (comm model is replaced by MPI-staged internally).
+    pub platform: Platform,
+    /// Device count.
+    pub devices: usize,
+    /// Record an event trace.
+    pub collect_trace: bool,
+}
+
+impl Matcher for CugraphMatcher {
+    fn name(&self) -> &str {
+        "cugraph"
+    }
+    fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
+        let out = cugraph_sim_traced(g, &self.platform, self.devices, self.collect_trace)
+            .map_err(|e| MatchError(format!("cuGraph-sim failed: {e}")))?;
+        Ok(ld_gpu_result(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldgm_graph::gen::urand;
+
+    #[test]
+    fn default_registry_contents() {
+        let reg = MatcherRegistry::with_defaults(&MatcherSetup::default());
+        assert_eq!(
+            reg.names(),
+            vec![
+                "ld-gpu",
+                "ld-seq",
+                "local-max",
+                "greedy",
+                "suitor",
+                "suitor-par",
+                "suitor-gpu",
+                "auction",
+                "blossom",
+                "cugraph",
+            ]
+        );
+        assert!(reg.get("ld-gpu").is_some());
+        assert!(reg.get("bogus").is_none());
+    }
+
+    #[test]
+    fn every_registered_matcher_runs_and_validates() {
+        let g = urand(300, 1500, 1);
+        let reg = MatcherRegistry::with_defaults(&MatcherSetup::default());
+        for m in reg.iter() {
+            let r = m.run(&g).unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+            assert_eq!(r.matching.verify(&g), Ok(()), "{}", m.name());
+            assert!(r.run_time >= 0.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn simulated_matchers_carry_profiles() {
+        let g = urand(400, 2000, 2);
+        let reg = MatcherRegistry::with_defaults(&MatcherSetup::default());
+        for name in ["ld-gpu", "ld-seq", "local-max", "suitor-gpu", "cugraph"] {
+            let r = reg.get(name).unwrap().run(&g).unwrap();
+            let p = r.profile.unwrap_or_else(|| panic!("{name}: no profile"));
+            assert!(p.phases.total() > 0.0, "{name}");
+            assert!(!r.metrics.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn blossom_guard_errors_cleanly() {
+        let g = urand(50, 100, 3);
+        let m = BlossomMatcher { limit: 10 };
+        let err = m.run(&g).unwrap_err();
+        assert!(err.0.contains("O(n^3)"));
+    }
+
+    #[test]
+    fn trace_request_propagates_to_ld_gpu() {
+        let g = urand(200, 800, 4);
+        let setup = MatcherSetup { collect_trace: true, ..Default::default() };
+        let reg = MatcherRegistry::with_defaults(&setup);
+        let r = reg.get("ld-gpu").unwrap().run(&g).unwrap();
+        assert!(r.trace.is_some());
+        let r = reg.get("cugraph").unwrap().run(&g).unwrap();
+        assert!(r.trace.is_some());
+        let r = reg.get("greedy").unwrap().run(&g).unwrap();
+        assert!(r.trace.is_none());
+    }
+
+    #[test]
+    fn register_replaces_by_name() {
+        struct Fake;
+        impl Matcher for Fake {
+            fn name(&self) -> &str {
+                "greedy"
+            }
+            fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
+                Ok(MatchResult::host(Matching::new(g.num_vertices()), 0.0))
+            }
+        }
+        let mut reg = MatcherRegistry::with_defaults(&MatcherSetup::default());
+        let before = reg.len();
+        reg.register(Box::new(Fake));
+        assert_eq!(reg.len(), before);
+        let g = urand(10, 20, 5);
+        let r = reg.get("greedy").unwrap().run(&g).unwrap();
+        assert_eq!(r.matching.cardinality(), 0, "replacement matcher must win");
+    }
+}

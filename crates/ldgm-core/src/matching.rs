@@ -98,10 +98,9 @@ impl Matching {
 
     /// Iterate matched edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.mate
-            .iter()
-            .enumerate()
-            .filter_map(|(u, &v)| (v != UNMATCHED && (u as VertexId) < v).then_some((u as VertexId, v)))
+        self.mate.iter().enumerate().filter_map(|(u, &v)| {
+            (v != UNMATCHED && (u as VertexId) < v).then_some((u as VertexId, v))
+        })
     }
 
     /// Total weight `w(M)` under graph `g`.
@@ -170,11 +169,7 @@ mod tests {
     use ldgm_graph::GraphBuilder;
 
     fn path4() -> CsrGraph {
-        GraphBuilder::new(4)
-            .add_edge(0, 1, 1.0)
-            .add_edge(1, 2, 2.0)
-            .add_edge(2, 3, 1.0)
-            .build()
+        GraphBuilder::new(4).add_edge(0, 1, 1.0).add_edge(1, 2, 2.0).add_edge(2, 3, 1.0).build()
     }
 
     #[test]

@@ -62,9 +62,7 @@ pub fn suitor_with_stats(g: &CsrGraph) -> (Matching, SuitorStats) {
                 stats.edges_scanned += 1;
                 // v is a valid target if u's offer would beat v's standing
                 // suitor, and the edge beats u's current best candidate.
-                if beats(w, u, ws[v as usize], suitor_of[v as usize])
-                    && beats(w, v, best_w, best)
-                {
+                if beats(w, u, ws[v as usize], suitor_of[v as usize]) && beats(w, v, best_w, best) {
                     best = v;
                     best_w = w;
                 }

@@ -24,9 +24,7 @@ fn beats(w_new: f64, u_new: VertexId, w_cur: f64, u_cur: VertexId) -> bool {
 /// Run parallel Suitor on `g` using the current rayon thread pool.
 pub fn suitor_par(g: &CsrGraph) -> Matching {
     let n = g.num_vertices();
-    let ws: Vec<AtomicU64> = (0..n)
-        .map(|_| AtomicU64::new(f64::NEG_INFINITY.to_bits()))
-        .collect();
+    let ws: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(f64::NEG_INFINITY.to_bits())).collect();
     let suitor_of: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNMATCHED)).collect();
     let locks: Vec<Mutex<()>> = (0..n).map(|_| Mutex::new(())).collect();
 
@@ -76,8 +74,7 @@ pub fn suitor_par(g: &CsrGraph) -> Matching {
         }
     });
 
-    let suitor_final: Vec<VertexId> =
-        suitor_of.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    let suitor_final: Vec<VertexId> = suitor_of.iter().map(|a| a.load(Ordering::Relaxed)).collect();
     let mut m = Matching::new(n);
     for v in 0..n as VertexId {
         let u = suitor_final[v as usize];

@@ -16,7 +16,7 @@
 
 use crate::matching::Matching;
 use crate::suitor::suitor_with_stats;
-use ldgm_gpusim::{KernelStats, Platform};
+use ldgm_gpusim::{KernelStats, MetricsRegistry, PhaseBreakdown, Platform, RunProfile};
 use ldgm_graph::csr::CsrGraph;
 
 /// Device bytes SR-GPU needs for `g`.
@@ -43,6 +43,12 @@ pub struct SuitorSimOutput {
     pub sim_time: f64,
     /// Kernel statistics of the (aggregated) proposal kernels.
     pub stats: KernelStats,
+    /// Phase attribution in the LD-GPU shape (proposal kernels as
+    /// pointing, atomic mate-update serialization as matching, per-round
+    /// launch+sync overhead as sync); sums to `sim_time` exactly.
+    pub profile: RunProfile,
+    /// Run metrics.
+    pub metrics: MetricsRegistry,
 }
 
 /// Error: the graph does not fit on the device.
@@ -56,7 +62,11 @@ pub struct SrGpuOutOfMemory {
 
 impl std::fmt::Display for SrGpuOutOfMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SR-GPU out of memory: needs {} B, device has {} B", self.required, self.available)
+        write!(
+            f,
+            "SR-GPU out of memory: needs {} B, device has {} B",
+            self.required, self.available
+        )
     }
 }
 
@@ -97,8 +107,7 @@ pub fn suitor_sim(g: &CsrGraph, platform: &Platform) -> Result<SuitorSimOutput, 
         // 32-bit loads halve the streamed adjacency traffic relative to
         // LD-GPU (4 B id + 4 B weight per scanned edge at wave
         // granularity), plus a 32 B sector per ws/suitor gather.
-        bytes_read: sstats.edges_scanned.div_ceil(32) * 32 * (4 + 4)
-            + sstats.edges_scanned * 32,
+        bytes_read: sstats.edges_scanned.div_ceil(32) * 32 * (4 + 4) + sstats.edges_scanned * 32,
         bytes_written: sstats.proposals * 8,
     };
     let kernel = platform.device.kernel_time(&platform.cost, &stats);
@@ -109,10 +118,31 @@ pub fn suitor_sim(g: &CsrGraph, platform: &Platform) -> Result<SuitorSimOutput, 
     // exchange/retry (~200 cycles each under contention): the hottest
     // target bounds the run from below on contended (dense or hub-heavy)
     // graphs.
-    let atomic_serial =
-        sstats.max_target_updates as f64 * 200.0 / platform.device.clock_hz();
-    let sim_time = (kernel + rounds as f64 * per_round).max(atomic_serial);
-    Ok(SuitorSimOutput { matching, sim_time, stats })
+    let atomic_serial = sstats.max_target_updates as f64 * 200.0 / platform.device.clock_hz();
+    let overhead = rounds as f64 * per_round;
+    let sim_time = (kernel + overhead).max(atomic_serial);
+
+    // Phase attribution summing to sim_time: proposal scans are the
+    // pointing analog, round overhead is sync, and any excess of the
+    // atomic serialization bound over pipelined work is the matching
+    // (mate-commit) bottleneck.
+    let phases = PhaseBreakdown {
+        pointing: kernel,
+        matching: (atomic_serial - (kernel + overhead)).max(0.0),
+        sync: overhead,
+        ..Default::default()
+    };
+    let mut metrics = MetricsRegistry::new();
+    metrics.counter_add("kernel.edges_scanned", sstats.edges_scanned);
+    metrics.counter_add("kernel.pointers_set", sstats.proposals);
+    metrics.counter_add("matching.edges_committed", matching.cardinality() as u64);
+    metrics.counter_add("driver.iterations", rounds);
+    metrics.counter_add("comm.rounds", rounds);
+    metrics.gauge_set("kernel.occupancy", platform.device.occupancy(&platform.cost, &stats));
+    metrics.gauge_set("driver.devices", 1.0);
+    let profile = RunProfile { phases, iterations: Vec::new(), sim_time };
+    debug_assert!((profile.phases.total() - sim_time).abs() <= 1e-12 * sim_time.max(1.0));
+    Ok(SuitorSimOutput { matching, sim_time, stats, profile, metrics })
 }
 
 #[cfg(test)]
@@ -146,6 +176,25 @@ mod tests {
         // COO + 32-bit CSR together exceed the 64-bit CSR only through the
         // staging copy; per stored edge SR-GPU's resident CSR is half.
         assert!(m2 * 8 < g.csr_bytes());
+    }
+
+    #[test]
+    fn phases_sum_to_sim_time() {
+        for seed in 0..4 {
+            let g = urand(800, 6400, seed);
+            let out = suitor_sim(&g, &Platform::dgx_a100()).unwrap();
+            let total = out.profile.phases.total();
+            assert!(
+                (total - out.sim_time).abs() <= 1e-9 * out.sim_time,
+                "phases {total} != sim_time {}",
+                out.sim_time
+            );
+            assert_eq!(
+                out.metrics.counter("matching.edges_committed"),
+                out.matching.cardinality() as u64
+            );
+            assert!(out.metrics.counter("kernel.edges_scanned") > 0);
+        }
     }
 
     #[test]

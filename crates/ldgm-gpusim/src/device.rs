@@ -131,8 +131,8 @@ impl DeviceSpec {
             + stats.edge_waves as f64 * cost.cycles_per_wave;
         // Effective concurrent warps: bounded by what was launched and by
         // the device's sustained warp-issue capacity.
-        let parallel = (stats.warps_active.max(1) as f64)
-            .min(self.sm_count as f64 * cost.warps_per_sm_exec);
+        let parallel =
+            (stats.warps_active.max(1) as f64).min(self.sm_count as f64 * cost.warps_per_sm_exec);
         let balanced = warp_cycles / parallel;
         // A single overloaded warp bounds the launch from below.
         let straggler = stats.max_warp_waves as f64 * cost.cycles_per_wave

@@ -18,20 +18,35 @@
 //! * [`platform`] — [`platform::Platform`] presets: DGX-A100, DGX-2,
 //!   PCIe variants;
 //! * [`profile`] — phase breakdowns, per-iteration warp-edge work, and
-//!   occupancy records (the paper's Figs. 5, 7, 8, 11).
+//!   occupancy records (the paper's Figs. 5, 7, 8, 11);
+//! * [`metrics`] — named counter/gauge/histogram registry every matcher
+//!   fills as it runs;
+//! * [`export`] — Chrome-trace/Perfetto JSON export and timeline phase
+//!   attribution;
+//! * [`report`] — the versioned JSON run-report schema behind
+//!   `ldgm match --report-json`;
+//! * [`json`] — the dependency-free JSON value type the above build on.
 
 pub mod collective;
 pub mod device;
+pub mod export;
 pub mod interconnect;
+pub mod json;
+pub mod metrics;
 pub mod platform;
 pub mod profile;
+pub mod report;
 pub mod timer;
 pub mod trace;
 
 pub use collective::{allreduce_max_merge, CommModel, NONE_SENTINEL};
 pub use device::{CostModel, DeviceSpec, KernelStats};
+pub use export::{chrome_trace_json, timeline_breakdown};
 pub use interconnect::{Interconnect, Link};
+pub use json::Json;
+pub use metrics::{HistogramSummary, Metric, MetricsRegistry};
 pub use platform::Platform;
 pub use profile::{IterationRecord, PhaseBreakdown, RunProfile};
+pub use report::RunReport;
 pub use timer::{run_collective, DeviceTimer};
 pub use trace::{EventKind, Trace, TraceEvent};

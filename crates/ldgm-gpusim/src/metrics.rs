@@ -1,0 +1,293 @@
+//! Metrics registry: named counters, gauges, and histograms populated by
+//! the kernels and drivers as they run.
+//!
+//! Every matcher fills one [`MetricsRegistry`] per run (edges scanned,
+//! pointers set, vertices retired, collective bytes, buffer stalls, ...).
+//! Names are dot-separated (`"kernel.edges_scanned"`); storage is a
+//! `BTreeMap`, so iteration and JSON output are deterministic and sorted.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Summary statistics of observed samples (no buckets: the consumers —
+/// reports and the `ldgm profile` table — want moments, not quantiles).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// Record one sample.
+    pub fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Fold another summary into this one.
+    pub fn merge(&mut self, other: &HistogramSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-write-wins measurement.
+    Gauge(f64),
+    /// Sample distribution summary.
+    Histogram(HistogramSummary),
+}
+
+impl Metric {
+    /// Metric kind name as emitted in JSON.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+
+    /// Scalar view used by display tables: counter value, gauge value, or
+    /// histogram mean.
+    pub fn scalar(&self) -> f64 {
+        match self {
+            Metric::Counter(v) => *v as f64,
+            Metric::Gauge(v) => *v,
+            Metric::Histogram(h) => h.mean(),
+        }
+    }
+}
+
+/// A run's worth of named metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to a counter, creating it at zero first. Panics if the
+    /// name is already registered as a different kind — mixed use of one
+    /// name is a programming error worth failing loudly on.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.entries.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            other => panic!("metric '{name}' is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Set a gauge.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        match self.entries.entry(name.to_string()).or_insert(Metric::Gauge(value)) {
+            Metric::Gauge(v) => *v = value,
+            other => panic!("metric '{name}' is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Record a histogram sample.
+    pub fn observe(&mut self, name: &str, sample: f64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert(Metric::Histogram(HistogramSummary::default()))
+        {
+            Metric::Histogram(h) => h.observe(sample),
+            other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.get(name)
+    }
+
+    /// Counter value; 0 when absent or not a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value; `None` when absent or not a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.entries.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate metrics in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Fold another registry into this one: counters add, gauges take the
+    /// other's value, histograms merge.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, metric) in &other.entries {
+            match metric {
+                Metric::Counter(v) => self.counter_add(name, *v),
+                Metric::Gauge(v) => self.gauge_set(name, *v),
+                Metric::Histogram(h) => match self
+                    .entries
+                    .entry(name.clone())
+                    .or_insert(Metric::Histogram(HistogramSummary::default()))
+                {
+                    Metric::Histogram(mine) => mine.merge(h),
+                    other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
+                },
+            }
+        }
+    }
+
+    /// JSON object keyed by metric name, each value tagged with its kind:
+    /// `{"type":"counter","value":N}`, `{"type":"gauge","value":X}`, or
+    /// `{"type":"histogram","count":N,"sum":S,"min":A,"max":B,"mean":M}`.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        for (name, metric) in &self.entries {
+            let entry = match metric {
+                Metric::Counter(v) => Json::object().with("type", "counter").with("value", *v),
+                Metric::Gauge(v) => Json::object().with("type", "gauge").with("value", *v),
+                Metric::Histogram(h) => Json::object()
+                    .with("type", "histogram")
+                    .with("count", h.count)
+                    .with("sum", h.sum)
+                    .with("min", h.min)
+                    .with("max", h.max)
+                    .with("mean", h.mean()),
+            };
+            obj.set(name.clone(), entry);
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("kernel.edges_scanned", 10);
+        m.counter_add("kernel.edges_scanned", 5);
+        assert_eq!(m.counter("kernel.edges_scanned"), 15);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("occupancy", 0.5);
+        m.gauge_set("occupancy", 0.75);
+        assert_eq!(m.gauge("occupancy"), Some(0.75));
+        assert_eq!(m.gauge("absent"), None);
+    }
+
+    #[test]
+    fn histogram_moments() {
+        let mut m = MetricsRegistry::new();
+        for v in [2.0, 4.0, 6.0] {
+            m.observe("lat", v);
+        }
+        let Some(Metric::Histogram(h)) = m.get("lat") else { panic!("not a histogram") };
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 6.0);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("x", 1);
+        m.gauge_set("x", 1.0);
+    }
+
+    #[test]
+    fn merge_by_kind() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        a.gauge_set("g", 1.0);
+        a.observe("h", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 2);
+        b.gauge_set("g", 9.0);
+        b.observe("h", 3.0);
+        b.counter_add("only_b", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.counter("only_b"), 7);
+        let Some(Metric::Histogram(h)) = a.get("h") else { panic!("not a histogram") };
+        assert_eq!((h.count, h.min, h.max), (2, 1.0, 3.0));
+    }
+
+    #[test]
+    fn json_is_sorted_and_tagged() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("b.gauge", 2.5);
+        m.counter_add("a.counter", 3);
+        let j = m.to_json();
+        let text = j.to_string_compact();
+        assert!(text.find("a.counter").unwrap() < text.find("b.gauge").unwrap());
+        assert_eq!(
+            j.get("a.counter").and_then(|e| e.get("type")).and_then(Json::as_str),
+            Some("counter")
+        );
+        assert_eq!(j.get("b.gauge").and_then(|e| e.get("value")).and_then(Json::as_f64), Some(2.5));
+    }
+}

@@ -160,6 +160,31 @@ impl Platform {
         self
     }
 
+    /// Every exported preset with its CLI name — the single source of
+    /// truth for `--platform` parsing and the `ldgm platforms` listing.
+    /// The cluster preset appears with its 4-node default; `toy` is
+    /// test-only and deliberately not listed.
+    pub fn presets() -> Vec<(&'static str, Platform)> {
+        vec![
+            ("dgx-a100", Self::dgx_a100()),
+            ("dgx2", Self::dgx2()),
+            ("dgx-h100", Self::dgx_h100()),
+            ("nvl72", Self::nvl72()),
+            ("pcie-a100", Self::pcie_a100()),
+            ("dgx-a100-cluster", Self::dgx_a100_cluster(4)),
+        ]
+    }
+
+    /// CLI names of all presets, in listing order.
+    pub fn preset_names() -> Vec<&'static str> {
+        Self::presets().into_iter().map(|(n, _)| n).collect()
+    }
+
+    /// Look up a preset by CLI name.
+    pub fn by_name(name: &str) -> Option<Platform> {
+        Self::presets().into_iter().find(|(n, _)| *n == name).map(|(_, p)| p)
+    }
+
     /// A tiny deterministic platform for unit tests.
     pub fn toy(max_devices: usize, mem_bytes: u64) -> Self {
         Platform {
@@ -213,10 +238,20 @@ mod tests {
     }
 
     #[test]
+    fn preset_registry_is_exhaustive_and_consistent() {
+        let presets = Platform::presets();
+        assert_eq!(presets.len(), 6);
+        for (name, p) in &presets {
+            assert_eq!(Platform::by_name(name).as_ref(), Some(p), "{name}");
+        }
+        assert!(Platform::by_name("toy").is_none());
+        assert!(Platform::by_name("bogus").is_none());
+        assert_eq!(Platform::preset_names()[0], "dgx-a100");
+    }
+
+    #[test]
     fn overrides_compose() {
-        let p = Platform::dgx_a100()
-            .with_device_memory(1 << 20)
-            .with_comm(CommModel::mpi_staged());
+        let p = Platform::dgx_a100().with_device_memory(1 << 20).with_comm(CommModel::mpi_staged());
         assert_eq!(p.device.mem_bytes, 1 << 20);
         assert!(matches!(p.comm, CommModel::MpiStaged { .. }));
     }

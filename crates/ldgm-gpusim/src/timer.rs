@@ -23,6 +23,10 @@ pub struct DeviceTimer {
     buffer_busy: [f64; 2],
     /// Per-buffer: last copy into the buffer finishes at.
     copy_done: [f64; 2],
+    /// Copies that had to wait for a buffer's consumer kernel.
+    stalls: u64,
+    /// Total time copies spent waiting on busy buffers.
+    stall_time: f64,
 }
 
 impl DeviceTimer {
@@ -44,7 +48,14 @@ impl DeviceTimer {
     /// Schedule an async host-to-device copy of `bytes` into buffer `buf`
     /// over `link`. Returns `(start, end)`.
     pub fn schedule_h2d(&mut self, buf: usize, bytes: u64, link: &Link) -> (f64, f64) {
-        let start = self.copy_free.max(self.buffer_busy[buf & 1]).max(self.now);
+        let ready = self.copy_free.max(self.now);
+        let start = ready.max(self.buffer_busy[buf & 1]);
+        if start > ready {
+            // The dual-buffer scheme ran out of room: the copy engine sat
+            // idle waiting for the kernel still consuming this buffer.
+            self.stalls += 1;
+            self.stall_time += start - ready;
+        }
         let end = start + link.transfer_time(bytes);
         self.copy_free = end;
         self.copy_done[buf & 1] = end;
@@ -97,16 +108,23 @@ impl DeviceTimer {
         self.buffer_busy = [t; 2];
         self.copy_done = [t; 2];
     }
+
+    /// Copies that stalled waiting for a buffer's consumer kernel.
+    pub fn buffer_stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Total simulated time copies spent stalled on busy buffers.
+    pub fn buffer_stall_time(&self) -> f64 {
+        self.stall_time
+    }
 }
 
 /// Run a barrier collective across `timers`: all devices drain, the
 /// operation costs `cost` seconds, and every timeline is aligned to the
 /// common completion point. Returns `(start, end)`.
 pub fn run_collective(timers: &mut [DeviceTimer], cost: f64) -> (f64, f64) {
-    let start = timers
-        .iter()
-        .map(DeviceTimer::horizon)
-        .fold(0.0_f64, f64::max);
+    let start = timers.iter().map(DeviceTimer::horizon).fold(0.0_f64, f64::max);
     let end = start + cost;
     for t in timers.iter_mut() {
         t.align_to(end);
@@ -145,9 +163,21 @@ mod tests {
         let mut t = DeviceTimer::new();
         t.schedule_h2d(0, 1_000_000_000, &L); // copy0: 0-1
         t.schedule_kernel(0, 5.0); // kernel0: 1-6 holds buffer 0
-        // Copy into buffer 0 again (batch 2) must wait for kernel0.
+                                   // Copy into buffer 0 again (batch 2) must wait for kernel0.
         let (c2s, _) = t.schedule_h2d(2, 1_000_000_000, &L);
         assert_eq!(c2s, 6.0);
+        // That wait is a recorded buffer stall: engine free at 1, start 6.
+        assert_eq!(t.buffer_stalls(), 1);
+        assert_eq!(t.buffer_stall_time(), 5.0);
+    }
+
+    #[test]
+    fn unstalled_copies_record_no_stall() {
+        let mut t = DeviceTimer::new();
+        t.schedule_h2d(0, 1_000_000_000, &L);
+        t.schedule_h2d(1, 1_000_000_000, &L);
+        assert_eq!(t.buffer_stalls(), 0);
+        assert_eq!(t.buffer_stall_time(), 0.0);
     }
 
     #[test]

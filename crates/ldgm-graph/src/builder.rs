@@ -113,7 +113,10 @@ impl GraphBuilder {
     }
 
     /// Build from a pre-collected edge list.
-    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (VertexId, VertexId, Weight)>) -> CsrGraph {
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> CsrGraph {
         let mut b = GraphBuilder::new(n);
         for (u, v, w) in edges {
             b.push_edge(u, v, w);
@@ -153,14 +156,7 @@ mod tests {
     fn adjacency_sorted_and_symmetric() {
         let g = GraphBuilder::from_edges(
             6,
-            [
-                (5, 0, 1.0),
-                (3, 1, 2.0),
-                (0, 3, 3.0),
-                (4, 0, 4.0),
-                (2, 0, 5.0),
-                (1, 0, 6.0),
-            ],
+            [(5, 0, 1.0), (3, 1, 2.0), (0, 3, 3.0), (4, 0, 4.0), (2, 0, 5.0), (1, 0, 6.0)],
         );
         assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
         assert_eq!(g.validate(), Ok(()));

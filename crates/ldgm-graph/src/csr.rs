@@ -90,10 +90,7 @@ impl CsrGraph {
     /// Iterate `(neighbor, weight)` pairs of `v`.
     #[inline]
     pub fn edges_of(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
-        self.neighbors(v)
-            .iter()
-            .copied()
-            .zip(self.neighbor_weights(v).iter().copied())
+        self.neighbors(v).iter().copied().zip(self.neighbor_weights(v).iter().copied())
     }
 
     /// The CSR offset array (length `n + 1`).
@@ -118,9 +115,7 @@ impl CsrGraph {
     /// adjacency list).
     pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
         let nbrs = self.neighbors(u);
-        nbrs.binary_search(&v)
-            .ok()
-            .map(|i| self.neighbor_weights(u)[i])
+        nbrs.binary_search(&v).ok().map(|i| self.neighbor_weights(u)[i])
     }
 
     /// Whether edge `{u, v}` exists.
@@ -131,9 +126,7 @@ impl CsrGraph {
     /// Iterate each undirected edge once as `(u, v, w)` with `u < v`.
     pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
         (0..self.num_vertices() as VertexId).flat_map(move |u| {
-            self.edges_of(u)
-                .filter(move |&(v, _)| u < v)
-                .map(move |(v, w)| (u, v, w))
+            self.edges_of(u).filter(move |&(v, _)| u < v).map(move |(v, w)| (u, v, w))
         })
     }
 
@@ -145,10 +138,7 @@ impl CsrGraph {
 
     /// Maximum degree `d_max`.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices() as VertexId)
-            .map(|v| self.degree(v))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_vertices() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// Average degree `d_avg = 2m / n`.
@@ -248,11 +238,7 @@ mod tests {
     use crate::builder::GraphBuilder;
 
     fn triangle() -> CsrGraph {
-        GraphBuilder::new(3)
-            .add_edge(0, 1, 1.0)
-            .add_edge(1, 2, 2.0)
-            .add_edge(0, 2, 3.0)
-            .build()
+        GraphBuilder::new(3).add_edge(0, 1, 1.0).add_edge(1, 2, 2.0).add_edge(0, 2, 3.0).build()
     }
 
     #[test]
@@ -318,31 +304,19 @@ mod tests {
 
     #[test]
     fn validate_rejects_asymmetry() {
-        let g = CsrGraph {
-            offsets: vec![0, 1, 1],
-            adj: vec![1],
-            weights: vec![1.0],
-        };
+        let g = CsrGraph { offsets: vec![0, 1, 1], adj: vec![1], weights: vec![1.0] };
         assert!(g.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_self_loop() {
-        let g = CsrGraph {
-            offsets: vec![0, 1],
-            adj: vec![0],
-            weights: vec![1.0],
-        };
+        let g = CsrGraph { offsets: vec![0, 1], adj: vec![0], weights: vec![1.0] };
         assert!(g.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_nonpositive_weight() {
-        let g = CsrGraph {
-            offsets: vec![0, 1, 2],
-            adj: vec![1, 0],
-            weights: vec![0.0, 0.0],
-        };
+        let g = CsrGraph { offsets: vec![0, 1, 2], adj: vec![1, 0], weights: vec![0.0, 0.0] };
         assert!(g.validate().is_err());
     }
 }

@@ -47,8 +47,7 @@ pub fn bipartite(left: usize, right: usize, choices: usize, seed: u64) -> CsrGra
 /// Whether `g` is bipartite with parts `0..left` and `left..n` (no
 /// intra-part edges).
 pub fn is_bipartition(g: &CsrGraph, left: usize) -> bool {
-    g.iter_edges()
-        .all(|(u, v, _)| ((u as usize) < left) != ((v as usize) < left))
+    g.iter_edges().all(|(u, v, _)| ((u as usize) < left) != ((v as usize) < left))
 }
 
 #[cfg(test)]

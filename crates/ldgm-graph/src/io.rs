@@ -109,15 +109,11 @@ pub fn read_mtx<R: Read>(reader: R, pattern_weight_seed: u64) -> Result<CsrGraph
     if dims.len() != 3 {
         return Err(IoError::Parse("size line must be 'rows cols nnz'".into(), lineno));
     }
-    let rows: usize = dims[0]
-        .parse()
-        .map_err(|_| IoError::Parse("bad row count".into(), lineno))?;
-    let cols: usize = dims[1]
-        .parse()
-        .map_err(|_| IoError::Parse("bad col count".into(), lineno))?;
-    let nnz: usize = dims[2]
-        .parse()
-        .map_err(|_| IoError::Parse("bad nnz count".into(), lineno))?;
+    let rows: usize =
+        dims[0].parse().map_err(|_| IoError::Parse("bad row count".into(), lineno))?;
+    let cols: usize =
+        dims[1].parse().map_err(|_| IoError::Parse("bad col count".into(), lineno))?;
+    let nnz: usize = dims[2].parse().map_err(|_| IoError::Parse("bad nnz count".into(), lineno))?;
     if rows != cols {
         return Err(IoError::Parse(
             format!("matrix must be square for matching, got {rows}x{cols}"),
@@ -179,7 +175,10 @@ pub fn read_mtx<R: Read>(reader: R, pattern_weight_seed: u64) -> Result<CsrGraph
 }
 
 /// Read a Matrix Market graph from a file path.
-pub fn read_mtx_file(path: impl AsRef<Path>, pattern_weight_seed: u64) -> Result<CsrGraph, IoError> {
+pub fn read_mtx_file(
+    path: impl AsRef<Path>,
+    pattern_weight_seed: u64,
+) -> Result<CsrGraph, IoError> {
     read_mtx(File::open(path)?, pattern_weight_seed)
 }
 

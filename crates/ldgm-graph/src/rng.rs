@@ -31,12 +31,8 @@ impl Xoshiro256 {
     /// Create a generator from a 64-bit seed via SplitMix64 expansion.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Xoshiro256 { s }
     }
 
@@ -44,10 +40,7 @@ impl Xoshiro256 {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -115,12 +108,8 @@ impl Xoshiro256 {
     /// mixes the stream index so workers are decorrelated.
     pub fn fork(&mut self, stream: u64) -> Self {
         let mut sm = self.next_u64() ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Xoshiro256 { s }
     }
 }

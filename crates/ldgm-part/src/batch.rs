@@ -113,13 +113,19 @@ fn split_in_range(offsets: &[u64], part: &VertexRange, target: u64) -> VertexId 
 
 /// Validate that `batches` tile `part` contiguously with edge bounds
 /// matching the CSR offsets.
-pub fn validate_batches(g: &CsrGraph, part: &VertexRange, batches: &[VertexRange]) -> Result<(), String> {
+pub fn validate_batches(
+    g: &CsrGraph,
+    part: &VertexRange,
+    batches: &[VertexRange],
+) -> Result<(), String> {
     let mut expect = part.start;
     for (i, b) in batches.iter().enumerate() {
         if b.start != expect {
             return Err(format!("batch {i} starts at {} expected {expect}", b.start));
         }
-        if b.edge_start != g.offsets()[b.start as usize] || b.edge_end != g.offsets()[b.end as usize] {
+        if b.edge_start != g.offsets()[b.start as usize]
+            || b.edge_end != g.offsets()[b.end as usize]
+        {
             return Err(format!("batch {i} edge bounds inconsistent"));
         }
         expect = b.end;

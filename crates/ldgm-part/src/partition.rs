@@ -66,11 +66,8 @@ impl Partition {
         for i in 0..n_parts {
             // Ideal cumulative edge count at the end of part i.
             let target = total * (i as u64 + 1) / n_parts as u64;
-            let end = if i + 1 == n_parts {
-                n
-            } else {
-                split_point(offsets, target).clamp(start, n)
-            };
+            let end =
+                if i + 1 == n_parts { n } else { split_point(offsets, target).clamp(start, n) };
             parts.push(VertexRange {
                 start,
                 end,
@@ -95,9 +92,7 @@ impl Partition {
     /// Which part owns vertex `v` (binary search).
     pub fn owner_of(&self, v: VertexId) -> usize {
         debug_assert!(!self.parts.is_empty());
-        self.parts
-            .partition_point(|r| r.end <= v)
-            .min(self.parts.len() - 1)
+        self.parts.partition_point(|r| r.end <= v).min(self.parts.len() - 1)
     }
 
     /// Largest directed-edge count over the parts — the per-device memory

@@ -7,8 +7,13 @@
 //! ```
 
 use ldgm::core::{
-    auction::auction, greedy::greedy, ld_gpu::{LdGpu, LdGpuConfig}, ld_seq::ld_seq,
-    local_max::local_max, suitor::suitor, suitor_par::suitor_par,
+    auction::auction,
+    greedy::greedy,
+    ld_gpu::{LdGpu, LdGpuConfig},
+    ld_seq::ld_seq,
+    local_max::local_max,
+    suitor::suitor,
+    suitor_par::suitor_par,
 };
 use ldgm::gpusim::Platform;
 use ldgm::graph::gen::GraphGen;

@@ -15,11 +15,13 @@ fn main() {
     let g = GraphGen::web().vertices(60_000).avg_degree(24).seed(11).build();
     // Shrink device memory so the configuration space is interesting:
     // small device counts need batching.
-    let platform = Platform::dgx_a100()
-        .with_device_memory(8 << 20)
-        .with_overheads_scaled(1024.0);
+    let platform = Platform::dgx_a100().with_device_memory(8 << 20).with_overheads_scaled(1024.0);
 
-    println!("tuning LD-GPU over devices x batches (graph: |V|={} |E|={})", g.num_vertices(), g.num_edges());
+    println!(
+        "tuning LD-GPU over devices x batches (graph: |V|={} |E|={})",
+        g.num_vertices(),
+        g.num_edges()
+    );
     println!("\ndevices  batches  sim time     note");
     println!("-------  -------  -----------  ----");
     let mut best: Option<(usize, usize, f64)> = None;

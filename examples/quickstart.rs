@@ -15,10 +15,7 @@ fn main() {
     //    3-decimal weights (the paper's weighting scheme).
     let g = GraphGen::rmat().vertices(1 << 14).avg_degree(16).seed(42).build();
     let s = stats(&g);
-    println!(
-        "graph: |V|={} |E|={} d_max={} d_avg={:.1}",
-        s.vertices, s.edges, s.d_max, s.d_avg
-    );
+    println!("graph: |V|={} |E|={} d_max={} d_avg={:.1}", s.vertices, s.edges, s.d_max, s.d_avg);
 
     // 2. Run LD-GPU on four simulated A100s of a DGX-A100 node.
     let cfg = LdGpuConfig::new(Platform::dgx_a100()).devices(4);

@@ -19,8 +19,8 @@ fn matching_invariant_across_device_and_batch_grid() {
     let reference = ld_seq(&g);
     for nd in [1usize, 2, 3, 5, 8] {
         for nb in [1usize, 2, 4, 7] {
-            let out = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100()).devices(nd).batches(nb))
-                .run(&g);
+            let out =
+                LdGpu::new(LdGpuConfig::new(Platform::dgx_a100()).devices(nd).batches(nb)).run(&g);
             assert_eq!(
                 out.matching.mate_array(),
                 reference.mate_array(),
@@ -120,7 +120,10 @@ fn per_iteration_records_are_consistent() {
 fn retire_flag_does_not_change_matching() {
     let g = test_graph(8);
     let on = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100()).devices(2)).run(&g);
-    let cfg = LdGpuConfig { retire_exhausted: false, ..LdGpuConfig::new(Platform::dgx_a100()).devices(2) };
+    let cfg = LdGpuConfig {
+        retire_exhausted: false,
+        ..LdGpuConfig::new(Platform::dgx_a100()).devices(2)
+    };
     let off = LdGpu::new(cfg).run(&g);
     assert_eq!(on.matching.mate_array(), off.matching.mate_array());
     // Retirement only prunes rescans of hopeless vertices.

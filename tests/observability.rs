@@ -1,0 +1,149 @@
+//! End-to-end observability invariants: event-trace well-formedness,
+//! timeline phase attribution, run reports, and the CLI round trip
+//! `gen → match --report-json → stats`.
+
+use ldgm::core::ld_gpu::{LdGpu, LdGpuConfig};
+use ldgm::core::{MatcherRegistry, MatcherSetup};
+use ldgm::gpusim::trace::{EventKind, Trace};
+use ldgm::gpusim::{chrome_trace_json, json, timeline_breakdown, Platform};
+use ldgm::graph::gen::GraphGen;
+use ldgm_cli::args::Args;
+use ldgm_cli::commands;
+use proptest::prelude::*;
+
+fn traced_run(n: usize, deg: f64, seed: u64, devices: usize, batches: usize) -> (Trace, f64) {
+    let g = GraphGen::rmat().vertices(n).avg_degree(deg).seed(seed).build();
+    let cfg = LdGpuConfig::new(Platform::dgx_a100()).devices(devices).batches(batches).with_trace();
+    let out = LdGpu::new(cfg).run(&g);
+    (out.trace.expect("trace requested"), out.sim_time)
+}
+
+/// Every span is well-formed and inside the run window, and compute is a
+/// single in-order queue: per-device kernel spans never overlap.
+#[test]
+fn trace_spans_are_well_formed_and_kernels_serialize() {
+    for (devices, batches) in [(1, 1), (2, 2), (4, 1), (3, 3)] {
+        let (trace, sim_time) = traced_run(900, 8.0, 42, devices, batches);
+        assert!(!trace.events.is_empty());
+        let eps = 1e-12 * sim_time.max(1.0);
+        for e in &trace.events {
+            assert!(e.start <= e.end, "span reversed: {e:?}");
+            assert!(e.start >= -eps, "span before t=0: {e:?}");
+            assert!(e.end <= sim_time + eps, "span past sim_time {sim_time}: {e:?}");
+            assert!(e.device < devices, "device out of range: {e:?}");
+        }
+        for d in 0..devices {
+            let mut kernels: Vec<(f64, f64)> = trace
+                .events
+                .iter()
+                .filter(|e| e.device == d && e.kind == EventKind::Kernel)
+                .map(|e| (e.start, e.end))
+                .collect();
+            kernels.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in kernels.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].1 - eps,
+                    "kernels overlap on dev{d}: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+}
+
+/// The Chrome-trace export carries every duration event with the envelope
+/// Perfetto requires, at microsecond scale.
+#[test]
+fn chrome_trace_export_is_faithful() {
+    let (trace, _) = traced_run(700, 6.0, 7, 2, 2);
+    let doc = chrome_trace_json(&trace);
+    let parsed = json::parse(&doc.to_string_compact()).unwrap();
+    let events = parsed.as_array().unwrap();
+    let xs: Vec<_> =
+        events.iter().filter(|e| e.get("ph").and_then(json::Json::as_str) == Some("X")).collect();
+    assert_eq!(xs.len(), trace.events.len(), "one X event per span");
+    for e in &xs {
+        let ts = e.get("ts").and_then(json::Json::as_f64).unwrap();
+        let dur = e.get("dur").and_then(json::Json::as_f64).unwrap();
+        assert!(ts >= 0.0 && dur >= 0.0);
+        assert!(e.get("pid").is_some() && e.get("tid").is_some());
+        assert!(e.get("name").and_then(json::Json::as_str).is_some());
+    }
+    // Total X duration matches the trace's busy time (µs vs s).
+    let total_dur: f64 =
+        xs.iter().map(|e| e.get("dur").and_then(json::Json::as_f64).unwrap()).sum();
+    let busy: f64 = trace.events.iter().map(|e| (e.end - e.start) * 1e6).sum();
+    assert!((total_dur - busy).abs() <= 1e-6 * busy.max(1.0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The timeline phase attribution partitions [0, sim_time]: phase
+    /// totals match the simulated run time to within 1e-9 relative, for
+    /// arbitrary graph shapes and device/batch configurations.
+    #[test]
+    fn timeline_breakdown_partitions_sim_time(
+        n in 64usize..1200,
+        deg in 2.0f64..12.0,
+        seed in 0u64..1000,
+        devices in 1usize..5,
+        batches in 1usize..4,
+    ) {
+        let (trace, sim_time) = traced_run(n, deg, seed, devices, batches);
+        let phases = timeline_breakdown(&trace, sim_time);
+        for v in [phases.pointing, phases.matching, phases.allreduce, phases.transfer, phases.sync] {
+            prop_assert!(v >= 0.0, "negative phase in {phases:?}");
+        }
+        let total = phases.total();
+        prop_assert!(
+            (total - sim_time).abs() <= 1e-9 * sim_time.max(1e-30),
+            "phases {total} != sim_time {sim_time}"
+        );
+    }
+}
+
+fn cli(line: &str) -> Result<String, ldgm_cli::args::ArgError> {
+    commands::run(&Args::parse(line.split_whitespace().map(String::from)).unwrap())
+}
+
+/// Full CLI round trip on a temp dir: generate a graph, match it with a
+/// JSON report, and re-read it with `stats`; the report's graph/matching
+/// numbers agree with the stats output and the registry run.
+#[test]
+fn cli_round_trip_gen_match_report_stats() {
+    let dir = std::env::temp_dir().join("ldgm_obs_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpath = dir.join("g.mtx").to_string_lossy().into_owned();
+    let rpath = dir.join("report.json").to_string_lossy().into_owned();
+
+    cli(&format!("gen --family web --vertices 350 --avg-degree 6 --seed 5 --out {gpath}")).unwrap();
+    let out = cli(&format!(
+        "match --input {gpath} --algorithm ld-gpu --devices 2 --report-json {rpath} --verify"
+    ))
+    .unwrap();
+    assert!(out.contains("wrote report"));
+    assert!(out.contains("structurally valid"));
+
+    let report = json::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+    let vertices =
+        report.get("graph").and_then(|g| g.get("vertices")).and_then(json::Json::as_f64).unwrap();
+    let stats_out = cli(&format!("stats --input {gpath}")).unwrap();
+    assert!(
+        stats_out.contains(&format!("|V|        {vertices}")),
+        "stats/report vertex mismatch: {stats_out}"
+    );
+
+    // The report's matching agrees with an independent registry run on the
+    // same file (everything is deterministic).
+    let g = ldgm::graph::io::read_mtx_file(&gpath, 0).unwrap();
+    let setup = MatcherSetup { devices: 2, ..Default::default() };
+    let r = MatcherRegistry::with_defaults(&setup).get("ld-gpu").unwrap().run(&g).unwrap();
+    assert_eq!(
+        report.get("matching").and_then(|m| m.get("cardinality")).and_then(json::Json::as_f64),
+        Some(r.matching.cardinality() as f64)
+    );
+    assert_eq!(report.get("sim_time").and_then(json::Json::as_f64), Some(r.run_time));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -18,17 +18,15 @@ use ldgm::part::{make_batches, validate_batches, Partition};
 /// the builder).
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 1u32..=1000),
-            0..max_m,
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..=1000), 0..max_m).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v, w) in edges {
+                    b.push_edge(u, v, w as f64 / 1000.0);
+                }
+                b.build()
+            },
         )
-        .prop_map(move |edges| {
-            let mut b = GraphBuilder::new(n);
-            for (u, v, w) in edges {
-                b.push_edge(u, v, w as f64 / 1000.0);
-            }
-            b.build()
-        })
     })
 }
 

@@ -1,0 +1,193 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking API surface the workspace's `benches/` use
+//! — `benchmark_group`, `sample_size`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple best-of-N wall-clock measurement
+//! printed to stdout. No statistics, plots, or baselines: enough to compile
+//! and run `cargo bench` without crates.io access and to eyeball relative
+//! numbers.
+
+// Vendored shim: API fidelity over lint cleanliness.
+#![allow(clippy::all)]
+
+use std::time::Instant;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing context passed to the measured closure.
+pub struct Bencher {
+    samples: usize,
+    best_ns: u128,
+}
+
+impl Bencher {
+    /// Measure `f`, best wall-clock of the configured sample count.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let r = f();
+            let dt = t0.elapsed().as_nanos();
+            std::hint::black_box(&r);
+            if dt < self.best_ns {
+                self.best_ns = dt;
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (no-op; parity with criterion).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = id.into().0;
+        self.run_one(&label, f);
+        self
+    }
+
+    fn run_one(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher { samples: self.sample_size, best_ns: u128::MAX };
+        f(&mut b);
+        if b.best_ns == u128::MAX {
+            println!("bench {label:<50} (no samples)");
+        } else {
+            println!("bench {label:<50} best {:.3} ms", b.best_ns as f64 / 1e6);
+        }
+    }
+}
+
+/// Re-export matching `criterion::black_box` (callers may also use
+/// `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("accumulate", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        c.bench_function("top-level", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

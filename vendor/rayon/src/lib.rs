@@ -1,0 +1,263 @@
+//! Vendored stand-in for the `rayon` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the workspace vendors the *exact* parallel-iterator surface it uses:
+//! `into_par_iter` on vectors and ranges, `par_chunks_mut` on slices, and
+//! the `zip`/`enumerate`/`map`/`for_each`/`reduce`/`sum`/`collect`
+//! combinators. Work is executed on real OS threads via
+//! [`std::thread::scope`], split into one contiguous group per available
+//! core, which preserves rayon's two properties the callers rely on:
+//! genuine parallelism across disjoint `&mut` chunks, and deterministic
+//! ordering of collected results.
+//!
+//! This is not a work-stealing runtime; each parallel call spawns its own
+//! scoped threads. For the workloads in this repository (a handful of
+//! device tasks, or thousands of uniform warp chunks) static chunking is
+//! within noise of a real pool, and it keeps the shim dependency-free.
+
+// Vendored shim: API fidelity over lint cleanliness.
+#![allow(clippy::all)]
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel call may use.
+fn max_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Run `f` over `items` on scoped threads, preserving input order in the
+/// output. Falls back to the calling thread for small inputs.
+fn pmap<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut groups: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let g: Vec<T> = it.by_ref().take(chunk).collect();
+        if g.is_empty() {
+            break;
+        }
+        groups.push(g);
+    }
+    let nested: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|g| s.spawn(move || g.into_iter().map(|x| f(x)).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon-shim worker panicked")).collect()
+    });
+    nested.into_iter().flatten().collect()
+}
+
+/// An eagerly materialized "parallel" iterator: holds the items, applies
+/// the pipeline's single `map`/`for_each` stage on scoped threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair each item with its index (before any parallel stage).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Zip with another parallel iterator (stops at the shorter side).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter { items: self.items.into_iter().zip(other.items).collect() }
+    }
+
+    /// Attach the parallel mapping stage.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Execute `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        pmap(self.items, &|x| f(x));
+    }
+}
+
+/// A parallel iterator with its mapping stage attached; terminal
+/// operations execute the map on scoped threads.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Collect mapped results, preserving input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        pmap(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Fold mapped results with `op`, seeded by `identity`.
+    pub fn reduce<I, O>(self, identity: I, op: O) -> R
+    where
+        I: Fn() -> R,
+        O: Fn(R, R) -> R,
+    {
+        pmap(self.items, &self.f).into_iter().fold(identity(), op)
+    }
+
+    /// Sum mapped results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        pmap(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// Conversion into a [`ParIter`] — the shim's `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type of the parallel iterator.
+    type Item: Send;
+    /// Materialize the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u32, u64, usize, i32, i64);
+
+/// `par_chunks_mut` / `par_iter_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over contiguous mutable chunks of length `size`
+    /// (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+
+    /// Parallel iterator over mutable element references.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter { items: self.chunks_mut(size.max(1)).collect() }
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+/// Parallel iterator over shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type.
+    type Item: Send;
+    /// Materialize the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+pub mod prelude {
+    //! The subset of `rayon::prelude` this workspace imports.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjointly() {
+        let mut v = vec![0u64; 1000];
+        v.par_chunks_mut(7)
+            .enumerate()
+            .map(|(i, c)| {
+                for x in c.iter_mut() {
+                    *x = i as u64;
+                }
+                c.len() as u64
+            })
+            .sum::<u64>();
+        assert_eq!(v[0], 0);
+        assert_eq!(v[999], 999 / 7);
+    }
+
+    #[test]
+    fn zip_enumerate_reduce() {
+        let mut a = vec![1u64; 64];
+        let mut b = vec![2u64; 64];
+        let total = a
+            .par_chunks_mut(8)
+            .zip(b.par_chunks_mut(8))
+            .enumerate()
+            .map(|(i, (ca, cb))| {
+                ca[0] += i as u64;
+                ca.iter().sum::<u64>() + cb.iter().sum::<u64>()
+            })
+            .reduce(|| 0, |x, y| x + y);
+        assert_eq!(total, 64 + 64 * 2 + (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn range_for_each_runs_every_index() {
+        let hits = AtomicU64::new(0);
+        (0u32..4096).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4096);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        (0u32..0).into_par_iter().for_each(|_| panic!("must not run"));
+    }
+}
