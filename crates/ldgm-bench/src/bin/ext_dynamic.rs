@@ -1,0 +1,13 @@
+//! Regenerate the batch-dynamic maintenance extension study and record
+//! its measurements as `BENCH_dynamic.json` in the working directory.
+//! See `ldgm_bench::exp::ext_dynamic`.
+
+use ldgm_bench::runner::records_to_json;
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    let records = ldgm_bench::exp::ext_dynamic::run_records(&mut out).expect("report write failed");
+    let doc = records_to_json(&records).to_string_pretty();
+    std::fs::write("BENCH_dynamic.json", doc + "\n").expect("BENCH_dynamic.json write failed");
+    println!("wrote BENCH_dynamic.json ({} records)", records.len());
+}

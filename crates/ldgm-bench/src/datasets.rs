@@ -180,12 +180,13 @@ pub fn registry() -> Vec<Dataset> {
     ]
 }
 
-/// Fetch a registry entry by paper name.
-pub fn by_name(name: &str) -> Dataset {
-    registry()
-        .into_iter()
-        .find(|d| d.name == name)
-        .unwrap_or_else(|| panic!("no dataset named {name}"))
+/// Fetch a registry entry by paper name; the error lists every available
+/// dataset so callers can surface it directly.
+pub fn by_name(name: &str) -> Result<Dataset, String> {
+    registry().into_iter().find(|d| d.name == name).ok_or_else(|| {
+        let names: Vec<&str> = registry().iter().map(|d| d.name).collect();
+        format!("no dataset named '{name}' (available: {})", names.join(", "))
+    })
 }
 
 /// Quality stand-ins for Table II: the same seven SMALL families at a
@@ -260,14 +261,15 @@ mod tests {
     }
 
     #[test]
-    fn by_name_finds_and_panics() {
-        assert_eq!(by_name("GAP-kron").name, "GAP-kron");
+    fn by_name_finds() {
+        assert_eq!(by_name("GAP-kron").unwrap().name, "GAP-kron");
     }
 
     #[test]
-    #[should_panic(expected = "no dataset")]
-    fn by_name_unknown() {
-        by_name("nope");
+    fn by_name_unknown_lists_available() {
+        let err = by_name("nope").unwrap_err();
+        assert!(err.contains("no dataset named 'nope'"), "{err}");
+        assert!(err.contains("GAP-kron") && err.contains("com-Orkut"), "{err}");
     }
 
     #[test]
@@ -296,10 +298,10 @@ mod tests {
 
     #[test]
     fn stand_in_degree_characters() {
-        let queen = by_name("Queen_4147").build();
+        let queen = by_name("Queen_4147").unwrap().build();
         let s = stats(&queen);
         assert_eq!(s.d_max, 80);
-        let kmer = by_name("kmer_V2a").build();
+        let kmer = by_name("kmer_V2a").unwrap().build();
         assert!(stats(&kmer).d_avg < 3.0);
     }
 

@@ -29,7 +29,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     let mut t =
         Table::new(vec!["Graph", "nodes", "GPUs", "time", "allreduce %", "speedup vs 1 node"]);
     for name in GRAPHS {
-        let g = by_name(name).build();
+        let g = by_name(name).expect("registry dataset").build();
         let mut base: Option<f64> = None;
         for nodes in [1usize, 2, 4] {
             let platform = scaled_platform(Platform::dgx_a100_cluster(nodes));

@@ -29,7 +29,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     ];
     let mut t = Table::new(vec!["Graph", "platform", "GPUs", "time", "vs DGX-2 (8)"]);
     for name in GRAPHS {
-        let g = by_name(name).build();
+        let g = by_name(name).expect("registry dataset").build();
         let mut base: Option<f64> = None;
         for (platform, ndev) in &platforms {
             let p = scaled_platform(platform.clone());

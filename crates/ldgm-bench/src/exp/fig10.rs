@@ -23,7 +23,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     let dgx2 = scaled_platform(Platform::dgx2());
     let mut t = Table::new(vec!["Graph", "platform", "GPUs", "best (s) [batches]"]);
     for name in GRAPHS {
-        let g = by_name(name).build();
+        let g = by_name(name).expect("registry dataset").build();
         for nd in [1usize, 2, 4, 8] {
             if let Some(best) = sweep_ld_gpu(&g, &a100, &[nd], BATCH_SWEEP) {
                 t.row(vec![

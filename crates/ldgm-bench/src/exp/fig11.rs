@@ -27,7 +27,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     header.push("min".into());
     let mut t = Table::new(header);
     for name in GRAPHS {
-        let g = by_name(name).build();
+        let g = by_name(name).expect("registry dataset").build();
         let out = LdGpu::new(LdGpuConfig::new(platform.clone())).run(&g);
         let iters = &out.profile.iterations;
         if iters.is_empty() {

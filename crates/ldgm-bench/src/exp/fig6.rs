@@ -32,7 +32,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     header.push("scaling 1->8".into());
     let mut t = Table::new(header);
     for name in GRAPHS {
-        let g = by_name(name).build();
+        let g = by_name(name).expect("registry dataset").build();
         for &nb in BATCHES {
             let mut cells = vec![name.to_string(), format!("{nb}")];
             let mut first = None;

@@ -14,7 +14,7 @@ use crate::table::Table;
 pub fn run(w: &mut dyn Write) -> io::Result<()> {
     writeln!(w, "# Fig. 7: kmer_U1a component timing (% of overall) across batch counts\n")?;
     let platform = scaled_platform(Platform::dgx_a100());
-    let g = by_name("kmer_U1a").build();
+    let g = by_name("kmer_U1a").expect("registry dataset").build();
     let mut t =
         Table::new(vec!["batches", "GPUs", "point%", "match%", "allred%", "xfer%", "sync%"]);
     for &nb in super::fig6::BATCHES {

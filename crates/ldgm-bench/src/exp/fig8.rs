@@ -32,7 +32,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         "max warp-std",
     ]);
     for name in GRAPHS {
-        let g = by_name(name).build();
+        let g = by_name(name).expect("registry dataset").build();
         let out = LdGpu::new(LdGpuConfig::new(platform.clone()).devices(2)).run(&g);
         let iters = &out.profile.iterations;
         let mut pcts: Vec<f64> = iters.iter().map(|r| r.pct_edges).collect();

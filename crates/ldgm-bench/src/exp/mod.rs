@@ -4,6 +4,7 @@
 //! `repro_all` writes the full set under `target/repro/`.
 
 pub mod ext_distributed;
+pub mod ext_dynamic;
 pub mod ext_generations;
 pub mod fig10;
 pub mod fig11;
@@ -43,6 +44,7 @@ pub fn all() -> Vec<(&'static str, ExpRunner)> {
         ("fig10", fig10::run),
         ("fig11", fig11::run),
         ("ext_distributed", ext_distributed::run),
+        ("ext_dynamic", ext_dynamic::run),
         ("ext_generations", ext_generations::run),
     ]
 }

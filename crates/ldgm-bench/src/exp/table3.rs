@@ -26,7 +26,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     let mut t = Table::new(vec!["Graph", "A100 (s)", "V100 (s)", "A100 Speedup"]);
     let mut ratios = Vec::new();
     for name in GRAPHS {
-        let g = by_name(name).build();
+        let g = by_name(name).expect("registry dataset").build();
         let ta =
             LdGpu::new(LdGpuConfig::new(a100.clone()).without_iteration_profile()).run(&g).sim_time;
         let tv =

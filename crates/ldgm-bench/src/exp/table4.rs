@@ -34,7 +34,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     let platform = scaled_platform(Platform::dgx_a100());
     let mut t = Table::new(vec!["Graph", "LD-GPU", "SR-GPU", "winner"]);
     for name in GRAPHS {
-        let g = by_name(name).build();
+        let g = by_name(name).expect("registry dataset").build();
         let ld = LdGpu::new(LdGpuConfig::new(platform.clone()).without_iteration_profile())
             .run(&g)
             .sim_time;

@@ -25,7 +25,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     let platform = scaled_platform(Platform::dgx_a100());
     let mut t = Table::new(vec!["Graph", "LD-GPU", "cuGraph-sim", "LD-GPU speedup"]);
     for name in GRAPHS {
-        let g = by_name(name).build();
+        let g = by_name(name).expect("registry dataset").build();
         let ld = LdGpu::new(
             LdGpuConfig::new(platform.clone()).devices(4).batches(1).without_iteration_profile(),
         )

@@ -24,7 +24,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     let platform = scaled_platform(Platform::dgx_a100());
     let mut t = Table::new(vec!["Graph", "LD-GPU", "SR-OMP", "ratio"]);
     for name in GRAPHS {
-        let g = by_name(name).build();
+        let g = by_name(name).expect("registry dataset").build();
         let best = sweep_ld_gpu(&g, &platform, DEVICE_SWEEP, BATCH_SWEEP).unwrap();
         let ld_fom = mmeps(best.output.matching.cardinality(), best.output.sim_time);
         let (omp_time, omp) = best_wall_of(3, || suitor_par(&g));

@@ -12,6 +12,8 @@ use std::fmt::Write as _;
 use ldgm_core::augment::augment_short;
 use ldgm_core::verify::half_approx_certificate;
 use ldgm_core::{MatchResult, MatcherRegistry, MatcherSetup};
+use ldgm_dyn::matcher::IncrementalMatcher;
+use ldgm_dyn::{DynConfig, DynamicMatcherRegistry, WorkloadKind, WorkloadSpec};
 use ldgm_gpusim::{chrome_trace_json, timeline_breakdown, PhaseBreakdown, Platform, RunReport};
 use ldgm_graph::csr::CsrGraph;
 use ldgm_graph::gen::GraphGen;
@@ -29,6 +31,7 @@ USAGE: ldgm <command> [--option value | --option=value]...
 COMMANDS:
   gen        generate a synthetic graph and write it as Matrix Market
   match      compute a matching on a Matrix Market graph
+  dynamic    maintain a matching under a synthetic update stream
   profile    phase/metric comparison of several algorithms on one graph
   stats      print Table-I-style properties of a graph
   platforms  list the simulated platform presets
@@ -73,6 +76,33 @@ OPTIONS:
   --report-json FILE  write a schema-versioned JSON run report (phases,
                       metrics, matching quality); phase totals equal the
                       reported run time
+",
+    ),
+    (
+        "dynamic",
+        "\
+ldgm dynamic - maintain a matching under a synthetic update stream
+
+Applies batches of edge insertions/deletions to the input graph and
+keeps the locally-dominant matching current, either incrementally
+(frontier-restricted SETPOINTERS/SETMATES over a delta-CSR overlay) or
+by rerunning the full static solver per batch.
+
+OPTIONS:
+  --input FILE        graph to read (required)
+  --engine E          incremental|from-scratch (default incremental)
+  --workload W        uniform|skewed|sliding-window (default uniform)
+  --batches N         update batches to apply (default 8)
+  --batch-size K      update steps per batch (default 64)
+  --insert-frac F     insert probability, uniform/skewed (default 0.5)
+  --window W          live-edge cap for sliding-window (default |E|)
+  --platform P        simulated platform preset (default dgx-a100)
+  --devices N         simulated devices (default 1)
+  --seed S            update-stream seed (default 0)
+  --compact-frac F    delta-CSR compaction threshold (default 0.25)
+  --verify            check validity/maximality/certificate per batch
+  --trace-out FILE    write the event timeline (incremental engine)
+  --report-json FILE  write a schema-versioned JSON run report
 ",
     ),
     (
@@ -121,6 +151,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
     match args.command.as_str() {
         "gen" => cmd_gen(args),
         "match" => cmd_match(args),
+        "dynamic" => cmd_dynamic(args),
         "profile" => cmd_profile(args),
         "stats" => cmd_stats(args),
         "platforms" => Ok(cmd_platforms()),
@@ -347,6 +378,146 @@ fn cmd_match(args: &Args) -> Result<String, ArgError> {
 /// single-GPU Suitor).
 const PROFILE_DEFAULT_ALGORITHMS: &str = "ld-gpu,ld-seq,local-max,suitor-gpu";
 
+fn cmd_dynamic(args: &Args) -> Result<String, ArgError> {
+    args.expect_known(&[
+        "input",
+        "engine",
+        "workload",
+        "batches",
+        "batch-size",
+        "insert-frac",
+        "window",
+        "platform",
+        "devices",
+        "seed",
+        "compact-frac",
+        "verify",
+        "trace-out",
+        "report-json",
+    ])?;
+    let g = load_graph(args)?;
+    let setup = matcher_setup(args, false)?;
+    let engine_name = args.get_or("engine", "incremental");
+    let frac: f64 = args.get_num("compact-frac", 0.25f64)?;
+    if frac <= 0.0 {
+        return Err(ArgError(format!("--compact-frac must be positive, got {frac}")));
+    }
+    let mut registry = DynamicMatcherRegistry::with_defaults(&setup);
+    // --compact-frac shapes the incremental engine; re-register it with
+    // the override so the registry stays the single dispatch path.
+    registry.register(Box::new(IncrementalMatcher::new(
+        DynConfig::new(setup.platform.clone()).devices(setup.devices).compact_frac(frac),
+    )));
+    let engine = registry.get(engine_name).ok_or_else(|| {
+        ArgError(format!("unknown engine '{engine_name}' (valid: {})", registry.names().join(", ")))
+    })?;
+    let workload = args.get_or("workload", "uniform");
+    let kind = WorkloadKind::from_name(workload).ok_or_else(|| {
+        ArgError(format!(
+            "unknown workload '{workload}' (valid: {})",
+            WorkloadKind::names().join(", ")
+        ))
+    })?;
+    let insert_frac: f64 = args.get_num("insert-frac", 0.5f64)?;
+    if !(0.0..=1.0).contains(&insert_frac) {
+        return Err(ArgError(format!("--insert-frac must be in [0, 1], got {insert_frac}")));
+    }
+    let spec = WorkloadSpec {
+        kind,
+        batches: args.get_num("batches", 8usize)?,
+        batch_size: args.get_num("batch-size", 64usize)?,
+        insert_frac,
+        window: match args.get("window") {
+            None => None,
+            Some(w) => Some(w.parse().map_err(|_| ArgError(format!("bad --window '{w}'")))?),
+        },
+        seed: args.get_num("seed", 0u64)?,
+        verify_each_batch: args.has_flag("verify"),
+    };
+    let result = engine.run(&g, &spec).map_err(|e| ArgError(e.0))?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "dynamic/{engine_name}: {} batches x {} updates ({workload}), |V|={} |E|={} -> {}",
+        spec.batches,
+        spec.batch_size,
+        g.num_vertices(),
+        g.num_edges(),
+        result.graph.num_edges()
+    )
+    .unwrap();
+    for r in &result.batch_reports {
+        writeln!(
+            out,
+            "  batch {}: +{} -{} seed {} rounds {} new {} broken {} {:.3} ms{}",
+            r.batch,
+            r.inserts,
+            r.deletes,
+            r.seed_frontier,
+            r.rounds,
+            r.new_matches,
+            r.broken_matches,
+            r.sim_time * 1e3,
+            if r.compacted { " [compacted]" } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "initial solve {:.3} ms, maintenance {:.3} ms over {} batches ({:.3} ms/batch)",
+        result.initial_time * 1e3,
+        result.maintenance_time * 1e3,
+        result.batch_reports.len(),
+        result.maintenance_time * 1e3 / result.batch_reports.len().max(1) as f64
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "final matching: matched {} of {} vertices, weight {:.4}",
+        2 * result.matching.cardinality(),
+        result.graph.num_vertices(),
+        result.matching.weight(&result.graph)
+    )
+    .unwrap();
+    if spec.verify_each_batch {
+        writeln!(
+            out,
+            "verify: all {} batches passed validity/maximality/certificate",
+            spec.batches
+        )
+        .unwrap();
+    }
+
+    if let Some(path) = args.get("trace-out") {
+        let trace = result.trace.as_ref().ok_or_else(|| {
+            ArgError(format!("--trace-out: engine '{engine_name}' does not record traces"))
+        })?;
+        let doc = chrome_trace_json(trace);
+        std::fs::write(path, doc.to_string_compact())
+            .map_err(|e| ArgError(format!("failed to write '{path}': {e}")))?;
+        writeln!(out, "wrote trace {path} ({} events)", trace.events.len()).unwrap();
+    }
+    if let Some(path) = args.get("report-json") {
+        let report = RunReport {
+            algorithm: format!("ld-dyn-{engine_name}"),
+            platform: Some(args.get_or("platform", "dgx-a100").to_string()),
+            vertices: result.graph.num_vertices() as u64,
+            directed_edges: result.graph.num_directed_edges() as u64,
+            cardinality: result.matching.cardinality() as u64,
+            weight: result.matching.weight(&result.graph),
+            sim_time: result.sim_time,
+            iterations: result.iterations,
+            phases: result.profile.phases,
+            metrics: result.metrics.clone(),
+        };
+        std::fs::write(path, report.to_json().to_string_pretty())
+            .map_err(|e| ArgError(format!("failed to write '{path}': {e}")))?;
+        writeln!(out, "wrote report {path}").unwrap();
+    }
+    Ok(out)
+}
+
 fn cmd_profile(args: &Args) -> Result<String, ArgError> {
     args.expect_known(&[
         "input",
@@ -554,7 +725,80 @@ mod tests {
         let e = run(&args(&format!("match --input {path} --platform dgx9000"))).unwrap_err();
         assert!(e.0.contains("unknown platform"));
         assert!(e.0.contains("dgx-a100"), "error must list presets: {e}");
+        let e =
+            run(&args(&format!("profile --input {path} --algorithms ld-gpu,nope"))).unwrap_err();
+        assert!(e.0.contains("unknown algorithm"));
+        assert!(e.0.contains("ld-seq"), "error must list valid names: {e}");
+        let e = run(&args(&format!("dynamic --input {path} --engine nope"))).unwrap_err();
+        assert!(e.0.contains("unknown engine"));
+        assert!(e.0.contains("incremental") && e.0.contains("from-scratch"), "{e}");
+        let e = run(&args(&format!("dynamic --input {path} --workload nope"))).unwrap_err();
+        assert!(e.0.contains("unknown workload"));
+        assert!(e.0.contains("sliding-window"), "error must list workloads: {e}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dynamic_runs_both_engines_and_agrees() {
+        let path = tmp("ldgm_cli_dyn.mtx");
+        run(&args(&format!(
+            "gen --family urand --vertices 200 --avg-degree 6 --seed 3 --out {path}"
+        )))
+        .unwrap();
+        let inc = run(&args(&format!(
+            "dynamic --input {path} --batches 3 --batch-size 10 --seed 5 --verify"
+        )))
+        .unwrap();
+        assert!(inc.contains("dynamic/incremental: 3 batches x 10 updates (uniform)"), "{inc}");
+        assert!(inc.contains("batch 2:"), "{inc}");
+        assert!(inc.contains("verify: all 3 batches passed"), "{inc}");
+        let scr = run(&args(&format!(
+            "dynamic --input {path} --engine from-scratch --batches 3 --batch-size 10 --seed 5"
+        )))
+        .unwrap();
+        // Same seed => same stream => identical final matching lines.
+        let final_line = |s: &str| {
+            s.lines().find(|l| l.starts_with("final matching:")).map(str::to_string).unwrap()
+        };
+        assert_eq!(final_line(&inc), final_line(&scr));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dynamic_report_and_trace_outputs() {
+        let path = tmp("ldgm_cli_dyn_rep.mtx");
+        let report = tmp("ldgm_cli_dyn_report.json");
+        let trace = tmp("ldgm_cli_dyn_trace.json");
+        run(&args(&format!(
+            "gen --family urand --vertices 150 --avg-degree 5 --seed 9 --out {path}"
+        )))
+        .unwrap();
+        let r = run(&args(&format!(
+            "dynamic --input {path} --workload sliding-window --batches 2 --batch-size 8 \
+             --devices 2 --report-json {report} --trace-out {trace}"
+        )))
+        .unwrap();
+        assert!(r.contains("wrote report"), "{r}");
+        assert!(r.contains("wrote trace"), "{r}");
+        let doc = json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert_eq!(doc.get("schema_version").and_then(json::Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("algorithm").and_then(json::Json::as_str), Some("ld-dyn-incremental"));
+        let sim = doc.get("sim_time").and_then(json::Json::as_f64).unwrap();
+        let phases = doc.get("phases").unwrap();
+        let total: f64 = ["pointing", "matching", "allreduce", "transfer", "sync"]
+            .iter()
+            .map(|k| phases.get(k).and_then(json::Json::as_f64).unwrap())
+            .sum();
+        assert!((total - sim).abs() < 1e-6 * sim.max(1.0), "phases {total} vs sim {sim}");
+        // from-scratch records no timeline.
+        let e = run(&args(&format!(
+            "dynamic --input {path} --engine from-scratch --batches 1 --trace-out {trace}"
+        )))
+        .unwrap_err();
+        assert!(e.0.contains("does not record traces"), "{e}");
+        for f in [&path, &report, &trace] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]
@@ -580,7 +824,7 @@ mod tests {
     #[test]
     fn per_command_help() {
         assert_eq!(run(&args("help")).unwrap(), HELP);
-        for cmd in ["gen", "match", "profile", "stats", "platforms"] {
+        for cmd in ["gen", "match", "dynamic", "profile", "stats", "platforms"] {
             let h = run(&args(&format!("help {cmd}"))).unwrap();
             assert!(h.starts_with(&format!("ldgm {cmd}")), "{cmd}: {h}");
         }

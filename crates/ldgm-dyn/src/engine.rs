@@ -1,0 +1,850 @@
+//! Frontier-restricted incremental LD engine.
+//!
+//! The repo-wide preference order ([`prefer`]: heavier weight, ties to the
+//! lower vertex id) is *total* over edges, which makes the locally-dominant
+//! matching of any graph unique — it equals the greedy matching taken in
+//! preference order. That uniqueness is what makes incremental maintenance
+//! well-defined: after a batch of updates there is exactly one correct
+//! answer, the static-LD matching of the mutated snapshot, and this engine
+//! converges to it by re-running the SETPOINTERS/SETMATES iteration
+//! restricted to the vertices an update could have affected.
+//!
+//! The invariant maintained between batches: every live non-matched edge
+//! has an endpoint whose matched edge is preferred over it. Updates break
+//! the invariant only locally — at the endpoints of updated edges, their
+//! mates, and neighbors for whom a deleted/outweighed matched edge was the
+//! blocker — so those vertices seed the *frontier*. Each round, frontier
+//! vertices point at their best *claimable* incident edge (one preferred
+//! over both endpoints' current matched edges — a matched vertex can be
+//! outbid), mutual pointers commit (unjoining any previous mates, whose
+//! neighborhoods then wake), and unfulfilled claims carry the frontier into
+//! the next round until it drains. The highest-ranked claimable edge
+//! commits within two rounds, so termination follows the same argument as
+//! the static solver's.
+//!
+//! Simulated cost is billed per round on the `ldgm-gpusim` platform —
+//! pointing kernels sized by the frontier's scan work (same byte/wave
+//! accounting as the static SETPOINTERS kernel, plus the worklist read),
+//! sparse allreduces carrying only frontier entries (16 bytes each: index +
+//! value), update uploads as H2D copies, and compaction as a CSR reshard —
+//! so the speedup over from-scratch recompute is directly measurable.
+
+use ldgm_core::verify::half_approx_certificate;
+use ldgm_core::{prefer, Matching, UNMATCHED};
+use ldgm_gpusim::{
+    run_collective, timeline_breakdown, DeviceTimer, EventKind, IterationRecord, KernelStats,
+    MetricsRegistry, Platform, RunProfile, Trace,
+};
+use ldgm_graph::csr::{CsrGraph, VertexId};
+
+use crate::delta::{DynGraph, EdgeUpdate};
+
+/// Configuration for the incremental engine.
+#[derive(Clone, Debug)]
+pub struct DynConfig {
+    /// Simulated platform (device spec, interconnect, cost models).
+    pub platform: Platform,
+    /// Devices to bill against (vertex space split uniformly).
+    pub devices: usize,
+    /// Delta-CSR compaction threshold as a fraction of base directed edges.
+    pub compact_frac: f64,
+    /// Vertices per warp for frontier kernels; default derives from the
+    /// frontier size like the static driver does from the partition size.
+    pub vertices_per_warp: Option<usize>,
+}
+
+impl DynConfig {
+    /// Defaults: 1 device, 25% compaction threshold, derived warp sizing.
+    pub fn new(platform: Platform) -> Self {
+        DynConfig { platform, devices: 1, compact_frac: 0.25, vertices_per_warp: None }
+    }
+
+    /// Set the device count (clamped to the platform maximum).
+    pub fn devices(mut self, n: usize) -> Self {
+        self.devices = n.max(1);
+        self
+    }
+
+    /// Set the compaction threshold fraction.
+    pub fn compact_frac(mut self, frac: f64) -> Self {
+        self.compact_frac = frac;
+        self
+    }
+
+    /// Fix the vertices-per-warp of frontier kernels.
+    pub fn vertices_per_warp(mut self, v: usize) -> Self {
+        self.vertices_per_warp = Some(v.max(1));
+        self
+    }
+}
+
+/// Per-batch maintenance summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchReport {
+    /// 0-based batch index.
+    pub batch: u64,
+    /// Updates in the batch (including no-op deletes).
+    pub updates: usize,
+    /// Applied inserts/reweights.
+    pub inserts: usize,
+    /// Applied deletes of live edges.
+    pub deletes: usize,
+    /// Distinct vertices seeding the frontier.
+    pub seed_frontier: usize,
+    /// SETPOINTERS/SETMATES rounds until the frontier drained.
+    pub rounds: u64,
+    /// Edges newly committed to the matching.
+    pub new_matches: u64,
+    /// Previously matched edges broken (by deletion or by being outbid).
+    pub broken_matches: u64,
+    /// Simulated seconds this batch cost (upload + rounds + compaction).
+    pub sim_time: f64,
+    /// Whether the overlay was compacted after this batch.
+    pub compacted: bool,
+}
+
+/// Everything an incremental run produces, in the same shape as the static
+/// driver's output.
+#[derive(Clone, Debug)]
+pub struct DynRunOutput {
+    /// The maintained matching after the final batch.
+    pub matching: Matching,
+    /// Snapshot of the final mutated graph.
+    pub graph: CsrGraph,
+    /// Total simulated seconds (initial build + maintenance).
+    pub sim_time: f64,
+    /// Simulated seconds of the initial full build.
+    pub initial_time: f64,
+    /// Simulated seconds of update maintenance only.
+    pub maintenance_time: f64,
+    /// Total SETPOINTERS/SETMATES rounds across build + batches.
+    pub rounds: u64,
+    /// Update batches applied.
+    pub batches: u64,
+    /// Phase breakdown and per-round records.
+    pub profile: RunProfile,
+    /// Kernel/collective/frontier metrics.
+    pub metrics: MetricsRegistry,
+    /// Full event timeline.
+    pub trace: Trace,
+}
+
+/// The incremental locally-dominant matching engine.
+#[derive(Clone, Debug)]
+pub struct IncrementalLd {
+    g: DynGraph,
+    cfg: DynConfig,
+    ndev: usize,
+    mate: Vec<VertexId>,
+    /// Weight of each vertex's matched edge; `NEG_INFINITY` when unmatched,
+    /// so `prefer(w, v, mate_w[u], mate[u])` directly tests whether edge
+    /// `(u, v)` outranks `u`'s current situation.
+    mate_w: Vec<f64>,
+    ptr: Vec<VertexId>,
+    ptr_w: Vec<f64>,
+    in_frontier: Vec<bool>,
+    timers: Vec<DeviceTimer>,
+    trace: Trace,
+    metrics: MetricsRegistry,
+    iterations: Vec<IterationRecord>,
+    rounds: u64,
+    batches: u64,
+    initial_time: f64,
+    occ_weighted: f64,
+    occ_weight: f64,
+}
+
+impl IncrementalLd {
+    /// Build the engine over `base`, running the initial full construction
+    /// (stabilization with every vertex in the frontier — exactly the
+    /// static LD iteration) and billing it.
+    pub fn new(base: CsrGraph, cfg: DynConfig) -> Self {
+        let n = base.num_vertices();
+        let ndev = cfg.devices.clamp(1, cfg.platform.max_devices);
+        let g = DynGraph::new(base).with_compact_frac(cfg.compact_frac);
+        let mut engine = IncrementalLd {
+            g,
+            ndev,
+            cfg,
+            mate: vec![UNMATCHED; n],
+            mate_w: vec![f64::NEG_INFINITY; n],
+            ptr: vec![UNMATCHED; n],
+            ptr_w: vec![f64::NEG_INFINITY; n],
+            in_frontier: vec![false; n],
+            timers: vec![DeviceTimer::new(); ndev],
+            trace: Trace::default(),
+            metrics: MetricsRegistry::new(),
+            iterations: Vec::new(),
+            rounds: 0,
+            batches: 0,
+            initial_time: 0.0,
+            occ_weighted: 0.0,
+            occ_weight: 0.0,
+        };
+        let all: Vec<VertexId> = (0..n as VertexId).collect();
+        engine.stabilize(all);
+        engine.initial_time = engine.horizon();
+        engine
+    }
+
+    /// The dynamic graph being maintained.
+    pub fn graph(&self) -> &DynGraph {
+        &self.g
+    }
+
+    /// The maintained mate array.
+    pub fn mate_array(&self) -> &[VertexId] {
+        &self.mate
+    }
+
+    /// The maintained matching, as a checkable [`Matching`].
+    pub fn matching(&self) -> Matching {
+        Matching::from_mate(self.mate.clone())
+    }
+
+    /// Simulated seconds elapsed so far (max over device timers).
+    pub fn horizon(&self) -> f64 {
+        self.timers.iter().map(DeviceTimer::horizon).fold(0.0, f64::max)
+    }
+
+    /// Check the maintained matching against the current snapshot:
+    /// validity, maximality, and the locally-dominant ½-approx certificate.
+    pub fn verify_current(&self) -> Result<(), String> {
+        let snap = self.g.snapshot();
+        let m = self.matching();
+        m.verify(&snap)?;
+        if !m.is_maximal(&snap) {
+            return Err("maintained matching is not maximal".to_string());
+        }
+        if !half_approx_certificate(&snap, &m) {
+            return Err("maintained matching fails the ½-approx certificate".to_string());
+        }
+        Ok(())
+    }
+
+    /// Which device owns vertex `v` (uniform contiguous split, mirroring
+    /// the static driver's contiguous ranges).
+    fn owner(&self, v: VertexId) -> usize {
+        let n = self.mate.len().max(1);
+        (v as usize * self.ndev / n).min(self.ndev - 1)
+    }
+
+    /// Apply one batch of updates and restore the invariant. Returns the
+    /// per-batch summary; the maintained matching afterwards equals static
+    /// LD on the mutated snapshot.
+    pub fn apply_batch(&mut self, batch: &[EdgeUpdate]) -> BatchReport {
+        let t0 = self.horizon();
+        let n = self.mate.len() as VertexId;
+        let mut frontier: Vec<VertexId> = Vec::new();
+        let mut inserts = 0usize;
+        let mut deletes = 0usize;
+        let mut broken_by_delete = 0u64;
+        let mut wake_edges = 0u64;
+        let mut wake_roots = 0u64;
+
+        // Bill the update upload: 16 bytes per update (two ids + weight),
+        // broadcast to every device.
+        if !batch.is_empty() {
+            let h2d = self.cfg.platform.interconnect.h2d;
+            let bytes = 16 * batch.len() as u64;
+            let label = format!("updates b{}", self.batches);
+            for d in 0..self.ndev {
+                let (cs, ce) = self.timers[d].schedule_h2d(0, bytes, &h2d);
+                self.trace.record(d, EventKind::H2dCopy, &label, cs, ce);
+            }
+        }
+
+        for upd in batch {
+            let (u, v) = upd.endpoints();
+            if u == v || u >= n || v >= n {
+                continue;
+            }
+            match *upd {
+                EdgeUpdate::Insert { w, .. } => {
+                    if !(w > 0.0 && w.is_finite()) {
+                        continue;
+                    }
+                    let was_mated_pair = self.mate[u as usize] == v;
+                    let old_w = self.mate_w[u as usize];
+                    self.g.insert_edge(u, v, w);
+                    inserts += 1;
+                    self.seed(u, &mut frontier);
+                    self.seed(v, &mut frontier);
+                    if was_mated_pair {
+                        self.mate_w[u as usize] = w;
+                        self.mate_w[v as usize] = w;
+                        if w < old_w {
+                            // A matched edge lost rank: neighbors it used
+                            // to dominate may now claim its endpoints.
+                            for x in [u, v] {
+                                wake_roots += 1;
+                                wake_edges += self.wake_claimants(x, &mut frontier);
+                            }
+                        }
+                    }
+                }
+                EdgeUpdate::Delete { .. } => {
+                    let was_mated_pair = self.mate[u as usize] == v;
+                    if !self.g.delete_edge(u, v) {
+                        continue;
+                    }
+                    deletes += 1;
+                    self.seed(u, &mut frontier);
+                    self.seed(v, &mut frontier);
+                    if was_mated_pair {
+                        self.mate[u as usize] = UNMATCHED;
+                        self.mate[v as usize] = UNMATCHED;
+                        self.mate_w[u as usize] = f64::NEG_INFINITY;
+                        self.mate_w[v as usize] = f64::NEG_INFINITY;
+                        broken_by_delete += 1;
+                        for x in [u, v] {
+                            wake_roots += 1;
+                            wake_edges += self.wake_claimants(x, &mut frontier);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Bill the frontier-seeding scan (endpoint bookkeeping plus the
+        // neighborhood walks of freed/outweighed vertices) as one small
+        // kernel per device.
+        if wake_roots > 0 || !batch.is_empty() {
+            let mut st = KernelStats {
+                vertices: 2 * batch.len() as u64,
+                vertices_processed: wake_roots,
+                warps_launched: (2 * batch.len() as u64).div_ceil(32).max(1),
+                edges_scanned: wake_edges,
+                edge_waves: wake_edges.div_ceil(32),
+                ..KernelStats::default()
+            };
+            st.warps_active = st.warps_launched;
+            st.max_warp_vertices = st.vertices.min(32);
+            st.max_warp_waves = st.edge_waves;
+            st.bytes_read = st.vertices * 8 + wake_edges * 16;
+            st.bytes_written = frontier.len() as u64 * 4;
+            let dur = self.cfg.platform.device.kernel_time(&self.cfg.platform.cost, &st);
+            let label = format!("seed scan b{}", self.batches);
+            for d in 0..self.ndev {
+                let (ks, ke) = self.timers[d].schedule_kernel_global(dur);
+                self.trace.record(d, EventKind::Kernel, &label, ks, ke);
+            }
+        }
+
+        frontier.sort_unstable();
+        frontier.dedup();
+        let seed_frontier = frontier.len();
+        let (rounds, new_matches, broken_by_steal) = self.stabilize(frontier);
+
+        // Compact the overlay once it outgrows the threshold, billed as a
+        // CSR reshard: each device re-uploads its slice of the new base.
+        let compacted = if self.g.should_compact() {
+            self.g.compact();
+            let h2d = self.cfg.platform.interconnect.h2d;
+            let bytes = self.g.base().csr_bytes() / self.ndev as u64;
+            let label = format!("compact b{}", self.batches);
+            for d in 0..self.ndev {
+                let (cs, ce) = self.timers[d].schedule_h2d(0, bytes.max(1), &h2d);
+                self.trace.record(d, EventKind::H2dCopy, &label, cs, ce);
+            }
+            self.metrics.counter_add("dyn.compactions", 1);
+            true
+        } else {
+            false
+        };
+
+        let report = BatchReport {
+            batch: self.batches,
+            updates: batch.len(),
+            inserts,
+            deletes,
+            seed_frontier,
+            rounds,
+            new_matches,
+            broken_matches: broken_by_delete + broken_by_steal,
+            sim_time: self.horizon() - t0,
+            compacted,
+        };
+        self.batches += 1;
+        self.metrics.counter_add("dyn.batches", 1);
+        self.metrics.counter_add("dyn.updates_applied", (inserts + deletes) as u64);
+        self.metrics.counter_add("dyn.inserts", inserts as u64);
+        self.metrics.counter_add("dyn.deletes", deletes as u64);
+        self.metrics.observe("dyn.seed_frontier", seed_frontier as f64);
+        self.metrics.gauge_set("dyn.delta_entries", self.g.delta_entries() as f64);
+        report
+    }
+
+    /// Finalize: drain timers and package the run in the static driver's
+    /// output shape. The phase breakdown is recovered from the timeline, so
+    /// it sums exactly to `sim_time`.
+    pub fn finish(mut self) -> DynRunOutput {
+        for t in &mut self.timers {
+            t.drain();
+        }
+        let sim_time = self.horizon();
+        self.metrics.counter_add("driver.rounds", self.rounds);
+        self.metrics.gauge_set("driver.devices", self.ndev as f64);
+        if self.occ_weight > 0.0 {
+            self.metrics.gauge_set("kernel.occupancy", self.occ_weighted / self.occ_weight);
+        }
+        let phases = timeline_breakdown(&self.trace, sim_time);
+        let profile = RunProfile { phases, iterations: self.iterations, sim_time };
+        DynRunOutput {
+            matching: Matching::from_mate(self.mate),
+            graph: self.g.snapshot(),
+            sim_time,
+            initial_time: self.initial_time,
+            maintenance_time: sim_time - self.initial_time,
+            rounds: self.rounds,
+            batches: self.batches,
+            profile,
+            metrics: self.metrics,
+            trace: self.trace,
+        }
+    }
+
+    /// Add `v` and its mate to the frontier seed.
+    fn seed(&mut self, v: VertexId, frontier: &mut Vec<VertexId>) {
+        frontier.push(v);
+        if self.mate[v as usize] != UNMATCHED {
+            frontier.push(self.mate[v as usize]);
+        }
+    }
+
+    /// `y`'s matched edge was deleted or lost rank: wake every neighbor
+    /// `x` for whom edge `(x, y)` now outranks `x`'s own matched edge —
+    /// those vertices may claim `y` (they were previously dominated).
+    /// Returns edge slots scanned, for billing.
+    fn wake_claimants(&self, y: VertexId, frontier: &mut Vec<VertexId>) -> u64 {
+        frontier.push(y);
+        for (x, w) in self.g.edges_of(y) {
+            if prefer(w, y, self.mate_w[x as usize], self.mate[x as usize]) {
+                frontier.push(x);
+            }
+        }
+        self.g.scan_cost(y) as u64
+    }
+
+    /// Best claimable incident edge of `u`: preferred over *both*
+    /// endpoints' current matched edges (an unmatched endpoint, at
+    /// `(-inf, UNMATCHED)`, loses to any live edge). Writes `ptr`/`ptr_w`;
+    /// returns whether a pointer was set.
+    fn point_one(&mut self, u: VertexId) -> bool {
+        let (aw, am) = (self.mate_w[u as usize], self.mate[u as usize]);
+        let mut best: Option<(f64, VertexId)> = None;
+        for (v, w) in self.g.edges_of(u) {
+            if !prefer(w, v, aw, am) {
+                continue; // does not beat u's own match
+            }
+            if !prefer(w, u, self.mate_w[v as usize], self.mate[v as usize]) {
+                continue; // does not beat v's match: v would never accept
+            }
+            if best.is_none_or(|(bw, bv)| prefer(w, v, bw, bv)) {
+                best = Some((w, v));
+            }
+        }
+        match best {
+            Some((w, v)) => {
+                self.ptr[u as usize] = v;
+                self.ptr_w[u as usize] = w;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run frontier-restricted SETPOINTERS/SETMATES rounds until the
+    /// frontier drains. Returns `(rounds, new_matches, broken_matches)`.
+    fn stabilize(&mut self, mut frontier: Vec<VertexId>) -> (u64, u64, u64) {
+        let spec = self.cfg.platform.device.clone();
+        let cost = self.cfg.platform.cost.clone();
+        let comm = self.cfg.platform.comm;
+        let peer = self.cfg.platform.interconnect.peer;
+        let slots = ((spec.sm_count * spec.max_warps_per_sm) as usize).max(1);
+        let n = self.mate.len();
+        // Generous safety bound; the potential argument (each commit
+        // strictly raises the matched-rank multiset) terminates far below.
+        let round_cap = 4 * (n as u64 + self.g.num_edges() as u64) + 64;
+        let mut rounds = 0u64;
+        let mut new_total = 0u64;
+        let mut broken_total = 0u64;
+
+        loop {
+            frontier.sort_unstable();
+            frontier.dedup();
+            if frontier.is_empty() {
+                break;
+            }
+            rounds += 1;
+            assert!(
+                rounds <= round_cap,
+                "stabilize failed to converge after {rounds} rounds (frontier {})",
+                frontier.len()
+            );
+            for &u in &frontier {
+                self.in_frontier[u as usize] = true;
+                self.ptr[u as usize] = UNMATCHED;
+            }
+
+            // SETPOINTERS restricted to the frontier, one launch per device
+            // over its contiguous slice of the (sorted) frontier.
+            let mut point_stats = KernelStats::default();
+            let mut pointers_set = 0u64;
+            let mut occ_sum = 0.0;
+            let mut occ_n = 0u32;
+            let mut lo = 0usize;
+            for d in 0..self.ndev {
+                let hi = if d + 1 == self.ndev {
+                    frontier.len()
+                } else {
+                    frontier.partition_point(|&u| self.owner(u) <= d)
+                };
+                let work: Vec<VertexId> = frontier[lo..hi].to_vec();
+                lo = hi;
+                if work.is_empty() {
+                    continue;
+                }
+                let vpw =
+                    self.cfg.vertices_per_warp.unwrap_or_else(|| work.len().div_ceil(slots).max(1));
+                let mut st = KernelStats { vertices: work.len() as u64, ..KernelStats::default() };
+                for chunk in work.chunks(vpw) {
+                    let mut warp_edges = 0u64;
+                    let mut warp_waves = 0u64;
+                    for &u in chunk {
+                        if self.point_one(u) {
+                            pointers_set += 1;
+                        }
+                        let scanned = self.g.scan_cost(u) as u64;
+                        warp_edges += scanned;
+                        warp_waves += scanned.div_ceil(32);
+                    }
+                    st.warps_launched += 1;
+                    st.warps_active += 1;
+                    st.edges_scanned += warp_edges;
+                    st.edge_waves += warp_waves;
+                    st.warp_edges_sumsq += (warp_edges * warp_edges) as f64;
+                    st.max_warp_waves = st.max_warp_waves.max(warp_waves);
+                    st.max_warp_vertices = st.max_warp_vertices.max(chunk.len() as u64);
+                }
+                st.vertices_processed = st.vertices;
+                // Same byte model as the static SETPOINTERS kernel, plus
+                // 4 bytes per vertex to read the frontier worklist.
+                st.bytes_read = st.vertices * (8 + 4)
+                    + st.vertices_processed * 16
+                    + st.edge_waves * 32 * (8 + 8)
+                    + st.edges_scanned * 32;
+                st.bytes_written = st.vertices_processed * 8;
+                let dur = spec.kernel_time(&cost, &st);
+                let (ks, ke) = self.timers[d].schedule_kernel_global(dur);
+                let label = format!("point frontier r{}", self.rounds + rounds);
+                self.trace.record(d, EventKind::Kernel, &label, ks, ke);
+                occ_sum += spec.occupancy(&cost, &st);
+                occ_n += 1;
+                self.occ_weighted += spec.occupancy(&cost, &st) * dur;
+                self.occ_weight += dur;
+                point_stats.merge(&st);
+            }
+            self.metrics.counter_add("kernel.edges_scanned", point_stats.edges_scanned);
+            self.metrics.counter_add("kernel.warps_launched", point_stats.warps_launched);
+            self.metrics.counter_add("kernel.pointers_set", pointers_set);
+            self.metrics.observe("dyn.frontier_size", frontier.len() as f64);
+
+            if pointers_set == 0 {
+                for &u in &frontier {
+                    self.in_frontier[u as usize] = false;
+                }
+                break;
+            }
+
+            // Sparse allreduce of the frontier's pointer entries.
+            let payload = 16 * frontier.len() as u64;
+            let ar = comm.allreduce_time(&peer, self.ndev, payload);
+            let (ar_s, ar_e) = run_collective(&mut self.timers, ar);
+            for d in 0..self.ndev {
+                self.trace.record(d, EventKind::Collective, "allreduce ptr", ar_s, ar_e);
+            }
+            self.metrics.counter_add("comm.allreduce_calls", 1);
+            if self.ndev > 1 {
+                self.metrics
+                    .counter_add("comm.collective_bytes", 2 * (self.ndev as u64 - 1) * payload);
+            }
+
+            // SETMATES: commit mutual pointers, unjoining outbid mates.
+            // `in_frontier` guards against stale pointers of non-frontier
+            // vertices (their `ptr` entries are from earlier rounds).
+            let mut next: Vec<VertexId> = Vec::new();
+            let mut freed: Vec<VertexId> = Vec::new();
+            let mut new_matches = 0u64;
+            for &u in &frontier {
+                let v = self.ptr[u as usize];
+                if v == UNMATCHED || u >= v || !self.in_frontier[v as usize] {
+                    continue;
+                }
+                if self.ptr[v as usize] != u {
+                    continue;
+                }
+                for x in [u, v] {
+                    let old = self.mate[x as usize];
+                    if old != UNMATCHED {
+                        self.mate[old as usize] = UNMATCHED;
+                        self.mate_w[old as usize] = f64::NEG_INFINITY;
+                        freed.push(old);
+                        broken_total += 1;
+                    }
+                }
+                let w = self.ptr_w[u as usize];
+                self.mate[u as usize] = v;
+                self.mate[v as usize] = u;
+                self.mate_w[u as usize] = w;
+                self.mate_w[v as usize] = w;
+                new_matches += 1;
+            }
+
+            // Wake outbid vertices: they and any neighbor that can now
+            // claim them re-enter the frontier.
+            let mut ms = KernelStats {
+                vertices: frontier.len() as u64,
+                vertices_processed: frontier.len() as u64,
+                warps_launched: (frontier.len() as u64).div_ceil(32),
+                ..KernelStats::default()
+            };
+            ms.warps_active = ms.warps_launched;
+            ms.max_warp_vertices = ms.vertices.min(32);
+            for &f in &freed {
+                let scanned = self.wake_claimants(f, &mut next);
+                ms.edges_scanned += scanned;
+                ms.edge_waves += scanned.div_ceil(32);
+            }
+            ms.bytes_read = ms.vertices * (8 + 32) + ms.edges_scanned * 16;
+            ms.bytes_written = new_matches * 16;
+            let dur = spec.kernel_time(&cost, &ms);
+            for d in 0..self.ndev {
+                let (ks, ke) = self.timers[d].schedule_kernel_global(dur);
+                self.trace.record(d, EventKind::Kernel, "setmates", ks, ke);
+            }
+            self.metrics.counter_add("matching.edges_committed", new_matches);
+            new_total += new_matches;
+
+            // Unfulfilled claims carry over; their targets must respond.
+            for &u in &frontier {
+                let v = self.ptr[u as usize];
+                if v != UNMATCHED && self.mate[u as usize] != v {
+                    next.push(u);
+                    if !self.in_frontier[v as usize] {
+                        next.push(v);
+                    }
+                }
+            }
+            for &u in &frontier {
+                self.in_frontier[u as usize] = false;
+            }
+
+            // Allreduce the frontier's mate entries.
+            let ar2 = comm.allreduce_time(&peer, self.ndev, payload);
+            let (a2s, a2e) = run_collective(&mut self.timers, ar2);
+            for d in 0..self.ndev {
+                self.trace.record(d, EventKind::Collective, "allreduce mate", a2s, a2e);
+            }
+            self.metrics.counter_add("comm.allreduce_calls", 1);
+            if self.ndev > 1 {
+                self.metrics
+                    .counter_add("comm.collective_bytes", 2 * (self.ndev as u64 - 1) * payload);
+            }
+
+            let occ = if occ_n > 0 { occ_sum / occ_n as f64 } else { 0.0 };
+            self.iterations.push(IterationRecord::from_stats(
+                self.iterations.len(),
+                &point_stats,
+                self.g.num_directed_edges() as u64,
+                occ,
+                new_matches,
+            ));
+
+            frontier = next;
+        }
+        self.rounds += rounds;
+        (rounds, new_total, broken_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldgm_core::ld_seq::ld_seq;
+    use ldgm_graph::gen::urand;
+    use ldgm_graph::GraphBuilder;
+
+    fn assert_canonical(engine: &IncrementalLd) {
+        let snap = engine.graph().snapshot();
+        let want = ld_seq(&snap);
+        assert_eq!(
+            engine.mate_array(),
+            want.mate_array(),
+            "maintained matching diverges from static LD on the snapshot"
+        );
+        engine.verify_current().unwrap();
+    }
+
+    fn dgx1() -> DynConfig {
+        DynConfig::new(Platform::dgx_a100())
+    }
+
+    #[test]
+    fn initial_build_equals_static_ld() {
+        let g = urand(300, 1500, 1);
+        let engine = IncrementalLd::new(g.clone(), dgx1());
+        assert_eq!(engine.mate_array(), ld_seq(&g).mate_array());
+        assert!(engine.horizon() > 0.0, "initial build must cost simulated time");
+    }
+
+    #[test]
+    fn delete_cascades_down_a_path() {
+        // Path 0-1 (3), 1-2 (2), 2-3 (1): LD matches {0,1} and {2,3}.
+        // Deleting 0-1 must *break* {2,3} and rematch {1,2} — the frontier
+        // has to chase dominance down the path.
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1, 3.0)
+            .add_edge(1, 2, 2.0)
+            .add_edge(2, 3, 1.0)
+            .build();
+        let mut engine = IncrementalLd::new(g, dgx1());
+        assert_eq!(engine.mate_array(), &[1, 0, 3, 2]);
+        let rep = engine.apply_batch(&[EdgeUpdate::Delete { u: 0, v: 1 }]);
+        assert_eq!(engine.mate_array(), &[UNMATCHED, 2, 1, UNMATCHED]);
+        assert!(rep.broken_matches >= 2, "both old pairs must break");
+        assert_canonical(&engine);
+    }
+
+    #[test]
+    fn heavy_insert_steals_both_endpoints() {
+        // {0,1} at 5 and {2,3} at 4; inserting 1-2 at 9 must dissolve both.
+        let g = GraphBuilder::new(4).add_edge(0, 1, 5.0).add_edge(2, 3, 4.0).build();
+        let mut engine = IncrementalLd::new(g, dgx1());
+        engine.apply_batch(&[EdgeUpdate::Insert { u: 1, v: 2, w: 9.0 }]);
+        assert_eq!(engine.mate_array(), &[UNMATCHED, 2, 1, UNMATCHED]);
+        assert_canonical(&engine);
+    }
+
+    #[test]
+    fn reweight_down_reactivates_neighbors() {
+        // 0-1 (10) dominates 1-2 (5); reweighting 0-1 to 1 flips dominance.
+        let g = GraphBuilder::new(3).add_edge(0, 1, 10.0).add_edge(1, 2, 5.0).build();
+        let mut engine = IncrementalLd::new(g, dgx1());
+        assert_eq!(engine.mate_array(), &[1, 0, UNMATCHED]);
+        engine.apply_batch(&[EdgeUpdate::Insert { u: 0, v: 1, w: 1.0 }]);
+        assert_eq!(engine.mate_array(), &[UNMATCHED, 2, 1]);
+        assert_canonical(&engine);
+    }
+
+    #[test]
+    fn noop_updates_keep_matching_and_cost_little() {
+        let g = urand(100, 400, 2);
+        let mut engine = IncrementalLd::new(g, dgx1());
+        let before = engine.matching();
+        // Delete a non-existent edge: nothing should change.
+        let rep = engine.apply_batch(&[EdgeUpdate::Delete { u: 0, v: 99 }]);
+        assert_eq!(rep.deletes, 0);
+        assert_eq!(engine.matching(), before);
+        assert_canonical(&engine);
+    }
+
+    #[test]
+    fn random_batches_stay_canonical() {
+        let g = urand(120, 500, 3);
+        let mut engine = IncrementalLd::new(g, dgx1().devices(2));
+        let mut rng = ldgm_graph::Xoshiro256::seed_from_u64(99);
+        for _ in 0..12 {
+            let mut batch = Vec::new();
+            for _ in 0..15 {
+                let u = rng.below(120) as u32;
+                let v = rng.below(120) as u32;
+                if u == v {
+                    continue;
+                }
+                if rng.chance(0.45) {
+                    batch.push(EdgeUpdate::Delete { u, v });
+                } else {
+                    batch.push(EdgeUpdate::Insert { u, v, w: 0.1 + rng.next_f64() });
+                }
+            }
+            engine.apply_batch(&batch);
+            assert_canonical(&engine);
+        }
+    }
+
+    #[test]
+    fn deleting_matched_edges_empties_the_matching() {
+        let g = urand(60, 200, 4);
+        let mut engine = IncrementalLd::new(g, dgx1());
+        // Repeatedly delete every matched edge until nothing remains.
+        for _ in 0..200 {
+            let edges: Vec<(u32, u32)> = engine.matching().edges().collect();
+            if edges.is_empty() {
+                break;
+            }
+            let batch: Vec<EdgeUpdate> =
+                edges.iter().map(|&(u, v)| EdgeUpdate::Delete { u, v }).collect();
+            engine.apply_batch(&batch);
+            assert_canonical(&engine);
+        }
+        // Graph may still have edges, but after enough deletions the
+        // matching must remain maximal on what is left.
+        assert_canonical(&engine);
+    }
+
+    #[test]
+    fn compaction_triggers_and_preserves_canonicity() {
+        let g = urand(80, 200, 5);
+        let mut engine = IncrementalLd::new(g, dgx1().compact_frac(0.05));
+        let mut rng = ldgm_graph::Xoshiro256::seed_from_u64(17);
+        let mut compacted = false;
+        for _ in 0..20 {
+            let mut batch = Vec::new();
+            for _ in 0..10 {
+                let u = rng.below(80) as u32;
+                let v = rng.below(80) as u32;
+                if u != v {
+                    batch.push(EdgeUpdate::Insert { u, v, w: 0.1 + rng.next_f64() });
+                }
+            }
+            compacted |= engine.apply_batch(&batch).compacted;
+            assert_canonical(&engine);
+        }
+        assert!(compacted, "overlay never compacted at a 5% threshold");
+        assert!(engine.graph().compactions() >= 1);
+    }
+
+    #[test]
+    fn finish_packages_consistent_output() {
+        let g = urand(150, 600, 6);
+        let mut engine = IncrementalLd::new(g, dgx1().devices(4));
+        engine.apply_batch(&[
+            EdgeUpdate::Insert { u: 0, v: 1, w: 2.0 },
+            EdgeUpdate::Insert { u: 2, v: 3, w: 1.5 },
+        ]);
+        let out = engine.finish();
+        assert!(out.sim_time > 0.0);
+        assert!((out.initial_time + out.maintenance_time - out.sim_time).abs() < 1e-9);
+        assert!((out.profile.phases.total() - out.sim_time).abs() < 1e-6 * out.sim_time.max(1.0));
+        assert_eq!(out.batches, 1);
+        assert!(out.rounds > 0);
+        assert!(out.metrics.counter("kernel.edges_scanned") > 0);
+        assert!(out.metrics.counter("comm.allreduce_calls") > 0);
+        assert!(!out.trace.events.is_empty());
+        out.matching.verify(&out.graph).unwrap();
+    }
+
+    #[test]
+    fn small_batch_cheaper_than_rebuild() {
+        let g = urand(2000, 12000, 7);
+        let mut engine = IncrementalLd::new(g.clone(), dgx1());
+        let initial = engine.horizon();
+        let rep = engine.apply_batch(&[EdgeUpdate::Insert { u: 0, v: 1000, w: 0.5 }]);
+        assert!(
+            rep.sim_time < initial / 4.0,
+            "single-edge maintenance ({}) should be far cheaper than a build ({initial})",
+            rep.sim_time
+        );
+    }
+}

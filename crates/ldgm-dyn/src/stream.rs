@@ -1,0 +1,285 @@
+//! Deterministic synthetic update workloads.
+//!
+//! An [`UpdateStream`] mirrors the live edge set of the graph it drives so
+//! deletions always target existing edges and inserts can be recognized as
+//! reweights. All randomness flows from one seeded [`Xoshiro256`], so the
+//! same seed reproduces the same batch sequence bit-for-bit — the anchor
+//! for the determinism tests and for comparing engines on identical
+//! workloads.
+
+use std::collections::{HashMap, VecDeque};
+
+use ldgm_graph::csr::{CsrGraph, VertexId};
+use ldgm_graph::Xoshiro256;
+
+use crate::delta::EdgeUpdate;
+
+/// Shape of the synthetic update workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Endpoints uniform over the vertex set; inserts vs deletes by coin
+    /// flip (`insert_frac`).
+    Uniform,
+    /// Endpoints biased toward low vertex ids (quadratic transform), the
+    /// usual stand-in for power-law update locality on rmat-style graphs.
+    Skewed,
+    /// Every step inserts a fresh edge and evicts the oldest once the live
+    /// window is full — the streaming sliding-window model.
+    SlidingWindow,
+}
+
+impl WorkloadKind {
+    /// Parse a CLI name.
+    pub fn from_name(name: &str) -> Option<WorkloadKind> {
+        match name {
+            "uniform" => Some(WorkloadKind::Uniform),
+            "skewed" => Some(WorkloadKind::Skewed),
+            "sliding" | "sliding-window" => Some(WorkloadKind::SlidingWindow),
+            _ => None,
+        }
+    }
+
+    /// Registry name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Uniform => "uniform",
+            WorkloadKind::Skewed => "skewed",
+            WorkloadKind::SlidingWindow => "sliding-window",
+        }
+    }
+
+    /// All parseable names (for error messages).
+    pub fn names() -> &'static [&'static str] {
+        &["uniform", "skewed", "sliding-window"]
+    }
+}
+
+/// Deterministic generator of update batches against a live edge mirror.
+#[derive(Clone, Debug)]
+pub struct UpdateStream {
+    kind: WorkloadKind,
+    rng: Xoshiro256,
+    n: u32,
+    insert_frac: f64,
+    window: usize,
+    /// Live edges as `(min, max)` pairs, with an index for O(1) membership
+    /// and swap-remove deletion.
+    edges: Vec<(VertexId, VertexId)>,
+    index: HashMap<(VertexId, VertexId), usize>,
+    /// Insertion order for sliding-window eviction.
+    order: VecDeque<(VertexId, VertexId)>,
+}
+
+impl UpdateStream {
+    /// Build a stream over `g`'s vertex set, seeded for reproducibility.
+    /// The mirror starts at `g`'s current edge set. For
+    /// [`WorkloadKind::SlidingWindow`] the window defaults to the initial
+    /// edge count (override with [`Self::with_window`]).
+    pub fn new(g: &CsrGraph, kind: WorkloadKind, seed: u64) -> Self {
+        assert!(g.num_vertices() >= 2, "update stream needs at least two vertices");
+        let edges: Vec<(VertexId, VertexId)> = g.iter_edges().map(|(u, v, _)| (u, v)).collect();
+        let index = edges.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        let order = edges.iter().copied().collect();
+        UpdateStream {
+            kind,
+            rng: Xoshiro256::seed_from_u64(seed),
+            n: g.num_vertices() as u32,
+            insert_frac: 0.5,
+            window: edges.len().max(1),
+            edges,
+            index,
+            order,
+        }
+    }
+
+    /// Set the insert probability for uniform/skewed workloads.
+    pub fn with_insert_frac(mut self, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "insert fraction must be in [0, 1]");
+        self.insert_frac = frac;
+        self
+    }
+
+    /// Set the live-edge cap for sliding-window workloads.
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        self.window = window;
+        self
+    }
+
+    /// Number of live edges in the mirror.
+    pub fn live_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The workload shape this stream generates.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// Generate the next batch of `size` update steps. Sliding-window steps
+    /// may emit more than one update (insert plus evictions).
+    pub fn next_batch(&mut self, size: usize) -> Vec<EdgeUpdate> {
+        let mut out = Vec::with_capacity(size);
+        for _ in 0..size {
+            match self.kind {
+                WorkloadKind::Uniform | WorkloadKind::Skewed => {
+                    if self.edges.is_empty() || self.rng.chance(self.insert_frac) {
+                        let (u, v) = self.sample_pair();
+                        let w = self.sample_weight();
+                        self.note_insert(u, v);
+                        out.push(EdgeUpdate::Insert { u, v, w });
+                    } else {
+                        let k = self.rng.below(self.edges.len() as u64) as usize;
+                        let (u, v) = self.edges[k];
+                        self.note_delete(u, v);
+                        out.push(EdgeUpdate::Delete { u, v });
+                    }
+                }
+                WorkloadKind::SlidingWindow => {
+                    let (u, v) = self.sample_pair();
+                    let w = self.sample_weight();
+                    if self.note_insert(u, v) {
+                        self.order.push_back((u, v));
+                    }
+                    out.push(EdgeUpdate::Insert { u, v, w });
+                    while self.edges.len() > self.window {
+                        // Entries may be stale (already deleted); skip those.
+                        let Some((a, b)) = self.order.pop_front() else { break };
+                        if self.index.contains_key(&(a, b)) {
+                            self.note_delete(a, b);
+                            out.push(EdgeUpdate::Delete { u: a, v: b });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn sample_vertex(&mut self) -> VertexId {
+        match self.kind {
+            WorkloadKind::Skewed => {
+                let r = self.rng.next_f64();
+                (((r * r) * self.n as f64) as u32).min(self.n - 1)
+            }
+            _ => self.rng.below(self.n as u64) as VertexId,
+        }
+    }
+
+    fn sample_pair(&mut self) -> (VertexId, VertexId) {
+        loop {
+            let u = self.sample_vertex();
+            let v = self.sample_vertex();
+            if u != v {
+                return (u.min(v), u.max(v));
+            }
+        }
+    }
+
+    fn sample_weight(&mut self) -> f64 {
+        0.05 + 0.95 * self.rng.next_f64()
+    }
+
+    /// Track an insert; returns `true` when the edge is new to the mirror.
+    fn note_insert(&mut self, u: VertexId, v: VertexId) -> bool {
+        if self.index.contains_key(&(u, v)) {
+            return false; // reweight: edge stays where it is
+        }
+        self.index.insert((u, v), self.edges.len());
+        self.edges.push((u, v));
+        true
+    }
+
+    fn note_delete(&mut self, u: VertexId, v: VertexId) {
+        if let Some(pos) = self.index.remove(&(u, v)) {
+            self.edges.swap_remove(pos);
+            if pos < self.edges.len() {
+                self.index.insert(self.edges[pos], pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldgm_graph::gen::urand;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let g = urand(60, 200, 1);
+        let mut a = UpdateStream::new(&g, WorkloadKind::Uniform, 7);
+        let mut b = UpdateStream::new(&g, WorkloadKind::Uniform, 7);
+        for _ in 0..5 {
+            assert_eq!(a.next_batch(20), b.next_batch(20));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let g = urand(60, 200, 1);
+        let mut a = UpdateStream::new(&g, WorkloadKind::Uniform, 1);
+        let mut b = UpdateStream::new(&g, WorkloadKind::Uniform, 2);
+        assert_ne!(a.next_batch(50), b.next_batch(50));
+    }
+
+    #[test]
+    fn deletes_target_live_edges() {
+        let g = urand(50, 300, 2);
+        let mut live: HashSet<(u32, u32)> = g.iter_edges().map(|(u, v, _)| (u, v)).collect();
+        let mut s = UpdateStream::new(&g, WorkloadKind::Uniform, 3).with_insert_frac(0.3);
+        for upd in s.next_batch(400) {
+            match upd {
+                EdgeUpdate::Insert { u, v, .. } => {
+                    live.insert((u, v));
+                }
+                EdgeUpdate::Delete { u, v } => {
+                    assert!(live.remove(&(u, v)), "delete of non-live edge ({u},{v})");
+                }
+            }
+        }
+        assert_eq!(live.len(), s.live_edges());
+    }
+
+    #[test]
+    fn sliding_window_bounds_live_edges() {
+        let g = urand(40, 100, 4);
+        let mut s = UpdateStream::new(&g, WorkloadKind::SlidingWindow, 5).with_window(60);
+        for _ in 0..10 {
+            s.next_batch(30);
+            assert!(s.live_edges() <= 60, "window exceeded: {}", s.live_edges());
+        }
+        // The window should actually fill up.
+        assert!(s.live_edges() >= 55, "window underfull: {}", s.live_edges());
+    }
+
+    #[test]
+    fn skewed_biases_low_ids() {
+        let g = urand(1000, 2000, 6);
+        let mut s = UpdateStream::new(&g, WorkloadKind::Skewed, 8).with_insert_frac(1.0);
+        let mut below_quarter = 0;
+        let mut total = 0;
+        for upd in s.next_batch(500) {
+            let (u, v) = upd.endpoints();
+            for x in [u, v] {
+                total += 1;
+                if x < 250 {
+                    below_quarter += 1;
+                }
+            }
+        }
+        // Quadratic transform puts half the mass below n/4.
+        assert!(below_quarter * 10 > total * 4, "{below_quarter}/{total} below n/4");
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for name in WorkloadKind::names() {
+            let k = WorkloadKind::from_name(name).unwrap();
+            assert_eq!(k.name(), *name);
+        }
+        assert_eq!(WorkloadKind::from_name("sliding"), Some(WorkloadKind::SlidingWindow));
+        assert_eq!(WorkloadKind::from_name("nope"), None);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! This is the umbrella crate of the `ldgm` workspace, a from-scratch Rust
 //! reproduction of *"Efficient Weighted Graph Matching on GPUs"* (SC 2024).
-//! It re-exports the four library crates so applications can depend on a
+//! It re-exports the library crates so applications can depend on a
 //! single package:
 //!
 //! * [`graph`] — weighted graph substrate: CSR storage, synthetic
@@ -19,6 +19,11 @@
 //!   every baseline it is evaluated against (Suitor sequential/parallel/
 //!   simulated-GPU, LocalMax, global greedy, red-blue auction, an exact
 //!   Blossom solver, and a cuGraph-style multi-GPU baseline).
+//! * [`dynamic`] — batch-dynamic maintenance of the locally-dominant
+//!   matching under edge insertions/deletions: a delta-CSR overlay,
+//!   frontier-restricted incremental SETPOINTERS/SETMATES with simulated
+//!   billing, deterministic update-stream workloads, and an
+//!   incremental-vs-from-scratch engine registry.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +48,7 @@
 //! the harness regenerating every table and figure of the paper.
 
 pub use ldgm_core as core;
+pub use ldgm_dyn as dynamic;
 pub use ldgm_gpusim as gpusim;
 pub use ldgm_graph as graph;
 pub use ldgm_part as part;
