@@ -14,6 +14,7 @@ use ldgm_core::verify::half_approx_certificate;
 use ldgm_core::{MatchResult, MatcherRegistry, MatcherSetup};
 use ldgm_dyn::matcher::IncrementalMatcher;
 use ldgm_dyn::{DynConfig, DynamicMatcherRegistry, WorkloadKind, WorkloadSpec};
+use ldgm_gpusim::metrics::names;
 use ldgm_gpusim::{chrome_trace_json, timeline_breakdown, PhaseBreakdown, Platform, RunReport};
 use ldgm_graph::csr::CsrGraph;
 use ldgm_graph::gen::GraphGen;
@@ -285,7 +286,7 @@ fn cmd_match(args: &Args) -> Result<String, ArgError> {
     let mut out = String::new();
     let mut sim_note = String::new();
     if result.simulated {
-        let devices = result.metrics.gauge("driver.devices").unwrap_or(1.0) as u64;
+        let devices = result.metrics.gauge(names::DRIVER_DEVICES).unwrap_or(1.0) as u64;
         writeln!(
             sim_note,
             "simulated {:.3} ms on {} device(s), {} iterations",
@@ -565,7 +566,7 @@ fn cmd_profile(args: &Args) -> Result<String, ArgError> {
                 let phases = result_phases(&r);
                 let total = phases.total().max(1e-30);
                 let pct = |v: f64| v / total * 100.0;
-                let occ = match r.metrics.gauge("kernel.occupancy") {
+                let occ = match r.metrics.gauge(names::KERNEL_OCCUPANCY) {
                     Some(o) => format!("{o:>5.2}"),
                     None => format!("{:>5}", "-"),
                 };

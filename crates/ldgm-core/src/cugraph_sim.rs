@@ -80,6 +80,19 @@ mod tests {
     }
 
     #[test]
+    fn metric_schema_matches_ld_gpu_naming() {
+        let g = urand(800, 5000, 5);
+        let cu = cugraph_sim(&g, &Platform::dgx_a100(), 4).unwrap();
+        for key in ["kernel.bytes_moved", "kernel.warps_launched", "comm.collective_bytes"] {
+            assert!(cu.metrics.get(key).is_some(), "missing {key}");
+        }
+        assert!(cu.metrics.counter("comm.collective_bytes") > 0);
+        let occ = cu.metrics.gauge("kernel.occupancy").unwrap();
+        assert!(occ > 0.0 && occ <= 1.0);
+        assert_eq!(cu.metrics.gauge("driver.devices"), Some(4.0));
+    }
+
+    #[test]
     fn rescanning_increases_edge_work() {
         let g = urand(1000, 8000, 3);
         let p = Platform::dgx_a100();

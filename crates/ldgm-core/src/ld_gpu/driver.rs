@@ -9,14 +9,16 @@
 //! sets no pointers (no available edges remain).
 //!
 //! Kernel logic executes for real (device-parallel via rayon, with the
-//! per-device vertex ranges borrowed disjointly); all simulated time comes
-//! from the `ldgm-gpusim` cost models.
+//! per-device vertex ranges borrowed disjointly); all simulated time is
+//! billed through [`ldgm_gpusim::SimRuntime`], which owns the timers, the
+//! trace, the metrics registry, and the timeline-derived phase breakdown.
 
 use rayon::prelude::*;
 
+use ldgm_gpusim::metrics::names;
 use ldgm_gpusim::{
-    run_collective, DeviceTimer, EventKind, IterationRecord, KernelStats, MetricsRegistry,
-    PhaseBreakdown, RunProfile, Trace, NONE_SENTINEL,
+    DeviceCtx, IterationRecord, KernelStats, MetricsRegistry, RunProfile, SimRuntime, Trace,
+    NONE_SENTINEL,
 };
 use ldgm_graph::csr::{CsrGraph, VertexId};
 use ldgm_part::{batch, memory, Partition, VertexRange};
@@ -53,26 +55,26 @@ pub struct LdGpu {
     cfg: LdGpuConfig,
 }
 
-/// Per-device state borrowed disjointly during the pointing phase.
+/// Per-device state borrowed disjointly during the pointing phase. The
+/// [`DeviceCtx`] carries the device's timeline and bills every copy,
+/// kernel and sync the task issues.
 struct DeviceTask<'a> {
-    dev_idx: usize,
     part: VertexRange,
     batches: Vec<VertexRange>,
     pointers: &'a mut [u64],
     retired: &'a mut [u8],
-    timer: DeviceTimer,
+    ctx: DeviceCtx,
 }
 
-/// What a device reports back after its pointing phase.
+/// What a device reports back after its pointing phase (simulation-side
+/// billing stays inside the returned [`DeviceCtx`]).
 #[derive(Default)]
 struct DeviceReport {
-    phases: PhaseBreakdown,
     stats: KernelStats,
     pointers_set: u64,
     vertices_retired: u64,
     occ_weighted: f64,
     occ_weight: f64,
-    trace: Trace,
 }
 
 impl LdGpu {
@@ -127,25 +129,18 @@ impl LdGpu {
         let mut pointers: Vec<u64> = vec![NONE_SENTINEL; n];
         let mut mate: Vec<u64> = vec![NONE_SENTINEL; n];
         let mut retired: Vec<u8> = vec![0; n];
-        let mut timers: Vec<DeviceTimer> = vec![DeviceTimer::new(); ndev];
 
         let spec = &cfg.platform.device;
-        let cost = &cfg.platform.cost;
-        let h2d = cfg.platform.interconnect.h2d;
-        let peer = cfg.platform.interconnect.peer;
-        let comm = cfg.platform.comm;
         let vpw = cfg.vertices_per_warp.unwrap_or_else(|| {
             let slots = (spec.sm_count * spec.max_warps_per_sm) as usize;
             n.div_ceil(ndev).div_ceil(slots).max(1)
         });
 
-        let mut profile = RunProfile::default();
+        let mut rt = SimRuntime::new(&cfg.platform, ndev)
+            .with_kernel_overhead(cfg.kernel_overhead)
+            .with_trace(cfg.collect_trace);
         let mut iterations = 0usize;
         let total_directed = g.num_directed_edges() as u64;
-        let mut trace = cfg.collect_trace.then(Trace::default);
-        let mut metrics = MetricsRegistry::new();
-        let mut run_occ_weighted = 0.0_f64;
-        let mut run_occ_weight = 0.0_f64;
 
         loop {
             // ---- Pointing phase (Algorithm 2 lines 3-6) ----
@@ -154,7 +149,8 @@ impl LdGpu {
                 let mut ptr_rest: &mut [u64] = &mut pointers;
                 let mut ret_rest: &mut [u8] = &mut retired;
                 let mut cursor: usize = 0;
-                for (d, part) in partition.parts.iter().enumerate() {
+                let mut ctxs = rt.detach_devices();
+                for (part, ctx) in partition.parts.iter().zip(ctxs.drain(..)) {
                     debug_assert_eq!(part.start as usize, cursor);
                     let len = part.num_vertices();
                     let (ptr_here, ptr_next) = ptr_rest.split_at_mut(len);
@@ -163,21 +159,18 @@ impl LdGpu {
                     ret_rest = ret_next;
                     cursor += len;
                     tasks.push(DeviceTask {
-                        dev_idx: d,
                         part: *part,
                         batches: batch::make_batches(g, part, nbatches),
                         pointers: ptr_here,
                         retired: ret_here,
-                        timer: timers[d],
+                        ctx,
                     });
                 }
                 let mate_ref = &mate;
-                let reports: Vec<(DeviceTimer, DeviceReport)> = tasks
+                let results: Vec<(DeviceCtx, DeviceReport)> = tasks
                     .into_par_iter()
                     .map(|mut task| {
                         let mut rep = DeviceReport::default();
-                        let dev_idx = task.dev_idx;
-                        let collect_trace = self.cfg.collect_trace;
                         let nb = task.batches.len();
                         for (b, brange) in task.batches.iter().enumerate() {
                             // Async load into buffer b mod 2 (double
@@ -189,17 +182,7 @@ impl LdGpu {
                             // is billed.
                             if nb > 2 {
                                 let bytes = memory::batch_buffer_bytes(brange);
-                                let (cs, ce) = task.timer.schedule_h2d(b, bytes, &h2d);
-                                rep.phases.transfer += ce - cs;
-                                if collect_trace {
-                                    rep.trace.record(
-                                        dev_idx,
-                                        EventKind::H2dCopy,
-                                        format!("copy b{b}"),
-                                        cs,
-                                        ce,
-                                    );
-                                }
+                                task.ctx.h2d_copy(b, bytes, format!("copy b{b}"));
                             }
                             // Execute SETPOINTERS for real on the batch's
                             // sub-slice of this device's pointer range.
@@ -215,80 +198,39 @@ impl LdGpu {
                                     vpw,
                                     self.cfg.retire_exhausted,
                                 );
-                            let dur = spec.kernel_time(cost, &stats) * self.cfg.kernel_overhead;
-                            let (ks, ke) = task.timer.schedule_kernel(b, dur);
-                            if collect_trace {
-                                rep.trace.record(
-                                    dev_idx,
-                                    EventKind::Kernel,
-                                    format!("point b{b}"),
-                                    ks,
-                                    ke,
-                                );
-                            }
-                            rep.phases.pointing += dur;
+                            let launch =
+                                task.ctx.launch_kernel(Some(b), format!("point b{b}"), &stats);
                             rep.pointers_set += pointers_set;
                             rep.vertices_retired += vertices_retired;
-                            rep.occ_weighted +=
-                                spec.occupancy(cost, &stats) * stats.warps_launched as f64;
+                            rep.occ_weighted += launch.occupancy * stats.warps_launched as f64;
                             rep.occ_weight += stats.warps_launched as f64;
                             rep.stats.merge(&stats);
                             // Paper §III-D: explicit host-device sync when
                             // more batches than stream buffers.
-                            if task.batches.len() > 2 {
-                                let sync_cost = cost.host_sync_us * 1e-6;
-                                let before = task.timer.horizon();
-                                task.timer.host_sync(sync_cost);
-                                rep.phases.sync += sync_cost;
-                                if collect_trace {
-                                    rep.trace.record(
-                                        dev_idx,
-                                        EventKind::HostSync,
-                                        format!("sync b{b}"),
-                                        before,
-                                        before + sync_cost,
-                                    );
-                                }
+                            if nb > 2 {
+                                task.ctx.host_sync(format!("sync b{b}"));
                             }
                         }
-                        task.timer.drain();
-                        (task.timer, rep)
+                        task.ctx.drain();
+                        (task.ctx, rep)
                     })
                     .collect();
-                for (d, (timer, _)) in reports.iter().enumerate() {
-                    timers[d] = *timer;
-                }
-                reports.into_iter().map(|(_, r)| r).collect()
+                let (ctxs, reports): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+                rt.attach_devices(ctxs);
+                reports
             };
 
             let pointers_set: u64 = reports.iter().map(|r| r.pointers_set).sum();
             let mut iter_stats = KernelStats::default();
             let mut occ_weighted = 0.0;
             let mut occ_weight = 0.0;
-            let mut reports = reports;
-            for r in &mut reports {
-                if let Some(t) = trace.as_mut() {
-                    t.merge(std::mem::take(&mut r.trace));
-                }
-            }
             for r in &reports {
                 iter_stats.merge(&r.stats);
                 occ_weighted += r.occ_weighted;
                 occ_weight += r.occ_weight;
-                profile.phases.pointing += r.phases.pointing / ndev as f64;
-                profile.phases.transfer += r.phases.transfer / ndev as f64;
-                profile.phases.sync += r.phases.sync / ndev as f64;
-                metrics.counter_add("kernel.vertices_retired", r.vertices_retired);
+                rt.counter_add(names::KERNEL_VERTICES_RETIRED, r.vertices_retired);
             }
-            metrics.counter_add("kernel.edges_scanned", iter_stats.edges_scanned);
-            metrics.counter_add("kernel.warps_launched", iter_stats.warps_launched);
-            metrics.counter_add("kernel.pointers_set", pointers_set);
-            metrics.counter_add(
-                "kernel.bytes_moved",
-                iter_stats.bytes_read + iter_stats.bytes_written,
-            );
-            run_occ_weighted += occ_weighted;
-            run_occ_weight += occ_weight;
+            rt.counter_add(names::KERNEL_POINTERS_SET, pointers_set);
 
             if pointers_set == 0 {
                 break; // no available edges anywhere: matching is maximal
@@ -297,56 +239,32 @@ impl LdGpu {
 
             // Devices idle at the collective until the slowest finishes its
             // pointing phase — the paper's "explicit synchronization"
-            // component is dominated by exactly this imbalance wait.
-            let max_h = timers.iter().map(DeviceTimer::horizon).fold(0.0_f64, f64::max);
-            let wait: f64 = timers.iter().map(|t| max_h - t.horizon()).sum::<f64>();
-            profile.phases.sync += wait / ndev as f64;
+            // component is dominated by exactly this imbalance wait, which
+            // the timeline breakdown attributes to the sync phase.
+            rt.barrier_wait();
 
             // ---- AllReduce pointers (line 7) ----
             let payload = 8 * n as u64;
-            let ar = comm.allreduce_time(&peer, ndev, payload);
-            let (ar_s, ar_e) = run_collective(&mut timers, ar);
-            if let Some(t) = trace.as_mut() {
-                for d in 0..ndev {
-                    t.record(d, EventKind::Collective, "allreduce ptr", ar_s, ar_e);
-                }
-            }
-            profile.phases.allreduce += ar;
-            metrics.counter_add("comm.allreduce_calls", 1);
-            // Ring allreduce wire traffic: every device sends
-            // 2 (p-1)/p x payload, so the fabric carries 2 (p-1) x payload.
-            metrics.counter_add("comm.collective_bytes", 2 * (ndev as u64 - 1) * payload);
+            rt.allreduce("allreduce ptr", payload);
 
             // ---- Matching phase: SETMATES (line 8) ----
             let (mstats, new_matches) = set_mates(&pointers, &mut mate);
-            metrics.counter_add("matching.edges_committed", new_matches);
-            let mdur = spec.kernel_time(cost, &mstats) * self.cfg.kernel_overhead;
-            for (d, tm) in timers.iter_mut().enumerate() {
-                let (ms, me) = tm.schedule_kernel_global(mdur);
-                tm.drain();
-                if let Some(t) = trace.as_mut() {
-                    t.record(d, EventKind::Kernel, "setmates", ms, me);
-                }
-            }
-            profile.phases.matching += mdur;
+            rt.counter_add(names::MATCHING_EDGES_COMMITTED, new_matches);
+            rt.global_kernel("setmates", &mstats);
 
             // ---- AllReduce mate (line 9) ----
-            let ar2 = comm.allreduce_time(&peer, ndev, payload);
-            let (ar2_s, ar2_e) = run_collective(&mut timers, ar2);
-            if let Some(t) = trace.as_mut() {
-                for d in 0..ndev {
-                    t.record(d, EventKind::Collective, "allreduce mate", ar2_s, ar2_e);
-                }
-            }
-            profile.phases.allreduce += ar2;
-            metrics.counter_add("comm.allreduce_calls", 1);
-            metrics.counter_add("comm.collective_bytes", 2 * (ndev as u64 - 1) * payload);
+            rt.allreduce("allreduce mate", payload);
 
-            debug_assert!(new_matches > 0, "pointers set but nothing matched: livelock");
+            // Runtime-level livelock invariant: an iteration that set
+            // pointers must commit at least one edge (two locally-dominant
+            // endpoints point at each other under the canonical total
+            // order), or the driver would re-derive the same pointers
+            // forever.
+            rt.assert_progress(new_matches, "SETMATES after a pointer-setting round");
 
             if cfg.collect_iterations {
                 let occ = if occ_weight > 0.0 { occ_weighted / occ_weight } else { 0.0 };
-                profile.iterations.push(IterationRecord::from_stats(
+                rt.push_iteration(IterationRecord::from_stats(
                     iterations - 1,
                     &iter_stats,
                     total_directed,
@@ -354,29 +272,15 @@ impl LdGpu {
                     new_matches,
                 ));
             }
-            if new_matches == 0 {
-                break; // defensive: cannot happen under the total order
-            }
         }
 
-        let sim_time = timers.iter().map(DeviceTimer::horizon).fold(0.0, f64::max);
-        profile.sim_time = sim_time;
-
-        metrics.counter_add("driver.iterations", iterations as u64);
-        metrics.counter_add(
-            "timer.buffer_stalls",
-            timers.iter().map(DeviceTimer::buffer_stalls).sum(),
-        );
-        metrics.gauge_set(
-            "timer.buffer_stall_time",
-            timers.iter().map(DeviceTimer::buffer_stall_time).sum(),
-        );
-        metrics.gauge_set(
-            "kernel.occupancy",
-            if run_occ_weight > 0.0 { run_occ_weighted / run_occ_weight } else { 0.0 },
-        );
-        metrics.gauge_set("driver.devices", ndev as f64);
-        metrics.gauge_set("driver.batches", nbatches as f64);
+        rt.counter_add(names::DRIVER_ITERATIONS, iterations as u64);
+        rt.gauge_set(names::DRIVER_BATCHES, nbatches as f64);
+        let fin = rt.finish();
+        let sim_time = fin.sim_time;
+        let profile = fin.profile;
+        let metrics = fin.metrics;
+        let trace = fin.trace;
 
         let mut matching = Matching::new(n);
         for (u, &v) in mate.iter().enumerate() {

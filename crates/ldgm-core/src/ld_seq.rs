@@ -11,6 +11,7 @@
 use std::time::Instant;
 
 use crate::matching::{prefer, Matching, UNMATCHED};
+use ldgm_gpusim::metrics::names;
 use ldgm_gpusim::{IterationRecord, MetricsRegistry, RunProfile};
 use ldgm_graph::csr::{CsrGraph, VertexId};
 
@@ -47,7 +48,7 @@ pub fn ld_seq_with_stats(g: &CsrGraph) -> (Matching, LdSeqStats) {
     let out = ld_seq_profiled(g);
     let stats = LdSeqStats {
         iterations: out.profile.num_iterations(),
-        edges_scanned: out.metrics.counter("kernel.edges_scanned"),
+        edges_scanned: out.metrics.counter(names::KERNEL_EDGES_SCANNED),
     };
     (out.matching, stats)
 }
@@ -102,10 +103,10 @@ pub fn ld_seq_profiled(g: &CsrGraph) -> LdSeqProfiled {
         let new_matches = (matching.cardinality() - before) as u64;
         let exhausted = live_before - live.len() - 2 * new_matches as usize;
 
-        metrics.counter_add("kernel.edges_scanned", round_edges);
-        metrics.counter_add("kernel.pointers_set", pointers_set);
-        metrics.counter_add("kernel.vertices_retired", exhausted as u64);
-        metrics.counter_add("matching.edges_committed", new_matches);
+        metrics.counter_add(names::KERNEL_EDGES_SCANNED, round_edges);
+        metrics.counter_add(names::KERNEL_POINTERS_SET, pointers_set);
+        metrics.counter_add(names::KERNEL_VERTICES_RETIRED, exhausted as u64);
+        metrics.counter_add(names::MATCHING_EDGES_COMMITTED, new_matches);
         profile.iterations.push(IterationRecord {
             iter: round,
             edges_scanned: round_edges,
@@ -114,7 +115,7 @@ pub fn ld_seq_profiled(g: &CsrGraph) -> LdSeqProfiled {
             ..Default::default()
         });
     }
-    metrics.counter_add("driver.iterations", profile.iterations.len() as u64);
+    metrics.counter_add(names::DRIVER_ITERATIONS, profile.iterations.len() as u64);
     profile.sim_time = profile.phases.total();
     LdSeqProfiled { matching, profile, metrics }
 }

@@ -21,7 +21,7 @@
 //!   ⅔-approximation (the paper's §V future-work direction);
 //! * [`matching`] / [`verify`] / [`fom`] — result types, certificates and
 //!   the paper's MMEPS figure of merit;
-//! * [`matcher`] — the unified [`Matcher`](matcher::Matcher) trait and
+//! * [`matcher`] — the unified [`matcher::Matcher`] trait and
 //!   name-keyed registry putting every algorithm above behind one API.
 
 pub mod auction;

@@ -10,6 +10,7 @@
 use std::time::Instant;
 
 use crate::matching::Matching;
+use ldgm_gpusim::metrics::names;
 use ldgm_gpusim::{IterationRecord, MetricsRegistry, RunProfile};
 use ldgm_graph::csr::{CsrGraph, VertexId};
 
@@ -52,7 +53,7 @@ pub fn local_max_with_stats(g: &CsrGraph) -> (Matching, LocalMaxStats) {
     let out = local_max_profiled(g);
     let stats = LocalMaxStats {
         rounds: out.profile.num_iterations(),
-        edges_scanned: out.metrics.counter("kernel.edges_scanned"),
+        edges_scanned: out.metrics.counter(names::KERNEL_EDGES_SCANNED),
     };
     (out.matching, stats)
 }
@@ -112,10 +113,13 @@ pub fn local_max_profiled(g: &CsrGraph) -> LocalMaxProfiled {
         let new_matches = (m.cardinality() - before) as u64;
         let removed = live_before - live.len();
 
-        metrics.counter_add("kernel.edges_scanned", round_edges);
-        metrics.counter_add("kernel.pointers_set", pointers_set as u64);
-        metrics.counter_add("kernel.vertices_retired", (removed - 2 * new_matches as usize) as u64);
-        metrics.counter_add("matching.edges_committed", new_matches);
+        metrics.counter_add(names::KERNEL_EDGES_SCANNED, round_edges);
+        metrics.counter_add(names::KERNEL_POINTERS_SET, pointers_set as u64);
+        metrics.counter_add(
+            names::KERNEL_VERTICES_RETIRED,
+            (removed - 2 * new_matches as usize) as u64,
+        );
+        metrics.counter_add(names::MATCHING_EDGES_COMMITTED, new_matches);
         profile.iterations.push(IterationRecord {
             iter: round,
             edges_scanned: round_edges,
@@ -124,7 +128,7 @@ pub fn local_max_profiled(g: &CsrGraph) -> LocalMaxProfiled {
             ..Default::default()
         });
     }
-    metrics.counter_add("driver.iterations", profile.iterations.len() as u64);
+    metrics.counter_add(names::DRIVER_ITERATIONS, profile.iterations.len() as u64);
     profile.sim_time = profile.phases.total();
     LocalMaxProfiled { matching: m, profile, metrics }
 }

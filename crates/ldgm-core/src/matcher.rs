@@ -14,6 +14,7 @@
 use std::fmt;
 use std::time::Instant;
 
+use ldgm_gpusim::metrics::names;
 use ldgm_gpusim::{MetricsRegistry, Platform, RunProfile, Trace};
 use ldgm_graph::csr::CsrGraph;
 
@@ -27,7 +28,7 @@ use crate::local_max::local_max_profiled;
 use crate::matching::Matching;
 use crate::suitor::suitor_with_stats;
 use crate::suitor_par::suitor_par;
-use crate::suitor_sim::suitor_sim;
+use crate::suitor_sim::suitor_sim_traced;
 
 /// Why a matcher could not run (infeasible configuration, out of memory,
 /// input too large for an exact method).
@@ -97,7 +98,7 @@ pub struct MatcherSetup {
     pub batches: Option<usize>,
     /// Seed for randomized matchers (auction).
     pub seed: u64,
-    /// Record event traces where supported (LD-GPU, cuGraph).
+    /// Record event traces where supported (LD-GPU, cuGraph, SR-GPU).
     pub collect_trace: bool,
     /// Vertex-count guard for the O(n^3) exact blossom matcher.
     pub blossom_limit: usize,
@@ -137,7 +138,10 @@ impl MatcherRegistry {
         reg.register(Box::new(GreedyMatcher));
         reg.register(Box::new(SuitorMatcher));
         reg.register(Box::new(SuitorParMatcher));
-        reg.register(Box::new(SuitorGpuMatcher { platform: setup.platform.clone() }));
+        reg.register(Box::new(SuitorGpuMatcher {
+            platform: setup.platform.clone(),
+            collect_trace: setup.collect_trace,
+        }));
         reg.register(Box::new(AuctionMatcher { seed: setup.seed }));
         reg.register(Box::new(BlossomMatcher { limit: setup.blossom_limit }));
         reg.register(Box::new(CugraphMatcher {
@@ -294,11 +298,11 @@ impl Matcher for SuitorMatcher {
         let t0 = Instant::now();
         let (m, stats) = suitor_with_stats(g);
         let mut result = MatchResult::host(m, t0.elapsed().as_secs_f64());
-        result.metrics.counter_add("kernel.edges_scanned", stats.edges_scanned);
-        result.metrics.counter_add("kernel.pointers_set", stats.proposals);
+        result.metrics.counter_add(names::KERNEL_EDGES_SCANNED, stats.edges_scanned);
+        result.metrics.counter_add(names::KERNEL_POINTERS_SET, stats.proposals);
         result
             .metrics
-            .counter_add("matching.edges_committed", result.matching.cardinality() as u64);
+            .counter_add(names::MATCHING_EDGES_COMMITTED, result.matching.cardinality() as u64);
         Ok(result)
     }
 }
@@ -321,6 +325,8 @@ impl Matcher for SuitorParMatcher {
 pub struct SuitorGpuMatcher {
     /// Platform whose first device runs the kernel.
     pub platform: Platform,
+    /// Record an event trace.
+    pub collect_trace: bool,
 }
 
 impl Matcher for SuitorGpuMatcher {
@@ -328,15 +334,16 @@ impl Matcher for SuitorGpuMatcher {
         "suitor-gpu"
     }
     fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
-        let out = suitor_sim(g, &self.platform).map_err(|e| MatchError(e.to_string()))?;
+        let out = suitor_sim_traced(g, &self.platform, self.collect_trace)
+            .map_err(|e| MatchError(e.to_string()))?;
         Ok(MatchResult {
             matching: out.matching,
             run_time: out.sim_time,
             simulated: true,
-            iterations: out.metrics.counter("driver.iterations"),
+            iterations: out.metrics.counter(names::DRIVER_ITERATIONS),
             profile: Some(out.profile),
             metrics: out.metrics,
-            trace: None,
+            trace: out.trace,
         })
     }
 }
@@ -469,6 +476,8 @@ mod tests {
         let r = reg.get("ld-gpu").unwrap().run(&g).unwrap();
         assert!(r.trace.is_some());
         let r = reg.get("cugraph").unwrap().run(&g).unwrap();
+        assert!(r.trace.is_some());
+        let r = reg.get("suitor-gpu").unwrap().run(&g).unwrap();
         assert!(r.trace.is_some());
         let r = reg.get("greedy").unwrap().run(&g).unwrap();
         assert!(r.trace.is_none());

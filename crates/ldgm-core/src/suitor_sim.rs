@@ -16,7 +16,8 @@
 
 use crate::matching::Matching;
 use crate::suitor::suitor_with_stats;
-use ldgm_gpusim::{KernelStats, MetricsRegistry, PhaseBreakdown, Platform, RunProfile};
+use ldgm_gpusim::metrics::names;
+use ldgm_gpusim::{KernelStats, MetricsRegistry, Platform, RunProfile, SimRuntime, Trace};
 use ldgm_graph::csr::CsrGraph;
 
 /// Device bytes SR-GPU needs for `g`.
@@ -49,6 +50,8 @@ pub struct SuitorSimOutput {
     pub profile: RunProfile,
     /// Run metrics.
     pub metrics: MetricsRegistry,
+    /// Event trace, when requested via [`suitor_sim_traced`].
+    pub trace: Option<Trace>,
 }
 
 /// Error: the graph does not fit on the device.
@@ -74,6 +77,15 @@ impl std::error::Error for SrGpuOutOfMemory {}
 
 /// Run the simulated SR-GPU on one device of `platform`.
 pub fn suitor_sim(g: &CsrGraph, platform: &Platform) -> Result<SuitorSimOutput, SrGpuOutOfMemory> {
+    suitor_sim_traced(g, platform, false)
+}
+
+/// [`suitor_sim`] with an optional event trace of the simulated timeline.
+pub fn suitor_sim_traced(
+    g: &CsrGraph,
+    platform: &Platform,
+    collect_trace: bool,
+) -> Result<SuitorSimOutput, SrGpuOutOfMemory> {
     let required = sr_gpu_bytes(g);
     if required > platform.device.mem_bytes {
         return Err(SrGpuOutOfMemory { required, available: platform.device.mem_bytes });
@@ -110,39 +122,40 @@ pub fn suitor_sim(g: &CsrGraph, platform: &Platform) -> Result<SuitorSimOutput, 
         bytes_read: sstats.edges_scanned.div_ceil(32) * 32 * (4 + 4) + sstats.edges_scanned * 32,
         bytes_written: sstats.proposals * 8,
     };
-    let kernel = platform.device.kernel_time(&platform.cost, &stats);
-    // Every round costs a launch plus a host-device synchronization (the
-    // driver must observe the per-round convergence flag).
-    let per_round = (platform.cost.kernel_launch_us + platform.cost.host_sync_us) * 1e-6;
+    // Bill through the shared runtime: one aggregated proposal launch
+    // (the pointing analog), the per-round launch+sync overhead as a host
+    // synchronization (the driver must observe the per-round convergence
+    // flag), and — when the atomic bound dominates — a trailing
+    // mate-commit span. Phase attribution is timeline-derived by
+    // `SimRuntime::finish`, so it sums to `sim_time` by construction.
+    let mut rt = SimRuntime::new(platform, 1).with_trace(collect_trace);
+    {
+        let dev = rt.device(0);
+        dev.launch_kernel(None, "suitor proposals", &stats);
+        dev.host_sync_with("round sync", rounds as f64 * dev.per_round_overhead());
+    }
     // Standing-offer updates to one target serialize through atomic
     // exchange/retry (~200 cycles each under contention): the hottest
     // target bounds the run from below on contended (dense or hub-heavy)
     // graphs.
     let atomic_serial = sstats.max_target_updates as f64 * 200.0 / platform.device.clock_hz();
-    let overhead = rounds as f64 * per_round;
-    let sim_time = (kernel + overhead).max(atomic_serial);
-
-    // Phase attribution summing to sim_time: proposal scans are the
-    // pointing analog, round overhead is sync, and any excess of the
-    // atomic serialization bound over pipelined work is the matching
-    // (mate-commit) bottleneck.
-    let phases = PhaseBreakdown {
-        pointing: kernel,
-        matching: (atomic_serial - (kernel + overhead)).max(0.0),
-        sync: overhead,
-        ..Default::default()
-    };
-    let mut metrics = MetricsRegistry::new();
-    metrics.counter_add("kernel.edges_scanned", sstats.edges_scanned);
-    metrics.counter_add("kernel.pointers_set", sstats.proposals);
-    metrics.counter_add("matching.edges_committed", matching.cardinality() as u64);
-    metrics.counter_add("driver.iterations", rounds);
-    metrics.counter_add("comm.rounds", rounds);
-    metrics.gauge_set("kernel.occupancy", platform.device.occupancy(&platform.cost, &stats));
-    metrics.gauge_set("driver.devices", 1.0);
-    let profile = RunProfile { phases, iterations: Vec::new(), sim_time };
-    debug_assert!((profile.phases.total() - sim_time).abs() <= 1e-12 * sim_time.max(1.0));
-    Ok(SuitorSimOutput { matching, sim_time, stats, profile, metrics })
+    let tail = atomic_serial - rt.horizon();
+    if tail > 0.0 {
+        rt.device(0).fixed_kernel("atomic mate commits", tail);
+    }
+    rt.counter_add(names::KERNEL_POINTERS_SET, sstats.proposals);
+    rt.counter_add(names::MATCHING_EDGES_COMMITTED, matching.cardinality() as u64);
+    rt.counter_add(names::DRIVER_ITERATIONS, rounds);
+    rt.counter_add(names::COMM_ROUNDS, rounds);
+    let fin = rt.finish();
+    Ok(SuitorSimOutput {
+        matching,
+        sim_time: fin.sim_time,
+        stats,
+        profile: fin.profile,
+        metrics: fin.metrics,
+        trace: fin.trace,
+    })
 }
 
 #[cfg(test)]
@@ -195,6 +208,28 @@ mod tests {
             );
             assert!(out.metrics.counter("kernel.edges_scanned") > 0);
         }
+    }
+
+    #[test]
+    fn metric_schema_matches_ld_gpu_naming() {
+        let g = urand(600, 3600, 7);
+        let out = suitor_sim_traced(&g, &Platform::dgx_a100(), true).unwrap();
+        // Runtime-billed keys shared with LD-GPU, under the canonical
+        // names from `ldgm_gpusim::metrics::names`.
+        for key in ["kernel.bytes_moved", "kernel.warps_launched", "comm.collective_bytes"] {
+            assert!(out.metrics.get(key).is_some(), "missing {key}");
+        }
+        let occ = out.metrics.gauge("kernel.occupancy").unwrap();
+        assert!(occ > 0.0 && occ <= 1.0);
+        assert_eq!(out.metrics.gauge("driver.devices"), Some(1.0));
+        // Single device: collectives carry no wire bytes.
+        assert_eq!(out.metrics.counter("comm.collective_bytes"), 0);
+        // The trace spans the whole run when requested.
+        let trace = out.trace.expect("trace requested");
+        let (s, e) = trace.span().unwrap();
+        assert_eq!(s, 0.0);
+        assert!((e - out.sim_time).abs() <= 1e-9 * out.sim_time);
+        assert!(suitor_sim(&g, &Platform::dgx_a100()).unwrap().trace.is_none());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! commits within two rounds, so termination follows the same argument as
 //! the static solver's.
 //!
-//! Simulated cost is billed per round on the `ldgm-gpusim` platform —
+//! Simulated cost is billed per round through [`ldgm_gpusim::SimRuntime`] —
 //! pointing kernels sized by the frontier's scan work (same byte/wave
 //! accounting as the static SETPOINTERS kernel, plus the worklist read),
 //! sparse allreduces carrying only frontier entries (16 bytes each: index +
@@ -31,9 +31,9 @@
 
 use ldgm_core::verify::half_approx_certificate;
 use ldgm_core::{prefer, Matching, UNMATCHED};
+use ldgm_gpusim::metrics::names;
 use ldgm_gpusim::{
-    run_collective, timeline_breakdown, DeviceTimer, EventKind, IterationRecord, KernelStats,
-    MetricsRegistry, Platform, RunProfile, Trace,
+    IterationRecord, KernelStats, MetricsRegistry, Platform, RunProfile, SimRuntime, Trace,
 };
 use ldgm_graph::csr::{CsrGraph, VertexId};
 
@@ -143,15 +143,12 @@ pub struct IncrementalLd {
     ptr: Vec<VertexId>,
     ptr_w: Vec<f64>,
     in_frontier: Vec<bool>,
-    timers: Vec<DeviceTimer>,
-    trace: Trace,
-    metrics: MetricsRegistry,
-    iterations: Vec<IterationRecord>,
+    rt: SimRuntime,
     rounds: u64,
     batches: u64,
+    /// Per-round records pushed into the runtime so far (their index).
+    iterations_recorded: usize,
     initial_time: f64,
-    occ_weighted: f64,
-    occ_weight: f64,
 }
 
 impl IncrementalLd {
@@ -162,6 +159,9 @@ impl IncrementalLd {
         let n = base.num_vertices();
         let ndev = cfg.devices.clamp(1, cfg.platform.max_devices);
         let g = DynGraph::new(base).with_compact_frac(cfg.compact_frac);
+        // The dynamic output exposes its timeline unconditionally, so the
+        // runtime keeps the trace it records anyway.
+        let rt = SimRuntime::new(&cfg.platform, ndev).with_trace(true);
         let mut engine = IncrementalLd {
             g,
             ndev,
@@ -171,15 +171,11 @@ impl IncrementalLd {
             ptr: vec![UNMATCHED; n],
             ptr_w: vec![f64::NEG_INFINITY; n],
             in_frontier: vec![false; n],
-            timers: vec![DeviceTimer::new(); ndev],
-            trace: Trace::default(),
-            metrics: MetricsRegistry::new(),
-            iterations: Vec::new(),
+            rt,
             rounds: 0,
             batches: 0,
+            iterations_recorded: 0,
             initial_time: 0.0,
-            occ_weighted: 0.0,
-            occ_weight: 0.0,
         };
         let all: Vec<VertexId> = (0..n as VertexId).collect();
         engine.stabilize(all);
@@ -202,9 +198,9 @@ impl IncrementalLd {
         Matching::from_mate(self.mate.clone())
     }
 
-    /// Simulated seconds elapsed so far (max over device timers).
+    /// Simulated seconds elapsed so far (max over device timelines).
     pub fn horizon(&self) -> f64 {
-        self.timers.iter().map(DeviceTimer::horizon).fold(0.0, f64::max)
+        self.rt.horizon()
     }
 
     /// Check the maintained matching against the current snapshot:
@@ -245,12 +241,10 @@ impl IncrementalLd {
         // Bill the update upload: 16 bytes per update (two ids + weight),
         // broadcast to every device.
         if !batch.is_empty() {
-            let h2d = self.cfg.platform.interconnect.h2d;
             let bytes = 16 * batch.len() as u64;
             let label = format!("updates b{}", self.batches);
             for d in 0..self.ndev {
-                let (cs, ce) = self.timers[d].schedule_h2d(0, bytes, &h2d);
-                self.trace.record(d, EventKind::H2dCopy, &label, cs, ce);
+                self.rt.device(d).h2d_copy(0, bytes, &label);
             }
         }
 
@@ -323,12 +317,8 @@ impl IncrementalLd {
             st.max_warp_waves = st.edge_waves;
             st.bytes_read = st.vertices * 8 + wake_edges * 16;
             st.bytes_written = frontier.len() as u64 * 4;
-            let dur = self.cfg.platform.device.kernel_time(&self.cfg.platform.cost, &st);
             let label = format!("seed scan b{}", self.batches);
-            for d in 0..self.ndev {
-                let (ks, ke) = self.timers[d].schedule_kernel_global(dur);
-                self.trace.record(d, EventKind::Kernel, &label, ks, ke);
-            }
+            self.rt.global_kernel(&label, &st);
         }
 
         frontier.sort_unstable();
@@ -340,14 +330,12 @@ impl IncrementalLd {
         // CSR reshard: each device re-uploads its slice of the new base.
         let compacted = if self.g.should_compact() {
             self.g.compact();
-            let h2d = self.cfg.platform.interconnect.h2d;
             let bytes = self.g.base().csr_bytes() / self.ndev as u64;
             let label = format!("compact b{}", self.batches);
             for d in 0..self.ndev {
-                let (cs, ce) = self.timers[d].schedule_h2d(0, bytes.max(1), &h2d);
-                self.trace.record(d, EventKind::H2dCopy, &label, cs, ce);
+                self.rt.device(d).h2d_copy(0, bytes.max(1), &label);
             }
-            self.metrics.counter_add("dyn.compactions", 1);
+            self.rt.counter_add(names::DYN_COMPACTIONS, 1);
             true
         } else {
             false
@@ -366,41 +354,32 @@ impl IncrementalLd {
             compacted,
         };
         self.batches += 1;
-        self.metrics.counter_add("dyn.batches", 1);
-        self.metrics.counter_add("dyn.updates_applied", (inserts + deletes) as u64);
-        self.metrics.counter_add("dyn.inserts", inserts as u64);
-        self.metrics.counter_add("dyn.deletes", deletes as u64);
-        self.metrics.observe("dyn.seed_frontier", seed_frontier as f64);
-        self.metrics.gauge_set("dyn.delta_entries", self.g.delta_entries() as f64);
+        self.rt.counter_add(names::DYN_BATCHES, 1);
+        self.rt.counter_add(names::DYN_UPDATES_APPLIED, (inserts + deletes) as u64);
+        self.rt.counter_add(names::DYN_INSERTS, inserts as u64);
+        self.rt.counter_add(names::DYN_DELETES, deletes as u64);
+        self.rt.observe(names::DYN_SEED_FRONTIER, seed_frontier as f64);
+        self.rt.gauge_set(names::DYN_DELTA_ENTRIES, self.g.delta_entries() as f64);
         report
     }
 
-    /// Finalize: drain timers and package the run in the static driver's
-    /// output shape. The phase breakdown is recovered from the timeline, so
-    /// it sums exactly to `sim_time`.
+    /// Finalize: close the runtime and package the run in the static
+    /// driver's output shape. [`SimRuntime::finish`] recovers the phase
+    /// breakdown from the timeline, so it sums exactly to `sim_time`.
     pub fn finish(mut self) -> DynRunOutput {
-        for t in &mut self.timers {
-            t.drain();
-        }
-        let sim_time = self.horizon();
-        self.metrics.counter_add("driver.rounds", self.rounds);
-        self.metrics.gauge_set("driver.devices", self.ndev as f64);
-        if self.occ_weight > 0.0 {
-            self.metrics.gauge_set("kernel.occupancy", self.occ_weighted / self.occ_weight);
-        }
-        let phases = timeline_breakdown(&self.trace, sim_time);
-        let profile = RunProfile { phases, iterations: self.iterations, sim_time };
+        self.rt.counter_add(names::DRIVER_ROUNDS, self.rounds);
+        let fin = self.rt.finish();
         DynRunOutput {
             matching: Matching::from_mate(self.mate),
             graph: self.g.snapshot(),
-            sim_time,
+            sim_time: fin.sim_time,
             initial_time: self.initial_time,
-            maintenance_time: sim_time - self.initial_time,
+            maintenance_time: fin.sim_time - self.initial_time,
             rounds: self.rounds,
             batches: self.batches,
-            profile,
-            metrics: self.metrics,
-            trace: self.trace,
+            profile: fin.profile,
+            metrics: fin.metrics,
+            trace: fin.trace.expect("dynamic runtime always keeps its trace"),
         }
     }
 
@@ -458,9 +437,6 @@ impl IncrementalLd {
     /// frontier drains. Returns `(rounds, new_matches, broken_matches)`.
     fn stabilize(&mut self, mut frontier: Vec<VertexId>) -> (u64, u64, u64) {
         let spec = self.cfg.platform.device.clone();
-        let cost = self.cfg.platform.cost.clone();
-        let comm = self.cfg.platform.comm;
-        let peer = self.cfg.platform.interconnect.peer;
         let slots = ((spec.sm_count * spec.max_warps_per_sm) as usize).max(1);
         let n = self.mate.len();
         // Generous safety bound; the potential argument (each commit
@@ -535,20 +511,14 @@ impl IncrementalLd {
                     + st.edge_waves * 32 * (8 + 8)
                     + st.edges_scanned * 32;
                 st.bytes_written = st.vertices_processed * 8;
-                let dur = spec.kernel_time(&cost, &st);
-                let (ks, ke) = self.timers[d].schedule_kernel_global(dur);
                 let label = format!("point frontier r{}", self.rounds + rounds);
-                self.trace.record(d, EventKind::Kernel, &label, ks, ke);
-                occ_sum += spec.occupancy(&cost, &st);
+                let launch = self.rt.device(d).launch_kernel(None, label, &st);
+                occ_sum += launch.occupancy;
                 occ_n += 1;
-                self.occ_weighted += spec.occupancy(&cost, &st) * dur;
-                self.occ_weight += dur;
                 point_stats.merge(&st);
             }
-            self.metrics.counter_add("kernel.edges_scanned", point_stats.edges_scanned);
-            self.metrics.counter_add("kernel.warps_launched", point_stats.warps_launched);
-            self.metrics.counter_add("kernel.pointers_set", pointers_set);
-            self.metrics.observe("dyn.frontier_size", frontier.len() as f64);
+            self.rt.counter_add(names::KERNEL_POINTERS_SET, pointers_set);
+            self.rt.observe(names::DYN_FRONTIER_SIZE, frontier.len() as f64);
 
             if pointers_set == 0 {
                 for &u in &frontier {
@@ -557,18 +527,9 @@ impl IncrementalLd {
                 break;
             }
 
-            // Sparse allreduce of the frontier's pointer entries.
-            let payload = 16 * frontier.len() as u64;
-            let ar = comm.allreduce_time(&peer, self.ndev, payload);
-            let (ar_s, ar_e) = run_collective(&mut self.timers, ar);
-            for d in 0..self.ndev {
-                self.trace.record(d, EventKind::Collective, "allreduce ptr", ar_s, ar_e);
-            }
-            self.metrics.counter_add("comm.allreduce_calls", 1);
-            if self.ndev > 1 {
-                self.metrics
-                    .counter_add("comm.collective_bytes", 2 * (self.ndev as u64 - 1) * payload);
-            }
+            // Sparse allreduce of the frontier's pointer entries (16 bytes
+            // each: index + value).
+            self.rt.allreduce_sparse("allreduce ptr", frontier.len() as u64, 16);
 
             // SETMATES: commit mutual pointers, unjoining outbid mates.
             // `in_frontier` guards against stale pointers of non-frontier
@@ -618,12 +579,8 @@ impl IncrementalLd {
             }
             ms.bytes_read = ms.vertices * (8 + 32) + ms.edges_scanned * 16;
             ms.bytes_written = new_matches * 16;
-            let dur = spec.kernel_time(&cost, &ms);
-            for d in 0..self.ndev {
-                let (ks, ke) = self.timers[d].schedule_kernel_global(dur);
-                self.trace.record(d, EventKind::Kernel, "setmates", ks, ke);
-            }
-            self.metrics.counter_add("matching.edges_committed", new_matches);
+            self.rt.global_kernel("setmates", &ms);
+            self.rt.counter_add(names::MATCHING_EDGES_COMMITTED, new_matches);
             new_total += new_matches;
 
             // Unfulfilled claims carry over; their targets must respond.
@@ -641,25 +598,18 @@ impl IncrementalLd {
             }
 
             // Allreduce the frontier's mate entries.
-            let ar2 = comm.allreduce_time(&peer, self.ndev, payload);
-            let (a2s, a2e) = run_collective(&mut self.timers, ar2);
-            for d in 0..self.ndev {
-                self.trace.record(d, EventKind::Collective, "allreduce mate", a2s, a2e);
-            }
-            self.metrics.counter_add("comm.allreduce_calls", 1);
-            if self.ndev > 1 {
-                self.metrics
-                    .counter_add("comm.collective_bytes", 2 * (self.ndev as u64 - 1) * payload);
-            }
+            self.rt.allreduce_sparse("allreduce mate", frontier.len() as u64, 16);
 
             let occ = if occ_n > 0 { occ_sum / occ_n as f64 } else { 0.0 };
-            self.iterations.push(IterationRecord::from_stats(
-                self.iterations.len(),
+            let iter = self.iterations_recorded;
+            self.rt.push_iteration(IterationRecord::from_stats(
+                iter,
                 &point_stats,
                 self.g.num_directed_edges() as u64,
                 occ,
                 new_matches,
             ));
+            self.iterations_recorded += 1;
 
             frontier = next;
         }

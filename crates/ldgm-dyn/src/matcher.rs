@@ -18,7 +18,7 @@
 
 use ldgm_core::ld_gpu::{LdGpu, LdGpuConfig};
 use ldgm_core::{MatchError, MatcherSetup, Matching};
-use ldgm_gpusim::{timeline_breakdown, MetricsRegistry, PhaseBreakdown, RunProfile, Trace};
+use ldgm_gpusim::{MetricsRegistry, PhaseBreakdown, RunProfile, Trace};
 use ldgm_graph::csr::CsrGraph;
 
 use crate::delta::DynGraph;
@@ -161,20 +161,13 @@ impl RecomputeMatcher {
         RecomputeMatcher { setup }
     }
 
-    fn solve(
-        &self,
-        g: &CsrGraph,
-    ) -> Result<(ldgm_core::ld_gpu::LdGpuOutput, PhaseBreakdown), MatchError> {
+    fn solve(&self, g: &CsrGraph) -> Result<ldgm_core::ld_gpu::LdGpuOutput, MatchError> {
+        // The driver's phase breakdown is timeline-derived by `SimRuntime`,
+        // so it already sums to `sim_time` — no tracing detour needed.
         let cfg = LdGpuConfig::new(self.setup.platform.clone())
             .devices(self.setup.devices)
-            .without_iteration_profile()
-            .with_trace();
-        let out = LdGpu::new(cfg).try_run(g).map_err(|e| MatchError(e.to_string()))?;
-        let phases = match &out.trace {
-            Some(t) => timeline_breakdown(t, out.sim_time),
-            None => out.profile.phases,
-        };
-        Ok((out, phases))
+            .without_iteration_profile();
+        LdGpu::new(cfg).try_run(g).map_err(|e| MatchError(e.to_string()))
     }
 }
 
@@ -191,8 +184,8 @@ impl DynamicMatcher for RecomputeMatcher {
         let mut reports = Vec::with_capacity(spec.batches);
         let mut iterations = 0u64;
 
-        let (initial, initial_phases) = self.solve(base)?;
-        phases.merge(&initial_phases);
+        let initial = self.solve(base)?;
+        phases.merge(&initial.profile.phases);
         metrics.merge(&initial.metrics);
         iterations += initial.iterations as u64;
         let initial_time = initial.sim_time;
@@ -220,8 +213,8 @@ impl DynamicMatcher for RecomputeMatcher {
             }
             g.maybe_compact();
             let snap = g.snapshot();
-            let (out, out_phases) = self.solve(&snap)?;
-            phases.merge(&out_phases);
+            let out = self.solve(&snap)?;
+            phases.merge(&out.profile.phases);
             metrics.merge(&out.metrics);
             iterations += out.iterations as u64;
             maintenance_time += out.sim_time;

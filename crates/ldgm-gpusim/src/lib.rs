@@ -20,7 +20,13 @@
 //! * [`profile`] — phase breakdowns, per-iteration warp-edge work, and
 //!   occupancy records (the paper's Figs. 5, 7, 8, 11);
 //! * [`metrics`] — named counter/gauge/histogram registry every matcher
-//!   fills as it runs;
+//!   fills as it runs, with the canonical name schema in
+//!   [`metrics::names`];
+//! * [`runtime`] — [`runtime::SimRuntime`], the shared execution/billing
+//!   layer every simulated engine runs on: typed kernel/copy/sync/
+//!   collective operations with billing, tracing and metric emission in
+//!   one place, and a [`runtime::SimRuntime::finish`] that guarantees
+//!   `phases.total() == sim_time`;
 //! * [`export`] — Chrome-trace/Perfetto JSON export and timeline phase
 //!   attribution;
 //! * [`report`] — the versioned JSON run-report schema behind
@@ -36,6 +42,7 @@ pub mod metrics;
 pub mod platform;
 pub mod profile;
 pub mod report;
+pub mod runtime;
 pub mod timer;
 pub mod trace;
 
@@ -48,5 +55,6 @@ pub use metrics::{HistogramSummary, Metric, MetricsRegistry};
 pub use platform::Platform;
 pub use profile::{IterationRecord, PhaseBreakdown, RunProfile};
 pub use report::RunReport;
+pub use runtime::{DeviceCtx, KernelLaunch, RunFinish, SimRuntime};
 pub use timer::{run_collective, DeviceTimer};
 pub use trace::{EventKind, Trace, TraceEvent};

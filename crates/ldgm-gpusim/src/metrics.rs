@@ -9,6 +9,65 @@
 use crate::json::Json;
 use std::collections::BTreeMap;
 
+/// Canonical metric names — the single source of the registry schema.
+///
+/// Every engine (static LD-GPU driver, incremental engine, SR-GPU and
+/// cuGraph baselines) bills through [`crate::runtime::SimRuntime`], which
+/// emits these names, so profiles from different algorithms are directly
+/// comparable. Engines add their own semantic counters (pointers set,
+/// edges committed) under the same constants.
+pub mod names {
+    /// Edge slots inspected by kernels (counter).
+    pub const KERNEL_EDGES_SCANNED: &str = "kernel.edges_scanned";
+    /// Warps launched across all kernels (counter).
+    pub const KERNEL_WARPS_LAUNCHED: &str = "kernel.warps_launched";
+    /// Vertices that set a pointer / made a proposal (counter).
+    pub const KERNEL_POINTERS_SET: &str = "kernel.pointers_set";
+    /// Vertices retired with exhausted neighborhoods (counter).
+    pub const KERNEL_VERTICES_RETIRED: &str = "kernel.vertices_retired";
+    /// Device-memory bytes read + written by kernels (counter).
+    pub const KERNEL_BYTES_MOVED: &str = "kernel.bytes_moved";
+    /// Warp-weighted mean achieved occupancy, 0..=1 (gauge).
+    pub const KERNEL_OCCUPANCY: &str = "kernel.occupancy";
+    /// Edges committed to the matching (counter).
+    pub const MATCHING_EDGES_COMMITTED: &str = "matching.edges_committed";
+    /// Allreduce collectives issued (counter).
+    pub const COMM_ALLREDUCE_CALLS: &str = "comm.allreduce_calls";
+    /// Wire bytes carried by collectives: `2 (p-1) × payload` per ring
+    /// allreduce (counter; 0 on single-device runs).
+    pub const COMM_COLLECTIVE_BYTES: &str = "comm.collective_bytes";
+    /// Communication/proposal rounds of round-based algorithms (counter).
+    pub const COMM_ROUNDS: &str = "comm.rounds";
+    /// Matching iterations executed by the driver (counter).
+    pub const DRIVER_ITERATIONS: &str = "driver.iterations";
+    /// SETPOINTERS/SETMATES rounds of the incremental engine (counter).
+    pub const DRIVER_ROUNDS: &str = "driver.rounds";
+    /// Devices used by the run (gauge).
+    pub const DRIVER_DEVICES: &str = "driver.devices";
+    /// Batches per device (gauge).
+    pub const DRIVER_BATCHES: &str = "driver.batches";
+    /// Copies that stalled on a busy stream buffer (counter).
+    pub const TIMER_BUFFER_STALLS: &str = "timer.buffer_stalls";
+    /// Simulated seconds copies spent stalled (gauge).
+    pub const TIMER_BUFFER_STALL_TIME: &str = "timer.buffer_stall_time";
+    /// Update batches applied by the dynamic engine (counter).
+    pub const DYN_BATCHES: &str = "dyn.batches";
+    /// Applied inserts + deletes (counter).
+    pub const DYN_UPDATES_APPLIED: &str = "dyn.updates_applied";
+    /// Applied inserts (counter).
+    pub const DYN_INSERTS: &str = "dyn.inserts";
+    /// Applied deletes of live edges (counter).
+    pub const DYN_DELETES: &str = "dyn.deletes";
+    /// Delta-CSR overlay compactions (counter).
+    pub const DYN_COMPACTIONS: &str = "dyn.compactions";
+    /// Seed-frontier sizes per batch (histogram).
+    pub const DYN_SEED_FRONTIER: &str = "dyn.seed_frontier";
+    /// Frontier sizes per stabilization round (histogram).
+    pub const DYN_FRONTIER_SIZE: &str = "dyn.frontier_size";
+    /// Live delta-overlay entries after the last batch (gauge).
+    pub const DYN_DELTA_ENTRIES: &str = "dyn.delta_entries";
+}
+
 /// Summary statistics of observed samples (no buckets: the consumers —
 /// reports and the `ldgm profile` table — want moments, not quantiles).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]

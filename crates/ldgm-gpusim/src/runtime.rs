@@ -1,0 +1,580 @@
+//! The shared device-execution runtime every simulated engine runs on.
+//!
+//! [`SimRuntime`] owns the pieces the engines used to hand-roll
+//! individually — per-device [`DeviceTimer`]s, the event [`Trace`], the
+//! [`MetricsRegistry`] and the phase attribution — and exposes typed
+//! operations that execute host-side work and bill simulated time in one
+//! place: [`DeviceCtx::launch_kernel`], [`DeviceCtx::h2d_copy`],
+//! [`DeviceCtx::host_sync`], [`SimRuntime::barrier_wait`] and
+//! [`SimRuntime::allreduce`] (dense and sparse). Engines keep their
+//! algorithm logic and their *semantic* counters (pointers set, edges
+//! committed); everything mechanical — kernel-time billing, trace spans,
+//! wire-byte math, occupancy aggregation, stall accounting — happens
+//! here, under the shared [`crate::metrics::names`] schema.
+//!
+//! [`SimRuntime::finish`] derives the [`crate::PhaseBreakdown`] from the
+//! recorded timeline via [`timeline_breakdown`], so the report invariant
+//! `phases.total() == sim_time` holds *by construction* for every engine:
+//! the runtime always records an internal trace (returned to the caller
+//! only when requested via [`SimRuntime::with_trace`]), partitions each
+//! device's wall interval `[0, sim_time]` into phases, and averages
+//! across devices.
+//!
+//! Kernel spans whose label contains `"mate"` are attributed to the
+//! `matching` phase; all other kernels count as `pointing` (the
+//! convention of [`timeline_breakdown`]).
+
+use crate::collective::CommModel;
+use crate::device::{CostModel, DeviceSpec, KernelStats};
+use crate::export::timeline_breakdown;
+use crate::interconnect::Link;
+use crate::metrics::{names, MetricsRegistry};
+use crate::platform::Platform;
+use crate::profile::{IterationRecord, RunProfile};
+use crate::timer::DeviceTimer;
+use crate::trace::{EventKind, Trace};
+
+/// Kernel-side counters a device accumulates across launches, folded into
+/// the registry once at [`SimRuntime::finish`].
+#[derive(Clone, Copy, Debug, Default)]
+struct LaunchTotals {
+    edges_scanned: u64,
+    warps_launched: u64,
+    bytes_moved: u64,
+}
+
+impl LaunchTotals {
+    fn add(&mut self, stats: &KernelStats) {
+        self.edges_scanned += stats.edges_scanned;
+        self.warps_launched += stats.warps_launched;
+        self.bytes_moved += stats.bytes_read + stats.bytes_written;
+    }
+}
+
+/// Billing outcome of one kernel launch.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelLaunch {
+    /// Simulated start time (seconds).
+    pub start: f64,
+    /// Simulated end time (seconds).
+    pub end: f64,
+    /// Billed duration, `end - start`.
+    pub duration: f64,
+    /// Achieved-occupancy estimate of the launch (0..=1).
+    pub occupancy: f64,
+}
+
+/// Execution context of one simulated device: its timeline, its slice of
+/// the trace, and its accumulated kernel totals.
+///
+/// A `DeviceCtx` can be detached from the runtime
+/// ([`SimRuntime::detach_devices`]) and moved into a per-device worker —
+/// it owns everything it bills against, so devices proceed independently
+/// (e.g. under rayon) and re-attach afterwards.
+#[derive(Clone, Debug)]
+pub struct DeviceCtx {
+    dev: usize,
+    spec: DeviceSpec,
+    cost: CostModel,
+    h2d: Link,
+    kernel_overhead: f64,
+    timer: DeviceTimer,
+    trace: Trace,
+    totals: LaunchTotals,
+    occ_weighted: f64,
+    occ_weight: f64,
+}
+
+impl DeviceCtx {
+    /// Device index within the runtime.
+    pub fn index(&self) -> usize {
+        self.dev
+    }
+
+    /// Completion time of everything scheduled on this device so far.
+    pub fn horizon(&self) -> f64 {
+        self.timer.horizon()
+    }
+
+    /// Schedule an async host-to-device copy of `bytes` into stream
+    /// buffer `buf` over the platform's host link. Returns `(start, end)`.
+    pub fn h2d_copy(&mut self, buf: usize, bytes: u64, label: impl Into<String>) -> (f64, f64) {
+        let (s, e) = self.timer.schedule_h2d(buf, bytes, &self.h2d);
+        self.trace.record(self.dev, EventKind::H2dCopy, label, s, e);
+        (s, e)
+    }
+
+    /// Execute-and-bill one kernel launch described by `stats`: the
+    /// duration comes from the device cost model (times the engine's
+    /// kernel-overhead factor), the launch is scheduled against stream
+    /// buffer `buf` (or the global compute queue when `None`, e.g.
+    /// SETMATES-style kernels over resident arrays), and the kernel-side
+    /// counters (`kernel.edges_scanned`, `kernel.warps_launched`,
+    /// `kernel.bytes_moved`) plus the warp-weighted occupancy gauge are
+    /// accumulated for [`SimRuntime::finish`].
+    pub fn launch_kernel(
+        &mut self,
+        buf: Option<usize>,
+        label: impl Into<String>,
+        stats: &KernelStats,
+    ) -> KernelLaunch {
+        let dur = self.spec.kernel_time(&self.cost, stats) * self.kernel_overhead;
+        let (s, e) = match buf {
+            Some(b) => self.timer.schedule_kernel(b, dur),
+            None => self.timer.schedule_kernel_global(dur),
+        };
+        self.trace.record(self.dev, EventKind::Kernel, label, s, e);
+        self.totals.add(stats);
+        let occ = self.spec.occupancy(&self.cost, stats);
+        self.occ_weighted += occ * stats.warps_launched as f64;
+        self.occ_weight += stats.warps_launched as f64;
+        KernelLaunch { start: s, end: e, duration: dur, occupancy: occ }
+    }
+
+    /// Schedule a kernel span of an explicitly modeled duration (no
+    /// [`KernelStats`] billing) on the global compute queue — for
+    /// analytically derived serialization tails. Labels containing
+    /// `"mate"` land in the `matching` phase.
+    pub fn fixed_kernel(&mut self, label: impl Into<String>, dur: f64) -> (f64, f64) {
+        let (s, e) = self.timer.schedule_kernel_global(dur);
+        self.trace.record(self.dev, EventKind::Kernel, label, s, e);
+        (s, e)
+    }
+
+    /// Explicit host-device synchronization at the platform's
+    /// `host_sync_us` cost: waits for all outstanding work, then bills the
+    /// sync. Returns `(start, end)` of the sync span.
+    pub fn host_sync(&mut self, label: impl Into<String>) -> (f64, f64) {
+        let cost = self.cost.host_sync_us * 1e-6;
+        self.host_sync_with(label, cost)
+    }
+
+    /// [`DeviceCtx::host_sync`] with an explicit cost in seconds — for
+    /// engines that batch many driver round-trips into one span.
+    pub fn host_sync_with(&mut self, label: impl Into<String>, cost: f64) -> (f64, f64) {
+        let before = self.timer.horizon();
+        self.timer.host_sync(cost);
+        self.trace.record(self.dev, EventKind::HostSync, label, before, before + cost);
+        (before, before + cost)
+    }
+
+    /// Fixed host round-trip overhead of one kernel launch plus one host
+    /// sync, in seconds — the per-round cost of round-based algorithms.
+    pub fn per_round_overhead(&self) -> f64 {
+        (self.cost.kernel_launch_us + self.cost.host_sync_us) * 1e-6
+    }
+
+    /// Wait for all outstanding work without extra cost.
+    pub fn drain(&mut self) {
+        self.timer.drain();
+    }
+}
+
+/// What [`SimRuntime::finish`] returns: the end-to-end simulated time,
+/// the profile whose phase breakdown sums to `sim_time` by construction,
+/// the filled metrics registry, and the trace when requested.
+#[derive(Clone, Debug)]
+pub struct RunFinish {
+    /// End-to-end simulated time (max over device horizons).
+    pub sim_time: f64,
+    /// Phase breakdown (timeline-derived), per-iteration records and
+    /// `sim_time`.
+    pub profile: RunProfile,
+    /// All metrics billed by the runtime and the engine.
+    pub metrics: MetricsRegistry,
+    /// The event timeline, when [`SimRuntime::with_trace`] asked for it.
+    pub trace: Option<Trace>,
+}
+
+/// The shared execution/billing substrate for simulated engines: a
+/// platform instantiated onto `ndev` device contexts plus the collective
+/// fabric between them. See the [module docs](self) for the design.
+#[derive(Clone, Debug)]
+pub struct SimRuntime {
+    devices: Vec<DeviceCtx>,
+    comm: CommModel,
+    peer: Link,
+    metrics: MetricsRegistry,
+    iterations: Vec<IterationRecord>,
+    keep_trace: bool,
+}
+
+impl SimRuntime {
+    /// Instantiate `platform` onto `ndev` devices, all at t = 0.
+    pub fn new(platform: &Platform, ndev: usize) -> Self {
+        assert!(ndev >= 1, "a runtime needs at least one device");
+        let devices = (0..ndev)
+            .map(|dev| DeviceCtx {
+                dev,
+                spec: platform.device.clone(),
+                cost: platform.cost.clone(),
+                h2d: platform.interconnect.h2d,
+                kernel_overhead: 1.0,
+                timer: DeviceTimer::new(),
+                trace: Trace::default(),
+                totals: LaunchTotals::default(),
+                occ_weighted: 0.0,
+                occ_weight: 0.0,
+            })
+            .collect();
+        SimRuntime {
+            devices,
+            comm: platform.comm,
+            peer: platform.interconnect.peer,
+            metrics: MetricsRegistry::new(),
+            iterations: Vec::new(),
+            keep_trace: false,
+        }
+    }
+
+    /// Multiply every kernel duration by `factor` (software-stack
+    /// inefficiency knobs, e.g. the cuGraph emulation).
+    pub fn with_kernel_overhead(mut self, factor: f64) -> Self {
+        for d in &mut self.devices {
+            d.kernel_overhead = factor;
+        }
+        self
+    }
+
+    /// Whether [`SimRuntime::finish`] returns the recorded trace. The
+    /// runtime always records internally (phase attribution needs it);
+    /// this only controls what the caller gets back.
+    pub fn with_trace(mut self, keep: bool) -> Self {
+        self.keep_trace = keep;
+        self
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Completion time of everything scheduled so far, across devices.
+    pub fn horizon(&self) -> f64 {
+        self.devices.iter().map(DeviceCtx::horizon).fold(0.0, f64::max)
+    }
+
+    /// Mutable access to one device's context.
+    pub fn device(&mut self, dev: usize) -> &mut DeviceCtx {
+        &mut self.devices[dev]
+    }
+
+    /// Take ownership of all device contexts — for fan-out into
+    /// per-device workers. The runtime is unusable for device operations
+    /// until [`SimRuntime::attach_devices`] hands them back.
+    pub fn detach_devices(&mut self) -> Vec<DeviceCtx> {
+        std::mem::take(&mut self.devices)
+    }
+
+    /// Re-attach the contexts taken by [`SimRuntime::detach_devices`], in
+    /// device order.
+    pub fn attach_devices(&mut self, devices: Vec<DeviceCtx>) {
+        debug_assert!(self.devices.is_empty(), "attach over live devices");
+        debug_assert!(
+            devices.iter().enumerate().all(|(i, d)| d.dev == i),
+            "devices re-attached out of order"
+        );
+        self.devices = devices;
+    }
+
+    /// Launch one kernel of identical duration on *every* device (bulk
+    /// synchronous steps over replicated arrays, e.g. SETMATES): the
+    /// duration comes from `stats` on the device cost model, the kernel
+    /// counters are billed once (the work exists once, replicated), and a
+    /// span is recorded per device. Returns the billed duration.
+    pub fn global_kernel(&mut self, label: &str, stats: &KernelStats) -> f64 {
+        let dur = {
+            let d0 = &self.devices[0];
+            d0.spec.kernel_time(&d0.cost, stats) * d0.kernel_overhead
+        };
+        for d in &mut self.devices {
+            let (s, e) = d.timer.schedule_kernel_global(dur);
+            d.trace.record(d.dev, EventKind::Kernel, label, s, e);
+        }
+        self.metrics.counter_add(names::KERNEL_EDGES_SCANNED, stats.edges_scanned);
+        self.metrics.counter_add(names::KERNEL_WARPS_LAUNCHED, stats.warps_launched);
+        self.metrics.counter_add(names::KERNEL_BYTES_MOVED, stats.bytes_read + stats.bytes_written);
+        dur
+    }
+
+    /// Ring-allreduce a replicated payload of `payload_bytes` across all
+    /// devices: every timeline aligns to the common completion point, and
+    /// the collective metrics are billed — one call, plus
+    /// `2 (p-1) × payload` wire bytes (zero on a single device, where the
+    /// ring degenerates to a local pass). Returns `(start, end)`.
+    pub fn allreduce(&mut self, label: &str, payload_bytes: u64) -> (f64, f64) {
+        let ndev = self.devices.len();
+        let cost = self.comm.allreduce_time(&self.peer, ndev, payload_bytes);
+        let start = self.horizon();
+        let end = start + cost;
+        for d in &mut self.devices {
+            d.timer.align_to(end);
+            d.trace.record(d.dev, EventKind::Collective, label, start, end);
+        }
+        self.metrics.counter_add(names::COMM_ALLREDUCE_CALLS, 1);
+        self.metrics
+            .counter_add(names::COMM_COLLECTIVE_BYTES, 2 * (ndev as u64 - 1) * payload_bytes);
+        (start, end)
+    }
+
+    /// Sparse allreduce: `entries` indexed values of `bytes_per_entry`
+    /// each — the frontier-restricted collectives of incremental engines.
+    /// Billing is the dense path over the packed payload.
+    pub fn allreduce_sparse(
+        &mut self,
+        label: &str,
+        entries: u64,
+        bytes_per_entry: u64,
+    ) -> (f64, f64) {
+        self.allreduce(label, entries * bytes_per_entry)
+    }
+
+    /// Barrier: every device waits (free of charge) for the slowest one.
+    /// The imbalance wait surfaces as idle time attributed to the `sync`
+    /// phase by the timeline breakdown. Returns the summed wait.
+    pub fn barrier_wait(&mut self) -> f64 {
+        let t = self.horizon();
+        let mut waited = 0.0;
+        for d in &mut self.devices {
+            waited += t - d.timer.horizon();
+            d.timer.align_to(t);
+        }
+        waited
+    }
+
+    /// Record one iteration of the matching progression.
+    pub fn push_iteration(&mut self, rec: IterationRecord) {
+        self.iterations.push(rec);
+    }
+
+    /// Add `delta` to a counter (engine-semantic metrics).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        self.metrics.counter_add(name, delta);
+    }
+
+    /// Set a gauge.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.metrics.gauge_set(name, value);
+    }
+
+    /// Record a histogram sample.
+    pub fn observe(&mut self, name: &str, sample: f64) {
+        self.metrics.observe(name, sample);
+    }
+
+    /// The livelock invariant every fixed-point engine shares: an
+    /// iteration that found work to do must commit progress, or the
+    /// driver would spin forever. Under the canonical total-order
+    /// tie-breaking this cannot fire; it replaces per-engine ad-hoc
+    /// assertion/break pairs.
+    ///
+    /// # Panics
+    /// When `progress == 0`.
+    pub fn assert_progress(&self, progress: u64, context: &str) {
+        assert!(progress > 0, "livelock: {context} made no progress");
+    }
+
+    /// Close the run: drain every device, fold the accumulated kernel
+    /// totals, stalls and occupancy into the registry, and derive the
+    /// phase breakdown from the recorded timeline — which guarantees
+    /// `profile.phases.total() == sim_time` up to floating-point
+    /// rounding, for every engine, whether or not tracing was requested.
+    pub fn finish(mut self) -> RunFinish {
+        let mut trace = Trace::default();
+        let mut totals = LaunchTotals::default();
+        let mut occ_weighted = 0.0;
+        let mut occ_weight = 0.0;
+        let mut stalls = 0u64;
+        let mut stall_time = 0.0;
+        let mut sim_time = 0.0f64;
+        let ndev = self.devices.len();
+        for d in &mut self.devices {
+            d.timer.drain();
+            sim_time = sim_time.max(d.timer.horizon());
+            totals.edges_scanned += d.totals.edges_scanned;
+            totals.warps_launched += d.totals.warps_launched;
+            totals.bytes_moved += d.totals.bytes_moved;
+            occ_weighted += d.occ_weighted;
+            occ_weight += d.occ_weight;
+            stalls += d.timer.buffer_stalls();
+            stall_time += d.timer.buffer_stall_time();
+            trace.merge(std::mem::take(&mut d.trace));
+        }
+        let m = &mut self.metrics;
+        m.counter_add(names::KERNEL_EDGES_SCANNED, totals.edges_scanned);
+        m.counter_add(names::KERNEL_WARPS_LAUNCHED, totals.warps_launched);
+        m.counter_add(names::KERNEL_BYTES_MOVED, totals.bytes_moved);
+        // Schema parity across engines: the wire-traffic counter exists
+        // even for runs that never issued a collective.
+        m.counter_add(names::COMM_COLLECTIVE_BYTES, 0);
+        m.counter_add(names::TIMER_BUFFER_STALLS, stalls);
+        m.gauge_set(names::TIMER_BUFFER_STALL_TIME, stall_time);
+        m.gauge_set(
+            names::KERNEL_OCCUPANCY,
+            if occ_weight > 0.0 { occ_weighted / occ_weight } else { 0.0 },
+        );
+        m.gauge_set(names::DRIVER_DEVICES, ndev as f64);
+        let phases = timeline_breakdown(&trace, sim_time);
+        debug_assert!(
+            (phases.total() - sim_time).abs() <= 1e-9 * sim_time.max(1.0),
+            "phase attribution lost time: {} vs {}",
+            phases.total(),
+            sim_time
+        );
+        RunFinish {
+            sim_time,
+            profile: RunProfile { phases, iterations: self.iterations, sim_time },
+            metrics: self.metrics,
+            trace: self.keep_trace.then_some(trace),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    fn stats(vertices: u64) -> KernelStats {
+        KernelStats {
+            vertices,
+            vertices_processed: vertices,
+            warps_launched: vertices.div_ceil(4),
+            warps_active: vertices.div_ceil(4),
+            edge_waves: vertices,
+            edges_scanned: vertices * 8,
+            warp_edges_sumsq: 0.0,
+            max_warp_waves: 4,
+            max_warp_vertices: 4,
+            bytes_read: vertices * 64,
+            bytes_written: vertices * 8,
+        }
+    }
+
+    #[test]
+    fn phases_total_equals_sim_time_by_construction() {
+        let mut rt = SimRuntime::new(&Platform::dgx_a100(), 2);
+        for d in 0..2 {
+            rt.device(d).h2d_copy(0, 1 << 20, "copy b0");
+            rt.device(d).launch_kernel(
+                Some(0),
+                format!("point b0 d{d}"),
+                &stats(1000 * (d as u64 + 1)),
+            );
+        }
+        rt.barrier_wait();
+        rt.allreduce("allreduce ptr", 8 << 10);
+        rt.global_kernel("setmates", &stats(100));
+        rt.device(0).host_sync("sync");
+        let fin = rt.finish();
+        assert!(fin.sim_time > 0.0);
+        assert!(
+            (fin.profile.phases.total() - fin.sim_time).abs() <= 1e-12 * fin.sim_time,
+            "total {} vs sim_time {}",
+            fin.profile.phases.total(),
+            fin.sim_time
+        );
+        // Every phase class got exercised.
+        let p = fin.profile.phases;
+        assert!(p.pointing > 0.0 && p.matching > 0.0 && p.allreduce > 0.0);
+    }
+
+    #[test]
+    fn kernel_counters_and_occupancy_fold_into_metrics() {
+        let mut rt = SimRuntime::new(&Platform::dgx_a100(), 1);
+        let s = stats(512);
+        rt.device(0).launch_kernel(None, "point", &s);
+        let fin = rt.finish();
+        assert_eq!(fin.metrics.counter(names::KERNEL_EDGES_SCANNED), s.edges_scanned);
+        assert_eq!(fin.metrics.counter(names::KERNEL_WARPS_LAUNCHED), s.warps_launched);
+        assert_eq!(fin.metrics.counter(names::KERNEL_BYTES_MOVED), s.bytes_read + s.bytes_written);
+        let occ = fin.metrics.gauge(names::KERNEL_OCCUPANCY).unwrap();
+        assert!((0.0..=1.0).contains(&occ));
+        assert!(occ > 0.0);
+        assert_eq!(fin.metrics.gauge(names::DRIVER_DEVICES), Some(1.0));
+    }
+
+    #[test]
+    fn allreduce_wire_bytes_follow_ring_formula() {
+        let mut rt = SimRuntime::new(&Platform::dgx_a100(), 4);
+        rt.allreduce("allreduce ptr", 1000);
+        let fin = rt.finish();
+        assert_eq!(fin.metrics.counter(names::COMM_ALLREDUCE_CALLS), 1);
+        assert_eq!(fin.metrics.counter(names::COMM_COLLECTIVE_BYTES), 2 * 3 * 1000);
+    }
+
+    #[test]
+    fn single_device_collectives_carry_no_wire_bytes() {
+        let mut rt = SimRuntime::new(&Platform::dgx_a100(), 1);
+        rt.allreduce("allreduce ptr", 1000);
+        rt.allreduce_sparse("allreduce frontier", 10, 16);
+        let fin = rt.finish();
+        assert_eq!(fin.metrics.counter(names::COMM_ALLREDUCE_CALLS), 2);
+        assert_eq!(fin.metrics.counter(names::COMM_COLLECTIVE_BYTES), 0);
+    }
+
+    #[test]
+    fn barrier_reports_imbalance_wait() {
+        let mut rt = SimRuntime::new(&Platform::dgx_a100(), 2);
+        rt.device(0).fixed_kernel("point", 2.0);
+        let waited = rt.barrier_wait();
+        assert!((waited - 2.0).abs() < 1e-12, "waited {waited}");
+        assert_eq!(rt.device(1).horizon(), 2.0);
+    }
+
+    #[test]
+    fn detach_reattach_round_trips() {
+        let mut rt = SimRuntime::new(&Platform::dgx_a100(), 3);
+        let mut ctxs = rt.detach_devices();
+        assert_eq!(ctxs.len(), 3);
+        for c in &mut ctxs {
+            c.fixed_kernel("point", 0.5 * (c.index() + 1) as f64);
+        }
+        rt.attach_devices(ctxs);
+        assert!((rt.horizon() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_returned_only_when_requested() {
+        let mk = |keep: bool| {
+            let mut rt = SimRuntime::new(&Platform::dgx_a100(), 1).with_trace(keep);
+            rt.device(0).fixed_kernel("point", 1.0);
+            rt.finish()
+        };
+        assert!(mk(false).trace.is_none());
+        let fin = mk(true);
+        let trace = fin.trace.expect("trace requested");
+        assert_eq!(trace.events.len(), 1);
+        let (_, hi) = trace.span().unwrap();
+        assert!((hi - fin.sim_time).abs() < 1e-12);
+        // The breakdown still sums to sim_time either way.
+        assert!((fin.profile.phases.total() - fin.sim_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_overhead_scales_durations() {
+        let run = |overhead: f64| {
+            let mut rt = SimRuntime::new(&Platform::dgx_a100(), 1).with_kernel_overhead(overhead);
+            rt.device(0).launch_kernel(None, "point", &stats(4096));
+            rt.finish().sim_time
+        };
+        let base = run(1.0);
+        let slow = run(3.0);
+        assert!((slow - 3.0 * base).abs() < 1e-12 * slow, "base {base} slow {slow}");
+    }
+
+    #[test]
+    fn empty_runtime_finishes_clean() {
+        let fin = SimRuntime::new(&Platform::dgx_a100(), 4).finish();
+        assert_eq!(fin.sim_time, 0.0);
+        assert_eq!(fin.profile.phases.total(), 0.0);
+        assert_eq!(fin.metrics.counter(names::COMM_COLLECTIVE_BYTES), 0);
+        assert_eq!(fin.metrics.gauge(names::KERNEL_OCCUPANCY), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "livelock")]
+    fn progress_invariant_trips_on_stall() {
+        SimRuntime::new(&Platform::dgx_a100(), 1).assert_progress(0, "iteration 3");
+    }
+}

@@ -35,15 +35,15 @@ use crate::csr::CsrGraph;
 /// Which structural family to generate.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Family {
-    /// Power-law Kronecker ([`rmat`]).
+    /// Power-law Kronecker ([`rmat()`]).
     Rmat(RmatParams),
-    /// Uniform random ([`urand`]).
+    /// Uniform random ([`urand()`]).
     Urand,
-    /// Genomic chains ([`kmer`]) with the given mean chain length.
+    /// Genomic chains ([`kmer()`]) with the given mean chain length.
     Kmer { chain_len: usize },
-    /// Web crawl copy model ([`web`]) with the given copy probability.
+    /// Web crawl copy model ([`web()`]) with the given copy probability.
     Web { copy_p: f64 },
-    /// Stencil lattice ([`lattice`]) with the given radius; vertex count is
+    /// Stencil lattice ([`lattice()`]) with the given radius; vertex count is
     /// rounded to the nearest square.
     Lattice { radius: usize },
     /// Random geometric graph with the given radius.

@@ -17,9 +17,9 @@ pub struct VertexRange {
     pub start: VertexId,
     /// One past the last vertex.
     pub end: VertexId,
-    /// First directed-edge index (== offsets[start]).
+    /// First directed-edge index (== `offsets[start]`).
     pub edge_start: u64,
-    /// One past the last directed-edge index (== offsets[end]).
+    /// One past the last directed-edge index (== `offsets[end]`).
     pub edge_end: u64,
 }
 

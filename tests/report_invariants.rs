@@ -1,0 +1,76 @@
+//! Cross-algorithm reporting invariants, enforced for every algorithm the
+//! default registry ships: phase breakdowns sum to the reported run time
+//! (the `SimRuntime::finish` guarantee), and when tracing is on, the
+//! event-trace span covers exactly the simulated run.
+
+use ldgm::core::{MatcherRegistry, MatcherSetup};
+use ldgm::graph::gen::urand;
+
+/// `phases.total() == run_time` for every matcher that reports a profile,
+/// and the trace span equals the run time for every matcher that records
+/// one. No algorithm is special-cased: a new `Matcher` impl is covered the
+/// moment it registers.
+#[test]
+fn every_algorithm_reports_consistent_time() {
+    let g = urand(300, 1800, 11);
+    let setup = MatcherSetup { devices: 2, collect_trace: true, ..Default::default() };
+    let reg = MatcherRegistry::with_defaults(&setup);
+    let mut profiled = 0;
+    let mut traced = 0;
+    for m in reg.iter() {
+        let r = m.run(&g).unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        let tol = 1e-6 * r.run_time.max(1e-12);
+        if let Some(p) = &r.profile {
+            profiled += 1;
+            let total = p.phases.total();
+            assert!(
+                (total - r.run_time).abs() <= tol,
+                "{}: phases {total} != run_time {}",
+                m.name(),
+                r.run_time
+            );
+        }
+        if let Some(t) = &r.trace {
+            traced += 1;
+            let (start, end) = t.span().expect("non-empty trace");
+            assert!(start >= 0.0, "{}: trace starts at {start}", m.name());
+            assert!(
+                (end - r.run_time).abs() <= tol,
+                "{}: trace span ends at {end}, run_time {}",
+                m.name(),
+                r.run_time
+            );
+        }
+    }
+    // The simulated engines (LD-GPU, SR-GPU, cuGraph) plus the profiled
+    // host algorithms must all have been exercised.
+    assert!(profiled >= 5, "only {profiled} profiled matchers");
+    assert!(traced >= 3, "only {traced} traced matchers");
+}
+
+/// The invariant holds across device counts and platforms, not just the
+/// default setup.
+#[test]
+fn profiles_sum_across_platforms_and_device_counts() {
+    let g = urand(400, 2400, 13);
+    for devices in [1, 3, 4] {
+        let setup = MatcherSetup {
+            platform: ldgm::gpusim::Platform::dgx2(),
+            devices,
+            collect_trace: false,
+            ..Default::default()
+        };
+        let reg = MatcherRegistry::with_defaults(&setup);
+        for name in ["ld-gpu", "cugraph", "suitor-gpu"] {
+            let r = reg.get(name).unwrap().run(&g).unwrap();
+            let p = r.profile.expect("simulated matchers carry profiles");
+            let total = p.phases.total();
+            assert!(
+                (total - r.run_time).abs() <= 1e-6 * r.run_time.max(1e-12),
+                "{name}@{devices}dev: phases {total} != run_time {}",
+                r.run_time
+            );
+            assert!(r.trace.is_none(), "{name}: trace not requested");
+        }
+    }
+}
