@@ -947,6 +947,45 @@ mod tests {
     }
 
     #[test]
+    fn ld_gpu_opt_through_match_and_profile() {
+        let gpath = tmp("ldgm_cli_opt.mtx");
+        let rpath = tmp("ldgm_cli_opt.json");
+        run(&args(&format!("gen --vertices 500 --avg-degree 8 --seed 12 --out {gpath}"))).unwrap();
+        // `match -a ld-gpu-opt` verifies and reports like the default mode.
+        let r = run(&args(&format!(
+            "match --input {gpath} --algorithm ld-gpu-opt --devices 2 --verify \
+             --report-json {rpath}"
+        )))
+        .unwrap();
+        assert!(r.contains("structurally valid"));
+        assert!(r.contains("maximal = true"));
+        let report = json::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+        assert_eq!(report.get("algorithm").and_then(json::Json::as_str), Some("ld-gpu-opt"));
+        let card = |rep: &json::Json| {
+            rep.get("matching").and_then(|m| m.get("cardinality")).and_then(json::Json::as_f64)
+        };
+        let opt_time = report.get("sim_time").and_then(json::Json::as_f64).unwrap();
+        let opt_card = card(&report).unwrap();
+        // Same matching as default ld-gpu, at lower simulated cost.
+        run(&args(&format!(
+            "match --input {gpath} --algorithm ld-gpu --devices 2 --report-json {rpath}"
+        )))
+        .unwrap();
+        let report = json::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+        assert_eq!(card(&report), Some(opt_card));
+        let def_time = report.get("sim_time").and_then(json::Json::as_f64).unwrap();
+        assert!(opt_time < def_time, "opt {opt_time} vs default {def_time}");
+        // Profile places both modes side by side.
+        let r = run(&args(&format!(
+            "profile --input {gpath} --algorithms ld-gpu,ld-gpu-opt --devices 2"
+        )))
+        .unwrap();
+        assert!(r.contains("ld-gpu-opt"));
+        std::fs::remove_file(&gpath).ok();
+        std::fs::remove_file(&rpath).ok();
+    }
+
+    #[test]
     fn profile_all_skips_guarded_algorithms() {
         let gpath = tmp("ldgm_cli_profall.mtx");
         run(&args(&format!("gen --vertices 2500 --avg-degree 4 --seed 11 --out {gpath}"))).unwrap();

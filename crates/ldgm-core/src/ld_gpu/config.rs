@@ -29,6 +29,19 @@ pub struct LdGpuConfig {
     /// Record a full event [`ldgm_gpusim::Trace`] (copies, kernels,
     /// collectives, syncs) for Gantt inspection. Off by default.
     pub collect_trace: bool,
+    /// Optimized mode: scan neighbors through a preference-sorted
+    /// adjacency index ([`ldgm_graph::SortedAdjacency`], built once per
+    /// run) so SETPOINTERS early-exits at the first available neighbor.
+    /// Off by default (the plain-`ld-gpu` paper-faithful full scan).
+    pub sorted_index: bool,
+    /// Optimized mode: after the first iteration, launch SETPOINTERS only
+    /// over the cross-iteration frontier — vertices whose pointer target
+    /// was matched away by the previous SETMATES. Off by default.
+    pub frontier: bool,
+    /// Optimized mode: replace the dense `8·|V|` pointer/mate allreduces
+    /// with sparse delta collectives (~16 B per written entry). Off by
+    /// default.
+    pub sparse_collectives: bool,
 }
 
 impl LdGpuConfig {
@@ -43,7 +56,40 @@ impl LdGpuConfig {
             kernel_overhead: 1.0,
             collect_iterations: true,
             collect_trace: false,
+            sorted_index: false,
+            frontier: false,
+            sparse_collectives: false,
         }
+    }
+
+    /// Enable every optimization layer (the `ld-gpu-opt` preset): sorted
+    /// index + cross-iteration frontier + sparse collectives.
+    pub fn optimized(self) -> Self {
+        self.with_sorted_index(true).with_frontier(true).with_sparse_collectives(true)
+    }
+
+    /// Toggle the preference-sorted adjacency index (early-exit scans).
+    pub fn with_sorted_index(mut self, on: bool) -> Self {
+        self.sorted_index = on;
+        self
+    }
+
+    /// Toggle the cross-iteration pointing frontier.
+    pub fn with_frontier(mut self, on: bool) -> Self {
+        self.frontier = on;
+        self
+    }
+
+    /// Toggle sparse delta collectives.
+    pub fn with_sparse_collectives(mut self, on: bool) -> Self {
+        self.sparse_collectives = on;
+        self
+    }
+
+    /// Whether any optimization layer is enabled — when false, the driver
+    /// takes the byte-identical default `ld-gpu` path.
+    pub fn is_optimized(&self) -> bool {
+        self.sorted_index || self.frontier || self.sparse_collectives
     }
 
     /// Set the device count.

@@ -12,6 +12,36 @@
 //! per-device vertex ranges borrowed disjointly); all simulated time is
 //! billed through [`ldgm_gpusim::SimRuntime`], which owns the timers, the
 //! trace, the metrics registry, and the timeline-derived phase breakdown.
+//!
+//! # Optimized mode (`ld-gpu-opt`)
+//!
+//! Three opt-in layers ([`LdGpuConfig::optimized`]), each individually
+//! toggleable and each leaving the matching bit-identical to the default
+//! path:
+//!
+//! * **sorted index** — neighbors are scanned through a
+//!   [`SortedAdjacency`] (weight desc, id asc: the canonical [`prefer`]
+//!   order, so the first available neighbor is the full scan's argmax) and
+//!   the warp stops at the wave containing the hit. The one-time build is
+//!   preprocessing, excluded from timings like the initial partition
+//!   transfer (paper convention).
+//! * **cross-iteration frontier** — after SETMATES, the only vertices
+//!   whose pointers went stale are those whose target was just matched
+//!   away; everyone else's pointer still names their best available
+//!   neighbor (availability only shrinks, and anything better was already
+//!   unavailable when the pointer was written). SETPOINTERS therefore
+//!   launches over per-device frontier worklists only, skipping batches
+//!   with empty frontier slices entirely; an empty frontier is a fixed
+//!   point and terminates the loop without the default mode's final
+//!   confirming scan. SETMATES stays a full-`n` global kernel (a mutual
+//!   pair may join one fresh and one stale-but-valid pointer), and the
+//!   frontier compaction rides on its full mate+pointer read (one extra
+//!   worklist append per stale vertex, not billed separately).
+//! * **sparse collectives** — pointer/mate deltas ship as
+//!   [`SimRuntime::allreduce_sparse`] entries (~16 B per written slot, the
+//!   `ldgm-dyn` convention) instead of dense `8·|V|` payloads.
+//!
+//! [`prefer`]: crate::matching::prefer
 
 use rayon::prelude::*;
 
@@ -21,10 +51,13 @@ use ldgm_gpusim::{
     NONE_SENTINEL,
 };
 use ldgm_graph::csr::{CsrGraph, VertexId};
+use ldgm_graph::SortedAdjacency;
 use ldgm_part::{batch, memory, Partition, VertexRange};
 
 use super::config::{LdGpuConfig, LdGpuError};
-use super::kernels::{set_mates, set_pointers_batch, PointingResult};
+use super::kernels::{
+    set_mates, set_pointers_batch, set_pointers_opt, PointingResult, PointingWork,
+};
 use crate::matching::Matching;
 
 /// Result of an LD-GPU run.
@@ -60,7 +93,11 @@ pub struct LdGpu {
 /// kernel and sync the task issues.
 struct DeviceTask<'a> {
     part: VertexRange,
-    batches: Vec<VertexRange>,
+    batches: &'a [VertexRange],
+    /// Frontier worklist of this device (ascending, inside `part`), when
+    /// the optimized mode restricts the launch; `None` scans every batch
+    /// vertex.
+    frontier: Option<&'a [VertexId]>,
     pointers: &'a mut [u64],
     retired: &'a mut [u8],
     ctx: DeviceCtx,
@@ -73,6 +110,8 @@ struct DeviceReport {
     stats: KernelStats,
     pointers_set: u64,
     vertices_retired: u64,
+    edges_skipped: u64,
+    batches_skipped: u64,
     occ_weighted: f64,
     occ_weight: f64,
 }
@@ -131,10 +170,23 @@ impl LdGpu {
         let mut retired: Vec<u8> = vec![0; n];
 
         let spec = &cfg.platform.device;
-        let vpw = cfg.vertices_per_warp.unwrap_or_else(|| {
-            let slots = (spec.sm_count * spec.max_warps_per_sm) as usize;
-            n.div_ceil(ndev).div_ceil(slots).max(1)
-        });
+        let slots = (spec.sm_count * spec.max_warps_per_sm) as usize;
+        let vpw = cfg.vertices_per_warp.unwrap_or_else(|| n.div_ceil(ndev).div_ceil(slots).max(1));
+        let fixed_vpw = cfg.vertices_per_warp;
+
+        // Batch plans are immutable for the whole run: compute them once
+        // instead of redoing the prefix-sum binary searches per iteration.
+        let batch_plans: Vec<Vec<VertexRange>> =
+            partition.parts.iter().map(|p| batch::make_batches(g, p, nbatches)).collect();
+
+        // Optimized-mode state. The sorted index is preprocessing (built
+        // once per run, excluded from timings like the initial partition
+        // transfer); `frontiers` holds per-device worklists once the first
+        // full iteration has run.
+        let optimized = cfg.is_optimized();
+        let sorted = if cfg.sorted_index { Some(SortedAdjacency::build(g)) } else { None };
+        let sorted_ref = sorted.as_ref();
+        let mut frontiers: Vec<Vec<VertexId>> = Vec::new();
 
         let mut rt = SimRuntime::new(&cfg.platform, ndev)
             .with_kernel_overhead(cfg.kernel_overhead)
@@ -143,6 +195,7 @@ impl LdGpu {
         let total_directed = g.num_directed_edges() as u64;
 
         loop {
+            let frontier_round = cfg.frontier && !frontiers.is_empty();
             // ---- Pointing phase (Algorithm 2 lines 3-6) ----
             let reports: Vec<DeviceReport> = {
                 let mut tasks: Vec<DeviceTask<'_>> = Vec::with_capacity(ndev);
@@ -150,7 +203,7 @@ impl LdGpu {
                 let mut ret_rest: &mut [u8] = &mut retired;
                 let mut cursor: usize = 0;
                 let mut ctxs = rt.detach_devices();
-                for (part, ctx) in partition.parts.iter().zip(ctxs.drain(..)) {
+                for (d, (part, ctx)) in partition.parts.iter().zip(ctxs.drain(..)).enumerate() {
                     debug_assert_eq!(part.start as usize, cursor);
                     let len = part.num_vertices();
                     let (ptr_here, ptr_next) = ptr_rest.split_at_mut(len);
@@ -160,7 +213,8 @@ impl LdGpu {
                     cursor += len;
                     tasks.push(DeviceTask {
                         part: *part,
-                        batches: batch::make_batches(g, part, nbatches),
+                        batches: &batch_plans[d],
+                        frontier: if frontier_round { Some(frontiers[d].as_slice()) } else { None },
                         pointers: ptr_here,
                         retired: ret_here,
                         ctx,
@@ -173,6 +227,21 @@ impl LdGpu {
                         let mut rep = DeviceReport::default();
                         let nb = task.batches.len();
                         for (b, brange) in task.batches.iter().enumerate() {
+                            // Frontier rounds restrict the launch to the
+                            // batch's slice of the device worklist; a batch
+                            // with no frontier vertex is skipped outright
+                            // (no copy, no launch, no sync).
+                            let work: Option<&[VertexId]> = task.frontier.map(|f| {
+                                let lo = f.partition_point(|&u| u < brange.start);
+                                let hi = f.partition_point(|&u| u < brange.end);
+                                &f[lo..hi]
+                            });
+                            if let Some(w) = work {
+                                if w.is_empty() {
+                                    rep.batches_skipped += 1;
+                                    continue;
+                                }
+                            }
                             // Async load into buffer b mod 2 (double
                             // buffer). With ≤ 2 batches both stay resident
                             // in the buffers: their initial load is the
@@ -182,13 +251,41 @@ impl LdGpu {
                             // is billed.
                             if nb > 2 {
                                 let bytes = memory::batch_buffer_bytes(brange);
-                                task.ctx.h2d_copy(b, bytes, format!("copy b{b}"));
+                                let label = task.ctx.label("copy", || format!("copy b{b}"));
+                                task.ctx.h2d_copy(b, bytes, label);
                             }
                             // Execute SETPOINTERS for real on the batch's
                             // sub-slice of this device's pointer range.
                             let lo = (brange.start - task.part.start) as usize;
                             let hi = (brange.end - task.part.start) as usize;
-                            let PointingResult { stats, pointers_set, vertices_retired } =
+                            let PointingResult {
+                                stats,
+                                pointers_set,
+                                vertices_retired,
+                                edges_skipped,
+                            } = if optimized {
+                                // Compacted launches derive their own warp
+                                // width from the worklist length (unless
+                                // pinned), like the incremental engine.
+                                let (pw, launch_vpw) = match work {
+                                    Some(w) => (
+                                        PointingWork::Worklist(w),
+                                        fixed_vpw.unwrap_or_else(|| w.len().div_ceil(slots).max(1)),
+                                    ),
+                                    None => (PointingWork::Full, vpw),
+                                };
+                                set_pointers_opt(
+                                    g,
+                                    sorted_ref,
+                                    brange,
+                                    pw,
+                                    mate_ref,
+                                    &mut task.pointers[lo..hi],
+                                    &mut task.retired[lo..hi],
+                                    launch_vpw,
+                                    self.cfg.retire_exhausted,
+                                )
+                            } else {
                                 set_pointers_batch(
                                     g,
                                     brange,
@@ -197,18 +294,21 @@ impl LdGpu {
                                     &mut task.retired[lo..hi],
                                     vpw,
                                     self.cfg.retire_exhausted,
-                                );
-                            let launch =
-                                task.ctx.launch_kernel(Some(b), format!("point b{b}"), &stats);
+                                )
+                            };
+                            let label = task.ctx.label("point", || format!("point b{b}"));
+                            let launch = task.ctx.launch_kernel(Some(b), label, &stats);
                             rep.pointers_set += pointers_set;
                             rep.vertices_retired += vertices_retired;
+                            rep.edges_skipped += edges_skipped;
                             rep.occ_weighted += launch.occupancy * stats.warps_launched as f64;
                             rep.occ_weight += stats.warps_launched as f64;
                             rep.stats.merge(&stats);
                             // Paper §III-D: explicit host-device sync when
                             // more batches than stream buffers.
                             if nb > 2 {
-                                task.ctx.host_sync(format!("sync b{b}"));
+                                let label = task.ctx.label("sync", || format!("sync b{b}"));
+                                task.ctx.host_sync(label);
                             }
                         }
                         task.ctx.drain();
@@ -231,6 +331,16 @@ impl LdGpu {
                 rt.counter_add(names::KERNEL_VERTICES_RETIRED, r.vertices_retired);
             }
             rt.counter_add(names::KERNEL_POINTERS_SET, pointers_set);
+            if optimized {
+                rt.counter_add(
+                    names::OPT_EDGES_SKIPPED,
+                    reports.iter().map(|r| r.edges_skipped).sum(),
+                );
+                rt.counter_add(
+                    names::OPT_BATCHES_SKIPPED,
+                    reports.iter().map(|r| r.batches_skipped).sum(),
+                );
+            }
 
             if pointers_set == 0 {
                 break; // no available edges anywhere: matching is maximal
@@ -245,7 +355,13 @@ impl LdGpu {
 
             // ---- AllReduce pointers (line 7) ----
             let payload = 8 * n as u64;
-            rt.allreduce("allreduce ptr", payload);
+            if cfg.sparse_collectives {
+                // Only the slots written this round need to travel: ~16 B
+                // per entry (index + value), the ldgm-dyn convention.
+                rt.allreduce_sparse("allreduce ptr", iter_stats.vertices_processed, 16);
+            } else {
+                rt.allreduce("allreduce ptr", payload);
+            }
 
             // ---- Matching phase: SETMATES (line 8) ----
             let (mstats, new_matches) = set_mates(&pointers, &mut mate);
@@ -253,7 +369,11 @@ impl LdGpu {
             rt.global_kernel("setmates", &mstats);
 
             // ---- AllReduce mate (line 9) ----
-            rt.allreduce("allreduce mate", payload);
+            if cfg.sparse_collectives {
+                rt.allreduce_sparse("allreduce mate", 2 * new_matches, 16);
+            } else {
+                rt.allreduce("allreduce mate", payload);
+            }
 
             // Runtime-level livelock invariant: an iteration that set
             // pointers must commit at least one edge (two locally-dominant
@@ -271,6 +391,36 @@ impl LdGpu {
                     occ,
                     new_matches,
                 ));
+            }
+
+            // Cross-iteration frontier: the only vertices whose pointers
+            // went stale are those whose target was matched away by this
+            // SETMATES; everyone else still points at their best available
+            // neighbor. The compaction rides on SETMATES' full mate +
+            // pointer read (one worklist append per stale vertex), so it
+            // adds no billed launch. An empty frontier is a fixed point:
+            // any remaining available edge's maximum would be a mutual
+            // pair and would already have been committed.
+            if cfg.frontier {
+                frontiers = partition
+                    .parts
+                    .iter()
+                    .map(|part| {
+                        (part.start..part.end)
+                            .filter(|&u| {
+                                let p = pointers[u as usize];
+                                mate[u as usize] == NONE_SENTINEL
+                                    && p != NONE_SENTINEL
+                                    && mate[p as usize] != NONE_SENTINEL
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let total: usize = frontiers.iter().map(Vec::len).sum();
+                rt.observe(names::OPT_FRONTIER_SIZE, total as f64);
+                if total == 0 {
+                    break; // fixed point: skip the default mode's confirming scan
+                }
             }
         }
 
@@ -495,5 +645,182 @@ mod trace_tests {
         let g = urand(100, 400, 2);
         let out = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100())).run(&g);
         assert!(out.trace.is_none());
+    }
+}
+
+#[cfg(test)]
+mod opt_tests {
+    use super::*;
+    use crate::ld_seq::ld_seq;
+    use ldgm_gpusim::Platform;
+    use ldgm_graph::gen::{rmat, urand, RmatParams};
+    use ldgm_graph::GraphBuilder;
+
+    fn dgx() -> Platform {
+        Platform::dgx_a100()
+    }
+
+    #[test]
+    fn every_toggle_combination_matches_ld_seq() {
+        let g = rmat(512, 4000, RmatParams::GAP_KRON, 21);
+        let seq = ld_seq(&g);
+        for mask in 0u8..8 {
+            for ndev in [1, 4] {
+                let cfg = LdGpuConfig::new(dgx())
+                    .devices(ndev)
+                    .with_sorted_index(mask & 1 != 0)
+                    .with_frontier(mask & 2 != 0)
+                    .with_sparse_collectives(mask & 4 != 0);
+                let out = LdGpu::new(cfg).run(&g);
+                assert_eq!(
+                    out.matching.mate_array(),
+                    seq.mate_array(),
+                    "toggles {mask:03b}, {ndev} devices"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opt_iteration_count_matches_default() {
+        let g = urand(700, 4200, 22);
+        let def = LdGpu::new(LdGpuConfig::new(dgx()).devices(2)).run(&g);
+        let opt = LdGpu::new(LdGpuConfig::new(dgx()).devices(2).optimized()).run(&g);
+        assert_eq!(opt.iterations, def.iterations);
+        assert_eq!(opt.matching.mate_array(), def.matching.mate_array());
+    }
+
+    #[test]
+    fn opt_reduces_simulated_time_and_work() {
+        let g = rmat(4096, 40_000, RmatParams::SOCIAL, 23);
+        let def = LdGpu::new(LdGpuConfig::new(dgx()).devices(4)).run(&g);
+        let opt = LdGpu::new(LdGpuConfig::new(dgx()).devices(4).optimized()).run(&g);
+        assert_eq!(opt.matching.mate_array(), def.matching.mate_array());
+        assert!(opt.sim_time < def.sim_time, "opt {} vs default {}", opt.sim_time, def.sim_time);
+        assert!(
+            opt.metrics.counter("kernel.edges_scanned")
+                < def.metrics.counter("kernel.edges_scanned")
+        );
+        assert!(
+            opt.metrics.counter("comm.collective_bytes")
+                < def.metrics.counter("comm.collective_bytes")
+        );
+        assert!(opt.metrics.counter("opt.edges_skipped") > 0, "hubs exceed one wave");
+    }
+
+    #[test]
+    fn default_metrics_carry_no_opt_counters() {
+        let g = urand(300, 1200, 24);
+        let def = LdGpu::new(LdGpuConfig::new(dgx())).run(&g);
+        assert_eq!(def.metrics.counter("opt.edges_skipped"), 0);
+        assert_eq!(def.metrics.counter("opt.batches_skipped"), 0);
+    }
+
+    #[test]
+    fn frontier_vertex_reenters_twice() {
+        // u's target is matched away in two consecutive SETMATES rounds:
+        // it0 commits x-p and r-s; it1 re-points {u,q} and commits y-q;
+        // it2 re-points {u} alone and commits u-z.
+        let (u, x, y, z, p, q, r, s) = (0u32, 1, 2, 3, 4, 5, 6, 7);
+        let g = GraphBuilder::new(8)
+            .add_edge(u, x, 5.0)
+            .add_edge(u, y, 4.0)
+            .add_edge(u, z, 3.0)
+            .add_edge(x, p, 9.5)
+            .add_edge(y, q, 8.0)
+            .add_edge(q, r, 9.0)
+            .add_edge(r, s, 10.0)
+            .build();
+        let seq = ld_seq(&g);
+        let out = LdGpu::new(LdGpuConfig::new(dgx()).with_frontier(true)).run(&g);
+        assert_eq!(out.iterations, 3);
+        assert_eq!(out.matching.cardinality(), 4);
+        assert_eq!(out.matching.mate_array(), seq.mate_array());
+        let def = LdGpu::new(LdGpuConfig::new(dgx())).run(&g);
+        assert_eq!(def.iterations, 3);
+        assert_eq!(def.matching.mate_array(), out.matching.mate_array());
+    }
+
+    #[test]
+    fn frontier_vertex_with_matched_target_retires() {
+        // Path a-b-c: it0 commits b-c; a's pointer target is matched away,
+        // a re-enters the frontier, finds nothing available, and retires.
+        // (A *pointed-at* vertex can never retire while an available vertex
+        // points at it — the pointing vertex is its available neighbor —
+        // so the realizable edge case is the pointing side retiring.)
+        let g = GraphBuilder::new(3).add_edge(0, 1, 1.0).add_edge(1, 2, 5.0).build();
+        let out = LdGpu::new(LdGpuConfig::new(dgx()).with_frontier(true)).run(&g);
+        let def = LdGpu::new(LdGpuConfig::new(dgx())).run(&g);
+        assert_eq!(out.matching.mate_array(), def.matching.mate_array());
+        assert_eq!(out.iterations, def.iterations);
+        assert_eq!(out.metrics.counter("kernel.vertices_retired"), 1, "vertex 0 retires");
+        assert_eq!(def.metrics.counter("kernel.vertices_retired"), 1);
+    }
+
+    #[test]
+    fn empty_frontier_terminates_without_confirming_scan() {
+        // Single edge: everything matches in it0. The frontier mode sees an
+        // empty worklist and stops; the default pays one more full scan to
+        // observe pointers_set == 0. Same matching, same iteration count,
+        // strictly less simulated time.
+        let g = GraphBuilder::new(2).add_edge(0, 1, 7.0).build();
+        let opt = LdGpu::new(LdGpuConfig::new(dgx()).with_frontier(true)).run(&g);
+        let def = LdGpu::new(LdGpuConfig::new(dgx())).run(&g);
+        assert_eq!(opt.iterations, 1);
+        assert_eq!(def.iterations, 1);
+        assert_eq!(opt.matching.mate_array(), def.matching.mate_array());
+        assert!(opt.sim_time < def.sim_time, "opt {} vs default {}", opt.sim_time, def.sim_time);
+    }
+
+    #[test]
+    fn frontier_skips_empty_batches() {
+        // Many batches, tiny late-round frontier: most batch launches are
+        // skipped outright and the counter records it.
+        let g = rmat(1024, 8000, RmatParams::GAP_KRON, 25);
+        let out = LdGpu::new(LdGpuConfig::new(dgx()).batches(6).with_frontier(true)).run(&g);
+        let def = LdGpu::new(LdGpuConfig::new(dgx()).batches(6)).run(&g);
+        assert_eq!(out.matching.mate_array(), def.matching.mate_array());
+        assert!(out.iterations > 1, "need a frontier round to exercise skipping");
+        assert!(out.metrics.counter("opt.batches_skipped") > 0);
+    }
+
+    #[test]
+    fn sparse_collectives_cut_wire_bytes_only() {
+        let g = urand(1000, 8000, 26);
+        let def = LdGpu::new(LdGpuConfig::new(dgx()).devices(4)).run(&g);
+        let opt =
+            LdGpu::new(LdGpuConfig::new(dgx()).devices(4).with_sparse_collectives(true)).run(&g);
+        assert_eq!(opt.matching.mate_array(), def.matching.mate_array());
+        assert_eq!(
+            opt.metrics.counter("comm.allreduce_calls"),
+            def.metrics.counter("comm.allreduce_calls"),
+            "same number of collectives, smaller payloads"
+        );
+        assert!(
+            opt.metrics.counter("comm.collective_bytes")
+                < def.metrics.counter("comm.collective_bytes")
+        );
+        assert_eq!(
+            opt.metrics.counter("kernel.edges_scanned"),
+            def.metrics.counter("kernel.edges_scanned"),
+            "sparse collectives leave kernel work untouched"
+        );
+    }
+
+    #[test]
+    fn opt_with_retirement_disabled_matches_default() {
+        let g = urand(600, 3600, 27);
+        let mk = |opt: bool| {
+            let mut cfg = LdGpuConfig::new(dgx()).devices(2);
+            cfg.retire_exhausted = false;
+            if opt {
+                cfg = cfg.optimized();
+            }
+            LdGpu::new(cfg).run(&g)
+        };
+        let def = mk(false);
+        let opt = mk(true);
+        assert_eq!(opt.matching.mate_array(), def.matching.mate_array());
+        assert_eq!(opt.iterations, def.iterations);
     }
 }

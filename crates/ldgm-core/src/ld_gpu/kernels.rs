@@ -16,6 +16,7 @@ use rayon::prelude::*;
 use crate::matching::prefer;
 use ldgm_gpusim::{KernelStats, NONE_SENTINEL};
 use ldgm_graph::csr::{CsrGraph, VertexId};
+use ldgm_graph::SortedAdjacency;
 use ldgm_part::VertexRange;
 
 /// Result of a SETPOINTERS launch over one batch.
@@ -27,6 +28,30 @@ pub struct PointingResult {
     pub pointers_set: u64,
     /// Vertices retired this launch (neighborhood exhausted).
     pub vertices_retired: u64,
+    /// Edge slots skipped by the sorted-index early exit, relative to a
+    /// full adjacency scan (0 for the default kernel).
+    pub edges_skipped: u64,
+}
+
+impl PointingResult {
+    /// Fold another launch's result into this one.
+    pub fn merge(&mut self, other: &PointingResult) {
+        self.stats.merge(&other.stats);
+        self.pointers_set += other.pointers_set;
+        self.vertices_retired += other.vertices_retired;
+        self.edges_skipped += other.edges_skipped;
+    }
+}
+
+/// Vertices an optimized SETPOINTERS launch covers.
+#[derive(Clone, Copy, Debug)]
+pub enum PointingWork<'a> {
+    /// Every vertex of the batch range (first iteration, or frontier
+    /// tracking disabled).
+    Full,
+    /// A frontier worklist: absolute vertex ids in ascending order, all
+    /// inside the batch range.
+    Worklist(&'a [VertexId]),
 }
 
 /// SETPOINTERS over the batch `[batch.start, batch.end)`.
@@ -112,14 +137,208 @@ pub fn set_pointers_batch(
             stats.bytes_read =
                 stats.vertices * 8 + processed * 16 + warp_waves * 32 * (8 + 8) + warp_edges * 32;
             stats.bytes_written = processed * 8;
-            PointingResult { stats, pointers_set: set, vertices_retired: retired_count }
+            PointingResult {
+                stats,
+                pointers_set: set,
+                vertices_retired: retired_count,
+                edges_skipped: 0,
+            }
         })
         .reduce(PointingResult::default, |mut a, b| {
-            a.stats.merge(&b.stats);
-            a.pointers_set += b.pointers_set;
-            a.vertices_retired += b.vertices_retired;
+            a.merge(&b);
             a
         })
+}
+
+/// Pick vertex `u`'s pointer target and account the scan.
+///
+/// With a sorted index the list is in (weight desc, id asc) order — the
+/// canonical [`prefer`] order — so the first available neighbor *is* the
+/// argmax, and the warp stops after the 32-wide wave that contained it.
+/// Without one this is the default full-scan argmax. Returns
+/// `(target, edges_scanned, waves, edges_skipped)`; `target` is
+/// `VertexId::MAX` when no neighbor is available.
+#[inline]
+fn scan_best(
+    g: &CsrGraph,
+    sorted: Option<&SortedAdjacency>,
+    mate: &[u64],
+    u: VertexId,
+) -> (VertexId, u64, u64, u64) {
+    match sorted {
+        Some(idx) => {
+            let nbrs = idx.neighbors(g, u);
+            let deg = nbrs.len() as u64;
+            match nbrs.iter().position(|&v| mate[v as usize] == NONE_SENTINEL) {
+                Some(pos) => {
+                    // Early exit is wave-granular: the warp finishes the
+                    // 32-wide wave the hit landed in.
+                    let waves = (pos as u64 + 1).div_ceil(32);
+                    let scanned = deg.min(waves * 32);
+                    (nbrs[pos], scanned, waves, deg - scanned)
+                }
+                None => (VertexId::MAX, deg, deg.div_ceil(32), 0),
+            }
+        }
+        None => {
+            let mut best: VertexId = VertexId::MAX;
+            let mut best_w = f64::NEG_INFINITY;
+            let nbrs = g.neighbors(u);
+            let ws = g.neighbor_weights(u);
+            for (&v, &w) in nbrs.iter().zip(ws) {
+                if mate[v as usize] == NONE_SENTINEL && prefer(w, v, best_w, best) {
+                    best = v;
+                    best_w = w;
+                }
+            }
+            let deg = nbrs.len() as u64;
+            (best, deg, deg.div_ceil(32), 0)
+        }
+    }
+}
+
+/// Optimized SETPOINTERS: [`set_pointers_batch`] with an optional
+/// preference-sorted index (early-exit scans) and an optional frontier
+/// worklist (compacted launch over re-pointing vertices only).
+///
+/// Selection is bit-identical to the default kernel: the sorted order
+/// mirrors [`prefer`], and a worklist launch only skips vertices whose
+/// pointers are still valid (their targets are unmatched, so a rescan
+/// would rewrite the same value). Only the billed work changes:
+/// `Worklist` launches count one warp per `vertices_per_warp` worklist
+/// entries plus a 4 B worklist read per vertex, and the early exit
+/// reduces `edge_waves`/`edges_scanned`.
+#[allow(clippy::too_many_arguments)]
+pub fn set_pointers_opt(
+    g: &CsrGraph,
+    sorted: Option<&SortedAdjacency>,
+    batch: &VertexRange,
+    work: PointingWork<'_>,
+    mate: &[u64],
+    pointers_batch: &mut [u64],
+    retired_batch: &mut [u8],
+    vertices_per_warp: usize,
+    retire: bool,
+) -> PointingResult {
+    let nv = batch.num_vertices();
+    debug_assert_eq!(pointers_batch.len(), nv);
+    debug_assert_eq!(retired_batch.len(), nv);
+    let base = batch.start;
+    let vpw = vertices_per_warp.max(1);
+
+    match work {
+        PointingWork::Full => {
+            if nv == 0 {
+                return PointingResult::default();
+            }
+            pointers_batch
+                .par_chunks_mut(vpw)
+                .zip(retired_batch.par_chunks_mut(vpw))
+                .enumerate()
+                .map(|(warp_idx, (ptr_chunk, ret_chunk))| {
+                    let first = base + (warp_idx * vpw) as VertexId;
+                    let mut r = PointingResult {
+                        stats: KernelStats { warps_launched: 1, ..Default::default() },
+                        ..Default::default()
+                    };
+                    let mut warp_edges: u64 = 0;
+                    let mut warp_waves: u64 = 0;
+                    let mut processed: u64 = 0;
+                    for (i, ptr) in ptr_chunk.iter_mut().enumerate() {
+                        let u = first + i as VertexId;
+                        r.stats.vertices += 1;
+                        if mate[u as usize] != NONE_SENTINEL || ret_chunk[i] != 0 {
+                            continue; // matched or retired: early exit
+                        }
+                        processed += 1;
+                        let (best, scanned, waves, skipped) = scan_best(g, sorted, mate, u);
+                        warp_edges += scanned;
+                        warp_waves += waves;
+                        r.edges_skipped += skipped;
+                        if best != VertexId::MAX {
+                            *ptr = best as u64;
+                            r.pointers_set += 1;
+                        } else {
+                            *ptr = NONE_SENTINEL;
+                            if retire {
+                                ret_chunk[i] = 1;
+                                r.vertices_retired += 1;
+                            }
+                        }
+                    }
+                    fill_warp_stats(&mut r.stats, processed, warp_edges, warp_waves, 0);
+                    r
+                })
+                .reduce(PointingResult::default, |mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+        }
+        PointingWork::Worklist(worklist) => {
+            let mut out = PointingResult::default();
+            // Frontier launches are small; warp groups are processed
+            // sequentially per device (devices parallelize above).
+            for chunk in worklist.chunks(vpw) {
+                let mut stats = KernelStats { warps_launched: 1, ..Default::default() };
+                let mut warp_edges: u64 = 0;
+                let mut warp_waves: u64 = 0;
+                let mut processed: u64 = 0;
+                let mut r = PointingResult::default();
+                for &u in chunk {
+                    debug_assert!(batch.start <= u && u < batch.end, "worklist outside batch");
+                    let i = (u - base) as usize;
+                    stats.vertices += 1;
+                    if mate[u as usize] != NONE_SENTINEL || retired_batch[i] != 0 {
+                        continue;
+                    }
+                    processed += 1;
+                    let (best, scanned, waves, skipped) = scan_best(g, sorted, mate, u);
+                    warp_edges += scanned;
+                    warp_waves += waves;
+                    r.edges_skipped += skipped;
+                    if best != VertexId::MAX {
+                        pointers_batch[i] = best as u64;
+                        r.pointers_set += 1;
+                    } else {
+                        pointers_batch[i] = NONE_SENTINEL;
+                        if retire {
+                            retired_batch[i] = 1;
+                            r.vertices_retired += 1;
+                        }
+                    }
+                }
+                // 4 extra bytes per vertex: the worklist read.
+                fill_warp_stats(&mut stats, processed, warp_edges, warp_waves, 4);
+                r.stats = stats;
+                out.merge(&r);
+            }
+            out
+        }
+    }
+}
+
+/// Close out one warp's [`KernelStats`] with the shared byte/wave model
+/// of the pointing kernels (`extra_read_per_vertex` covers worklist
+/// reads of compacted launches).
+fn fill_warp_stats(
+    stats: &mut KernelStats,
+    processed: u64,
+    warp_edges: u64,
+    warp_waves: u64,
+    extra_read_per_vertex: u64,
+) {
+    stats.vertices_processed = processed;
+    stats.edges_scanned = warp_edges;
+    stats.edge_waves = warp_waves;
+    stats.warps_active = (processed > 0) as u64;
+    stats.max_warp_waves = warp_waves;
+    stats.max_warp_vertices = processed;
+    stats.warp_edges_sumsq = (warp_edges as f64) * (warp_edges as f64);
+    stats.bytes_read = stats.vertices * (8 + extra_read_per_vertex)
+        + processed * 16
+        + warp_waves * 32 * (8 + 8)
+        + warp_edges * 32;
+    stats.bytes_written = processed * 8;
 }
 
 /// SETMATES over the full vertex set: commit mutually pointing pairs.
@@ -272,5 +491,164 @@ mod tests {
         let pointers = vec![1, 0];
         let (_, newly) = set_mates(&pointers, &mut mate);
         assert_eq!(newly, 0);
+    }
+
+    #[test]
+    fn opt_full_without_toggles_matches_default_kernel() {
+        let g = ldgm_graph::gen::urand(128, 600, 7);
+        let mate = vec![NONE_SENTINEL; g.num_vertices()];
+        let run = |opt: bool| {
+            let mut pointers = vec![NONE_SENTINEL; g.num_vertices()];
+            let mut retired = vec![0u8; g.num_vertices()];
+            let r = if opt {
+                set_pointers_opt(
+                    &g,
+                    None,
+                    &whole(&g),
+                    PointingWork::Full,
+                    &mate,
+                    &mut pointers,
+                    &mut retired,
+                    3,
+                    true,
+                )
+            } else {
+                set_pointers_batch(&g, &whole(&g), &mate, &mut pointers, &mut retired, 3, true)
+            };
+            (pointers, retired, r)
+        };
+        let (p0, ret0, r0) = run(false);
+        let (p1, ret1, r1) = run(true);
+        assert_eq!(p0, p1);
+        assert_eq!(ret0, ret1);
+        assert_eq!(r0.pointers_set, r1.pointers_set);
+        assert_eq!(r0.vertices_retired, r1.vertices_retired);
+        assert_eq!(r0.stats.edges_scanned, r1.stats.edges_scanned);
+        assert_eq!(r0.stats.bytes_read, r1.stats.bytes_read);
+        assert_eq!(r0.stats.bytes_written, r1.stats.bytes_written);
+        assert_eq!(r1.edges_skipped, 0);
+    }
+
+    #[test]
+    fn sorted_early_exit_skips_tail_waves() {
+        // Vertex 0 with 40 neighbors; heaviest (id 40, w 40.0) is available,
+        // so the sorted scan stops after its first 32-wide wave.
+        let mut b = GraphBuilder::new(41);
+        for v in 1..=40u32 {
+            b = b.add_edge(0, v, v as f64);
+        }
+        let g = b.build();
+        let sorted = SortedAdjacency::build(&g);
+        let mate = vec![NONE_SENTINEL; 41];
+        let mut pointers = vec![NONE_SENTINEL; 41];
+        let mut retired = [0u8; 41];
+        let r = set_pointers_opt(
+            &g,
+            Some(&sorted),
+            &VertexRange { start: 0, end: 1, edge_start: 0, edge_end: 40 },
+            PointingWork::Full,
+            &mate,
+            &mut pointers[..1],
+            &mut retired[..1],
+            1,
+            true,
+        );
+        assert_eq!(pointers[0], 40, "argmax neighbor");
+        assert_eq!(r.stats.edge_waves, 1, "early exit after the first wave");
+        assert_eq!(r.stats.edges_scanned, 32);
+        assert_eq!(r.edges_skipped, 8);
+    }
+
+    #[test]
+    fn sorted_scan_matches_default_selection_when_head_unavailable() {
+        // Heaviest neighbors matched away: the sorted scan walks past them
+        // and still lands on the default kernel's argmax.
+        let g = GraphBuilder::new(5)
+            .add_edge(0, 1, 9.0)
+            .add_edge(0, 2, 8.0)
+            .add_edge(0, 3, 7.0)
+            .add_edge(0, 4, 7.0)
+            .build();
+        let sorted = SortedAdjacency::build(&g);
+        let mut mate = vec![NONE_SENTINEL; 5];
+        mate[1] = 99;
+        mate[2] = 99;
+        let (best, _, _, _) = scan_best(&g, Some(&sorted), &mate, 0);
+        let (best_default, _, _, _) = scan_best(&g, None, &mate, 0);
+        assert_eq!(best, 3, "equal weights tie-break to the lower id");
+        assert_eq!(best, best_default);
+    }
+
+    #[test]
+    fn worklist_launch_writes_only_listed_vertices_and_bills_reads() {
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 2.0)
+            .add_edge(2, 3, 3.0)
+            .build();
+        let mate = vec![NONE_SENTINEL; 4];
+        let mut pointers = vec![777; 4];
+        let mut retired = vec![0u8; 4];
+        let worklist: Vec<VertexId> = vec![1, 3];
+        let r = set_pointers_opt(
+            &g,
+            None,
+            &whole(&g),
+            PointingWork::Worklist(&worklist),
+            &mate,
+            &mut pointers,
+            &mut retired,
+            2,
+            true,
+        );
+        assert_eq!(pointers[1], 2);
+        assert_eq!(pointers[3], 2);
+        assert_eq!(pointers[0], 777, "unlisted vertex untouched");
+        assert_eq!(pointers[2], 777, "unlisted vertex untouched");
+        assert_eq!(r.stats.vertices, 2, "only worklist entries touched");
+        assert_eq!(r.stats.warps_launched, 1, "2 entries / vpw 2 = 1 warp");
+        // 4 B worklist read billed per vertex on top of the offset read.
+        assert_eq!(r.stats.bytes_read % 4, 0);
+        let full = set_pointers_opt(
+            &g,
+            None,
+            &whole(&g),
+            PointingWork::Full,
+            &mate,
+            &mut [NONE_SENTINEL; 4],
+            &mut [0u8; 4],
+            2,
+            true,
+        );
+        assert!(
+            r.stats.bytes_read < full.stats.bytes_read,
+            "compacted launch reads less than the full scan"
+        );
+    }
+
+    #[test]
+    fn worklist_respects_vpw_grouping() {
+        let g = GraphBuilder::new(6)
+            .add_edge(0, 1, 1.0)
+            .add_edge(2, 3, 1.0)
+            .add_edge(4, 5, 1.0)
+            .build();
+        let mate = vec![NONE_SENTINEL; 6];
+        let mut pointers = vec![NONE_SENTINEL; 6];
+        let mut retired = vec![0u8; 6];
+        let worklist: Vec<VertexId> = vec![0, 2, 4, 5];
+        let r = set_pointers_opt(
+            &g,
+            None,
+            &whole(&g),
+            PointingWork::Worklist(&worklist),
+            &mate,
+            &mut pointers,
+            &mut retired,
+            3,
+            true,
+        );
+        assert_eq!(r.stats.warps_launched, 2, "4 entries / vpw 3 = 2 warps");
+        assert_eq!(r.pointers_set, 4);
     }
 }

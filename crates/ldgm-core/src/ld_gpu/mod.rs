@@ -19,4 +19,4 @@ mod kernels;
 
 pub use config::{LdGpuConfig, LdGpuError};
 pub use driver::{LdGpu, LdGpuOutput};
-pub use kernels::{set_mates, set_pointers_batch, PointingResult};
+pub use kernels::{set_mates, set_pointers_batch, set_pointers_opt, PointingResult, PointingWork};

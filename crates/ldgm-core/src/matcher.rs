@@ -133,6 +133,7 @@ impl MatcherRegistry {
     pub fn with_defaults(setup: &MatcherSetup) -> Self {
         let mut reg = Self::new();
         reg.register(Box::new(LdGpuMatcher::from_setup(setup)));
+        reg.register(Box::new(LdGpuOptMatcher::from_setup(setup)));
         reg.register(Box::new(LdSeqMatcher));
         reg.register(Box::new(LocalMaxMatcher));
         reg.register(Box::new(GreedyMatcher));
@@ -227,6 +228,32 @@ impl Matcher for LdGpuMatcher {
         let out = LdGpu::new(self.cfg.clone())
             .try_run(g)
             .map_err(|e| MatchError(format!("LD-GPU failed: {e}")))?;
+        Ok(ld_gpu_result(out))
+    }
+}
+
+/// Optimized LD-GPU (`ld-gpu-opt`): sorted-index early exit +
+/// cross-iteration frontier + sparse delta collectives. Produces the
+/// bit-identical matching of plain `ld-gpu` at lower simulated cost.
+pub struct LdGpuOptMatcher {
+    /// Full LD-GPU configuration (all optimization toggles on).
+    pub cfg: LdGpuConfig,
+}
+
+impl LdGpuOptMatcher {
+    fn from_setup(setup: &MatcherSetup) -> Self {
+        LdGpuOptMatcher { cfg: LdGpuMatcher::from_setup(setup).cfg.optimized() }
+    }
+}
+
+impl Matcher for LdGpuOptMatcher {
+    fn name(&self) -> &str {
+        "ld-gpu-opt"
+    }
+    fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
+        let out = LdGpu::new(self.cfg.clone())
+            .try_run(g)
+            .map_err(|e| MatchError(format!("LD-GPU-opt failed: {e}")))?;
         Ok(ld_gpu_result(out))
     }
 }
@@ -422,6 +449,7 @@ mod tests {
             reg.names(),
             vec![
                 "ld-gpu",
+                "ld-gpu-opt",
                 "ld-seq",
                 "local-max",
                 "greedy",
@@ -452,7 +480,7 @@ mod tests {
     fn simulated_matchers_carry_profiles() {
         let g = urand(400, 2000, 2);
         let reg = MatcherRegistry::with_defaults(&MatcherSetup::default());
-        for name in ["ld-gpu", "ld-seq", "local-max", "suitor-gpu", "cugraph"] {
+        for name in ["ld-gpu", "ld-gpu-opt", "ld-seq", "local-max", "suitor-gpu", "cugraph"] {
             let r = reg.get(name).unwrap().run(&g).unwrap();
             let p = r.profile.unwrap_or_else(|| panic!("{name}: no profile"));
             assert!(p.phases.total() > 0.0, "{name}");

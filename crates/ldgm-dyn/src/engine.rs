@@ -242,9 +242,9 @@ impl IncrementalLd {
         // broadcast to every device.
         if !batch.is_empty() {
             let bytes = 16 * batch.len() as u64;
-            let label = format!("updates b{}", self.batches);
+            let label = self.rt.label("updates", || format!("updates b{}", self.batches));
             for d in 0..self.ndev {
-                self.rt.device(d).h2d_copy(0, bytes, &label);
+                self.rt.device(d).h2d_copy(0, bytes, label.clone());
             }
         }
 
@@ -317,8 +317,8 @@ impl IncrementalLd {
             st.max_warp_waves = st.edge_waves;
             st.bytes_read = st.vertices * 8 + wake_edges * 16;
             st.bytes_written = frontier.len() as u64 * 4;
-            let label = format!("seed scan b{}", self.batches);
-            self.rt.global_kernel(&label, &st);
+            let label = self.rt.label("seed scan", || format!("seed scan b{}", self.batches));
+            self.rt.global_kernel(label, &st);
         }
 
         frontier.sort_unstable();
@@ -331,9 +331,9 @@ impl IncrementalLd {
         let compacted = if self.g.should_compact() {
             self.g.compact();
             let bytes = self.g.base().csr_bytes() / self.ndev as u64;
-            let label = format!("compact b{}", self.batches);
+            let label = self.rt.label("compact", || format!("compact b{}", self.batches));
             for d in 0..self.ndev {
-                self.rt.device(d).h2d_copy(0, bytes.max(1), &label);
+                self.rt.device(d).h2d_copy(0, bytes.max(1), label.clone());
             }
             self.rt.counter_add(names::DYN_COMPACTIONS, 1);
             true
@@ -511,7 +511,9 @@ impl IncrementalLd {
                     + st.edge_waves * 32 * (8 + 8)
                     + st.edges_scanned * 32;
                 st.bytes_written = st.vertices_processed * 8;
-                let label = format!("point frontier r{}", self.rounds + rounds);
+                let label = self.rt.label("point frontier", || {
+                    format!("point frontier r{}", self.rounds + rounds)
+                });
                 let launch = self.rt.device(d).launch_kernel(None, label, &st);
                 occ_sum += launch.occupancy;
                 occ_n += 1;

@@ -82,7 +82,7 @@ pub fn chrome_trace_json(trace: &Trace) -> Json {
     for e in &trace.events {
         events.push(
             Json::object()
-                .with("name", e.label.clone())
+                .with("name", e.label.as_ref())
                 .with("cat", category(e.kind))
                 .with("ph", "X")
                 .with("pid", e.device)

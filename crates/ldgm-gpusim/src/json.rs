@@ -70,6 +70,14 @@ impl Json {
         }
     }
 
+    /// Boolean value, if this node is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// String value, if this node is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -66,6 +66,15 @@ pub mod names {
     pub const DYN_FRONTIER_SIZE: &str = "dyn.frontier_size";
     /// Live delta-overlay entries after the last batch (gauge).
     pub const DYN_DELTA_ENTRIES: &str = "dyn.delta_entries";
+    /// Frontier sizes per iteration of the optimized static driver
+    /// (histogram; the final sample is 0 on frontier-drained termination).
+    pub const OPT_FRONTIER_SIZE: &str = "opt.frontier_size";
+    /// Edge slots the sorted-index early exit skipped relative to a full
+    /// adjacency scan (counter).
+    pub const OPT_EDGES_SKIPPED: &str = "opt.edges_skipped";
+    /// Batch launches skipped because their frontier slice was empty
+    /// (counter).
+    pub const OPT_BATCHES_SKIPPED: &str = "opt.batches_skipped";
 }
 
 /// Summary statistics of observed samples (no buckets: the consumers —

@@ -24,6 +24,8 @@
 //! `matching` phase; all other kernels count as `pointing` (the
 //! convention of [`timeline_breakdown`]).
 
+use std::borrow::Cow;
+
 use crate::collective::CommModel;
 use crate::device::{CostModel, DeviceSpec, KernelStats};
 use crate::export::timeline_breakdown;
@@ -78,6 +80,7 @@ pub struct DeviceCtx {
     cost: CostModel,
     h2d: Link,
     kernel_overhead: f64,
+    detailed: bool,
     timer: DeviceTimer,
     trace: Trace,
     totals: LaunchTotals,
@@ -91,6 +94,20 @@ impl DeviceCtx {
         self.dev
     }
 
+    /// Build a span label lazily: the allocated `detail` string is only
+    /// materialized when the caller asked for the trace back
+    /// ([`SimRuntime::with_trace`]); otherwise the static `base` is
+    /// recorded, keeping the always-on internal trace allocation-free on
+    /// the hot path. Phase attribution only inspects static substrings
+    /// (`"mate"`), so billing is identical either way.
+    pub fn label(&self, base: &'static str, detail: impl FnOnce() -> String) -> Cow<'static, str> {
+        if self.detailed {
+            Cow::Owned(detail())
+        } else {
+            Cow::Borrowed(base)
+        }
+    }
+
     /// Completion time of everything scheduled on this device so far.
     pub fn horizon(&self) -> f64 {
         self.timer.horizon()
@@ -98,7 +115,12 @@ impl DeviceCtx {
 
     /// Schedule an async host-to-device copy of `bytes` into stream
     /// buffer `buf` over the platform's host link. Returns `(start, end)`.
-    pub fn h2d_copy(&mut self, buf: usize, bytes: u64, label: impl Into<String>) -> (f64, f64) {
+    pub fn h2d_copy(
+        &mut self,
+        buf: usize,
+        bytes: u64,
+        label: impl Into<Cow<'static, str>>,
+    ) -> (f64, f64) {
         let (s, e) = self.timer.schedule_h2d(buf, bytes, &self.h2d);
         self.trace.record(self.dev, EventKind::H2dCopy, label, s, e);
         (s, e)
@@ -115,7 +137,7 @@ impl DeviceCtx {
     pub fn launch_kernel(
         &mut self,
         buf: Option<usize>,
-        label: impl Into<String>,
+        label: impl Into<Cow<'static, str>>,
         stats: &KernelStats,
     ) -> KernelLaunch {
         let dur = self.spec.kernel_time(&self.cost, stats) * self.kernel_overhead;
@@ -135,7 +157,7 @@ impl DeviceCtx {
     /// [`KernelStats`] billing) on the global compute queue — for
     /// analytically derived serialization tails. Labels containing
     /// `"mate"` land in the `matching` phase.
-    pub fn fixed_kernel(&mut self, label: impl Into<String>, dur: f64) -> (f64, f64) {
+    pub fn fixed_kernel(&mut self, label: impl Into<Cow<'static, str>>, dur: f64) -> (f64, f64) {
         let (s, e) = self.timer.schedule_kernel_global(dur);
         self.trace.record(self.dev, EventKind::Kernel, label, s, e);
         (s, e)
@@ -144,14 +166,14 @@ impl DeviceCtx {
     /// Explicit host-device synchronization at the platform's
     /// `host_sync_us` cost: waits for all outstanding work, then bills the
     /// sync. Returns `(start, end)` of the sync span.
-    pub fn host_sync(&mut self, label: impl Into<String>) -> (f64, f64) {
+    pub fn host_sync(&mut self, label: impl Into<Cow<'static, str>>) -> (f64, f64) {
         let cost = self.cost.host_sync_us * 1e-6;
         self.host_sync_with(label, cost)
     }
 
     /// [`DeviceCtx::host_sync`] with an explicit cost in seconds — for
     /// engines that batch many driver round-trips into one span.
-    pub fn host_sync_with(&mut self, label: impl Into<String>, cost: f64) -> (f64, f64) {
+    pub fn host_sync_with(&mut self, label: impl Into<Cow<'static, str>>, cost: f64) -> (f64, f64) {
         let before = self.timer.horizon();
         self.timer.host_sync(cost);
         self.trace.record(self.dev, EventKind::HostSync, label, before, before + cost);
@@ -210,6 +232,7 @@ impl SimRuntime {
                 cost: platform.cost.clone(),
                 h2d: platform.interconnect.h2d,
                 kernel_overhead: 1.0,
+                detailed: false,
                 timer: DeviceTimer::new(),
                 trace: Trace::default(),
                 totals: LaunchTotals::default(),
@@ -238,10 +261,26 @@ impl SimRuntime {
 
     /// Whether [`SimRuntime::finish`] returns the recorded trace. The
     /// runtime always records internally (phase attribution needs it);
-    /// this only controls what the caller gets back.
+    /// this only controls what the caller gets back — and whether the
+    /// lazy [`DeviceCtx::label`]/[`SimRuntime::label`] helpers materialize
+    /// detailed (allocated) span labels.
     pub fn with_trace(mut self, keep: bool) -> Self {
         self.keep_trace = keep;
+        for d in &mut self.devices {
+            d.detailed = keep;
+        }
         self
+    }
+
+    /// Runtime-level counterpart of [`DeviceCtx::label`]: materialize the
+    /// allocated `detail` label only when the trace will be returned to
+    /// the caller.
+    pub fn label(&self, base: &'static str, detail: impl FnOnce() -> String) -> Cow<'static, str> {
+        if self.keep_trace {
+            Cow::Owned(detail())
+        } else {
+            Cow::Borrowed(base)
+        }
     }
 
     /// Number of devices.
@@ -282,14 +321,19 @@ impl SimRuntime {
     /// duration comes from `stats` on the device cost model, the kernel
     /// counters are billed once (the work exists once, replicated), and a
     /// span is recorded per device. Returns the billed duration.
-    pub fn global_kernel(&mut self, label: &str, stats: &KernelStats) -> f64 {
+    pub fn global_kernel(
+        &mut self,
+        label: impl Into<Cow<'static, str>>,
+        stats: &KernelStats,
+    ) -> f64 {
+        let label = label.into();
         let dur = {
             let d0 = &self.devices[0];
             d0.spec.kernel_time(&d0.cost, stats) * d0.kernel_overhead
         };
         for d in &mut self.devices {
             let (s, e) = d.timer.schedule_kernel_global(dur);
-            d.trace.record(d.dev, EventKind::Kernel, label, s, e);
+            d.trace.record(d.dev, EventKind::Kernel, label.clone(), s, e);
         }
         self.metrics.counter_add(names::KERNEL_EDGES_SCANNED, stats.edges_scanned);
         self.metrics.counter_add(names::KERNEL_WARPS_LAUNCHED, stats.warps_launched);
@@ -302,14 +346,19 @@ impl SimRuntime {
     /// the collective metrics are billed — one call, plus
     /// `2 (p-1) × payload` wire bytes (zero on a single device, where the
     /// ring degenerates to a local pass). Returns `(start, end)`.
-    pub fn allreduce(&mut self, label: &str, payload_bytes: u64) -> (f64, f64) {
+    pub fn allreduce(
+        &mut self,
+        label: impl Into<Cow<'static, str>>,
+        payload_bytes: u64,
+    ) -> (f64, f64) {
+        let label = label.into();
         let ndev = self.devices.len();
         let cost = self.comm.allreduce_time(&self.peer, ndev, payload_bytes);
         let start = self.horizon();
         let end = start + cost;
         for d in &mut self.devices {
             d.timer.align_to(end);
-            d.trace.record(d.dev, EventKind::Collective, label, start, end);
+            d.trace.record(d.dev, EventKind::Collective, label.clone(), start, end);
         }
         self.metrics.counter_add(names::COMM_ALLREDUCE_CALLS, 1);
         self.metrics
@@ -322,7 +371,7 @@ impl SimRuntime {
     /// Billing is the dense path over the packed payload.
     pub fn allreduce_sparse(
         &mut self,
-        label: &str,
+        label: impl Into<Cow<'static, str>>,
         entries: u64,
         bytes_per_entry: u64,
     ) -> (f64, f64) {

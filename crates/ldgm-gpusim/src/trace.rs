@@ -2,6 +2,13 @@
 //! renderer, the simulator's equivalent of an Nsight Systems view. Used to
 //! inspect how copies overlap kernels under the dual-buffer scheme and
 //! where collectives serialize the devices.
+//!
+//! Labels are `Cow<'static, str>` so the hot path (tracing disabled, but
+//! the runtime still records spans for phase attribution) records static
+//! names without allocating; detailed per-batch/per-round labels are only
+//! materialized when a trace was requested.
+
+use std::borrow::Cow;
 
 /// What a timeline span represents.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,7 +43,7 @@ pub struct TraceEvent {
     /// Span kind.
     pub kind: EventKind,
     /// Free-form label (e.g. `"point b2 it0"`).
-    pub label: String,
+    pub label: Cow<'static, str>,
     /// Start time (seconds).
     pub start: f64,
     /// End time (seconds).
@@ -56,7 +63,7 @@ impl Trace {
         &mut self,
         device: usize,
         kind: EventKind,
-        label: impl Into<String>,
+        label: impl Into<Cow<'static, str>>,
         start: f64,
         end: f64,
     ) {

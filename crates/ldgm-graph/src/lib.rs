@@ -9,6 +9,7 @@
 //! * [`gen`] — synthetic generators for every dataset family of the
 //!   paper's Table I (R-MAT/Kron, uniform random, k-mer chains, web crawl,
 //!   Mycielskian, stencil lattice, geometric, dense similarity, bipartite);
+//! * [`sorted`] — preference-sorted adjacency index for early-exit scans;
 //! * [`io`] — Matrix Market and binary CSR cache formats;
 //! * [`weights`] — the paper's uniform 3-decimal weight scheme;
 //! * [`stats`] — Table-I-style property summaries;
@@ -19,9 +20,11 @@ pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod rng;
+pub mod sorted;
 pub mod stats;
 pub mod weights;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId, Weight};
 pub use rng::Xoshiro256;
+pub use sorted::SortedAdjacency;

@@ -1,0 +1,154 @@
+//! Preference-sorted adjacency index.
+//!
+//! [`SortedAdjacency`] stores a permuted copy of a [`CsrGraph`]'s
+//! adjacency and weight arrays in which every vertex's neighbor list is
+//! ordered by the canonical matching preference — weight descending, then
+//! neighbor id ascending. Under that total order the *first available*
+//! neighbor in a scan is exactly the argmax a full scan would select, so
+//! pointing kernels can stop at the first hit instead of sweeping the
+//! whole list. The index shares the base graph's offset array (same list
+//! extents, different element order) and is built once per run.
+
+use crate::csr::{CsrGraph, VertexId, Weight};
+
+/// Per-vertex adjacency permuted into (weight desc, id asc) order.
+///
+/// Accessors take the base graph the index was built from; list extents
+/// come from its offset array. Debug builds assert the vertex count still
+/// matches.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SortedAdjacency {
+    num_vertices: usize,
+    adj: Vec<VertexId>,
+    weights: Vec<Weight>,
+}
+
+impl SortedAdjacency {
+    /// Build the index: one stable sort per vertex, `O(Σ d_v log d_v)`.
+    pub fn build(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut adj = g.adjacency().to_vec();
+        let mut weights = g.weight_array().to_vec();
+        let offsets = g.offsets();
+        let mut order: Vec<u32> = Vec::new();
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            let deg = hi - lo;
+            if deg < 2 {
+                continue;
+            }
+            order.clear();
+            order.extend(0..deg as u32);
+            let (ids, ws) = (&g.adjacency()[lo..hi], &g.weight_array()[lo..hi]);
+            order.sort_unstable_by(|&a, &b| {
+                let (ia, ib) = (a as usize, b as usize);
+                ws[ib]
+                    .partial_cmp(&ws[ia])
+                    .expect("edge weights must be comparable")
+                    .then_with(|| ids[ia].cmp(&ids[ib]))
+            });
+            for (slot, &src) in order.iter().enumerate() {
+                adj[lo + slot] = ids[src as usize];
+                weights[lo + slot] = ws[src as usize];
+            }
+        }
+        SortedAdjacency { num_vertices: n, adj, weights }
+    }
+
+    /// Neighbor ids of `v` in preference order.
+    #[inline]
+    pub fn neighbors<'a>(&'a self, g: &CsrGraph, v: VertexId) -> &'a [VertexId] {
+        debug_assert_eq!(self.num_vertices, g.num_vertices(), "index built from another graph");
+        let lo = g.offsets()[v as usize] as usize;
+        let hi = g.offsets()[v as usize + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Weights parallel to [`SortedAdjacency::neighbors`].
+    #[inline]
+    pub fn neighbor_weights<'a>(&'a self, g: &CsrGraph, v: VertexId) -> &'a [Weight] {
+        debug_assert_eq!(self.num_vertices, g.num_vertices(), "index built from another graph");
+        let lo = g.offsets()[v as usize] as usize;
+        let hi = g.offsets()[v as usize + 1] as usize;
+        &self.weights[lo..hi]
+    }
+
+    /// Bytes of the permuted copies (adjacency ids + weights) — what a
+    /// device would additionally hold resident.
+    pub fn index_bytes(&self) -> u64 {
+        (self.adj.len() * std::mem::size_of::<VertexId>()
+            + self.weights.len() * std::mem::size_of::<Weight>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::gen::{rmat, urand, RmatParams};
+
+    #[test]
+    fn orders_by_weight_desc_then_id_asc() {
+        let g = GraphBuilder::new(5)
+            .add_edge(0, 1, 2.0)
+            .add_edge(0, 2, 5.0)
+            .add_edge(0, 3, 5.0)
+            .add_edge(0, 4, 1.0)
+            .build();
+        let idx = SortedAdjacency::build(&g);
+        assert_eq!(idx.neighbors(&g, 0), &[2, 3, 1, 4]);
+        assert_eq!(idx.neighbor_weights(&g, 0), &[5.0, 5.0, 2.0, 1.0]);
+        // Degree-1 lists are untouched but still addressable.
+        assert_eq!(idx.neighbors(&g, 4), &[0]);
+    }
+
+    #[test]
+    fn is_a_permutation_of_the_base_adjacency() {
+        let g = rmat(512, 4000, RmatParams::GAP_KRON, 7);
+        let idx = SortedAdjacency::build(&g);
+        for v in 0..g.num_vertices() as VertexId {
+            let mut base: Vec<(VertexId, u64)> = g
+                .neighbors(v)
+                .iter()
+                .zip(g.neighbor_weights(v))
+                .map(|(&id, &w)| (id, w.to_bits()))
+                .collect();
+            let mut sorted: Vec<(VertexId, u64)> = idx
+                .neighbors(&g, v)
+                .iter()
+                .zip(idx.neighbor_weights(&g, v))
+                .map(|(&id, &w)| (id, w.to_bits()))
+                .collect();
+            base.sort_unstable();
+            sorted.sort_unstable();
+            assert_eq!(base, sorted, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn first_entry_is_the_prefer_argmax() {
+        // The invariant the early-exit kernel relies on: head of the list
+        // == heaviest neighbor, smallest id on ties.
+        let g = urand(300, 2400, 3);
+        let idx = SortedAdjacency::build(&g);
+        for v in 0..g.num_vertices() as VertexId {
+            let ws = idx.neighbor_weights(&g, v);
+            let ids = idx.neighbors(&g, v);
+            for i in 1..ws.len() {
+                assert!(
+                    ws[i - 1] > ws[i] || (ws[i - 1] == ws[i] && ids[i - 1] < ids[i]),
+                    "vertex {v}: slot {i} out of preference order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated_graphs() {
+        let g = CsrGraph::empty(4);
+        let idx = SortedAdjacency::build(&g);
+        assert_eq!(idx.neighbors(&g, 2), &[] as &[VertexId]);
+        assert_eq!(idx.index_bytes(), 0);
+    }
+}

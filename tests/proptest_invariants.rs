@@ -70,6 +70,29 @@ proptest! {
     }
 
     #[test]
+    fn ld_gpu_opt_bit_identical_across_toggle_grid(
+        g in arb_graph(50, 150),
+        devices_idx in 0usize..4,
+        batches_idx in 0usize..3,
+        toggles in 0u8..8,
+    ) {
+        let devices = [1usize, 2, 4, 8][devices_idx];
+        let batches = [1usize, 2, 5][batches_idx];
+        let seq = ld_seq(&g);
+        let base = LdGpuConfig::new(Platform::dgx_a100()).devices(devices).batches(batches);
+        let def = LdGpu::new(base.clone()).run(&g);
+        prop_assert_eq!(def.matching.mate_array(), seq.mate_array());
+        let opt = LdGpu::new(
+            base.with_sorted_index(toggles & 1 != 0)
+                .with_frontier(toggles & 2 != 0)
+                .with_sparse_collectives(toggles & 4 != 0),
+        ).run(&g);
+        prop_assert_eq!(opt.matching.mate_array(), seq.mate_array(),
+            "toggles {:03b}, {} devices, {} batches", toggles, devices, batches);
+        prop_assert_eq!(opt.matching.mate_array(), def.matching.mate_array());
+    }
+
+    #[test]
     fn partition_tiles_and_batches_tile(
         g in arb_graph(80, 300),
         parts in 1usize..6,
