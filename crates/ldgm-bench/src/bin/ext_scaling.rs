@@ -1,0 +1,57 @@
+//! Regenerate the communication-overlap device-count scaling study and
+//! record its measurements as `BENCH_scaling.json` in the working
+//! directory. See `ldgm_bench::exp::ext_scaling`.
+//!
+//! Usage: `ext_scaling [--out PATH] [DATASET...]`
+//!
+//! With no datasets the full fourteen-graph registry is swept; naming a
+//! subset (e.g. the CI smoke run) restricts the sweep. The written JSON
+//! is parsed back and cross-checked against the in-memory records before
+//! the binary reports success.
+
+use ldgm_bench::datasets::{by_name, registry};
+use ldgm_bench::exp::ext_scaling::{run_on, scaling_records_to_json};
+use ldgm_gpusim::json::{self, Json};
+
+fn main() {
+    let mut out_path = "BENCH_scaling.json".to_string();
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            out_path = args.next().expect("--out requires a path");
+        } else {
+            names.push(a);
+        }
+    }
+    let datasets = if names.is_empty() {
+        registry()
+    } else {
+        names.iter().map(|n| by_name(n).expect("known dataset")).collect()
+    };
+
+    let mut out = std::io::stdout().lock();
+    let records = run_on(&datasets, &mut out).expect("report write failed");
+    let doc = scaling_records_to_json(&records).to_string_pretty();
+    std::fs::write(&out_path, doc.clone() + "\n").expect("JSON write failed");
+
+    // Round-trip check: what landed on disk parses back to the same rows.
+    let parsed = json::parse(&doc).expect("written JSON must parse");
+    let rows = parsed.as_array().expect("array document");
+    assert_eq!(rows.len(), records.len(), "row count round-trips");
+    for (row, rec) in rows.iter().zip(&records) {
+        assert_eq!(row.get("dataset").and_then(Json::as_str), Some(rec.dataset.as_str()));
+        assert_eq!(row.get("time_overlap").and_then(Json::as_f64), Some(rec.time_overlap));
+        assert_eq!(row.get("identical").and_then(Json::as_bool), Some(rec.identical));
+    }
+    let datasets_with_drop: std::collections::BTreeSet<&str> = records
+        .iter()
+        .filter(|r| r.devices >= 4 && r.exposed_reduction() > 0.0)
+        .map(|r| r.dataset.as_str())
+        .collect();
+    println!(
+        "wrote {out_path} ({} records; exposed comm drops on >=4 devices for {} datasets)",
+        records.len(),
+        datasets_with_drop.len()
+    );
+}

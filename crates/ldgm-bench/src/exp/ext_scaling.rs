@@ -1,0 +1,250 @@
+//! **Extension**: communication/computation overlap across device counts.
+//!
+//! The overlap engine changes only how collectives are billed: batch-level
+//! pointer deltas become chunks whose wire time runs on a dedicated comm
+//! stream under later kernels, and a device's slice of the reduction
+//! starts as soon as that device drains its last batch instead of after
+//! the global barrier. This study sweeps the Table-I stand-ins across
+//! device counts on the scaled DGX-A100 (1-8 GPUs) and scaled DGX-2
+//! (16 GPUs) fabrics and reports simulated time, exposed and hidden
+//! communication for the serialized baseline vs overlap mode. Matchings
+//! are bit-identical by construction; only the timeline moves.
+
+use std::io::{self, Write};
+
+use ldgm_core::ld_gpu::{LdGpu, LdGpuConfig, LdGpuOutput};
+use ldgm_gpusim::json::Json;
+use ldgm_gpusim::Platform;
+
+use crate::datasets::{registry, scaled_platform, Dataset};
+use crate::runner::fmt_secs;
+use crate::table::Table;
+
+/// Platforms and the device counts swept on each: the A100 box up to its
+/// 8-GPU fabric, then the 16-GPU DGX-2 for the largest point.
+pub fn device_sweep() -> Vec<(&'static str, Platform, Vec<usize>)> {
+    vec![
+        ("dgx-a100", scaled_platform(Platform::dgx_a100()), vec![1, 2, 4, 8]),
+        ("dgx2", scaled_platform(Platform::dgx2()), vec![16]),
+    ]
+}
+
+/// One serialized-vs-overlap comparison at a fixed device count.
+#[derive(Clone, Debug)]
+pub struct ScalingRecord {
+    /// Dataset name (Table I stand-in identifier).
+    pub dataset: String,
+    /// Platform preset the point ran on.
+    pub platform: String,
+    /// Devices used.
+    pub devices: usize,
+    /// Simulated seconds with serialized collectives (default billing).
+    pub time_serial: f64,
+    /// Simulated seconds with the overlap engine.
+    pub time_overlap: f64,
+    /// Collective seconds on the critical path, serialized baseline.
+    pub exposed_serial: f64,
+    /// Collective seconds still exposed with overlap on.
+    pub exposed_overlap: f64,
+    /// Collective seconds hidden under compute by the overlap engine.
+    pub hidden_overlap: f64,
+    /// Matching weight (identical across modes by construction).
+    pub weight: f64,
+    /// Matched edges (identical across modes by construction).
+    pub cardinality: u64,
+    /// Whether the two mate arrays were bit-identical.
+    pub identical: bool,
+}
+
+impl ScalingRecord {
+    /// Simulated-time ratio serialized / overlap.
+    pub fn speedup(&self) -> f64 {
+        self.time_serial / self.time_overlap
+    }
+
+    /// Exposed-communication seconds removed by the overlap engine.
+    pub fn exposed_reduction(&self) -> f64 {
+        self.exposed_serial - self.exposed_overlap
+    }
+
+    /// Serialize for `BENCH_scaling.json`.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("dataset", self.dataset.clone())
+            .with("platform", self.platform.clone())
+            .with("devices", self.devices)
+            .with("time_serial", self.time_serial)
+            .with("time_overlap", self.time_overlap)
+            .with("speedup", self.speedup())
+            .with("exposed_serial", self.exposed_serial)
+            .with("exposed_overlap", self.exposed_overlap)
+            .with("exposed_reduction", self.exposed_reduction())
+            .with("hidden_overlap", self.hidden_overlap)
+            .with("weight", self.weight)
+            .with("cardinality", self.cardinality)
+            .with("identical", self.identical)
+    }
+}
+
+/// Serialize a result set as a JSON array document.
+pub fn scaling_records_to_json(records: &[ScalingRecord]) -> Json {
+    Json::Array(records.iter().map(ScalingRecord::to_json).collect())
+}
+
+fn run_mode(g: &ldgm_graph::CsrGraph, cfg: LdGpuConfig) -> Result<LdGpuOutput, String> {
+    LdGpu::new(cfg).try_run(g).map_err(|e| e.to_string())
+}
+
+fn exposed(out: &LdGpuOutput) -> f64 {
+    out.metrics.gauge("comm.exposed_time").unwrap_or(0.0)
+}
+
+/// Run the study over `datasets` and the given `(platform, devices)`
+/// sweep, returning one record per feasible point.
+pub fn run_on(datasets: &[Dataset], w: &mut dyn Write) -> io::Result<Vec<ScalingRecord>> {
+    writeln!(w, "# Extension: communication/computation overlap device-count scaling\n")?;
+    writeln!(
+        w,
+        "Serialized collectives vs the overlap engine (comm-stream chunked\n\
+         allreduce + early per-device reduce-scatter) across device counts.\n\
+         Both modes produce bit-identical matchings; only collective billing\n\
+         differs. Points that do not fit device memory are skipped.\n"
+    )?;
+    let mut t = Table::new(vec![
+        "dataset",
+        "platform",
+        "dev",
+        "serial",
+        "overlap",
+        "speedup",
+        "exposed ser",
+        "exposed ovl",
+        "hidden",
+    ]);
+    let mut records = Vec::new();
+    for ds in datasets {
+        let g = ds.build();
+        for (pname, platform, devices) in device_sweep() {
+            for &dev in &devices {
+                let cfg = LdGpuConfig::new(platform.clone()).devices(dev);
+                let ser = match run_mode(&g, cfg.clone()) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        writeln!(w, "skip {} {pname} d{dev}: {e}", ds.name)?;
+                        continue;
+                    }
+                };
+                let ovl = run_mode(&g, cfg.with_overlap(true))
+                    .expect("same memory plan as the serialized run");
+                let identical = ovl.matching.mate_array() == ser.matching.mate_array();
+                let rec = ScalingRecord {
+                    dataset: ds.name.to_string(),
+                    platform: pname.to_string(),
+                    devices: dev,
+                    time_serial: ser.sim_time,
+                    time_overlap: ovl.sim_time,
+                    exposed_serial: exposed(&ser),
+                    exposed_overlap: exposed(&ovl),
+                    hidden_overlap: ovl.metrics.gauge("comm.hidden_time").unwrap_or(0.0),
+                    weight: ser.matching.weight(&g),
+                    cardinality: ser.matching.cardinality() as u64,
+                    identical,
+                };
+                t.row(vec![
+                    ds.name.to_string(),
+                    pname.to_string(),
+                    format!("{dev}"),
+                    fmt_secs(rec.time_serial),
+                    fmt_secs(rec.time_overlap),
+                    format!("{:.2}x", rec.speedup()),
+                    fmt_secs(rec.exposed_serial),
+                    fmt_secs(rec.exposed_overlap),
+                    fmt_secs(rec.hidden_overlap),
+                ]);
+                records.push(rec);
+            }
+        }
+    }
+    writeln!(w, "{t}")?;
+    writeln!(
+        w,
+        "(exposed = collective seconds on the critical path; hidden =\n\
+         collective seconds the overlap engine ran under compute)"
+    )?;
+    Ok(records)
+}
+
+/// Run the full 14-dataset study.
+pub fn run_records(w: &mut dyn Write) -> io::Result<Vec<ScalingRecord>> {
+    run_on(&registry(), w)
+}
+
+/// Run the experiment, writing the report to `w`.
+pub fn run(w: &mut dyn Write) -> io::Result<()> {
+    run_records(w).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::by_name;
+
+    #[test]
+    fn small_dataset_subset_meets_acceptance_shape() {
+        let subset = [by_name("mouse_gene").unwrap(), by_name("Queen_4147").unwrap()];
+        let mut sink = Vec::new();
+        let records = run_on(&subset, &mut sink).unwrap();
+        assert!(!records.is_empty());
+        for r in &records {
+            assert!(r.identical, "{} d{}: matchings must be bit-identical", r.dataset, r.devices);
+            assert!(r.time_serial > 0.0 && r.time_overlap > 0.0);
+            assert!(
+                r.time_overlap <= r.time_serial + 1e-12,
+                "{} d{}: overlap must never be slower ({:.3e} vs {:.3e})",
+                r.dataset,
+                r.devices,
+                r.time_overlap,
+                r.time_serial
+            );
+            assert!(
+                r.exposed_overlap <= r.exposed_serial + 1e-12,
+                "{} d{}: overlap must not expose more comm",
+                r.dataset,
+                r.devices
+            );
+            assert!(r.hidden_overlap >= 0.0);
+        }
+        // On the multi-device points of these skewed graphs some
+        // collective time must actually move off the critical path.
+        assert!(
+            records.iter().any(|r| r.devices >= 4 && r.exposed_reduction() > 0.0),
+            "no multi-device point hid any communication"
+        );
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("overlap"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let subset = [by_name("mouse_gene").unwrap()];
+        let mut sink = Vec::new();
+        let records = run_on(&subset, &mut sink).unwrap();
+        let doc = scaling_records_to_json(&records).to_string_pretty();
+        let parsed = ldgm_gpusim::json::parse(&doc).unwrap();
+        let rows = parsed.as_array().unwrap();
+        assert_eq!(rows.len(), records.len());
+        assert_eq!(rows[0].get("dataset").and_then(Json::as_str), Some("mouse_gene"));
+        assert_eq!(rows[0].get("speedup").and_then(Json::as_f64), Some(records[0].speedup()));
+        assert_eq!(
+            rows[0].get("hidden_overlap").and_then(Json::as_f64),
+            Some(records[0].hidden_overlap)
+        );
+    }
+
+    #[test]
+    fn sweep_covers_sixteen_devices() {
+        let total: usize = device_sweep().iter().map(|(_, _, d)| d.len()).sum();
+        assert_eq!(total, 5);
+        assert!(device_sweep().iter().any(|(_, p, d)| d.contains(&16) && p.max_devices >= 16));
+    }
+}

@@ -69,6 +69,8 @@ OPTIONS:
   --platform P        simulated platform preset (default dgx-a100);
                       `ldgm platforms` lists them
   --seed S            seed for randomized algorithms (default 0)
+  --overlap           overlap collectives with compute for the LD-GPU
+                      matchers (chunked allreduce on the comm stream)
   --augment PASSES    refine with 2/3 short augmentations
   --verify            run validity/maximality/certificate checks
   --trace-out FILE    write a Chrome-trace/Perfetto JSON event timeline
@@ -101,6 +103,8 @@ OPTIONS:
   --devices N         simulated devices (default 1)
   --seed S            update-stream seed (default 0)
   --compact-frac F    delta-CSR compaction threshold (default 0.25)
+  --overlap           overlap collectives with compute (chunked allreduce
+                      on the comm stream)
   --verify            check validity/maximality/certificate per batch
   --trace-out FILE    write the event timeline (incremental engine)
   --report-json FILE  write a schema-versioned JSON run report
@@ -123,6 +127,7 @@ OPTIONS:
   --devices N       devices for simulated algorithms (default 1)
   --batches B       batches per device for ld-gpu (default auto)
   --seed S          seed for randomized algorithms (default 0)
+  --overlap         overlap collectives with compute (LD-GPU matchers)
   --metrics N       metrics rows per algorithm (default 6)
 ",
     ),
@@ -204,6 +209,7 @@ fn matcher_setup(args: &Args, collect_trace: bool) -> Result<MatcherSetup, ArgEr
         },
         seed: args.get_num("seed", 0u64)?,
         collect_trace,
+        overlap: args.has_flag("overlap"),
         ..Default::default()
     })
 }
@@ -269,6 +275,7 @@ fn cmd_match(args: &Args) -> Result<String, ArgError> {
         "verify",
         "trace-out",
         "report-json",
+        "overlap",
     ])?;
     let g = load_graph(args)?;
     let algorithm = args.get_or("algorithm", "ld-gpu");
@@ -395,6 +402,7 @@ fn cmd_dynamic(args: &Args) -> Result<String, ArgError> {
         "verify",
         "trace-out",
         "report-json",
+        "overlap",
     ])?;
     let g = load_graph(args)?;
     let setup = matcher_setup(args, false)?;
@@ -407,7 +415,10 @@ fn cmd_dynamic(args: &Args) -> Result<String, ArgError> {
     // --compact-frac shapes the incremental engine; re-register it with
     // the override so the registry stays the single dispatch path.
     registry.register(Box::new(IncrementalMatcher::new(
-        DynConfig::new(setup.platform.clone()).devices(setup.devices).compact_frac(frac),
+        DynConfig::new(setup.platform.clone())
+            .devices(setup.devices)
+            .compact_frac(frac)
+            .with_overlap(setup.overlap),
     )));
     let engine = registry.get(engine_name).ok_or_else(|| {
         ArgError(format!("unknown engine '{engine_name}' (valid: {})", registry.names().join(", ")))
@@ -528,6 +539,7 @@ fn cmd_profile(args: &Args) -> Result<String, ArgError> {
         "batches",
         "seed",
         "metrics",
+        "overlap",
     ])?;
     let g = load_graph(args)?;
     let setup = matcher_setup(args, true)?;
@@ -782,7 +794,7 @@ mod tests {
         assert!(r.contains("wrote report"), "{r}");
         assert!(r.contains("wrote trace"), "{r}");
         let doc = json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(json::Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("schema_version").and_then(json::Json::as_f64), Some(2.0));
         assert_eq!(doc.get("algorithm").and_then(json::Json::as_str), Some("ld-dyn-incremental"));
         let sim = doc.get("sim_time").and_then(json::Json::as_f64).unwrap();
         let phases = doc.get("phases").unwrap();
@@ -981,6 +993,45 @@ mod tests {
         )))
         .unwrap();
         assert!(r.contains("ld-gpu-opt"));
+        std::fs::remove_file(&gpath).ok();
+        std::fs::remove_file(&rpath).ok();
+    }
+
+    #[test]
+    fn overlap_flag_keeps_matching_and_reports_comm_gauges() {
+        let gpath = tmp("ldgm_cli_ovl.mtx");
+        let rpath = tmp("ldgm_cli_ovl_report.json");
+        run(&args(&format!("gen --vertices 600 --avg-degree 6 --seed 13 --out {gpath}"))).unwrap();
+        let card_weight = |rep: &json::Json| {
+            let m = rep.get("matching").unwrap();
+            (
+                m.get("cardinality").and_then(json::Json::as_f64).unwrap(),
+                m.get("weight").and_then(json::Json::as_f64).unwrap(),
+            )
+        };
+        run(&args(&format!(
+            "match --input {gpath} --algorithm ld-gpu --devices 4 --report-json {rpath}"
+        )))
+        .unwrap();
+        let plain = json::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+        run(&args(&format!(
+            "match --input {gpath} --algorithm ld-gpu --devices 4 --overlap \
+             --report-json {rpath}"
+        )))
+        .unwrap();
+        let ovl = json::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+        // Billing-only: identical matching either way.
+        assert_eq!(card_weight(&ovl), card_weight(&plain));
+        assert_eq!(ovl.get("schema_version").and_then(json::Json::as_f64), Some(2.0));
+        let gauge = |rep: &json::Json, name: &str| {
+            rep.get("metrics")
+                .and_then(|m| m.get(name))
+                .and_then(|g| g.get("value"))
+                .and_then(json::Json::as_f64)
+        };
+        for name in ["comm.exposed_time", "comm.hidden_time", "stream.occupancy"] {
+            assert!(gauge(&ovl, name).is_some(), "{name} missing from overlap report");
+        }
         std::fs::remove_file(&gpath).ok();
         std::fs::remove_file(&rpath).ok();
     }

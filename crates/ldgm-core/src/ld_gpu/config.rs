@@ -42,6 +42,13 @@ pub struct LdGpuConfig {
     /// with sparse delta collectives (~16 B per written entry). Off by
     /// default.
     pub sparse_collectives: bool,
+    /// Overlap mode: skip the device barrier and run the collectives as
+    /// chunked operations on a per-device comm stream — each batch's slice
+    /// starts reducing when its kernel finishes, hiding wire time under
+    /// the kernels of slower devices and next-iteration prefetches
+    /// ([`ldgm_gpusim::SimRuntime::allreduce_chunked`]). Billing-only:
+    /// kernel execution and the matching are untouched. Off by default.
+    pub overlap: bool,
 }
 
 impl LdGpuConfig {
@@ -59,6 +66,7 @@ impl LdGpuConfig {
             sorted_index: false,
             frontier: false,
             sparse_collectives: false,
+            overlap: false,
         }
     }
 
@@ -86,8 +94,17 @@ impl LdGpuConfig {
         self
     }
 
-    /// Whether any optimization layer is enabled — when false, the driver
-    /// takes the byte-identical default `ld-gpu` path.
+    /// Toggle communication/computation overlap (chunked collectives on
+    /// the comm stream, no device barrier).
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        self
+    }
+
+    /// Whether any kernel-side optimization layer is enabled — when false,
+    /// the driver takes the byte-identical default `ld-gpu` kernel path.
+    /// `overlap` is deliberately excluded: it changes only how collectives
+    /// are billed, never which kernel variant runs.
     pub fn is_optimized(&self) -> bool {
         self.sorted_index || self.frontier || self.sparse_collectives
     }

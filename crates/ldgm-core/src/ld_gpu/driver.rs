@@ -41,14 +41,26 @@
 //!   [`SimRuntime::allreduce_sparse`] entries (~16 B per written slot, the
 //!   `ldgm-dyn` convention) instead of dense `8·|V|` payloads.
 //!
+//! # Overlap mode (`overlap`)
+//!
+//! A fourth, orthogonal toggle ([`LdGpuConfig::with_overlap`], off by
+//! default) that changes only how collectives are billed, never which
+//! kernel variant runs: instead of a device barrier followed by a
+//! serialized allreduce, each batch's slice of the pointer reduction is
+//! scheduled on the device comm stream the moment its producer kernel
+//! retires ([`SimRuntime::allreduce_chunked`]), hiding wire time under
+//! the kernels of slower devices and next-iteration prefetch copies. The
+//! matching is bit-identical to the serialized path; with the toggle off
+//! the default `ld-gpu` timeline is byte-for-byte unchanged.
+//!
 //! [`prefer`]: crate::matching::prefer
 
 use rayon::prelude::*;
 
 use ldgm_gpusim::metrics::names;
 use ldgm_gpusim::{
-    DeviceCtx, IterationRecord, KernelStats, MetricsRegistry, RunProfile, SimRuntime, Trace,
-    NONE_SENTINEL,
+    CommChunk, DeviceCtx, IterationRecord, KernelStats, MetricsRegistry, RunProfile, SimRuntime,
+    Trace, NONE_SENTINEL,
 };
 use ldgm_graph::csr::{CsrGraph, VertexId};
 use ldgm_graph::SortedAdjacency;
@@ -114,6 +126,10 @@ struct DeviceReport {
     batches_skipped: u64,
     occ_weighted: f64,
     occ_weight: f64,
+    /// Overlap mode: one `(payload_bytes, ready_time)` entry per batch —
+    /// the batch's slice of the pointer reduction becomes reducible the
+    /// moment its producer kernel retires.
+    comm_chunks: Vec<(u64, f64)>,
 }
 
 impl LdGpu {
@@ -227,6 +243,14 @@ impl LdGpu {
                         let mut rep = DeviceReport::default();
                         let nb = task.batches.len();
                         for (b, brange) in task.batches.iter().enumerate() {
+                            // An empty batch (more requested batches than
+                            // partition vertices) has nothing to copy,
+                            // launch or sync; billing those ops for it was
+                            // a bug.
+                            if brange.num_vertices() == 0 {
+                                rep.batches_skipped += 1;
+                                continue;
+                            }
                             // Frontier rounds restrict the launch to the
                             // batch's slice of the device worklist; a batch
                             // with no frontier vertex is skipped outright
@@ -239,6 +263,13 @@ impl LdGpu {
                             if let Some(w) = work {
                                 if w.is_empty() {
                                     rep.batches_skipped += 1;
+                                    // Dense collectives still ship the
+                                    // untouched slice; nothing produces it
+                                    // this round, so it is ready at once.
+                                    if cfg.overlap && !cfg.sparse_collectives {
+                                        rep.comm_chunks
+                                            .push((8 * brange.num_vertices() as u64, 0.0));
+                                    }
                                     continue;
                                 }
                             }
@@ -304,6 +335,18 @@ impl LdGpu {
                             rep.occ_weighted += launch.occupancy * stats.warps_launched as f64;
                             rep.occ_weight += stats.warps_launched as f64;
                             rep.stats.merge(&stats);
+                            // Overlap mode: this batch's slice of the
+                            // pointer reduction is ready the moment its
+                            // kernel retires (early per-device
+                            // reduce-scatter).
+                            if cfg.overlap {
+                                let bytes = if cfg.sparse_collectives {
+                                    16 * stats.vertices_processed
+                                } else {
+                                    8 * brange.num_vertices() as u64
+                                };
+                                rep.comm_chunks.push((bytes, launch.end));
+                            }
                             // Paper §III-D: explicit host-device sync when
                             // more batches than stream buffers.
                             if nb > 2 {
@@ -311,7 +354,13 @@ impl LdGpu {
                                 task.ctx.host_sync(label);
                             }
                         }
-                        task.ctx.drain();
+                        // Overlap mode leaves the device undrained: the
+                        // host-visible clock stays at the last issue point
+                        // so next-iteration prefetch copies can run under
+                        // the in-flight collective chunks.
+                        if !cfg.overlap {
+                            task.ctx.drain();
+                        }
                         (task.ctx, rep)
                     })
                     .collect();
@@ -336,10 +385,13 @@ impl LdGpu {
                     names::OPT_EDGES_SKIPPED,
                     reports.iter().map(|r| r.edges_skipped).sum(),
                 );
-                rt.counter_add(
-                    names::OPT_BATCHES_SKIPPED,
-                    reports.iter().map(|r| r.batches_skipped).sum(),
-                );
+            }
+            // Batch skips also happen outside optimized mode (empty
+            // batches when the plan has more batches than a partition has
+            // vertices), so the counter is emitted whenever it fired.
+            let batches_skipped: u64 = reports.iter().map(|r| r.batches_skipped).sum();
+            if optimized || batches_skipped > 0 {
+                rt.counter_add(names::OPT_BATCHES_SKIPPED, batches_skipped);
             }
 
             if pointers_set == 0 {
@@ -347,20 +399,35 @@ impl LdGpu {
             }
             iterations += 1;
 
-            // Devices idle at the collective until the slowest finishes its
-            // pointing phase — the paper's "explicit synchronization"
-            // component is dominated by exactly this imbalance wait, which
-            // the timeline breakdown attributes to the sync phase.
-            rt.barrier_wait();
-
             // ---- AllReduce pointers (line 7) ----
             let payload = 8 * n as u64;
-            if cfg.sparse_collectives {
-                // Only the slots written this round need to travel: ~16 B
-                // per entry (index + value), the ldgm-dyn convention.
-                rt.allreduce_sparse("allreduce ptr", iter_stats.vertices_processed, 16);
+            if cfg.overlap {
+                // Overlap mode: no device barrier. Each batch slice starts
+                // reducing on its comm stream the moment its producer
+                // kernel retires, so wire time (and the barrier-imbalance
+                // wait it used to sit behind) hides under the kernels of
+                // slower devices.
+                let chunks: Vec<CommChunk> = reports
+                    .iter()
+                    .flat_map(|r| r.comm_chunks.iter())
+                    .map(|&(bytes, ready)| CommChunk { bytes, ready })
+                    .collect();
+                rt.allreduce_chunked("allreduce ptr", &chunks);
             } else {
-                rt.allreduce("allreduce ptr", payload);
+                // Devices idle at the collective until the slowest finishes
+                // its pointing phase — the paper's "explicit
+                // synchronization" component is dominated by exactly this
+                // imbalance wait, which the timeline breakdown attributes
+                // to the sync phase.
+                rt.barrier_wait();
+                if cfg.sparse_collectives {
+                    // Only the slots written this round need to travel:
+                    // ~16 B per entry (index + value), the ldgm-dyn
+                    // convention.
+                    rt.allreduce_sparse("allreduce ptr", iter_stats.vertices_processed, 16);
+                } else {
+                    rt.allreduce("allreduce ptr", payload);
+                }
             }
 
             // ---- Matching phase: SETMATES (line 8) ----
@@ -369,7 +436,15 @@ impl LdGpu {
             rt.global_kernel("setmates", &mstats);
 
             // ---- AllReduce mate (line 9) ----
-            if cfg.sparse_collectives {
+            if cfg.overlap {
+                // SETMATES writes the whole mate array, so the reduction
+                // has a single chunk ready when the slowest device's
+                // compute retires; scheduling it on the comm stream still
+                // lets next-iteration prefetch copies run underneath.
+                let bytes = if cfg.sparse_collectives { 16 * 2 * new_matches } else { payload };
+                let ready = rt.compute_horizon();
+                rt.allreduce_chunked("allreduce mate", &[CommChunk { bytes, ready }]);
+            } else if cfg.sparse_collectives {
                 rt.allreduce_sparse("allreduce mate", 2 * new_matches, 16);
             } else {
                 rt.allreduce("allreduce mate", payload);
@@ -664,18 +739,19 @@ mod opt_tests {
     fn every_toggle_combination_matches_ld_seq() {
         let g = rmat(512, 4000, RmatParams::GAP_KRON, 21);
         let seq = ld_seq(&g);
-        for mask in 0u8..8 {
+        for mask in 0u8..16 {
             for ndev in [1, 4] {
                 let cfg = LdGpuConfig::new(dgx())
                     .devices(ndev)
                     .with_sorted_index(mask & 1 != 0)
                     .with_frontier(mask & 2 != 0)
-                    .with_sparse_collectives(mask & 4 != 0);
+                    .with_sparse_collectives(mask & 4 != 0)
+                    .with_overlap(mask & 8 != 0);
                 let out = LdGpu::new(cfg).run(&g);
                 assert_eq!(
                     out.matching.mate_array(),
                     seq.mate_array(),
-                    "toggles {mask:03b}, {ndev} devices"
+                    "toggles {mask:04b}, {ndev} devices"
                 );
             }
         }
@@ -808,6 +884,21 @@ mod opt_tests {
     }
 
     #[test]
+    fn default_mode_skips_empty_batches() {
+        // 8 batches over a 5-vertex partition: the trailing batch ranges
+        // are necessarily empty. They used to bill an h2d copy + host
+        // sync each; now they are skipped outright and counted.
+        let g = urand(5, 10, 41);
+        let seq = ld_seq(&g);
+        let out = LdGpu::new(LdGpuConfig::new(dgx()).batches(8)).run(&g);
+        assert_eq!(out.matching.mate_array(), seq.mate_array());
+        assert!(
+            out.metrics.counter("opt.batches_skipped") >= 3,
+            "at most 5 of 8 batch ranges can be non-empty"
+        );
+    }
+
+    #[test]
     fn opt_with_retirement_disabled_matches_default() {
         let g = urand(600, 3600, 27);
         let mk = |opt: bool| {
@@ -822,5 +913,94 @@ mod opt_tests {
         let opt = mk(true);
         assert_eq!(opt.matching.mate_array(), def.matching.mate_array());
         assert_eq!(opt.iterations, def.iterations);
+    }
+}
+
+#[cfg(test)]
+mod overlap_tests {
+    use super::*;
+    use crate::ld_seq::ld_seq;
+    use ldgm_gpusim::Platform;
+    use ldgm_graph::gen::{rmat, urand, RmatParams};
+    use ldgm_graph::GraphBuilder;
+
+    fn dgx() -> Platform {
+        Platform::dgx_a100()
+    }
+
+    /// A hub graph edge-balanced partitioning cannot balance: vertex 0
+    /// carries `leaves` edges that all land on device 0, so its pointing
+    /// kernel runs long after every other device has drained.
+    fn hub_graph(leaves: u32) -> ldgm_graph::csr::CsrGraph {
+        let mut b = GraphBuilder::new(leaves as usize + 1);
+        for v in 1..=leaves {
+            b = b.add_edge(0, v, 1.0 + (v % 97) as f64);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn overlap_matches_ld_seq_across_devices() {
+        let g = rmat(1024, 8000, RmatParams::GAP_KRON, 31);
+        let seq = ld_seq(&g);
+        for ndev in [1, 2, 4, 8] {
+            let out = LdGpu::new(LdGpuConfig::new(dgx()).devices(ndev).with_overlap(true)).run(&g);
+            assert_eq!(out.matching.mate_array(), seq.mate_array(), "{ndev} devices");
+        }
+    }
+
+    #[test]
+    fn overlap_hides_communication_under_imbalance() {
+        // The hub warp scans 1M edges serially (~500 µs straggler), far
+        // past the chunked-op chain (~100 µs of NCCL launch+latency), so
+        // the leaf-device slices reduce entirely under the hub kernel and
+        // only the hub's own tiny slice stays exposed.
+        let g = hub_graph(1_000_000);
+        let ser = LdGpu::new(LdGpuConfig::new(dgx()).devices(4)).run(&g);
+        let ovl = LdGpu::new(LdGpuConfig::new(dgx()).devices(4).with_overlap(true)).run(&g);
+        assert_eq!(ovl.matching.mate_array(), ser.matching.mate_array());
+        assert_eq!(ovl.iterations, ser.iterations);
+        // Same wire traffic either way; only its placement changes.
+        assert_eq!(
+            ovl.metrics.counter("comm.collective_bytes"),
+            ser.metrics.counter("comm.collective_bytes")
+        );
+        let e_ser = ser.metrics.gauge("comm.exposed_time").unwrap();
+        let e_ovl = ovl.metrics.gauge("comm.exposed_time").unwrap();
+        assert!(e_ovl < e_ser, "exposed {e_ovl} vs serialized {e_ser}");
+        assert!(ovl.metrics.gauge("comm.hidden_time").unwrap() > 0.0);
+        assert_eq!(ser.metrics.gauge("comm.hidden_time"), Some(0.0));
+        assert!(ovl.sim_time < ser.sim_time, "ovl {} vs ser {}", ovl.sim_time, ser.sim_time);
+    }
+
+    #[test]
+    fn overlap_composes_with_opt_toggles() {
+        let g = hub_graph(2000);
+        let seq = ld_seq(&g);
+        let ovl =
+            LdGpu::new(LdGpuConfig::new(dgx()).devices(4).optimized().with_overlap(true)).run(&g);
+        assert_eq!(ovl.matching.mate_array(), seq.mate_array());
+        let occ = ovl.metrics.gauge("stream.occupancy").unwrap();
+        assert!((0.0..=1.0).contains(&occ), "occupancy {occ}");
+    }
+
+    #[test]
+    fn overlap_single_device_keeps_invariants() {
+        let g = urand(500, 3000, 33);
+        let out = LdGpu::new(LdGpuConfig::new(dgx()).devices(1).with_overlap(true)).run(&g);
+        assert_eq!(out.matching.mate_array(), ld_seq(&g).mate_array());
+        assert_eq!(out.metrics.counter("comm.collective_bytes"), 0);
+        assert!((out.profile.phases.total() - out.sim_time).abs() <= 1e-9 * out.sim_time.max(1.0));
+    }
+
+    #[test]
+    fn overlap_preserves_phase_accounting() {
+        let g = hub_graph(3000);
+        let out =
+            LdGpu::new(LdGpuConfig::new(dgx()).devices(4).with_overlap(true).with_trace()).run(&g);
+        assert!((out.profile.phases.total() - out.sim_time).abs() <= 1e-9 * out.sim_time.max(1.0));
+        let trace = out.trace.expect("trace requested");
+        let (_, hi) = trace.span().unwrap();
+        assert!((hi - out.sim_time).abs() < 1e-12);
     }
 }

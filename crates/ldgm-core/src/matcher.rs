@@ -102,6 +102,9 @@ pub struct MatcherSetup {
     pub collect_trace: bool,
     /// Vertex-count guard for the O(n^3) exact blossom matcher.
     pub blossom_limit: usize,
+    /// Communication/computation overlap for the LD-GPU matchers (chunked
+    /// collectives on the comm stream; billing-only, matching unchanged).
+    pub overlap: bool,
 }
 
 impl Default for MatcherSetup {
@@ -113,6 +116,7 @@ impl Default for MatcherSetup {
             seed: 0,
             collect_trace: false,
             blossom_limit: 2000,
+            overlap: false,
         }
     }
 }
@@ -196,7 +200,9 @@ pub struct LdGpuMatcher {
 
 impl LdGpuMatcher {
     fn from_setup(setup: &MatcherSetup) -> Self {
-        let mut cfg = LdGpuConfig::new(setup.platform.clone()).devices(setup.devices);
+        let mut cfg = LdGpuConfig::new(setup.platform.clone())
+            .devices(setup.devices)
+            .with_overlap(setup.overlap);
         if let Some(b) = setup.batches {
             cfg = cfg.batches(b);
         }

@@ -33,7 +33,8 @@ use ldgm_core::verify::half_approx_certificate;
 use ldgm_core::{prefer, Matching, UNMATCHED};
 use ldgm_gpusim::metrics::names;
 use ldgm_gpusim::{
-    IterationRecord, KernelStats, MetricsRegistry, Platform, RunProfile, SimRuntime, Trace,
+    CommChunk, IterationRecord, KernelStats, MetricsRegistry, Platform, RunProfile, SimRuntime,
+    Trace,
 };
 use ldgm_graph::csr::{CsrGraph, VertexId};
 
@@ -51,12 +52,23 @@ pub struct DynConfig {
     /// Vertices per warp for frontier kernels; default derives from the
     /// frontier size like the static driver does from the partition size.
     pub vertices_per_warp: Option<usize>,
+    /// Communication/computation overlap: bill the sparse collectives as
+    /// chunked operations on the comm stream — each device's frontier
+    /// slice starts reducing when its pointing kernel retires. Billing
+    /// only; the maintained matching is unchanged. Off by default.
+    pub overlap: bool,
 }
 
 impl DynConfig {
     /// Defaults: 1 device, 25% compaction threshold, derived warp sizing.
     pub fn new(platform: Platform) -> Self {
-        DynConfig { platform, devices: 1, compact_frac: 0.25, vertices_per_warp: None }
+        DynConfig {
+            platform,
+            devices: 1,
+            compact_frac: 0.25,
+            vertices_per_warp: None,
+            overlap: false,
+        }
     }
 
     /// Set the device count (clamped to the platform maximum).
@@ -74,6 +86,13 @@ impl DynConfig {
     /// Fix the vertices-per-warp of frontier kernels.
     pub fn vertices_per_warp(mut self, v: usize) -> Self {
         self.vertices_per_warp = Some(v.max(1));
+        self
+    }
+
+    /// Toggle communication/computation overlap (chunked collectives on
+    /// the comm stream).
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
         self
     }
 }
@@ -469,6 +488,7 @@ impl IncrementalLd {
             let mut pointers_set = 0u64;
             let mut occ_sum = 0.0;
             let mut occ_n = 0u32;
+            let mut ptr_chunks: Vec<CommChunk> = Vec::new();
             let mut lo = 0usize;
             for d in 0..self.ndev {
                 let hi = if d + 1 == self.ndev {
@@ -517,6 +537,11 @@ impl IncrementalLd {
                 let launch = self.rt.device(d).launch_kernel(None, label, &st);
                 occ_sum += launch.occupancy;
                 occ_n += 1;
+                if self.cfg.overlap {
+                    // This device's frontier slice becomes reducible when
+                    // its pointing kernel retires.
+                    ptr_chunks.push(CommChunk { bytes: 16 * work.len() as u64, ready: launch.end });
+                }
                 point_stats.merge(&st);
             }
             self.rt.counter_add(names::KERNEL_POINTERS_SET, pointers_set);
@@ -530,8 +555,14 @@ impl IncrementalLd {
             }
 
             // Sparse allreduce of the frontier's pointer entries (16 bytes
-            // each: index + value).
-            self.rt.allreduce_sparse("allreduce ptr", frontier.len() as u64, 16);
+            // each: index + value). Overlap mode reduces each device's
+            // slice as soon as its kernel retires instead of waiting for
+            // the slowest one.
+            if self.cfg.overlap {
+                self.rt.allreduce_chunked("allreduce ptr", &ptr_chunks);
+            } else {
+                self.rt.allreduce_sparse("allreduce ptr", frontier.len() as u64, 16);
+            }
 
             // SETMATES: commit mutual pointers, unjoining outbid mates.
             // `in_frontier` guards against stale pointers of non-frontier
@@ -599,8 +630,19 @@ impl IncrementalLd {
                 self.in_frontier[u as usize] = false;
             }
 
-            // Allreduce the frontier's mate entries.
-            self.rt.allreduce_sparse("allreduce mate", frontier.len() as u64, 16);
+            // Allreduce the frontier's mate entries. SETMATES writes them
+            // all, so overlap mode ships one chunk ready at the compute
+            // horizon — the comm stream still lets the next round's
+            // independent work run underneath.
+            if self.cfg.overlap {
+                let ready = self.rt.compute_horizon();
+                self.rt.allreduce_chunked(
+                    "allreduce mate",
+                    &[CommChunk { bytes: 16 * frontier.len() as u64, ready }],
+                );
+            } else {
+                self.rt.allreduce_sparse("allreduce mate", frontier.len() as u64, 16);
+            }
 
             let occ = if occ_n > 0 { occ_sum / occ_n as f64 } else { 0.0 };
             let iter = self.iterations_recorded;
@@ -722,6 +764,41 @@ mod tests {
             }
             engine.apply_batch(&batch);
             assert_canonical(&engine);
+        }
+    }
+
+    #[test]
+    fn overlap_billing_never_changes_maintenance() {
+        // The overlap toggle reroutes collective billing only: the same
+        // update stream must leave bit-identical mate arrays after every
+        // batch, for any device count.
+        let g = urand(150, 700, 8);
+        for ndev in [1, 4] {
+            let mut plain = IncrementalLd::new(g.clone(), dgx1().devices(ndev));
+            let mut ovl = IncrementalLd::new(g.clone(), dgx1().devices(ndev).with_overlap(true));
+            let mut rng = ldgm_graph::Xoshiro256::seed_from_u64(77);
+            for _ in 0..8 {
+                let mut batch = Vec::new();
+                for _ in 0..12 {
+                    let u = rng.below(150) as u32;
+                    let v = rng.below(150) as u32;
+                    if u == v {
+                        continue;
+                    }
+                    if rng.chance(0.4) {
+                        batch.push(EdgeUpdate::Delete { u, v });
+                    } else {
+                        batch.push(EdgeUpdate::Insert { u, v, w: 0.1 + rng.next_f64() });
+                    }
+                }
+                plain.apply_batch(&batch);
+                ovl.apply_batch(&batch);
+                assert_eq!(plain.mate_array(), ovl.mate_array(), "{ndev} devices");
+            }
+            let out = ovl.finish();
+            assert!(out.metrics.gauge("comm.exposed_time").is_some());
+            assert!(out.metrics.gauge("comm.hidden_time").is_some());
+            assert!((out.profile.phases.total() - out.sim_time).abs() <= 1e-9);
         }
     }
 

@@ -166,6 +166,7 @@ impl RecomputeMatcher {
         // so it already sums to `sim_time` — no tracing detour needed.
         let cfg = LdGpuConfig::new(self.setup.platform.clone())
             .devices(self.setup.devices)
+            .with_overlap(self.setup.overlap)
             .without_iteration_profile();
         LdGpu::new(cfg).try_run(g).map_err(|e| MatchError(e.to_string()))
     }
@@ -272,7 +273,9 @@ impl DynamicMatcherRegistry {
     /// from the shared matcher setup.
     pub fn with_defaults(setup: &MatcherSetup) -> Self {
         let mut r = DynamicMatcherRegistry::new();
-        let cfg = DynConfig::new(setup.platform.clone()).devices(setup.devices);
+        let cfg = DynConfig::new(setup.platform.clone())
+            .devices(setup.devices)
+            .with_overlap(setup.overlap);
         r.register(Box::new(IncrementalMatcher::new(cfg)));
         r.register(Box::new(RecomputeMatcher::new(setup.clone())));
         r

@@ -13,8 +13,9 @@
 //! * [`collective`] — NCCL ring-allreduce and MPI-staged (cuGraph/RAFT)
 //!   cost models, plus the exact host-side reduction
 //!   [`collective::allreduce_max_merge`];
-//! * [`timer`] — per-device timelines with dual-buffer copy/compute
-//!   overlap and explicit host synchronization;
+//! * [`timer`] — per-device multi-stream timelines (compute, copy and
+//!   collective comm streams) with dual-buffer copy/compute overlap and
+//!   explicit host synchronization;
 //! * [`platform`] — [`platform::Platform`] presets: DGX-A100, DGX-2,
 //!   PCIe variants;
 //! * [`profile`] — phase breakdowns, per-iteration warp-edge work, and
@@ -55,6 +56,6 @@ pub use metrics::{HistogramSummary, Metric, MetricsRegistry};
 pub use platform::Platform;
 pub use profile::{IterationRecord, PhaseBreakdown, RunProfile};
 pub use report::RunReport;
-pub use runtime::{DeviceCtx, KernelLaunch, RunFinish, SimRuntime};
+pub use runtime::{CommChunk, DeviceCtx, KernelLaunch, RunFinish, SimRuntime};
 pub use timer::{run_collective, DeviceTimer};
 pub use trace::{EventKind, Trace, TraceEvent};

@@ -75,6 +75,18 @@ pub mod names {
     /// Batch launches skipped because their frontier slice was empty
     /// (counter).
     pub const OPT_BATCHES_SKIPPED: &str = "opt.batches_skipped";
+    /// Simulated seconds of collective time on the critical path: wire
+    /// time spent after the last producer of a reduced payload finished
+    /// computing (gauge). Serialized collectives expose their full cost.
+    pub const COMM_EXPOSED_TIME: &str = "comm.exposed_time";
+    /// Simulated seconds of collective time hidden under compute: chunk
+    /// reductions that ran while some device was still producing later
+    /// chunks (gauge; 0 for fully serialized runs).
+    pub const COMM_HIDDEN_TIME: &str = "comm.hidden_time";
+    /// Mean utilization of the three per-device streams (compute, copy,
+    /// comm) over the run: busy seconds / (3 × devices × sim_time)
+    /// (gauge).
+    pub const STREAM_OCCUPANCY: &str = "stream.occupancy";
 }
 
 /// Summary statistics of observed samples (no buckets: the consumers —

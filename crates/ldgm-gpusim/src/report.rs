@@ -1,11 +1,14 @@
 //! JSON run reports: one self-describing document per matcher run,
 //! written by `ldgm match --report-json` and the bench harness.
 //!
-//! Schema (version 1):
+//! Schema (version 2 — v2 added the `comm.exposed_time`,
+//! `comm.hidden_time` and `stream.occupancy` gauges emitted by the
+//! overlap-aware runtime to the `metrics` map; the document shape is
+//! unchanged):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "algorithm": "ld-gpu",
 //!   "platform": "dgx-a100",
 //!   "graph":    { "vertices": N, "directed_edges": M },
@@ -69,7 +72,7 @@ impl RunReport {
     /// Serialize to the schema-versioned JSON document.
     pub fn to_json(&self) -> Json {
         Json::object()
-            .with("schema_version", 1u64)
+            .with("schema_version", 2u64)
             .with("algorithm", self.algorithm.clone())
             .with(
                 "platform",
@@ -127,7 +130,7 @@ mod tests {
     #[test]
     fn schema_fields_present() {
         let j = sample().to_json();
-        assert_eq!(j.get("schema_version").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(j.get("schema_version").and_then(Json::as_f64), Some(2.0));
         assert_eq!(j.get("algorithm").and_then(Json::as_str), Some("ld-gpu"));
         assert_eq!(j.get("platform").and_then(Json::as_str), Some("dgx-a100"));
         let g = j.get("graph").unwrap();
@@ -164,5 +167,26 @@ mod tests {
         let text = sample().to_json().to_string_pretty();
         let parsed = json::parse(&text).unwrap();
         assert_eq!(parsed, sample().to_json());
+    }
+
+    #[test]
+    fn v2_comm_and_stream_gauges_round_trip() {
+        // The schema-2 additions: overlap-engine gauges must survive a
+        // serialize/parse cycle with their values intact.
+        let mut r = sample();
+        r.metrics.gauge_set(crate::metrics::names::COMM_EXPOSED_TIME, 3.25e-4);
+        r.metrics.gauge_set(crate::metrics::names::COMM_HIDDEN_TIME, 1.5e-4);
+        r.metrics.gauge_set(crate::metrics::names::STREAM_OCCUPANCY, 0.375);
+        let parsed = json::parse(&r.to_json().to_string_pretty()).unwrap();
+        assert_eq!(parsed, r.to_json());
+        let ms = parsed.get("metrics").unwrap();
+        for (name, want) in [
+            ("comm.exposed_time", 3.25e-4),
+            ("comm.hidden_time", 1.5e-4),
+            ("stream.occupancy", 0.375),
+        ] {
+            let v = ms.get(name).and_then(|m| m.get("value")).and_then(Json::as_f64);
+            assert_eq!(v, Some(want), "{name}");
+        }
     }
 }

@@ -7,6 +7,17 @@
 //! batch *b*; a buffer cannot be overwritten until the kernel consuming it
 //! has finished; with more than two batches the driver inserts explicit
 //! host synchronization (paper §III-D).
+//!
+//! A fourth queue — the *comm stream* — carries collective operations in
+//! overlap mode ([`DeviceTimer::schedule_comm`]): a collective chunk is
+//! ordered only behind the previous collective and its own data dependency
+//! (`ready`), so its wire time can run under kernels and copies that do
+//! not consume the reduced payload. Consumers declare the dependency with
+//! [`DeviceTimer::wait_kernel_until`], which holds back the compute queue
+//! while leaving the copy engine free to prefetch. Serialized paths
+//! (`host_sync`/`drain`/`align_to`) keep the comm stream aligned with the
+//! others, so engines that never call `schedule_comm` bill identically to
+//! a timer without it.
 
 use crate::interconnect::Link;
 
@@ -19,6 +30,8 @@ pub struct DeviceTimer {
     copy_free: f64,
     /// Compute queue available at.
     kernel_free: f64,
+    /// Comm stream (collective queue) available at.
+    comm_free: f64,
     /// Per-buffer: last kernel consuming the buffer finishes at.
     buffer_busy: [f64; 2],
     /// Per-buffer: last copy into the buffer finishes at.
@@ -42,7 +55,20 @@ impl DeviceTimer {
 
     /// Completion time of everything scheduled so far.
     pub fn horizon(&self) -> f64 {
-        self.now.max(self.copy_free).max(self.kernel_free)
+        self.now.max(self.copy_free).max(self.kernel_free).max(self.comm_free)
+    }
+
+    /// Completion time of the compute queue (kernels and host progress
+    /// only) — what a dependent kernel launch would have to wait for,
+    /// ignoring in-flight copies and collectives.
+    pub fn compute_done(&self) -> f64 {
+        self.now.max(self.kernel_free)
+    }
+
+    /// Comm stream availability: when the next collective chunk could
+    /// start, data dependencies aside.
+    pub fn comm_free(&self) -> f64 {
+        self.comm_free
     }
 
     /// Schedule an async host-to-device copy of `bytes` into buffer `buf`
@@ -81,8 +107,29 @@ impl DeviceTimer {
         (start, end)
     }
 
+    /// Schedule a collective chunk on the comm stream: ordered behind the
+    /// previous collective and its data dependency `ready`, independent of
+    /// the compute and copy queues. Returns `(start, end)`.
+    pub fn schedule_comm(&mut self, ready: f64, dur: f64) -> (f64, f64) {
+        let start = self.comm_free.max(ready);
+        let end = start + dur;
+        self.comm_free = end;
+        (start, end)
+    }
+
+    /// Hold the compute queue back until `t` — the consumer side of an
+    /// overlapped collective. Host progress (`now`) and the copy engine
+    /// stay free, so independent prefetches keep running under the
+    /// collective; only dependent kernel launches wait.
+    pub fn wait_kernel_until(&mut self, t: f64) {
+        self.kernel_free = self.kernel_free.max(t);
+    }
+
     /// Explicit host-device synchronization costing `cost` seconds:
-    /// advances `now` past all outstanding work.
+    /// advances `now` past all outstanding work (including in-flight
+    /// collectives, via [`DeviceTimer::horizon`]). The comm stream is
+    /// waited on, not occupied: a sync never pushes `comm_free` forward,
+    /// so later collective chunks are not queued behind it.
     pub fn host_sync(&mut self, cost: f64) {
         let t = self.horizon() + cost;
         self.now = t;
@@ -90,7 +137,9 @@ impl DeviceTimer {
         self.kernel_free = t;
     }
 
-    /// Wait for all outstanding work without extra cost.
+    /// Wait for all outstanding work without extra cost. Like
+    /// [`DeviceTimer::host_sync`], waits on the comm stream without
+    /// occupying it.
     pub fn drain(&mut self) {
         let t = self.horizon();
         self.now = t;
@@ -105,6 +154,7 @@ impl DeviceTimer {
         self.now = t;
         self.copy_free = t;
         self.kernel_free = t;
+        self.comm_free = t;
         self.buffer_busy = [t; 2];
         self.copy_done = [t; 2];
     }
@@ -225,5 +275,60 @@ mod tests {
         t.schedule_kernel_global(2.0);
         t.drain();
         assert_eq!(t.now(), 2.0);
+    }
+
+    #[test]
+    fn comm_stream_runs_under_kernels() {
+        let mut t = DeviceTimer::new();
+        t.schedule_kernel_global(4.0); // compute busy 0-4
+                                       // A chunk whose payload was ready at 1.0 starts at 1.0, under
+                                       // the running kernel.
+        let (s, e) = t.schedule_comm(1.0, 2.0);
+        assert_eq!((s, e), (1.0, 3.0));
+        // The next chunk queues behind the first on the comm stream.
+        let (s2, e2) = t.schedule_comm(0.5, 1.0);
+        assert_eq!((s2, e2), (3.0, 4.0));
+        assert_eq!(t.horizon(), 4.0);
+    }
+
+    #[test]
+    fn wait_kernel_holds_compute_not_copies() {
+        let mut t = DeviceTimer::new();
+        t.schedule_kernel_global(1.0);
+        t.wait_kernel_until(5.0);
+        // Dependent kernels start at 5; the copy engine is still free.
+        let (ks, _) = t.schedule_kernel_global(1.0);
+        assert_eq!(ks, 5.0);
+        let mut t2 = DeviceTimer::new();
+        t2.wait_kernel_until(5.0);
+        let (cs, _) = t2.schedule_h2d(0, 1_000_000_000, &L);
+        assert_eq!(cs, 0.0, "prefetch runs under the awaited collective");
+    }
+
+    #[test]
+    fn sync_waits_on_comm_stream_without_occupying_it() {
+        let mut t = DeviceTimer::new();
+        t.schedule_comm(0.0, 2.0);
+        // The sync waits past the in-flight collective (horizon 2.0) but
+        // leaves the comm stream free at 2.0 for the next chunk.
+        t.host_sync(0.5);
+        assert_eq!(t.now(), 2.5);
+        assert_eq!(t.comm_free(), 2.0);
+        t.align_to(4.0);
+        assert_eq!(t.comm_free(), 4.0);
+        t.drain();
+        assert_eq!(t.comm_free(), 4.0);
+    }
+
+    #[test]
+    fn unused_comm_stream_changes_nothing() {
+        // A timer that never schedules comm work behaves exactly as before
+        // the comm stream existed: horizon, sync and drain are unaffected.
+        let mut t = DeviceTimer::new();
+        t.schedule_h2d(0, 1_000_000_000, &L);
+        t.schedule_kernel(0, 2.0);
+        assert_eq!(t.horizon(), 3.0);
+        t.host_sync(0.5);
+        assert_eq!(t.now(), 3.5);
     }
 }

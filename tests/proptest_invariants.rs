@@ -74,7 +74,7 @@ proptest! {
         g in arb_graph(50, 150),
         devices_idx in 0usize..4,
         batches_idx in 0usize..3,
-        toggles in 0u8..8,
+        toggles in 0u8..16,
     ) {
         let devices = [1usize, 2, 4, 8][devices_idx];
         let batches = [1usize, 2, 5][batches_idx];
@@ -85,10 +85,11 @@ proptest! {
         let opt = LdGpu::new(
             base.with_sorted_index(toggles & 1 != 0)
                 .with_frontier(toggles & 2 != 0)
-                .with_sparse_collectives(toggles & 4 != 0),
+                .with_sparse_collectives(toggles & 4 != 0)
+                .with_overlap(toggles & 8 != 0),
         ).run(&g);
         prop_assert_eq!(opt.matching.mate_array(), seq.mate_array(),
-            "toggles {:03b}, {} devices, {} batches", toggles, devices, batches);
+            "toggles {:04b}, {} devices, {} batches", toggles, devices, batches);
         prop_assert_eq!(opt.matching.mate_array(), def.matching.mate_array());
     }
 

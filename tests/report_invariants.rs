@@ -48,6 +48,41 @@ fn every_algorithm_reports_consistent_time() {
     assert!(traced >= 3, "only {traced} traced matchers");
 }
 
+/// With the overlap engine enabled, `phases.total() == run_time` (and the
+/// trace span still covers the run) for every registry algorithm: chunked
+/// collectives reshape the timeline, but `SimRuntime::finish` derives the
+/// phase breakdown from that same timeline, so the identity must survive.
+#[test]
+fn overlap_mode_keeps_phase_accounting_for_every_algorithm() {
+    let g = urand(300, 1800, 11);
+    let setup =
+        MatcherSetup { devices: 4, collect_trace: true, overlap: true, ..Default::default() };
+    let reg = MatcherRegistry::with_defaults(&setup);
+    for m in reg.iter() {
+        let r = m.run(&g).unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        let tol = 1e-6 * r.run_time.max(1e-12);
+        if let Some(p) = &r.profile {
+            let total = p.phases.total();
+            assert!(
+                (total - r.run_time).abs() <= tol,
+                "{} (overlap): phases {total} != run_time {}",
+                m.name(),
+                r.run_time
+            );
+        }
+        if let Some(t) = &r.trace {
+            let (start, end) = t.span().expect("non-empty trace");
+            assert!(start >= 0.0, "{} (overlap): trace starts at {start}", m.name());
+            assert!(
+                (end - r.run_time).abs() <= tol,
+                "{} (overlap): trace span ends at {end}, run_time {}",
+                m.name(),
+                r.run_time
+            );
+        }
+    }
+}
+
 /// The invariant holds across device counts and platforms, not just the
 /// default setup.
 #[test]

@@ -4,29 +4,130 @@
 //! the workspace vendors the *exact* parallel-iterator surface it uses:
 //! `into_par_iter` on vectors and ranges, `par_chunks_mut` on slices, and
 //! the `zip`/`enumerate`/`map`/`for_each`/`reduce`/`sum`/`collect`
-//! combinators. Work is executed on real OS threads via
-//! [`std::thread::scope`], split into one contiguous group per available
-//! core, which preserves rayon's two properties the callers rely on:
-//! genuine parallelism across disjoint `&mut` chunks, and deterministic
-//! ordering of collected results.
+//! combinators. Work runs on one lazily-initialized persistent worker
+//! pool shared by every parallel call, split into one contiguous group
+//! per available core, which preserves rayon's two properties the
+//! callers rely on: genuine parallelism across disjoint `&mut` chunks,
+//! and deterministic ordering of collected results.
 //!
-//! This is not a work-stealing runtime; each parallel call spawns its own
-//! scoped threads. For the workloads in this repository (a handful of
-//! device tasks, or thousands of uniform warp chunks) static chunking is
-//! within noise of a real pool, and it keeps the shim dependency-free.
+//! This is not a work-stealing runtime, but it is a real pool: the
+//! kernels in this repository issue thousands of parallel calls per run,
+//! and paying a thread spawn/join per call dominated small launches. The
+//! pool is spawned once (`available_parallelism() - 1` workers; the
+//! caller executes its first group inline and then helps drain the
+//! shared queue, so nested parallel calls cannot deadlock even with
+//! every worker busy). Worker panics are caught and re-thrown on the
+//! calling thread after the whole call completes, matching the old
+//! scoped-thread join behaviour.
 
 // Vendored shim: API fidelity over lint cleanliness.
 #![allow(clippy::all)]
 
+use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
 
-/// Number of worker threads a parallel call may use.
+/// Number of threads a parallel call may use (workers + the caller).
 fn max_threads() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
-/// Run `f` over `items` on scoped threads, preserving input order in the
-/// output. Falls back to the calling thread for small inputs.
+/// A lifetime-erased unit of work queued on the shared pool. Jobs are
+/// only ever `'static` from the queue's point of view; soundness of the
+/// erasure is argued at the `transmute` in [`pmap`].
+type Job = Box<dyn FnOnce() + Send>;
+
+/// The process-wide persistent worker pool backing every parallel call.
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+}
+
+impl Pool {
+    /// The shared pool, spawning its workers on first use.
+    fn get() -> &'static Pool {
+        static POOL: OnceLock<&'static Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let pool: &'static Pool = Box::leak(Box::new(Pool {
+                queue: Mutex::new(VecDeque::new()),
+                work_ready: Condvar::new(),
+            }));
+            let workers = max_threads().saturating_sub(1).max(1);
+            for i in 0..workers {
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(move || pool.worker_loop())
+                    .expect("rayon-shim: failed to spawn pool worker");
+            }
+            pool
+        })
+    }
+
+    /// Block on the queue forever, running jobs as they arrive. Jobs
+    /// contain their own `catch_unwind`, so a panicking closure never
+    /// kills a worker.
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    match q.pop_front() {
+                        Some(j) => break j,
+                        None => q = self.work_ready.wait(q).unwrap(),
+                    }
+                }
+            };
+            job();
+        }
+    }
+
+    /// Enqueue a batch of jobs and wake the workers.
+    fn submit(&self, jobs: Vec<Job>) {
+        let mut q = self.queue.lock().unwrap();
+        for j in jobs {
+            q.push_back(j);
+        }
+        drop(q);
+        self.work_ready.notify_all();
+    }
+
+    /// Pop one queued job without blocking (used by callers to help
+    /// drain the queue while they wait for their own groups).
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+/// Per-`pmap`-call completion state, shared with the jobs of that call.
+struct CallState {
+    /// Groups submitted to the pool that have not finished yet.
+    pending: Mutex<usize>,
+    /// Signalled when `pending` reaches zero.
+    done: Condvar,
+    /// First panic payload captured by any group of this call.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl CallState {
+    /// Record a panic payload (first one wins) so the caller can
+    /// `resume_unwind` it after every group has finished.
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// A raw slot pointer smuggled into a pool job. Each job writes only its
+/// own slot, and the caller does not touch the slots until all jobs of
+/// the call have completed.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+
+/// Run `f` over `items` on the shared pool, preserving input order in
+/// the output. Falls back to the calling thread for small inputs.
 fn pmap<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
 where
     T: Send,
@@ -48,14 +149,86 @@ where
         }
         groups.push(g);
     }
-    let nested: Vec<Vec<R>> = std::thread::scope(|s| {
-        let handles: Vec<_> = groups
-            .into_iter()
-            .map(|g| s.spawn(move || g.into_iter().map(|x| f(x)).collect::<Vec<R>>()))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("rayon-shim worker panicked")).collect()
-    });
-    nested.into_iter().flatten().collect()
+    let ngroups = groups.len();
+    if ngroups <= 1 {
+        return groups.into_iter().flatten().map(f).collect();
+    }
+
+    let mut slots: Vec<Option<Vec<R>>> = (0..ngroups).map(|_| None).collect();
+    // One base pointer for all slot writes: each group owns exactly one
+    // disjoint slot, and `slots` itself is not used again until every
+    // group is done.
+    let base: *mut Option<Vec<R>> = slots.as_mut_ptr();
+    let state = CallState {
+        pending: Mutex::new(ngroups - 1),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    };
+    let pool = Pool::get();
+
+    // Submit groups 1.. to the pool; the caller runs group 0 inline and
+    // then helps drain the queue, so completion never depends on a free
+    // worker (nested parallel calls included).
+    let mut rest = groups.split_off(1);
+    let mut jobs: Vec<Job> = Vec::with_capacity(ngroups - 1);
+    for (i, g) in rest.drain(..).enumerate() {
+        let slot = SendPtr(unsafe { base.add(i + 1) });
+        let state_ref: &CallState = &state;
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let slot = slot;
+            match catch_unwind(AssertUnwindSafe(|| g.into_iter().map(|x| f(x)).collect::<Vec<R>>()))
+            {
+                Ok(v) => unsafe { *slot.0 = Some(v) },
+                Err(payload) => state_ref.record_panic(payload),
+            }
+            let mut pending = state_ref.pending.lock().unwrap();
+            *pending -= 1;
+            if *pending == 0 {
+                state_ref.done.notify_all();
+            }
+        });
+        // SAFETY: the job borrows `f`, `state` and the `slots` buffer
+        // from this stack frame. `pmap` does not return (or touch
+        // `slots`) until `state.pending` reaches zero, i.e. until every
+        // job has finished running, so the erased borrows strictly
+        // outlive every use.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        jobs.push(job);
+    }
+    pool.submit(jobs);
+
+    // Group 0 runs inline on the calling thread.
+    let g0 = groups.into_iter().next().unwrap();
+    match catch_unwind(AssertUnwindSafe(|| g0.into_iter().map(|x| f(x)).collect::<Vec<R>>())) {
+        Ok(v) => unsafe { *base = Some(v) },
+        Err(payload) => state.record_panic(payload),
+    }
+
+    // Help-drain: while our groups are outstanding, run whatever is
+    // queued (ours or another call's); only block once the queue is
+    // empty, meaning our remaining groups are already running elsewhere.
+    loop {
+        if *state.pending.lock().unwrap() == 0 {
+            break;
+        }
+        match pool.try_pop() {
+            Some(job) => job(),
+            None => {
+                let pending = state.pending.lock().unwrap();
+                let _done = state.done.wait_while(pending, |p| *p > 0).unwrap();
+                break;
+            }
+        }
+    }
+
+    if let Some(payload) = state.panic.lock().unwrap().take() {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("rayon-shim: group finished without a result"))
+        .flatten()
+        .collect()
 }
 
 /// An eagerly materialized "parallel" iterator: holds the items, applies
@@ -259,5 +432,50 @@ mod tests {
         let out: Vec<u32> = v.into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
         (0u32..0).into_par_iter().for_each(|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        // An inner parallel call issued from a pool job must not
+        // deadlock even when every worker is occupied by the outer one.
+        let out: Vec<u64> = (0u64..64)
+            .into_par_iter()
+            .map(|i| (0u64..256).into_par_iter().map(|j| i * 256 + j).sum::<u64>())
+            .collect();
+        let expect: Vec<u64> = (0u64..64).map(|i| (0u64..256).map(|j| i * 256 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let caught = std::panic::catch_unwind(|| {
+            (0u32..4096).into_par_iter().for_each(|i| {
+                if i == 1234 {
+                    panic!("boom from a pool job");
+                }
+            });
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
+        // The pool must still be fully usable after a panicking call.
+        let total: u64 = (0u64..4096).into_par_iter().map(|x| x).sum();
+        assert_eq!(total, 4096 * 4095 / 2);
+    }
+
+    #[test]
+    fn repeated_calls_reuse_a_bounded_thread_set() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // With the persistent pool, thousands of parallel calls touch at
+        // most workers + callers distinct threads; the old per-call
+        // scoped-spawn design would accumulate thousands of IDs.
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        for _ in 0..500 {
+            (0u32..64).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        }
+        // Slack: concurrent tests' caller threads may help-drain our
+        // jobs, so allow a handful of extra test-harness threads.
+        assert!(ids.lock().unwrap().len() <= max_threads() + 8);
     }
 }
