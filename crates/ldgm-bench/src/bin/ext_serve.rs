@@ -1,0 +1,49 @@
+//! Regenerate the matching-as-a-service load study and record its
+//! measurements as `BENCH_serve.json` in the working directory. See
+//! `ldgm_bench::exp::ext_serve`.
+//!
+//! Usage: `ext_serve [--out PATH] [DATASET...]`
+//!
+//! With no datasets the default three-graph subset is measured; naming a
+//! subset (e.g. the CI smoke run) restricts it. The written JSON is
+//! parsed back and cross-checked against the in-memory records before
+//! the binary reports success.
+
+use ldgm_bench::datasets::by_name;
+use ldgm_bench::exp::ext_serve::{run_on, serve_records_to_json, DATASETS};
+use ldgm_gpusim::json::{self, Json};
+
+fn main() {
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            out_path = args.next().expect("--out requires a path");
+        } else {
+            names.push(a);
+        }
+    }
+    if names.is_empty() {
+        names = DATASETS.iter().map(|s| s.to_string()).collect();
+    }
+    let datasets: Vec<_> = names.iter().map(|n| by_name(n).expect("known dataset")).collect();
+
+    let mut out = std::io::stdout().lock();
+    let records = run_on(&datasets, &mut out).expect("report write failed");
+    let doc = serve_records_to_json(&records).to_string_pretty();
+    std::fs::write(&out_path, doc.clone()).expect("JSON write failed");
+
+    // Round-trip check: what landed on disk parses back to the same rows.
+    let parsed = json::parse(&doc).expect("written JSON must parse");
+    let rows = parsed.as_array().expect("array document");
+    assert_eq!(rows.len(), records.len(), "row count round-trips");
+    for (row, rec) in rows.iter().zip(&records) {
+        assert_eq!(row.get("dataset").and_then(Json::as_str), Some(rec.dataset.as_str()));
+        assert_eq!(row.get("mean_batch").and_then(Json::as_f64), Some(rec.mean_batch));
+        assert_eq!(row.get("replay_identical").and_then(Json::as_bool), Some(rec.replay_identical));
+        assert!(rec.replay_identical, "{}: served matching diverged from replay", rec.dataset);
+        assert!(rec.mean_batch > 1.0, "{}: no coalescing under load", rec.dataset);
+    }
+    println!("wrote {out_path} ({} records, all replay-identical)", records.len());
+}

@@ -126,7 +126,10 @@ pub fn run_on(datasets: &[Dataset], w: &mut dyn Write) -> io::Result<Vec<Scaling
         let g = ds.build();
         for (pname, platform, devices) in device_sweep() {
             for &dev in &devices {
-                let cfg = LdGpuConfig::new(platform.clone()).devices(dev);
+                let cfg = LdGpuConfig::builder(platform.clone())
+                    .devices(dev)
+                    .build()
+                    .expect("device sweep counts are positive");
                 let ser = match run_mode(&g, cfg.clone()) {
                     Ok(out) => out,
                     Err(e) => {

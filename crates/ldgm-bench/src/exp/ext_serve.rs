@@ -1,0 +1,380 @@
+//! **Extension**: the matching service under concurrent client load.
+//!
+//! Every other study drives an engine directly; this one measures the
+//! `ldgm-serve` stack end to end — TCP framing, the update coalescer, the
+//! snapshot read path — with a seeded in-process load generator. N client
+//! threads each stream single-edge updates interleaved with timed `mate`
+//! point queries; the server coalesces the concurrent streams into
+//! engine batches. Reported per dataset: wall-clock p50/p99 query
+//! latency, the coalesced batch-size histogram (the whole point of the
+//! coalescer: mean committed batch size must exceed 1 under concurrent
+//! load), per-tenant billed simulated time, and whether the final
+//! matching survived the offline replay check at shutdown.
+
+use std::io::{self, BufRead, BufReader, Write as IoWrite};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ldgm_dyn::DynConfig;
+use ldgm_gpusim::json::{self, Json};
+use ldgm_gpusim::Platform;
+use ldgm_graph::{CsrGraph, Xoshiro256};
+use ldgm_serve::{serve, MatchService, ServeConfig};
+
+use crate::datasets::{by_name, scaled_platform, Dataset};
+use crate::table::Table;
+
+/// Concurrent load-generator clients per dataset.
+pub const CLIENTS: usize = 4;
+/// Updates each client submits.
+pub const UPDATES_PER_CLIENT: usize = 80;
+/// Coalescer flush target (smaller than the 64 default so a short
+/// benchmark still commits many batches).
+pub const COALESCE_TARGET: usize = 16;
+/// Simulated devices backing each service.
+pub const DEVICES: usize = 2;
+/// Load-stream seed.
+pub const SEED: u64 = 11;
+/// Default datasets: the three smallest Table I stand-ins, one per
+/// family shape (social rmat, stencil lattice, dense similarity).
+pub const DATASETS: &[&str] = &["com-Orkut", "Queen_4147", "mouse_gene"];
+
+/// One dataset's service-under-load measurement.
+#[derive(Clone, Debug)]
+pub struct ServeRecord {
+    /// Dataset name.
+    pub dataset: String,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Coalescer flush target.
+    pub coalesce_target: usize,
+    /// Updates applied by the engine (== admitted across all clients).
+    pub updates_applied: u64,
+    /// Point queries served.
+    pub queries: u64,
+    /// Committed batches.
+    pub flushes: u64,
+    /// Batches committed by the deadline rather than the size target.
+    pub deadline_flushes: u64,
+    /// Mean coalesced batch size (> 1 means coalescing actually merged
+    /// concurrent submissions).
+    pub mean_batch: f64,
+    /// Largest committed batch.
+    pub max_batch: u64,
+    /// Power-of-two batch-size histogram as (upper bound, count).
+    pub batch_histogram: Vec<(f64, u64)>,
+    /// Wall-clock median `mate` latency, microseconds.
+    pub p50_query_us: f64,
+    /// Wall-clock 99th-percentile `mate` latency, microseconds.
+    pub p99_query_us: f64,
+    /// Mate-change events delivered to the subscribing client.
+    pub subscription_events: u64,
+    /// Final matched weight.
+    pub weight: f64,
+    /// Final matched edges.
+    pub cardinality: u64,
+    /// Final commit epoch (== flushes).
+    pub epoch: u64,
+    /// Simulated seconds billed across all tenants.
+    pub billed_sim_time: f64,
+    /// Whether the final matching was bit-identical to an offline replay
+    /// of the full update history.
+    pub replay_identical: bool,
+}
+
+impl ServeRecord {
+    /// Serialize for `BENCH_serve.json`.
+    pub fn to_json(&self) -> Json {
+        let hist: Vec<Json> = self
+            .batch_histogram
+            .iter()
+            .map(|&(le, n)| Json::object().with("le", le).with("count", n))
+            .collect();
+        Json::object()
+            .with("dataset", self.dataset.clone())
+            .with("clients", self.clients)
+            .with("coalesce_target", self.coalesce_target)
+            .with("updates_applied", self.updates_applied)
+            .with("queries", self.queries)
+            .with("flushes", self.flushes)
+            .with("deadline_flushes", self.deadline_flushes)
+            .with("mean_batch", self.mean_batch)
+            .with("max_batch", self.max_batch)
+            .with("batch_histogram", Json::Array(hist))
+            .with("p50_query_us", self.p50_query_us)
+            .with("p99_query_us", self.p99_query_us)
+            .with("subscription_events", self.subscription_events)
+            .with("weight", self.weight)
+            .with("cardinality", self.cardinality)
+            .with("epoch", self.epoch)
+            .with("billed_sim_time", self.billed_sim_time)
+            .with("replay_identical", self.replay_identical)
+    }
+}
+
+/// Serialize a result set as a JSON array document.
+pub fn serve_records_to_json(records: &[ServeRecord]) -> Json {
+    Json::Array(records.iter().map(ServeRecord::to_json).collect())
+}
+
+/// One line-delimited JSON client; responses are read past any
+/// interleaved subscription events, which are counted separately.
+struct LoadClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    events: u64,
+}
+
+impl LoadClient {
+    fn connect(addr: &str) -> LoadClient {
+        let stream = TcpStream::connect(addr).expect("connect to in-process server");
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        LoadClient { stream, reader, events: 0 }
+    }
+
+    /// Send one request line and return its (non-event) response.
+    fn call(&mut self, req: &Json) -> Json {
+        writeln!(self.stream, "{}", req.to_string_compact()).expect("request write");
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("response read");
+            let msg = json::parse(&line).expect("server speaks JSON");
+            if msg.get("event").is_some() {
+                self.events += 1;
+                continue;
+            }
+            return msg;
+        }
+    }
+}
+
+/// One client's session: `updates` seeded single-edge updates, with a
+/// timed `mate` query after every second update. Returns the query
+/// latencies (µs) and the subscription events this client observed.
+fn client_session(addr: &str, id: usize, updates: usize, seed: u64) -> (Vec<f64>, u64) {
+    let mut c = LoadClient::connect(addr);
+    let hello = c.call(&Json::object().with("op", "hello").with("tenant", format!("loadgen-{id}")));
+    assert_eq!(hello.get("ok").and_then(Json::as_bool), Some(true), "hello failed");
+    let info = c.call(&Json::object().with("op", "match-info"));
+    let n =
+        info.get("num_vertices").and_then(Json::as_f64).expect("match-info num_vertices") as u64;
+    // The first client also subscribes, so notification delivery runs
+    // under the same load it is being measured with.
+    if id == 0 {
+        let sub = c.call(&Json::object().with("op", "subscribe").with("v", 0u32));
+        assert_eq!(sub.get("ok").and_then(Json::as_bool), Some(true), "subscribe failed");
+    }
+
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9e37_79b9));
+    let mut latencies = Vec::with_capacity(updates / 2 + 1);
+    for i in 0..updates {
+        let u = rng.below(n) as u32;
+        let v = rng.below(n) as u32;
+        if u == v {
+            continue;
+        }
+        let upd = if rng.chance(0.3) {
+            Json::object().with("op", "update").with("kind", "delete").with("u", u).with("v", v)
+        } else {
+            Json::object()
+                .with("op", "update")
+                .with("kind", "insert")
+                .with("u", u)
+                .with("v", v)
+                .with("w", 0.05 + rng.next_f64())
+        };
+        let ack = c.call(&upd);
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true), "update rejected: {ack:?}");
+
+        if i % 2 == 1 {
+            let q = rng.below(n) as u32;
+            let t0 = Instant::now();
+            let resp = c.call(&Json::object().with("op", "mate").with("v", q));
+            latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "query failed");
+        }
+    }
+    (latencies, c.events)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Serve `g` on a loopback server, drive it with `clients` concurrent
+/// seeded sessions, and collect the record.
+pub fn measure(name: &str, g: CsrGraph, clients: usize, updates_per_client: usize) -> ServeRecord {
+    let dyn_cfg = DynConfig::builder(scaled_platform(Platform::dgx_a100()))
+        .devices(DEVICES)
+        .build()
+        .expect("device count is positive");
+    let cfg = ServeConfig {
+        coalesce_target: COALESCE_TARGET,
+        deadline: Duration::from_millis(25),
+        max_pending_per_tenant: 1_000_000,
+    };
+    let service = Arc::new(MatchService::new(name, g, dyn_cfg, cfg));
+    let handle = serve(vec![service], "127.0.0.1:0", clients).expect("bind loopback");
+    let addr = handle.addr.to_string();
+
+    let sessions: Vec<_> = (0..clients)
+        .map(|id| {
+            let addr = addr.clone();
+            std::thread::spawn(move || client_session(&addr, id, updates_per_client, SEED))
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut events = 0u64;
+    for s in sessions {
+        let (lat, ev) = s.join().expect("client session");
+        latencies.extend(lat);
+        events += ev;
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+
+    // Control session: commit stragglers, read the final state, then shut
+    // the server down (which runs the offline replay check).
+    let mut ctl = LoadClient::connect(&addr);
+    ctl.call(&Json::object().with("op", "flush"));
+    let stats = ctl.call(&Json::object().with("op", "stats"));
+    let info = ctl.call(&Json::object().with("op", "match-info"));
+    let bye = ctl.call(&Json::object().with("op", "shutdown"));
+    handle.join();
+
+    let f = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let hist = stats
+        .get("batch_histogram")
+        .and_then(Json::as_array)
+        .map(|rows| rows.iter().map(|r| (f(r, "le"), f(r, "count") as u64)).collect::<Vec<_>>())
+        .unwrap_or_default();
+    let sum_tenants = |k: &str| match stats.get("tenants") {
+        Some(Json::Object(entries)) => entries.iter().map(|(_, t)| f(t, k)).sum::<f64>(),
+        _ => 0.0,
+    };
+    ServeRecord {
+        dataset: name.to_string(),
+        clients,
+        coalesce_target: COALESCE_TARGET,
+        updates_applied: f(&stats, "updates_applied") as u64,
+        queries: sum_tenants("queries") as u64,
+        flushes: f(&stats, "flushes") as u64,
+        deadline_flushes: f(&stats, "deadline_flushes") as u64,
+        mean_batch: f(&stats, "mean_batch"),
+        max_batch: f(&stats, "max_batch") as u64,
+        batch_histogram: hist,
+        p50_query_us: percentile(&latencies, 0.50),
+        p99_query_us: percentile(&latencies, 0.99),
+        subscription_events: events,
+        weight: f(&info, "weight"),
+        cardinality: f(&info, "size") as u64,
+        epoch: f(&info, "epoch") as u64,
+        billed_sim_time: sum_tenants("billed_sim_time"),
+        replay_identical: bye.get("replay_identical").and_then(Json::as_bool).unwrap_or(false),
+    }
+}
+
+/// Run the study over `datasets`, returning one record per dataset.
+pub fn run_on(datasets: &[Dataset], w: &mut dyn IoWrite) -> io::Result<Vec<ServeRecord>> {
+    writeln!(w, "# Extension: matching-as-a-service under concurrent load\n")?;
+    writeln!(
+        w,
+        "{CLIENTS} loadgen clients per dataset, {UPDATES_PER_CLIENT} updates each with\n\
+         interleaved timed point queries, coalesce target {COALESCE_TARGET}, {DEVICES}\n\
+         simulated devices. `replay` checks the served matching against an\n\
+         offline replay of the full update history (canonical uniqueness).\n"
+    )?;
+    let mut t = Table::new(vec![
+        "dataset",
+        "clients",
+        "updates",
+        "flushes",
+        "mean batch",
+        "p50 query",
+        "p99 query",
+        "replay",
+    ]);
+    let mut records = Vec::new();
+    for ds in datasets {
+        let rec = measure(ds.name, ds.build(), CLIENTS, UPDATES_PER_CLIENT);
+        t.row(vec![
+            rec.dataset.clone(),
+            format!("{}", rec.clients),
+            format!("{}", rec.updates_applied),
+            format!("{} ({} deadline)", rec.flushes, rec.deadline_flushes),
+            format!("{:.1}", rec.mean_batch),
+            format!("{:.0} us", rec.p50_query_us),
+            format!("{:.0} us", rec.p99_query_us),
+            if rec.replay_identical { "identical" } else { "DIVERGED" }.to_string(),
+        ]);
+        records.push(rec);
+    }
+    writeln!(w, "{t}")?;
+    Ok(records)
+}
+
+/// Run the study on the default dataset subset, writing the report to `w`.
+pub fn run(w: &mut dyn IoWrite) -> io::Result<()> {
+    let datasets: Vec<Dataset> =
+        DATASETS.iter().map(|n| by_name(n).expect("registry dataset")).collect();
+    run_on(&datasets, w).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldgm_graph::gen::urand;
+
+    #[test]
+    fn concurrent_load_coalesces_and_replays_identically() {
+        let rec = measure("test-urand", urand(400, 1600, 3), 3, 30);
+        // The acceptance criterion: concurrent submissions actually merge.
+        assert!(rec.mean_batch > 1.0, "mean batch {}", rec.mean_batch);
+        assert!(rec.flushes > 1, "{} flushes", rec.flushes);
+        assert_eq!(rec.epoch, rec.flushes);
+        assert!(rec.replay_identical, "served matching diverged from offline replay");
+        assert!(rec.queries > 0 && rec.updates_applied > 0);
+        assert!(rec.p99_query_us >= rec.p50_query_us);
+        assert!(rec.billed_sim_time > 0.0);
+        let total_in_hist: u64 = rec.batch_histogram.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total_in_hist, rec.flushes, "histogram covers every flush");
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let rec = ServeRecord {
+            dataset: "x".into(),
+            clients: 4,
+            coalesce_target: 16,
+            updates_applied: 320,
+            queries: 160,
+            flushes: 20,
+            deadline_flushes: 2,
+            mean_batch: 16.0,
+            max_batch: 16,
+            batch_histogram: vec![(16.0, 18), (32.0, 2)],
+            p50_query_us: 120.0,
+            p99_query_us: 900.0,
+            subscription_events: 3,
+            weight: 12.5,
+            cardinality: 180,
+            epoch: 20,
+            billed_sim_time: 0.25,
+            replay_identical: true,
+        };
+        let doc = serve_records_to_json(std::slice::from_ref(&rec)).to_string_pretty();
+        let parsed = json::parse(&doc).unwrap();
+        let row = &parsed.as_array().unwrap()[0];
+        assert_eq!(row.get("dataset").and_then(Json::as_str), Some("x"));
+        assert_eq!(row.get("mean_batch").and_then(Json::as_f64), Some(rec.mean_batch));
+        assert_eq!(row.get("replay_identical").and_then(Json::as_bool), Some(true));
+        let hist = row.get("batch_histogram").and_then(Json::as_array).unwrap();
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[1].get("count").and_then(Json::as_f64), Some(2.0));
+    }
+}

@@ -51,10 +51,14 @@ pub fn sweep_ld_gpu(
             continue;
         }
         for &nb in batch_counts {
-            let cfg = LdGpuConfig::new(platform.clone())
+            let Ok(cfg) = LdGpuConfig::builder(platform.clone())
                 .devices(nd)
                 .batches(nb)
-                .without_iteration_profile();
+                .collect_iterations(false)
+                .build()
+            else {
+                continue; // degenerate sweep point (0 devices/batches)
+            };
             let Ok(out) = LdGpu::new(cfg).try_run(g) else {
                 continue;
             };
@@ -63,7 +67,11 @@ pub fn sweep_ld_gpu(
             }
         }
         // Also try the automatic (minimal) batch plan.
-        let cfg = LdGpuConfig::new(platform.clone()).devices(nd).without_iteration_profile();
+        let Ok(cfg) =
+            LdGpuConfig::builder(platform.clone()).devices(nd).collect_iterations(false).build()
+        else {
+            continue;
+        };
         if let Ok(out) = LdGpu::new(cfg).try_run(g) {
             if best.as_ref().is_none_or(|b| out.sim_time < b.output.sim_time) {
                 let batches = out.batches;

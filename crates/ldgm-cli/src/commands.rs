@@ -8,6 +8,8 @@
 //! [`Platform::presets`], the single source of preset truth.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
 
 use ldgm_core::augment::augment_short;
 use ldgm_core::verify::half_approx_certificate;
@@ -20,6 +22,7 @@ use ldgm_graph::csr::CsrGraph;
 use ldgm_graph::gen::GraphGen;
 use ldgm_graph::io;
 use ldgm_graph::stats::{degree_cv, stats};
+use ldgm_serve::{MatchService, ServeConfig};
 
 use crate::args::{ArgError, Args};
 
@@ -33,6 +36,7 @@ COMMANDS:
   gen        generate a synthetic graph and write it as Matrix Market
   match      compute a matching on a Matrix Market graph
   dynamic    maintain a matching under a synthetic update stream
+  serve      long-lived matching service over line-delimited JSON/TCP
   profile    phase/metric comparison of several algorithms on one graph
   stats      print Table-I-style properties of a graph
   platforms  list the simulated platform presets
@@ -111,6 +115,37 @@ OPTIONS:
 ",
     ),
     (
+        "serve",
+        "\
+ldgm serve - long-lived matching service over line-delimited JSON/TCP
+
+Loads one or more graphs, seeds a locally-dominant matching per dataset
+with the incremental engine, then serves concurrent clients: point
+queries (`mate`), `match-info`, single and batched updates, and
+`subscribe` notifications. Updates from all clients coalesce into one
+engine batch per flush (size target or deadline); reads always see the
+last committed snapshot. A client op `{\"op\":\"shutdown\"}` stops the
+server after an offline replay check.
+
+OPTIONS:
+  --input FILES    comma-separated Matrix Market graphs (required);
+                   each is served as a dataset named by its file stem
+  --host H         bind address (default 127.0.0.1)
+  --port P         TCP port; 0 picks a free one (default 0)
+  --workers N      connection worker threads (default 4)
+  --coalesce K     flush the pending buffer at K updates (default 64)
+  --deadline-ms D  flush stragglers after D ms (default 10)
+  --max-pending M  per-tenant admission cap (default 256)
+  --platform P     simulated platform preset (default dgx-a100)
+  --devices N      simulated devices (default 1)
+  --compact-frac F delta-CSR compaction threshold (default 0.25)
+  --overlap        overlap collectives with compute
+  --seed S         weight-synthesis seed for pattern-only inputs
+  --addr-file F    also write the bound address to F (for scripts that
+                   need the picked port)
+",
+    ),
+    (
         "profile",
         "\
 ldgm profile - phase/metric comparison of several algorithms on one graph
@@ -158,6 +193,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "gen" => cmd_gen(args),
         "match" => cmd_match(args),
         "dynamic" => cmd_dynamic(args),
+        "serve" => cmd_serve(args),
         "profile" => cmd_profile(args),
         "stats" => cmd_stats(args),
         "platforms" => Ok(cmd_platforms()),
@@ -282,13 +318,8 @@ fn cmd_match(args: &Args) -> Result<String, ArgError> {
     let want_trace = args.get("trace-out").is_some() || args.get("report-json").is_some();
     let setup = matcher_setup(args, want_trace)?;
     let registry = MatcherRegistry::with_defaults(&setup);
-    let matcher = registry.get(algorithm).ok_or_else(|| {
-        ArgError(format!(
-            "unknown algorithm '{algorithm}' (valid: {})",
-            registry.names().join(", ")
-        ))
-    })?;
-    let result = matcher.run(&g).map_err(|e| ArgError(e.0))?;
+    let matcher = registry.try_get(algorithm).map_err(|e| ArgError(e.to_string()))?;
+    let result = matcher.run(&g).map_err(|e| ArgError(e.to_string()))?;
 
     let mut out = String::new();
     let mut sim_note = String::new();
@@ -414,12 +445,13 @@ fn cmd_dynamic(args: &Args) -> Result<String, ArgError> {
     let mut registry = DynamicMatcherRegistry::with_defaults(&setup);
     // --compact-frac shapes the incremental engine; re-register it with
     // the override so the registry stays the single dispatch path.
-    registry.register(Box::new(IncrementalMatcher::new(
-        DynConfig::new(setup.platform.clone())
-            .devices(setup.devices)
-            .compact_frac(frac)
-            .with_overlap(setup.overlap),
-    )));
+    let dyn_cfg = DynConfig::builder(setup.platform.clone())
+        .devices(setup.devices)
+        .compact_frac(frac)
+        .overlap(setup.overlap)
+        .build()
+        .map_err(|e| ArgError(e.to_string()))?;
+    registry.register(Box::new(IncrementalMatcher::new(dyn_cfg)));
     let engine = registry.get(engine_name).ok_or_else(|| {
         ArgError(format!("unknown engine '{engine_name}' (valid: {})", registry.names().join(", ")))
     })?;
@@ -446,7 +478,7 @@ fn cmd_dynamic(args: &Args) -> Result<String, ArgError> {
         seed: args.get_num("seed", 0u64)?,
         verify_each_batch: args.has_flag("verify"),
     };
-    let result = engine.run(&g, &spec).map_err(|e| ArgError(e.0))?;
+    let result = engine.run(&g, &spec).map_err(|e| ArgError(e.to_string()))?;
 
     let mut out = String::new();
     writeln!(
@@ -530,6 +562,97 @@ fn cmd_dynamic(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+fn cmd_serve(args: &Args) -> Result<String, ArgError> {
+    args.expect_known(&[
+        "input",
+        "host",
+        "port",
+        "workers",
+        "coalesce",
+        "deadline-ms",
+        "max-pending",
+        "platform",
+        "devices",
+        "compact-frac",
+        "overlap",
+        "seed",
+        "addr-file",
+    ])?;
+    let inputs = args
+        .get("input")
+        .ok_or_else(|| ArgError("missing required option '--input FILES'".into()))?;
+    let platform = parse_platform(args.get_or("platform", "dgx-a100"))?;
+    let dyn_cfg = DynConfig::builder(platform)
+        .devices(args.get_num("devices", 1usize)?)
+        .compact_frac(args.get_num("compact-frac", 0.25f64)?)
+        .overlap(args.has_flag("overlap"))
+        .build()
+        .map_err(|e| ArgError(e.to_string()))?;
+    let serve_cfg = ServeConfig {
+        coalesce_target: args.get_num("coalesce", 64usize)?,
+        deadline: Duration::from_millis(args.get_num("deadline-ms", 10u64)?),
+        max_pending_per_tenant: args.get_num("max-pending", 256usize)?,
+    };
+    if serve_cfg.coalesce_target == 0 {
+        return Err(ArgError("--coalesce must be at least 1".into()));
+    }
+    let seed: u64 = args.get_num("seed", 0u64)?;
+    let mut services = Vec::new();
+    for path in inputs.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let g = io::read_mtx_file(path, seed)
+            .map_err(|e| ArgError(format!("failed to read '{path}': {e}")))?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path)
+            .to_string();
+        services.push(Arc::new(MatchService::new(name, g, dyn_cfg.clone(), serve_cfg.clone())));
+    }
+    if services.is_empty() {
+        return Err(ArgError("--input named no datasets".into()));
+    }
+
+    let bind = format!("{}:{}", args.get_or("host", "127.0.0.1"), args.get_num("port", 0u16)?);
+    let handle = ldgm_serve::serve(services.clone(), &bind, args.get_num("workers", 4usize)?)
+        .map_err(|e| ArgError(format!("failed to bind '{bind}': {e}")))?;
+
+    // The command blocks until a client sends `shutdown`, so the address
+    // must go out now, not with the final report.
+    {
+        use std::io::Write as _;
+        println!("ldgm-serve listening on {}", handle.addr);
+        let _ = std::io::stdout().flush();
+    }
+    if let Some(path) = args.get("addr-file") {
+        std::fs::write(path, handle.addr.to_string())
+            .map_err(|e| ArgError(format!("failed to write '{path}': {e}")))?;
+    }
+    handle.join();
+
+    let mut out = String::new();
+    writeln!(out, "ldgm-serve: shut down after serving {} dataset(s)", services.len()).unwrap();
+    for svc in &services {
+        let snap = svc.snapshot();
+        let st = svc.stats();
+        writeln!(
+            out,
+            "  {}: epoch {} matched {} weight {:.4} | {} flushes ({} by deadline), \
+             {} updates, mean batch {:.2}, billed {:.3} sim-ms",
+            svc.name(),
+            snap.epoch,
+            2 * snap.cardinality,
+            snap.weight,
+            st.flushes,
+            st.deadline_flushes,
+            st.updates_applied,
+            st.mean_batch(),
+            snap.sim_time * 1e3,
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
 fn cmd_profile(args: &Args) -> Result<String, ArgError> {
     args.expect_known(&[
         "input",
@@ -569,9 +692,7 @@ fn cmd_profile(args: &Args) -> Result<String, ArgError> {
 
     let mut runs: Vec<(String, MatchResult)> = Vec::new();
     for name in &names {
-        let matcher = registry.get(name).ok_or_else(|| {
-            ArgError(format!("unknown algorithm '{name}' (valid: {})", registry.names().join(", ")))
-        })?;
+        let matcher = registry.try_get(name).map_err(|e| ArgError(e.to_string()))?;
         match matcher.run(&g) {
             Err(e) => writeln!(out, "{name:<11} skipped: {e}").unwrap(),
             Ok(r) => {
@@ -835,9 +956,87 @@ mod tests {
     }
 
     #[test]
+    fn serve_session_over_tcp() {
+        use std::io::{BufRead, BufReader, Write};
+
+        let gpath = tmp("ldgm_cli_serve.mtx");
+        let apath = tmp("ldgm_cli_serve.addr");
+        std::fs::remove_file(&apath).ok();
+        run(&args(&format!(
+            "gen --family urand --vertices 200 --avg-degree 6 --seed 4 --out {gpath}"
+        )))
+        .unwrap();
+        let cmd = format!(
+            "serve --input {gpath} --port 0 --workers 2 --coalesce 4 \
+             --deadline-ms 60000 --addr-file {apath}"
+        );
+        let server = std::thread::spawn(move || run(&args(&cmd)));
+
+        // The server writes its picked address once it is listening.
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(a) = std::fs::read_to_string(&apath) {
+                if !a.is_empty() {
+                    break a;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never wrote {apath}");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+
+        let stream = std::net::TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut send = |line: &str| {
+            let mut s = stream.try_clone().unwrap();
+            writeln!(s, "{line}").unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            json::parse(&resp).unwrap()
+        };
+        let info = send(r#"{"op":"match-info"}"#);
+        assert_eq!(info.get("epoch").and_then(json::Json::as_f64), Some(0.0));
+        // Four updates hit the coalesce target and commit epoch 1.
+        let ack = send(
+            r#"{"op":"update-batch","updates":[
+                {"kind":"insert","u":0,"v":1,"w":9.0},
+                {"kind":"insert","u":2,"v":3,"w":9.0},
+                {"kind":"insert","u":4,"v":5,"w":9.0},
+                {"kind":"delete","u":0,"v":1}]}"#
+                .replace('\n', " ")
+                .as_str(),
+        );
+        assert_eq!(ack.get("flushed").and_then(json::Json::as_bool), Some(true));
+        let m = send(r#"{"op":"mate","v":2}"#);
+        assert_eq!(m.get("mate").and_then(json::Json::as_f64), Some(3.0));
+        let bye = send(r#"{"op":"shutdown"}"#);
+        assert_eq!(bye.get("replay_identical").and_then(json::Json::as_bool), Some(true));
+
+        let report = server.join().unwrap().unwrap();
+        assert!(report.contains("shut down after serving 1 dataset(s)"), "{report}");
+        assert!(report.contains("ldgm_cli_serve: epoch 1"), "{report}");
+        for f in [&gpath, &apath] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_options() {
+        assert!(run(&args("serve")).unwrap_err().0.contains("--input"));
+        assert!(run(&args("serve --input x.mtx --coalesce 0"))
+            .unwrap_err()
+            .0
+            .contains("--coalesce"));
+        assert!(run(&args("serve --input nope_does_not_exist.mtx"))
+            .unwrap_err()
+            .0
+            .contains("failed to read"));
+        assert!(run(&args("serve --input x.mtx --bogus 1")).unwrap_err().0.contains("--bogus"));
+    }
+
+    #[test]
     fn per_command_help() {
         assert_eq!(run(&args("help")).unwrap(), HELP);
-        for cmd in ["gen", "match", "dynamic", "profile", "stats", "platforms"] {
+        for cmd in ["gen", "match", "dynamic", "serve", "profile", "stats", "platforms"] {
             let h = run(&args(&format!("help {cmd}"))).unwrap();
             assert!(h.starts_with(&format!("ldgm {cmd}")), "{cmd}: {h}");
         }

@@ -2,6 +2,8 @@
 
 use ldgm_gpusim::Platform;
 
+use crate::matcher::MatchError;
+
 /// Configuration of an LD-GPU run.
 #[derive(Clone, Debug)]
 pub struct LdGpuConfig {
@@ -52,6 +54,15 @@ pub struct LdGpuConfig {
 }
 
 impl LdGpuConfig {
+    /// Start a named-method builder on `platform`. Unlike the raw struct
+    /// (or the positional `with_*` chain), the builder validates the
+    /// final combination: [`LdGpuConfigBuilder::build`] rejects nonsense
+    /// like zero batches or the frontier without retirement instead of
+    /// silently clamping.
+    pub fn builder(platform: Platform) -> LdGpuConfigBuilder {
+        LdGpuConfigBuilder { cfg: LdGpuConfig::new(platform) }
+    }
+
     /// Default configuration on `platform`: 1 device, auto batches.
     pub fn new(platform: Platform) -> Self {
         LdGpuConfig {
@@ -140,6 +151,131 @@ impl LdGpuConfig {
     }
 }
 
+/// Named-method builder for [`LdGpuConfig`].
+///
+/// The config grew four orthogonal bool toggles (sorted/frontier/sparse/
+/// overlap) that used to be set positionally through `with_*(bool)`
+/// chains; the builder names each one, and [`build`](Self::build) runs
+/// [`validate`](Self::validate) so impossible combinations surface as a
+/// [`MatchError::InvalidConfig`] instead of a silent clamp or a deep
+/// driver panic. The raw struct literal and the legacy `with_*` chain
+/// keep working unchanged.
+#[derive(Clone, Debug)]
+pub struct LdGpuConfigBuilder {
+    cfg: LdGpuConfig,
+}
+
+impl LdGpuConfigBuilder {
+    /// Set the device count (validated: must be ≥ 1; counts beyond the
+    /// platform fabric are clamped by the driver, as before).
+    pub fn devices(mut self, n: usize) -> Self {
+        self.cfg.devices = n;
+        self
+    }
+
+    /// Fix the batch count per device (validated: must be ≥ 1).
+    pub fn batches(mut self, b: usize) -> Self {
+        self.cfg.batches = Some(b);
+        self
+    }
+
+    /// Fix the vertices-per-warp work distribution (validated: ≥ 1).
+    pub fn vertices_per_warp(mut self, v: usize) -> Self {
+        self.cfg.vertices_per_warp = Some(v);
+        self
+    }
+
+    /// Toggle the preference-sorted adjacency index (early-exit scans).
+    pub fn sorted_index(mut self, on: bool) -> Self {
+        self.cfg.sorted_index = on;
+        self
+    }
+
+    /// Toggle the cross-iteration pointing frontier.
+    pub fn frontier(mut self, on: bool) -> Self {
+        self.cfg.frontier = on;
+        self
+    }
+
+    /// Toggle sparse delta collectives.
+    pub fn sparse_collectives(mut self, on: bool) -> Self {
+        self.cfg.sparse_collectives = on;
+        self
+    }
+
+    /// Toggle communication/computation overlap (chunked collectives on
+    /// the comm stream).
+    pub fn overlap(mut self, on: bool) -> Self {
+        self.cfg.overlap = on;
+        self
+    }
+
+    /// Enable every optimization layer (the `ld-gpu-opt` preset).
+    pub fn optimized(self) -> Self {
+        self.sorted_index(true).frontier(true).sparse_collectives(true)
+    }
+
+    /// Toggle exhausted-vertex retirement (off models framework
+    /// baselines that rescan every vertex each iteration).
+    pub fn retire_exhausted(mut self, on: bool) -> Self {
+        self.cfg.retire_exhausted = on;
+        self
+    }
+
+    /// Multiplier on kernel compute cost (validated: finite and > 0).
+    pub fn kernel_overhead(mut self, factor: f64) -> Self {
+        self.cfg.kernel_overhead = factor;
+        self
+    }
+
+    /// Toggle per-iteration profiling records.
+    pub fn collect_iterations(mut self, on: bool) -> Self {
+        self.cfg.collect_iterations = on;
+        self
+    }
+
+    /// Toggle event-trace recording (Gantt timelines).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.cfg.collect_trace = on;
+        self
+    }
+
+    /// Check the assembled combination without consuming the builder.
+    pub fn validate(&self) -> Result<(), MatchError> {
+        let c = &self.cfg;
+        let bad = |msg: String| Err(MatchError::InvalidConfig(msg));
+        if c.devices == 0 {
+            return bad("devices must be >= 1".into());
+        }
+        if c.batches == Some(0) {
+            return bad("batches must be >= 1 when fixed".into());
+        }
+        if c.vertices_per_warp == Some(0) {
+            return bad("vertices_per_warp must be >= 1 when fixed".into());
+        }
+        if !(c.kernel_overhead.is_finite() && c.kernel_overhead > 0.0) {
+            return bad(format!(
+                "kernel_overhead must be finite and > 0, got {}",
+                c.kernel_overhead
+            ));
+        }
+        if c.frontier && !c.retire_exhausted {
+            return bad(
+                "frontier requires retire_exhausted: the cross-iteration frontier is seeded \
+                 from retirement bookkeeping, so a rescan-everything baseline cannot drive it"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<LdGpuConfig, MatchError> {
+        self.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 /// Errors from an LD-GPU run.
 #[derive(Clone, Debug, PartialEq)]
 pub enum LdGpuError {
@@ -180,3 +316,63 @@ impl std::fmt::Display for LdGpuError {
 }
 
 impl std::error::Error for LdGpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_legacy_chain() {
+        let p = Platform::dgx_a100;
+        let built = LdGpuConfig::builder(p())
+            .devices(4)
+            .batches(3)
+            .sorted_index(true)
+            .frontier(true)
+            .sparse_collectives(true)
+            .overlap(true)
+            .trace(true)
+            .build()
+            .unwrap();
+        let legacy =
+            LdGpuConfig::new(p()).devices(4).batches(3).optimized().with_overlap(true).with_trace();
+        assert_eq!(built.devices, legacy.devices);
+        assert_eq!(built.batches, legacy.batches);
+        assert_eq!(built.sorted_index, legacy.sorted_index);
+        assert_eq!(built.frontier, legacy.frontier);
+        assert_eq!(built.sparse_collectives, legacy.sparse_collectives);
+        assert_eq!(built.overlap, legacy.overlap);
+        assert_eq!(built.collect_trace, legacy.collect_trace);
+        // The `optimized()` preset exists on the builder too.
+        let opt = LdGpuConfig::builder(p()).optimized().build().unwrap();
+        assert!(opt.is_optimized() && opt.sorted_index && opt.frontier && opt.sparse_collectives);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense_combos() {
+        let p = Platform::dgx_a100;
+        let invalid = |b: LdGpuConfigBuilder| {
+            let err = b.build().unwrap_err();
+            assert!(
+                matches!(err, MatchError::InvalidConfig(_)),
+                "expected InvalidConfig, got {err:?}"
+            );
+            err.to_string()
+        };
+        assert!(invalid(LdGpuConfig::builder(p()).devices(0)).contains("devices"));
+        assert!(invalid(LdGpuConfig::builder(p()).batches(0)).contains("batches"));
+        assert!(
+            invalid(LdGpuConfig::builder(p()).vertices_per_warp(0)).contains("vertices_per_warp")
+        );
+        assert!(invalid(LdGpuConfig::builder(p()).kernel_overhead(0.0)).contains("kernel_overhead"));
+        assert!(invalid(LdGpuConfig::builder(p()).kernel_overhead(f64::NAN))
+            .contains("kernel_overhead"));
+        assert!(invalid(LdGpuConfig::builder(p()).frontier(true).retire_exhausted(false))
+            .contains("retire_exhausted"));
+        // validate() is non-consuming: a valid builder can be checked and
+        // then built.
+        let b = LdGpuConfig::builder(p()).devices(2).batches(5);
+        b.validate().unwrap();
+        assert_eq!(b.build().unwrap().batches, Some(5));
+    }
+}

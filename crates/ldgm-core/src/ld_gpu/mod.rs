@@ -17,6 +17,6 @@ mod config;
 mod driver;
 mod kernels;
 
-pub use config::{LdGpuConfig, LdGpuError};
+pub use config::{LdGpuConfig, LdGpuConfigBuilder, LdGpuError};
 pub use driver::{LdGpu, LdGpuOutput};
 pub use kernels::{set_mates, set_pointers_batch, set_pointers_opt, PointingResult, PointingWork};

@@ -41,5 +41,7 @@ pub mod suitor_par;
 pub mod suitor_sim;
 pub mod verify;
 
-pub use matcher::{MatchError, MatchResult, Matcher, MatcherRegistry, MatcherSetup};
+pub use matcher::{
+    edit_distance, nearest_names, MatchError, MatchResult, Matcher, MatcherRegistry, MatcherSetup,
+};
 pub use matching::{prefer, Matching, UNMATCHED};

@@ -30,18 +30,100 @@ use crate::suitor::suitor_with_stats;
 use crate::suitor_par::suitor_par;
 use crate::suitor_sim::suitor_sim_traced;
 
-/// Why a matcher could not run (infeasible configuration, out of memory,
-/// input too large for an exact method).
+/// Why a matcher could not run or be selected. Structured so callers can
+/// branch on the failure class instead of string-matching error text.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct MatchError(pub String);
+pub enum MatchError {
+    /// A registry lookup failed. `suggestions` holds every valid name,
+    /// ordered nearest-first by edit distance to the requested one.
+    UnknownAlgorithm {
+        /// The name that was requested.
+        name: String,
+        /// All valid names, nearest-first.
+        suggestions: Vec<String>,
+    },
+    /// A configuration was rejected before the run started (invalid
+    /// builder combination, size guard, bad parameter).
+    InvalidConfig(String),
+    /// The input graph/dataset could not be used (missing, malformed,
+    /// structurally unusable).
+    DatasetError(String),
+    /// The engine itself failed mid-run (out of memory on a simulated
+    /// device, infeasible batch plan, internal invariant).
+    Engine(String),
+}
+
+impl MatchError {
+    /// Wrap an engine-layer failure, preserving its message.
+    pub fn engine(e: impl fmt::Display) -> Self {
+        MatchError::Engine(e.to_string())
+    }
+
+    /// Build the lookup failure for `name` against `valid` names:
+    /// suggestions are all valid names, nearest (by edit distance) first.
+    pub fn unknown_algorithm(name: &str, valid: &[&str]) -> Self {
+        MatchError::UnknownAlgorithm {
+            name: name.to_string(),
+            suggestions: nearest_names(name, valid),
+        }
+    }
+}
 
 impl fmt::Display for MatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            MatchError::UnknownAlgorithm { name, suggestions } => {
+                write!(f, "unknown algorithm '{name}'")?;
+                if let Some(best) = suggestions.first() {
+                    if edit_distance(name, best) <= SUGGESTION_DISTANCE {
+                        write!(f, " (did you mean '{best}'?)")?;
+                    }
+                }
+                if suggestions.is_empty() {
+                    write!(f, "; the registry is empty")
+                } else {
+                    write!(f, "; valid: {}", suggestions.join(", "))
+                }
+            }
+            MatchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MatchError::DatasetError(msg) => write!(f, "dataset error: {msg}"),
+            MatchError::Engine(msg) => f.write_str(msg),
+        }
     }
 }
 
 impl std::error::Error for MatchError {}
+
+/// Maximum edit distance at which a name is offered as "did you mean".
+const SUGGESTION_DISTANCE: usize = 3;
+
+/// Levenshtein distance between two ASCII-ish names (full unicode-scalar
+/// granularity; names here are short registry keys).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Rank `valid` names by edit distance to `name` (ties alphabetical).
+/// Returns every name — callers print the full list; the ordering is the
+/// suggestion.
+pub fn nearest_names(name: &str, valid: &[&str]) -> Vec<String> {
+    let mut ranked: Vec<(usize, &str)> =
+        valid.iter().map(|v| (edit_distance(name, v), *v)).collect();
+    ranked.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)));
+    ranked.into_iter().map(|(_, v)| v.to_string()).collect()
+}
 
 /// Result of one matcher run: the matching plus optional observability.
 #[derive(Clone, Debug)]
@@ -157,26 +239,45 @@ impl MatcherRegistry {
         reg
     }
 
-    /// Add (or replace, by name) a matcher.
-    pub fn register(&mut self, matcher: Box<dyn Matcher>) {
-        if let Some(slot) = self.entries.iter_mut().find(|m| m.name() == matcher.name()) {
-            *slot = matcher;
-        } else {
-            self.entries.push(matcher);
+    /// Add a matcher. Re-registering an existing name replaces the old
+    /// entry — loudly: the displaced matcher is logged to stderr and
+    /// returned, so intentional overrides (CLI `--compact-frac`-style
+    /// re-registration) can drop it while accidental duplicates leave a
+    /// trace instead of silently vanishing.
+    pub fn register(&mut self, matcher: Box<dyn Matcher>) -> Option<Box<dyn Matcher>> {
+        match self.entries.binary_search_by(|m| m.name().cmp(matcher.name())) {
+            Ok(i) => {
+                eprintln!(
+                    "ldgm: matcher '{}' re-registered; replacing the earlier entry",
+                    matcher.name()
+                );
+                Some(std::mem::replace(&mut self.entries[i], matcher))
+            }
+            Err(i) => {
+                self.entries.insert(i, matcher);
+                None
+            }
         }
     }
 
     /// Look up by name.
     pub fn get(&self, name: &str) -> Option<&dyn Matcher> {
-        self.entries.iter().find(|m| m.name() == name).map(|m| m.as_ref())
+        self.entries.binary_search_by(|m| m.name().cmp(name)).ok().map(|i| self.entries[i].as_ref())
     }
 
-    /// Registered names, in registration order.
+    /// Look up by name, with a structured error carrying nearest-name
+    /// suggestions when the lookup fails.
+    pub fn try_get(&self, name: &str) -> Result<&dyn Matcher, MatchError> {
+        self.get(name).ok_or_else(|| MatchError::unknown_algorithm(name, &self.names()))
+    }
+
+    /// Registered names, deterministically sorted (the registry keeps its
+    /// entries in name order).
     pub fn names(&self) -> Vec<&str> {
         self.entries.iter().map(|m| m.name()).collect()
     }
 
-    /// Iterate matchers in registration order.
+    /// Iterate matchers in name order.
     pub fn iter(&self) -> impl Iterator<Item = &dyn Matcher> {
         self.entries.iter().map(|m| m.as_ref())
     }
@@ -233,7 +334,7 @@ impl Matcher for LdGpuMatcher {
     fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
         let out = LdGpu::new(self.cfg.clone())
             .try_run(g)
-            .map_err(|e| MatchError(format!("LD-GPU failed: {e}")))?;
+            .map_err(|e| MatchError::Engine(format!("LD-GPU failed: {e}")))?;
         Ok(ld_gpu_result(out))
     }
 }
@@ -259,7 +360,7 @@ impl Matcher for LdGpuOptMatcher {
     fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
         let out = LdGpu::new(self.cfg.clone())
             .try_run(g)
-            .map_err(|e| MatchError(format!("LD-GPU-opt failed: {e}")))?;
+            .map_err(|e| MatchError::Engine(format!("LD-GPU-opt failed: {e}")))?;
         Ok(ld_gpu_result(out))
     }
 }
@@ -367,8 +468,8 @@ impl Matcher for SuitorGpuMatcher {
         "suitor-gpu"
     }
     fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
-        let out = suitor_sim_traced(g, &self.platform, self.collect_trace)
-            .map_err(|e| MatchError(e.to_string()))?;
+        let out =
+            suitor_sim_traced(g, &self.platform, self.collect_trace).map_err(MatchError::engine)?;
         Ok(MatchResult {
             matching: out.matching,
             run_time: out.sim_time,
@@ -410,7 +511,7 @@ impl Matcher for BlossomMatcher {
     }
     fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
         if g.num_vertices() > self.limit {
-            return Err(MatchError(format!(
+            return Err(MatchError::InvalidConfig(format!(
                 "blossom is O(n^3); {} vertices is too many (limit {})",
                 g.num_vertices(),
                 self.limit
@@ -438,7 +539,7 @@ impl Matcher for CugraphMatcher {
     }
     fn run(&self, g: &CsrGraph) -> Result<MatchResult, MatchError> {
         let out = cugraph_sim_traced(g, &self.platform, self.devices, self.collect_trace)
-            .map_err(|e| MatchError(format!("cuGraph-sim failed: {e}")))?;
+            .map_err(|e| MatchError::Engine(format!("cuGraph-sim failed: {e}")))?;
         Ok(ld_gpu_result(out))
     }
 }
@@ -451,24 +552,55 @@ mod tests {
     #[test]
     fn default_registry_contents() {
         let reg = MatcherRegistry::with_defaults(&MatcherSetup::default());
+        // `names()` is deterministically sorted regardless of the order
+        // `with_defaults` registered the entries in.
         assert_eq!(
             reg.names(),
             vec![
+                "auction",
+                "blossom",
+                "cugraph",
+                "greedy",
                 "ld-gpu",
                 "ld-gpu-opt",
                 "ld-seq",
                 "local-max",
-                "greedy",
                 "suitor",
-                "suitor-par",
                 "suitor-gpu",
-                "auction",
-                "blossom",
-                "cugraph",
+                "suitor-par",
             ]
         );
         assert!(reg.get("ld-gpu").is_some());
         assert!(reg.get("bogus").is_none());
+    }
+
+    #[test]
+    fn try_get_suggests_nearest_names() {
+        let reg = MatcherRegistry::with_defaults(&MatcherSetup::default());
+        assert!(reg.try_get("ld-gpu").is_ok());
+        let err = reg.try_get("ld-gup").err().expect("miss must error");
+        let MatchError::UnknownAlgorithm { name, suggestions } = &err else {
+            panic!("expected UnknownAlgorithm, got {err:?}");
+        };
+        assert_eq!(name, "ld-gup");
+        // Every valid name is listed, nearest typo-fix first.
+        assert_eq!(suggestions.len(), reg.len());
+        assert_eq!(suggestions[0], "ld-gpu");
+        let msg = err.to_string();
+        assert!(msg.contains("did you mean 'ld-gpu'"), "{msg}");
+        assert!(msg.contains("blossom"), "full list must be printed: {msg}");
+        // A distant name skips the did-you-mean clause but keeps the list.
+        let msg = reg.try_get("zzzzzzzzzzzz").err().expect("miss must error").to_string();
+        assert!(!msg.contains("did you mean"), "{msg}");
+        assert!(msg.contains("valid:"), "{msg}");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("ld-gpu", "ld-gup"), 2);
+        assert_eq!(edit_distance("suitor", "suitor-par"), 4);
     }
 
     #[test]
@@ -499,7 +631,8 @@ mod tests {
         let g = urand(50, 100, 3);
         let m = BlossomMatcher { limit: 10 };
         let err = m.run(&g).unwrap_err();
-        assert!(err.0.contains("O(n^3)"));
+        assert!(matches!(err, MatchError::InvalidConfig(_)), "{err:?}");
+        assert!(err.to_string().contains("O(n^3)"));
     }
 
     #[test]
@@ -530,7 +663,9 @@ mod tests {
         }
         let mut reg = MatcherRegistry::with_defaults(&MatcherSetup::default());
         let before = reg.len();
-        reg.register(Box::new(Fake));
+        let displaced = reg.register(Box::new(Fake));
+        assert!(displaced.is_some(), "re-registration must return the displaced matcher");
+        assert_eq!(displaced.unwrap().name(), "greedy");
         assert_eq!(reg.len(), before);
         let g = urand(10, 20, 5);
         let r = reg.get("greedy").unwrap().run(&g).unwrap();

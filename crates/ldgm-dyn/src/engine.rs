@@ -30,7 +30,7 @@
 //! so the speedup over from-scratch recompute is directly measurable.
 
 use ldgm_core::verify::half_approx_certificate;
-use ldgm_core::{prefer, Matching, UNMATCHED};
+use ldgm_core::{prefer, MatchError, Matching, UNMATCHED};
 use ldgm_gpusim::metrics::names;
 use ldgm_gpusim::{
     CommChunk, IterationRecord, KernelStats, MetricsRegistry, Platform, RunProfile, SimRuntime,
@@ -94,6 +94,77 @@ impl DynConfig {
     pub fn with_overlap(mut self, on: bool) -> Self {
         self.overlap = on;
         self
+    }
+
+    /// Start a validated builder ([`DynConfigBuilder`]) with the same
+    /// defaults as [`DynConfig::new`].
+    pub fn builder(platform: Platform) -> DynConfigBuilder {
+        DynConfigBuilder { cfg: DynConfig::new(platform) }
+    }
+
+    /// Check the configuration for nonsense combinations. The chained
+    /// setters clamp silently for backward compatibility; the builder
+    /// routes through this instead.
+    pub fn validate(&self) -> Result<(), MatchError> {
+        if self.devices == 0 {
+            return Err(MatchError::InvalidConfig("devices must be >= 1".to_string()));
+        }
+        if !(self.compact_frac.is_finite() && self.compact_frac > 0.0) {
+            return Err(MatchError::InvalidConfig(format!(
+                "compact_frac must be a positive finite fraction, got {}",
+                self.compact_frac
+            )));
+        }
+        if self.vertices_per_warp == Some(0) {
+            return Err(MatchError::InvalidConfig(
+                "vertices_per_warp must be >= 1 when fixed".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Validated builder for [`DynConfig`]; mirrors
+/// [`ldgm_core::ld_gpu::LdGpuConfigBuilder`].
+#[derive(Clone, Debug)]
+pub struct DynConfigBuilder {
+    cfg: DynConfig,
+}
+
+impl DynConfigBuilder {
+    /// Device count (validated, not clamped: 0 is rejected by `build`).
+    pub fn devices(mut self, n: usize) -> Self {
+        self.cfg.devices = n;
+        self
+    }
+
+    /// Delta-CSR compaction threshold fraction.
+    pub fn compact_frac(mut self, frac: f64) -> Self {
+        self.cfg.compact_frac = frac;
+        self
+    }
+
+    /// Fix the vertices-per-warp of frontier kernels.
+    pub fn vertices_per_warp(mut self, v: usize) -> Self {
+        self.cfg.vertices_per_warp = Some(v);
+        self
+    }
+
+    /// Toggle communication/computation overlap billing.
+    pub fn overlap(mut self, on: bool) -> Self {
+        self.cfg.overlap = on;
+        self
+    }
+
+    /// Check the accumulated configuration without consuming the builder.
+    pub fn validate(&self) -> Result<(), MatchError> {
+        self.cfg.validate()
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<DynConfig, MatchError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -220,6 +291,43 @@ impl IncrementalLd {
     /// Simulated seconds elapsed so far (max over device timelines).
     pub fn horizon(&self) -> f64 {
         self.rt.horizon()
+    }
+
+    /// Number of vertices in the maintained graph.
+    pub fn num_vertices(&self) -> usize {
+        self.mate.len()
+    }
+
+    /// Matched edges in the maintained matching.
+    pub fn cardinality(&self) -> usize {
+        self.mate.iter().filter(|&&m| m != UNMATCHED).count() / 2
+    }
+
+    /// Total weight of the maintained matching. Each matched edge's weight
+    /// is cached at both endpoints, so the sum halves to the edge total.
+    pub fn matched_weight(&self) -> f64 {
+        self.mate
+            .iter()
+            .zip(&self.mate_w)
+            .filter(|(&m, _)| m != UNMATCHED)
+            .map(|(_, &w)| w)
+            .sum::<f64>()
+            / 2.0
+    }
+
+    /// Total SETPOINTERS/SETMATES rounds so far (build + maintenance).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Update batches applied so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Live view of the run metrics accumulated so far.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.rt.metrics()
     }
 
     /// Check the maintained matching against the current snapshot:

@@ -130,7 +130,9 @@ impl DynamicMatcher for IncrementalMatcher {
             let batch = stream.next_batch(spec.batch_size);
             reports.push(engine.apply_batch(&batch));
             if spec.verify_each_batch {
-                engine.verify_current().map_err(|e| MatchError(format!("after batch {i}: {e}")))?;
+                engine
+                    .verify_current()
+                    .map_err(|e| MatchError::Engine(format!("after batch {i}: {e}")))?;
             }
         }
         let out = engine.finish();
@@ -168,7 +170,7 @@ impl RecomputeMatcher {
             .devices(self.setup.devices)
             .with_overlap(self.setup.overlap)
             .without_iteration_profile();
-        LdGpu::new(cfg).try_run(g).map_err(|e| MatchError(e.to_string()))
+        LdGpu::new(cfg).try_run(g).map_err(MatchError::engine)
     }
 }
 
@@ -222,7 +224,7 @@ impl DynamicMatcher for RecomputeMatcher {
             if spec.verify_each_batch {
                 out.matching
                     .verify(&snap)
-                    .map_err(|e| MatchError(format!("after batch {i}: {e}")))?;
+                    .map_err(|e| MatchError::Engine(format!("after batch {i}: {e}")))?;
             }
             reports.push(BatchReport {
                 batch: i as u64,
@@ -281,21 +283,35 @@ impl DynamicMatcherRegistry {
         r
     }
 
-    /// Register an engine, replacing any existing one of the same name.
-    pub fn register(&mut self, m: Box<dyn DynamicMatcher>) {
-        if let Some(slot) = self.entries.iter_mut().find(|e| e.name() == m.name()) {
-            *slot = m;
-        } else {
-            self.entries.push(m);
+    /// Register an engine. Re-registering a name replaces the earlier
+    /// entry (logged to stderr) and returns it; entries stay name-sorted.
+    pub fn register(&mut self, m: Box<dyn DynamicMatcher>) -> Option<Box<dyn DynamicMatcher>> {
+        match self.entries.binary_search_by(|e| e.name().cmp(m.name())) {
+            Ok(i) => {
+                eprintln!(
+                    "ldgm: dynamic engine '{}' re-registered; replacing the earlier entry",
+                    m.name()
+                );
+                Some(std::mem::replace(&mut self.entries[i], m))
+            }
+            Err(i) => {
+                self.entries.insert(i, m);
+                None
+            }
         }
     }
 
     /// Look up an engine by name.
     pub fn get(&self, name: &str) -> Option<&dyn DynamicMatcher> {
-        self.entries.iter().find(|e| e.name() == name).map(|e| e.as_ref())
+        self.entries.binary_search_by(|e| e.name().cmp(name)).ok().map(|i| self.entries[i].as_ref())
     }
 
-    /// Registered names, in registration order.
+    /// Look up an engine by name, with nearest-name suggestions on a miss.
+    pub fn try_get(&self, name: &str) -> Result<&dyn DynamicMatcher, MatchError> {
+        self.get(name).ok_or_else(|| MatchError::unknown_algorithm(name, &self.names()))
+    }
+
+    /// Registered names, deterministically sorted.
     pub fn names(&self) -> Vec<&str> {
         self.entries.iter().map(|e| e.name()).collect()
     }
@@ -324,11 +340,24 @@ mod tests {
     #[test]
     fn registry_has_both_engines() {
         let r = DynamicMatcherRegistry::with_defaults(&setup());
-        assert_eq!(r.names(), vec!["incremental", "from-scratch"]);
+        assert_eq!(r.names(), vec!["from-scratch", "incremental"]);
         assert!(r.get("incremental").is_some());
         assert!(r.get("nope").is_none());
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());
+        // A miss suggests the nearest registered engine.
+        let err = r.try_get("incrmental").err().expect("miss must error");
+        match &err {
+            MatchError::UnknownAlgorithm { suggestions, .. } => {
+                assert_eq!(suggestions[0], "incremental");
+            }
+            other => panic!("expected UnknownAlgorithm, got {other:?}"),
+        }
+        // Re-registration replaces and returns the displaced engine.
+        let mut r = DynamicMatcherRegistry::with_defaults(&setup());
+        let displaced = r.register(Box::new(RecomputeMatcher::new(setup())));
+        assert_eq!(displaced.map(|m| m.name().to_string()), Some("from-scratch".to_string()));
+        assert_eq!(r.len(), 2);
     }
 
     #[test]

@@ -519,6 +519,13 @@ impl SimRuntime {
         self.iterations.push(rec);
     }
 
+    /// Live view of the metrics accumulated so far. Long-lived callers
+    /// (the serve layer) read per-batch deltas from here without waiting
+    /// for [`SimRuntime::finish`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Add `delta` to a counter (engine-semantic metrics).
     pub fn counter_add(&mut self, name: &str, delta: u64) {
         self.metrics.counter_add(name, delta);

@@ -1,0 +1,40 @@
+//! # ldgm-serve — matching as a service
+//!
+//! Everything else in this workspace is batch-shaped: an engine runs once
+//! and exits. This crate keeps graphs and their locally-dominant matchings
+//! *resident* and multiplexes concurrent callers over a minimal TCP layer
+//! (blocking `std::net` sockets on a thread pool — no async runtime),
+//! speaking a line-delimited JSON protocol.
+//!
+//! The load-bearing piece is the **update coalescer**
+//! ([`service::MatchService`]): concurrent small updates from many clients
+//! queue into a pending buffer and flush into one
+//! [`ldgm_dyn::IncrementalLd`] batch when the buffer reaches a target size
+//! (default 64, the BENCH_dynamic sweet spot) or a deadline elapses. Reads
+//! are **snapshot-consistent**: they are served from the last *committed*
+//! snapshot (an `Arc`-swapped [`service::Snapshot`]), never from a
+//! half-applied batch. Correctness of coalescing follows from canonical
+//! uniqueness — the repo-wide total preference order makes the LD matching
+//! a pure function of the final graph state, so any batching of an
+//! order-preserved update sequence commits the same matching.
+//!
+//! Modules:
+//! - [`protocol`] — typed requests/responses over the hand-rolled
+//!   [`ldgm_gpusim::json::Json`] value (the workspace is dependency-free).
+//! - [`service`] — the coalescing service core: pending buffer, snapshot
+//!   discipline, `subscribe` notifications, per-tenant sim-time billing
+//!   with admission control.
+//! - [`server`] — the TCP layer: accept loop, worker pool, deadline
+//!   flusher, graceful shutdown with an offline replay check.
+
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use ldgm_core::UNMATCHED;
+pub use protocol::{ParsedRequest, Request};
+pub use server::{serve, ServerHandle};
+pub use service::{
+    AdmissionError, FlushSummary, MatchService, MateChange, ServeConfig, ServiceStats, Snapshot,
+    SubmitAck,
+};

@@ -1,0 +1,248 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Each client line is one JSON object with an `"op"` field; each server
+//! line is one JSON object. Responses carry `"ok": true|false` (failures
+//! add an HTTP-flavored `"code"` and an `"error"` message); asynchronous
+//! subscription notifications instead carry an `"event"` field so clients
+//! can tell them apart from responses on the same stream.
+//!
+//! Requests:
+//!
+//! | op             | fields                                   | response |
+//! |----------------|------------------------------------------|----------|
+//! | `hello`        | `tenant`                                 | ack; sets the connection's billing id |
+//! | `mate`         | `v`                                      | `mate` (or `null`), `epoch` |
+//! | `match-info`   | —                                        | weight, size, epoch, pending, schema-v2 gauges |
+//! | `update`       | `kind` (`insert`/`delete`), `u`, `v`, `w`| ack with `pending`/`flushed`, or `429` |
+//! | `update-batch` | `updates`: array of update objects       | same |
+//! | `subscribe`    | `v`                                      | ack; later `mate-change` events |
+//! | `flush`        | —                                        | forces a coalescer flush |
+//! | `stats`        | —                                        | coalescer + per-tenant accounting |
+//! | `shutdown`     | —                                        | final flush + offline replay check, then the server exits |
+//!
+//! Every request may carry `"dataset": <name>` to address one of several
+//! resident datasets; it defaults to the first one loaded.
+
+use ldgm_dyn::EdgeUpdate;
+use ldgm_gpusim::json::{self, Json};
+use ldgm_graph::csr::VertexId;
+
+/// A decoded request operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Declare the connection's tenant (billing) id.
+    Hello {
+        /// Tenant id billed for subsequent requests on this connection.
+        tenant: String,
+    },
+    /// Point query: the mate of vertex `v` in the committed snapshot.
+    Mate {
+        /// Queried vertex.
+        v: VertexId,
+    },
+    /// Matching summary: weight, cardinality, epoch, gauges.
+    MatchInfo,
+    /// A single edge update, queued into the coalescer.
+    Update {
+        /// The update.
+        update: EdgeUpdate,
+    },
+    /// Several updates queued atomically (admitted or rejected together).
+    UpdateBatch {
+        /// The updates, in client order.
+        updates: Vec<EdgeUpdate>,
+    },
+    /// Subscribe to mate-change events of vertex `v`.
+    Subscribe {
+        /// Watched vertex.
+        v: VertexId,
+    },
+    /// Force a coalescer flush now.
+    Flush,
+    /// Coalescer and per-tenant accounting counters.
+    Stats,
+    /// Flush, run the offline replay check, report, and stop the server.
+    Shutdown,
+}
+
+/// A decoded request line: the operation plus its optional dataset route.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedRequest {
+    /// Target dataset name; `None` selects the server's default dataset.
+    pub dataset: Option<String>,
+    /// The operation.
+    pub request: Request,
+}
+
+fn get_u32(j: &Json, key: &str) -> Result<u32, String> {
+    let v = j
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric '{key}'"))?;
+    if v < 0.0 || v.fract() != 0.0 || v > u32::MAX as f64 {
+        return Err(format!("'{key}' must be a u32, got {v}"));
+    }
+    Ok(v as u32)
+}
+
+/// Decode one update object (`{"kind": "insert"|"delete", "u", "v", "w"}`).
+fn parse_update(j: &Json) -> Result<EdgeUpdate, String> {
+    let kind = j.get("kind").and_then(Json::as_str).ok_or("missing 'kind'")?;
+    let u = get_u32(j, "u")?;
+    let v = get_u32(j, "v")?;
+    match kind {
+        "insert" => {
+            let w = j
+                .get("w")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "insert requires a numeric 'w'".to_string())?;
+            Ok(EdgeUpdate::Insert { u, v, w })
+        }
+        "delete" => Ok(EdgeUpdate::Delete { u, v }),
+        other => Err(format!("unknown update kind '{other}' (valid: insert, delete)")),
+    }
+}
+
+impl ParsedRequest {
+    /// Parse one request line. Errors are protocol-level (malformed JSON,
+    /// unknown op, missing fields) and map to a `400` response.
+    pub fn parse(line: &str) -> Result<ParsedRequest, String> {
+        let j = json::parse(line).map_err(|e| e.to_string())?;
+        let dataset = j.get("dataset").and_then(Json::as_str).map(str::to_string);
+        let op = j.get("op").and_then(Json::as_str).ok_or("missing 'op'")?;
+        let request = match op {
+            "hello" => Request::Hello {
+                tenant: j
+                    .get("tenant")
+                    .and_then(Json::as_str)
+                    .ok_or("hello requires 'tenant'")?
+                    .to_string(),
+            },
+            "mate" => Request::Mate { v: get_u32(&j, "v")? },
+            "match-info" => Request::MatchInfo,
+            "update" => Request::Update { update: parse_update(&j)? },
+            "update-batch" => {
+                let items = j.get("updates").and_then(Json::as_array).ok_or("missing 'updates'")?;
+                let updates = items.iter().map(parse_update).collect::<Result<Vec<_>, String>>()?;
+                Request::UpdateBatch { updates }
+            }
+            "subscribe" => Request::Subscribe { v: get_u32(&j, "v")? },
+            "flush" => Request::Flush,
+            "stats" => Request::Stats,
+            "shutdown" => Request::Shutdown,
+            other => {
+                return Err(format!(
+                    "unknown op '{other}' (valid: hello, mate, match-info, update, update-batch, \
+                 subscribe, flush, stats, shutdown)"
+                ))
+            }
+        };
+        Ok(ParsedRequest { dataset, request })
+    }
+}
+
+/// Encode an update for the wire (the loadgen and tests use this).
+pub fn update_to_json(u: &EdgeUpdate) -> Json {
+    match *u {
+        EdgeUpdate::Insert { u, v, w } => {
+            Json::object().with("kind", "insert").with("u", u).with("v", v).with("w", w)
+        }
+        EdgeUpdate::Delete { u, v } => {
+            Json::object().with("kind", "delete").with("u", u).with("v", v)
+        }
+    }
+}
+
+/// A success response skeleton (`{"ok": true}`), extended per-op.
+pub fn ok_response() -> Json {
+    Json::object().with("ok", true)
+}
+
+/// A failure response with an HTTP-flavored status code.
+pub fn err_response(code: u32, message: impl Into<String>) -> Json {
+    Json::object().with("ok", false).with("code", code).with("error", message.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let cases = [
+            (r#"{"op":"hello","tenant":"t1"}"#, Request::Hello { tenant: "t1".into() }),
+            (r#"{"op":"mate","v":7}"#, Request::Mate { v: 7 }),
+            (r#"{"op":"match-info"}"#, Request::MatchInfo),
+            (
+                r#"{"op":"update","kind":"insert","u":1,"v":2,"w":0.5}"#,
+                Request::Update { update: EdgeUpdate::Insert { u: 1, v: 2, w: 0.5 } },
+            ),
+            (
+                r#"{"op":"update","kind":"delete","u":3,"v":4}"#,
+                Request::Update { update: EdgeUpdate::Delete { u: 3, v: 4 } },
+            ),
+            (r#"{"op":"subscribe","v":0}"#, Request::Subscribe { v: 0 }),
+            (r#"{"op":"flush"}"#, Request::Flush),
+            (r#"{"op":"stats"}"#, Request::Stats),
+            (r#"{"op":"shutdown"}"#, Request::Shutdown),
+        ];
+        for (line, want) in cases {
+            let got = ParsedRequest::parse(line).unwrap();
+            assert_eq!(got.request, want, "{line}");
+            assert_eq!(got.dataset, None, "{line}");
+        }
+    }
+
+    #[test]
+    fn parses_batches_and_dataset_routes() {
+        let line = r#"{"op":"update-batch","dataset":"g2","updates":[
+            {"kind":"insert","u":0,"v":1,"w":2.0},{"kind":"delete","u":1,"v":2}]}"#;
+        let got = ParsedRequest::parse(line).unwrap();
+        assert_eq!(got.dataset.as_deref(), Some("g2"));
+        assert_eq!(
+            got.request,
+            Request::UpdateBatch {
+                updates: vec![
+                    EdgeUpdate::Insert { u: 0, v: 1, w: 2.0 },
+                    EdgeUpdate::Delete { u: 1, v: 2 },
+                ]
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for line in [
+            "not json",
+            r#"{"v":3}"#,
+            r#"{"op":"warp"}"#,
+            r#"{"op":"mate"}"#,
+            r#"{"op":"mate","v":-1}"#,
+            r#"{"op":"mate","v":1.5}"#,
+            r#"{"op":"update","kind":"insert","u":0,"v":1}"#,
+            r#"{"op":"update","kind":"upsert","u":0,"v":1}"#,
+            r#"{"op":"hello"}"#,
+        ] {
+            assert!(ParsedRequest::parse(line).is_err(), "{line} should not parse");
+        }
+    }
+
+    #[test]
+    fn update_round_trips_through_json() {
+        for u in [EdgeUpdate::Insert { u: 9, v: 4, w: 1.25 }, EdgeUpdate::Delete { u: 2, v: 8 }] {
+            let line = update_to_json(&u).with("op", "update").to_string_compact();
+            let got = ParsedRequest::parse(&line).unwrap();
+            assert_eq!(got.request, Request::Update { update: u });
+        }
+    }
+
+    #[test]
+    fn response_helpers_have_the_documented_shape() {
+        let ok = ok_response().with("mate", 3u32);
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        let err = err_response(429, "too many pending updates");
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(err.get("code").and_then(Json::as_f64), Some(429.0));
+        assert!(err.get("error").and_then(Json::as_str).unwrap().contains("pending"));
+    }
+}

@@ -1,0 +1,496 @@
+//! The TCP layer: blocking `std::net` sockets on a small thread pool.
+//!
+//! One acceptor thread hands connections to `workers` handler threads
+//! over an mpsc channel; each handler owns its connection for its
+//! lifetime (requests on one connection are processed in order, as the
+//! protocol promises). A flusher thread ticks the deadline-based flush of
+//! every resident dataset so a trickle of updates still commits without
+//! waiting for the coalesce target.
+//!
+//! Shutdown is cooperative: the `shutdown` op (or
+//! [`ServerHandle::shutdown`]) flushes every dataset, runs the offline
+//! replay check, flips the stop flag and nudges the acceptor with a
+//! loopback connect so it can exit its blocking `accept`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ldgm_gpusim::json::Json;
+use parking_lot::Mutex;
+
+use crate::protocol::{err_response, ok_response, ParsedRequest, Request};
+use crate::service::{MatchService, UNMATCHED};
+
+/// A running server: its bound address and the handles needed to stop it.
+pub struct ServerHandle {
+    /// The actual bound address (the requested port may have been 0).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// True once a `shutdown` op (or [`ServerHandle::shutdown`]) ran.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stop the server and join its threads. Idempotent with the wire
+    /// `shutdown` op; in-flight connections are drained, not severed.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept loop.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until every server thread exits (i.e. until some client
+    /// sends the `shutdown` op).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Start serving `services` (first entry is the default dataset) on
+/// `bind` (e.g. `"127.0.0.1:0"`) with `workers` handler threads.
+pub fn serve(
+    services: Vec<Arc<MatchService>>,
+    bind: &str,
+    workers: usize,
+) -> std::io::Result<ServerHandle> {
+    assert!(!services.is_empty(), "serve requires at least one dataset");
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let services = Arc::new(services);
+    let mut threads = Vec::new();
+
+    // Deadline flusher: ticks at a fraction of the smallest deadline.
+    let min_deadline =
+        services.iter().map(|s| s.config().deadline).min().unwrap_or(Duration::from_millis(10));
+    let tick = (min_deadline / 2).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    {
+        let services = services.clone();
+        let stop = stop.clone();
+        threads.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                for s in services.iter() {
+                    s.flush_due();
+                }
+                std::thread::sleep(tick);
+            }
+        }));
+    }
+
+    // Worker pool fed by the acceptor.
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    for _ in 0..workers.max(1) {
+        let rx = rx.clone();
+        let services = services.clone();
+        let stop = stop.clone();
+        threads.push(std::thread::spawn(move || loop {
+            let conn = { rx.lock().recv() };
+            match conn {
+                Ok(stream) => handle_connection(&services, stream, &stop),
+                Err(_) => return, // acceptor gone
+            }
+        }));
+    }
+
+    // Acceptor.
+    {
+        let stop = stop.clone();
+        threads.push(std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break; // the nudge connect lands here
+                }
+                match stream {
+                    Ok(s) => {
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // Dropping `tx` drains the worker pool.
+        }));
+    }
+
+    Ok(ServerHandle { addr, stop, threads })
+}
+
+fn resolve<'a>(
+    services: &'a [Arc<MatchService>],
+    dataset: Option<&str>,
+) -> Result<&'a Arc<MatchService>, Json> {
+    match dataset {
+        None => Ok(&services[0]),
+        Some(name) => services.iter().find(|s| s.name() == name).ok_or_else(|| {
+            let valid: Vec<&str> = services.iter().map(|s| s.name()).collect();
+            err_response(404, format!("unknown dataset '{name}' (loaded: {})", valid.join(", ")))
+        }),
+    }
+}
+
+fn write_line(out: &Mutex<TcpStream>, j: &Json) -> bool {
+    let mut line = j.to_string_compact();
+    line.push('\n');
+    let mut s = out.lock();
+    s.write_all(line.as_bytes()).and_then(|_| s.flush()).is_ok()
+}
+
+fn handle_connection(services: &[Arc<MatchService>], stream: TcpStream, stop: &Arc<AtomicBool>) {
+    let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
+    // A finite read timeout lets this handler notice the stop flag even
+    // while its client sits idle, so shutdown never hangs on an open
+    // connection. Nagle's algorithm would add ~40 ms of delayed-ACK
+    // latency to the small request/response frames this protocol sends.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    let mut reader = BufReader::new(read_half);
+    // Until `hello` renames it, the tenant is the peer socket address —
+    // unique per connection, so accounting still separates clients.
+    let mut tenant = format!("client-{peer}");
+    let mut line = String::new();
+
+    loop {
+        line.clear();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return, // client hung up
+                Ok(_) => break,
+                // Timeout mid-wait (or mid-line: already-read bytes stay
+                // appended to `line`, so continuing is lossless).
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = match ParsedRequest::parse(line.trim()) {
+            Ok(p) => p,
+            Err(e) => {
+                if !write_line(&writer, &err_response(400, e)) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let service = match resolve(services, parsed.dataset.as_deref()) {
+            Ok(s) => s,
+            Err(resp) => {
+                if !write_line(&writer, &resp) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match parsed.request {
+            Request::Hello { tenant: t } => {
+                tenant = t;
+                ok_response().with("tenant", tenant.clone())
+            }
+            Request::Mate { v } => {
+                let (mate, snap) = service.mate(&tenant, v);
+                if (v as usize) >= snap.mate.len() {
+                    err_response(404, format!("vertex {v} out of range (n={})", snap.mate.len()))
+                } else {
+                    let mate_json = match mate {
+                        Some(m) => Json::from(m),
+                        None => Json::Null,
+                    };
+                    ok_response().with("v", v).with("mate", mate_json).with("epoch", snap.epoch)
+                }
+            }
+            Request::MatchInfo => {
+                let mut j = service.info_json();
+                j.set("ok", true);
+                j
+            }
+            Request::Update { update } => match service.submit(&tenant, &[update]) {
+                Ok(ack) => ok_response()
+                    .with("admitted", ack.admitted)
+                    .with("pending", ack.pending)
+                    .with("flushed", ack.flushed),
+                Err(e) => err_response(429, e.to_string()),
+            },
+            Request::UpdateBatch { updates } => match service.submit(&tenant, &updates) {
+                Ok(ack) => ok_response()
+                    .with("admitted", ack.admitted)
+                    .with("pending", ack.pending)
+                    .with("flushed", ack.flushed),
+                Err(e) => err_response(429, e.to_string()),
+            },
+            Request::Subscribe { v } => {
+                if (v as usize) >= service.snapshot().mate.len() {
+                    err_response(404, format!("vertex {v} out of range"))
+                } else {
+                    let out = writer.clone();
+                    let dataset = service.name().to_string();
+                    service.subscribe(
+                        v,
+                        Box::new(move |c| {
+                            let ev = Json::object()
+                                .with("event", "mate-change")
+                                .with("dataset", dataset.clone())
+                                .with("v", c.v)
+                                .with(
+                                    "old",
+                                    if c.old == UNMATCHED { Json::Null } else { Json::from(c.old) },
+                                )
+                                .with(
+                                    "new",
+                                    if c.new == UNMATCHED { Json::Null } else { Json::from(c.new) },
+                                )
+                                .with("epoch", c.epoch);
+                            write_line(&out, &ev)
+                        }),
+                    );
+                    ok_response().with("subscribed", v)
+                }
+            }
+            Request::Flush => match service.flush() {
+                Some(f) => ok_response()
+                    .with("flushed", f.updates)
+                    .with("epoch", f.epoch)
+                    .with("sim_time", f.sim_time),
+                None => ok_response().with("flushed", 0u64),
+            },
+            Request::Stats => {
+                let mut j = service.stats_json();
+                j.set("ok", true);
+                j
+            }
+            Request::Shutdown => {
+                // Flush everything, then verify each dataset against an
+                // offline replay before reporting.
+                let mut datasets = Vec::new();
+                let mut all_identical = true;
+                for s in services {
+                    s.flush();
+                    let replay = s.replay_check();
+                    all_identical &= replay.is_ok();
+                    let snap = s.snapshot();
+                    datasets.push(
+                        Json::object()
+                            .with("dataset", s.name())
+                            .with("epoch", snap.epoch)
+                            .with("weight", snap.weight)
+                            .with("size", snap.cardinality)
+                            .with("replay_identical", replay.is_ok())
+                            .with(
+                                "replay_error",
+                                match replay {
+                                    Ok(()) => Json::Null,
+                                    Err(e) => Json::from(e),
+                                },
+                            ),
+                    );
+                }
+                stop.store(true, Ordering::SeqCst);
+                ok_response()
+                    .with("stopping", true)
+                    .with("replay_identical", all_identical)
+                    .with("datasets", datasets)
+            }
+        };
+        let stopping = stop.load(Ordering::SeqCst);
+        if !write_line(&writer, &response) {
+            return;
+        }
+        if stopping {
+            // Nudge the acceptor so it observes the flag.
+            if let Ok(addr) = writer.lock().local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+    use ldgm_dyn::DynConfig;
+    use ldgm_gpusim::{json, Platform};
+    use ldgm_graph::gen::urand;
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        stream: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            Client { reader, stream }
+        }
+
+        fn send(&mut self, line: &str) -> Json {
+            self.stream.write_all(line.as_bytes()).unwrap();
+            self.stream.write_all(b"\n").unwrap();
+            self.read_msg()
+        }
+
+        fn read_msg(&mut self) -> Json {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            json::parse(line.trim()).unwrap()
+        }
+    }
+
+    fn start(n: usize, m: usize, seed: u64, target: usize) -> ServerHandle {
+        let g = urand(n, m, seed);
+        let cfg = DynConfig::builder(Platform::dgx_a100()).devices(2).build().unwrap();
+        let service = Arc::new(MatchService::new(
+            "g",
+            g,
+            cfg,
+            ServeConfig {
+                coalesce_target: target,
+                // Keep the background flusher out of these deterministic
+                // sessions: only the size target (or explicit ops) flush.
+                deadline: Duration::from_secs(3600),
+                ..ServeConfig::default()
+            },
+        ));
+        serve(vec![service], "127.0.0.1:0", 4).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_session_over_tcp() {
+        let handle = start(100, 400, 7, 4);
+        let addr = handle.addr;
+        let mut c = Client::connect(addr);
+
+        let hello = c.send(r#"{"op":"hello","tenant":"alice"}"#);
+        assert_eq!(hello.get("ok").and_then(Json::as_bool), Some(true));
+
+        let info = c.send(r#"{"op":"match-info"}"#);
+        assert_eq!(info.get("epoch").and_then(Json::as_f64), Some(0.0));
+        let seed_weight = info.get("weight").and_then(Json::as_f64).unwrap();
+        assert!(seed_weight > 0.0);
+
+        // A malformed line errors without killing the connection.
+        let bad = c.send(r#"{"op":"warp"}"#);
+        assert_eq!(bad.get("code").and_then(Json::as_f64), Some(400.0));
+
+        // Heavy insert: must flush at the 4-update target and show up in
+        // mate queries.
+        let burst = r#"{"op":"update-batch","updates":[
+            {"kind":"insert","u":0,"v":50,"w":1000.0},
+            {"kind":"insert","u":1,"v":51,"w":1000.0},
+            {"kind":"insert","u":2,"v":52,"w":1000.0},
+            {"kind":"insert","u":3,"v":53,"w":1000.0}]}"#
+            .replace('\n', " ");
+        let ack = c.send(&burst);
+        assert_eq!(ack.get("flushed").and_then(Json::as_bool), Some(true));
+        let mate = c.send(r#"{"op":"mate","v":0}"#);
+        assert_eq!(mate.get("mate").and_then(Json::as_f64), Some(50.0));
+        assert_eq!(mate.get("epoch").and_then(Json::as_f64), Some(1.0));
+
+        // A second concurrent client sees the same committed snapshot.
+        let mut c2 = Client::connect(addr);
+        let mate2 = c2.send(r#"{"op":"mate","v":0,"dataset":"g"}"#);
+        assert_eq!(mate2.get("mate").and_then(Json::as_f64), Some(50.0));
+        let missing = c2.send(r#"{"op":"mate","v":0,"dataset":"nope"}"#);
+        assert_eq!(missing.get("code").and_then(Json::as_f64), Some(404.0));
+
+        let stats = c.send(r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("flushes").and_then(Json::as_f64), Some(1.0));
+        let tenants = stats.get("tenants").unwrap();
+        assert!(tenants.get("alice").is_some(), "hello must rename the tenant");
+
+        let bye = c.send(r#"{"op":"shutdown"}"#);
+        assert_eq!(bye.get("replay_identical").and_then(Json::as_bool), Some(true));
+        handle.join();
+    }
+
+    #[test]
+    fn subscription_events_arrive_over_the_wire() {
+        let handle = start(80, 300, 9, 2);
+        let mut c = Client::connect(handle.addr);
+        // Insert a dominant edge, then delete it; subscriber on u sees the
+        // second commit change u's mate.
+        let ins = r#"{"op":"update-batch","updates":[
+            {"kind":"insert","u":5,"v":40,"w":500.0},
+            {"kind":"insert","u":6,"v":41,"w":500.0}]}"#
+            .replace('\n', " ");
+        c.send(&ins);
+        assert_eq!(
+            c.send(r#"{"op":"subscribe","v":5}"#).get("subscribed").and_then(Json::as_f64),
+            Some(5.0)
+        );
+        let del = r#"{"op":"update-batch","updates":[
+            {"kind":"delete","u":5,"v":40},
+            {"kind":"delete","u":6,"v":41}]}"#
+            .replace('\n', " ");
+        // The flush happens inline during submit, so the mate-change
+        // event is written *before* the ack; accept either order.
+        let m1 = c.send(&del);
+        let m2 = c.read_msg();
+        let (ev, ack) = if m1.get("event").is_some() { (m1, m2) } else { (m2, m1) };
+        assert_eq!(ack.get("flushed").and_then(Json::as_bool), Some(true));
+        assert_eq!(ev.get("event").and_then(Json::as_str), Some("mate-change"));
+        assert_eq!(ev.get("v").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(ev.get("old").and_then(Json::as_f64), Some(40.0));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn admission_control_answers_429_on_the_wire() {
+        let g = urand(50, 150, 3);
+        let cfg = DynConfig::builder(Platform::dgx_a100()).build().unwrap();
+        let service = Arc::new(MatchService::new(
+            "g",
+            g,
+            cfg,
+            ServeConfig {
+                coalesce_target: 10_000,
+                max_pending_per_tenant: 3,
+                deadline: Duration::from_secs(3600),
+            },
+        ));
+        let handle = serve(vec![service], "127.0.0.1:0", 2).unwrap();
+        let mut c = Client::connect(handle.addr);
+        for i in 0..3 {
+            let resp = c.send(&format!(
+                r#"{{"op":"update","kind":"insert","u":{i},"v":{},"w":1.0}}"#,
+                i + 20
+            ));
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{i}");
+        }
+        let resp = c.send(r#"{"op":"update","kind":"insert","u":9,"v":29,"w":1.0}"#);
+        assert_eq!(resp.get("code").and_then(Json::as_f64), Some(429.0));
+        // An explicit flush clears the backlog and admits again.
+        c.send(r#"{"op":"flush"}"#);
+        let resp = c.send(r#"{"op":"update","kind":"insert","u":9,"v":29,"w":1.0}"#);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        handle.shutdown();
+    }
+}
