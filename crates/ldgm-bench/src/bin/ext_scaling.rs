@@ -1,27 +1,45 @@
-//! Regenerate the communication-overlap device-count scaling study and
-//! record its measurements as `BENCH_scaling.json` in the working
-//! directory. See `ldgm_bench::exp::ext_scaling`.
+//! Regenerate the communication-overlap device-count scaling study plus
+//! the multi-node cluster sweep, and record the measurements as
+//! `BENCH_scaling.json` in the working directory. See
+//! `ldgm_bench::exp::ext_scaling`.
 //!
-//! Usage: `ext_scaling [--out PATH] [DATASET...]`
+//! Usage: `ext_scaling [--out PATH] [--no-cluster]
+//!                     [--cluster-nodes N] [--cluster-gpus M] [DATASET...]`
 //!
 //! With no datasets the full fourteen-graph registry is swept; naming a
-//! subset (e.g. the CI smoke run) restricts the sweep. The written JSON
+//! subset (e.g. the CI smoke run) restricts the sweep. `--no-cluster`
+//! skips the cluster sweep (pure-overlap document, every row `kind:
+//! "overlap"`). `--cluster-nodes N --cluster-gpus M` replaces the default
+//! 16/64/128-GPU shapes with the single shape `N x M`. The written JSON
 //! is parsed back and cross-checked against the in-memory records before
 //! the binary reports success.
 
 use ldgm_bench::datasets::{by_name, registry};
-use ldgm_bench::exp::ext_scaling::{run_on, scaling_records_to_json};
+use ldgm_bench::exp::ext_scaling::{
+    cluster_sweep, combined_records_to_json, run_cluster_on, run_on, ClusterRecord,
+};
 use ldgm_gpusim::json::{self, Json};
 
 fn main() {
     let mut out_path = "BENCH_scaling.json".to_string();
     let mut names: Vec<String> = Vec::new();
+    let mut with_cluster = true;
+    let mut cluster_nodes: Option<usize> = None;
+    let mut cluster_gpus: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--out" {
-            out_path = args.next().expect("--out requires a path");
-        } else {
-            names.push(a);
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            "--no-cluster" => with_cluster = false,
+            "--cluster-nodes" => {
+                let n = args.next().expect("--cluster-nodes requires a count");
+                cluster_nodes = Some(n.parse().expect("--cluster-nodes must be a positive count"));
+            }
+            "--cluster-gpus" => {
+                let n = args.next().expect("--cluster-gpus requires a count");
+                cluster_gpus = Some(n.parse().expect("--cluster-gpus must be a positive count"));
+            }
+            _ => names.push(a),
         }
     }
     let datasets = if names.is_empty() {
@@ -29,19 +47,36 @@ fn main() {
     } else {
         names.iter().map(|n| by_name(n).expect("known dataset")).collect()
     };
+    let shapes = match (cluster_nodes, cluster_gpus) {
+        (None, None) => cluster_sweep(),
+        (n, g) => vec![(n.unwrap_or(2), g.unwrap_or(8))],
+    };
 
     let mut out = std::io::stdout().lock();
     let records = run_on(&datasets, &mut out).expect("report write failed");
-    let doc = scaling_records_to_json(&records).to_string_pretty();
+    let cluster: Vec<ClusterRecord> = if with_cluster {
+        run_cluster_on(&datasets, &shapes, &mut out).expect("report write failed")
+    } else {
+        Vec::new()
+    };
+    let doc = combined_records_to_json(&records, &cluster).to_string_pretty();
     std::fs::write(&out_path, doc.clone() + "\n").expect("JSON write failed");
 
     // Round-trip check: what landed on disk parses back to the same rows.
     let parsed = json::parse(&doc).expect("written JSON must parse");
     let rows = parsed.as_array().expect("array document");
-    assert_eq!(rows.len(), records.len(), "row count round-trips");
+    assert_eq!(rows.len(), records.len() + cluster.len(), "row count round-trips");
     for (row, rec) in rows.iter().zip(&records) {
+        assert_eq!(row.get("kind").and_then(Json::as_str), Some("overlap"));
         assert_eq!(row.get("dataset").and_then(Json::as_str), Some(rec.dataset.as_str()));
         assert_eq!(row.get("time_overlap").and_then(Json::as_f64), Some(rec.time_overlap));
+        assert_eq!(row.get("identical").and_then(Json::as_bool), Some(rec.identical));
+    }
+    for (row, rec) in rows.iter().skip(records.len()).zip(&cluster) {
+        assert_eq!(row.get("kind").and_then(Json::as_str), Some("cluster"));
+        assert_eq!(row.get("dataset").and_then(Json::as_str), Some(rec.dataset.as_str()));
+        assert_eq!(row.get("nodes").and_then(Json::as_f64), Some(rec.nodes as f64));
+        assert_eq!(row.get("time_hier").and_then(Json::as_f64), Some(rec.time_hier));
         assert_eq!(row.get("identical").and_then(Json::as_bool), Some(rec.identical));
     }
     let datasets_with_drop: std::collections::BTreeSet<&str> = records
@@ -49,9 +84,18 @@ fn main() {
         .filter(|r| r.devices >= 4 && r.exposed_reduction() > 0.0)
         .map(|r| r.dataset.as_str())
         .collect();
+    let placement_wins: std::collections::BTreeSet<&str> = cluster
+        .iter()
+        .filter(|r| r.devices >= 64 && r.inter_reduction() > 0.0)
+        .map(|r| r.dataset.as_str())
+        .collect();
     println!(
-        "wrote {out_path} ({} records; exposed comm drops on >=4 devices for {} datasets)",
+        "wrote {out_path} ({} overlap + {} cluster records; exposed comm drops on \
+         >=4 devices for {} datasets; placement trims inter-node time at >=64 GPUs \
+         for {} datasets)",
         records.len(),
-        datasets_with_drop.len()
+        cluster.len(),
+        datasets_with_drop.len(),
+        placement_wins.len()
     );
 }

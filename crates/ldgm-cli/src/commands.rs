@@ -13,11 +13,13 @@ use std::time::Duration;
 
 use ldgm_core::augment::augment_short;
 use ldgm_core::verify::half_approx_certificate;
-use ldgm_core::{MatchResult, MatcherRegistry, MatcherSetup};
+use ldgm_core::{edit_distance, nearest_names, MatchResult, MatcherRegistry, MatcherSetup};
 use ldgm_dyn::matcher::IncrementalMatcher;
 use ldgm_dyn::{DynConfig, DynamicMatcherRegistry, WorkloadKind, WorkloadSpec};
 use ldgm_gpusim::metrics::names;
-use ldgm_gpusim::{chrome_trace_json, timeline_breakdown, PhaseBreakdown, Platform, RunReport};
+use ldgm_gpusim::{
+    chrome_trace_json, timeline_breakdown, ClusterTopology, PhaseBreakdown, Platform, RunReport,
+};
 use ldgm_graph::csr::CsrGraph;
 use ldgm_graph::gen::GraphGen;
 use ldgm_graph::io;
@@ -72,6 +74,12 @@ OPTIONS:
   --batches B         batches per device for ld-gpu (default auto)
   --platform P        simulated platform preset (default dgx-a100);
                       `ldgm platforms` lists them
+  --nodes N           cluster size: N nodes of the platform joined by the
+                      inter-node link (flat presets cluster over
+                      InfiniBand HDR; cluster presets re-size)
+  --topo-placement    topology-aware part->node placement: keep heavy cut
+                      edges intra-node and bill only the node-boundary
+                      fraction of each collective over the slow link
   --seed S            seed for randomized algorithms (default 0)
   --overlap           overlap collectives with compute for the LD-GPU
                       matchers (chunked allreduce on the comm stream)
@@ -105,6 +113,7 @@ OPTIONS:
   --window W          live-edge cap for sliding-window (default |E|)
   --platform P        simulated platform preset (default dgx-a100)
   --devices N         simulated devices (default 1)
+  --nodes N           cluster size (see `ldgm help match`)
   --seed S            update-stream seed (default 0)
   --compact-frac F    delta-CSR compaction threshold (default 0.25)
   --overlap           overlap collectives with compute (chunked allreduce
@@ -161,6 +170,8 @@ OPTIONS:
   --platform P      simulated platform preset (default dgx-a100)
   --devices N       devices for simulated algorithms (default 1)
   --batches B       batches per device for ld-gpu (default auto)
+  --nodes N         cluster size (see `ldgm help match`)
+  --topo-placement  topology-aware part->node placement (LD-GPU matchers)
   --seed S          seed for randomized algorithms (default 0)
   --overlap         overlap collectives with compute (LD-GPU matchers)
   --metrics N       metrics rows per algorithm (default 6)
@@ -179,10 +190,12 @@ OPTIONS:
     (
         "platforms",
         "\
-ldgm platforms - list the simulated platform presets
+ldgm platforms - list the simulated platform and cluster presets
 
-Each row shows the preset name accepted by --platform, the device model
-and count, per-device memory, and the peer/h2d interconnects.
+The first section shows the presets accepted by --platform: device model
+and count, per-device memory, and the peer/h2d interconnects. The second
+lists the cluster topologies (nodes x GPUs with intra-/inter-node link
+classes) behind the cluster presets and the --nodes option.
 ",
     ),
 ];
@@ -224,18 +237,33 @@ fn load_graph(args: &Args) -> Result<CsrGraph, ArgError> {
         .map_err(|e| ArgError(format!("failed to read '{path}': {e}")))
 }
 
-/// Validate `--platform` against the preset registry.
+/// Validate `--platform` against the preset registry; typos get the
+/// nearest preset name suggested.
 fn parse_platform(name: &str) -> Result<Platform, ArgError> {
     Platform::by_name(name).ok_or_else(|| {
-        ArgError(format!(
-            "unknown platform '{name}' (valid: {})",
-            Platform::preset_names().join(", ")
-        ))
+        let valid = Platform::preset_names();
+        let suggestion = nearest_names(name, &valid)
+            .into_iter()
+            .next()
+            .filter(|best| edit_distance(name, best) <= 3)
+            .map(|best| format!("; did you mean '{best}'?"))
+            .unwrap_or_default();
+        ArgError(format!("unknown platform '{name}' (valid: {}){suggestion}", valid.join(", ")))
     })
 }
 
-/// Build the matcher setup shared by `match` and `profile`.
+/// Build the matcher setup shared by `match`, `profile` and `dynamic`.
 fn matcher_setup(args: &Args, collect_trace: bool) -> Result<MatcherSetup, ArgError> {
+    let nodes = match args.get("nodes") {
+        None => None,
+        Some(n) => {
+            let n: usize = n.parse().map_err(|_| ArgError(format!("bad --nodes '{n}'")))?;
+            if n == 0 {
+                return Err(ArgError("--nodes must be >= 1".into()));
+            }
+            Some(n)
+        }
+    };
     Ok(MatcherSetup {
         platform: parse_platform(args.get_or("platform", "dgx-a100"))?,
         devices: args.get_num("devices", 1usize)?,
@@ -246,6 +274,8 @@ fn matcher_setup(args: &Args, collect_trace: bool) -> Result<MatcherSetup, ArgEr
         seed: args.get_num("seed", 0u64)?,
         collect_trace,
         overlap: args.has_flag("overlap"),
+        nodes,
+        topology_placement: args.has_flag("topo-placement"),
         ..Default::default()
     })
 }
@@ -312,6 +342,8 @@ fn cmd_match(args: &Args) -> Result<String, ArgError> {
         "trace-out",
         "report-json",
         "overlap",
+        "nodes",
+        "topo-placement",
     ])?;
     let g = load_graph(args)?;
     let algorithm = args.get_or("algorithm", "ld-gpu");
@@ -434,9 +466,10 @@ fn cmd_dynamic(args: &Args) -> Result<String, ArgError> {
         "trace-out",
         "report-json",
         "overlap",
+        "nodes",
     ])?;
     let g = load_graph(args)?;
-    let setup = matcher_setup(args, false)?;
+    let setup = matcher_setup(args, false)?.resolved();
     let engine_name = args.get_or("engine", "incremental");
     let frac: f64 = args.get_num("compact-frac", 0.25f64)?;
     if frac <= 0.0 {
@@ -663,6 +696,8 @@ fn cmd_profile(args: &Args) -> Result<String, ArgError> {
         "seed",
         "metrics",
         "overlap",
+        "nodes",
+        "topo-placement",
     ])?;
     let g = load_graph(args)?;
     let setup = matcher_setup(args, true)?;
@@ -761,10 +796,11 @@ fn cmd_stats(args: &Args) -> Result<String, ArgError> {
 
 fn cmd_platforms() -> String {
     let mut out = String::new();
+    writeln!(out, "platform presets (--platform):").unwrap();
     for (name, p) in Platform::presets() {
         writeln!(
             out,
-            "{:<16} {:<16} {} x{:<2}  mem {:>3} GB/dev  peer {} ({} GB/s)  h2d {} ({} GB/s)",
+            "  {:<18} {:<16} {} x{:<3} mem {:>3} GB/dev  peer {} ({} GB/s)  h2d {} ({} GB/s)",
             name,
             p.name,
             p.device.name,
@@ -777,6 +813,31 @@ fn cmd_platforms() -> String {
         )
         .unwrap();
     }
+    writeln!(out, "\ncluster topologies (cluster presets; re-size with --nodes N):").unwrap();
+    for (name, t) in ClusterTopology::presets() {
+        writeln!(
+            out,
+            "  {:<18} {:<18} {} nodes x {} GPUs  intra {} ({} GB/s, {} us)  inter {} ({} GB/s, {} us)",
+            name,
+            t.name,
+            t.nodes,
+            t.gpus_per_node,
+            t.intra.name,
+            t.intra.bw_gbps,
+            t.intra.latency_us,
+            t.inter.name,
+            t.inter.bw_gbps,
+            t.inter.latency_us,
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "\nflat presets cluster over InfiniBand HDR with --nodes N; cluster presets\n\
+         re-size to N nodes. --topo-placement groups graph parts onto nodes so\n\
+         heavy cut edges stay on the intra-node link."
+    )
+    .unwrap();
     out
 }
 
@@ -859,6 +920,15 @@ mod tests {
         let e = run(&args(&format!("match --input {path} --platform dgx9000"))).unwrap_err();
         assert!(e.0.contains("unknown platform"));
         assert!(e.0.contains("dgx-a100"), "error must list presets: {e}");
+        // A near-miss gets the nearest preset suggested; garbage doesn't.
+        let e = run(&args(&format!("match --input {path} --platform dgx-a100s"))).unwrap_err();
+        assert!(e.0.contains("did you mean 'dgx-a100'?"), "{e}");
+        let e = run(&args(&format!("match --input {path} --platform zzzzzzzzzzz"))).unwrap_err();
+        assert!(!e.0.contains("did you mean"), "{e}");
+        assert!(run(&args(&format!("match --input {path} --nodes 0")))
+            .unwrap_err()
+            .0
+            .contains("--nodes must be >= 1"));
         let e =
             run(&args(&format!("profile --input {path} --algorithms ld-gpu,nope"))).unwrap_err();
         assert!(e.0.contains("unknown algorithm"));
@@ -915,7 +985,7 @@ mod tests {
         assert!(r.contains("wrote report"), "{r}");
         assert!(r.contains("wrote trace"), "{r}");
         let doc = json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(json::Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("schema_version").and_then(json::Json::as_f64), Some(3.0));
         assert_eq!(doc.get("algorithm").and_then(json::Json::as_str), Some("ld-dyn-incremental"));
         let sim = doc.get("sim_time").and_then(json::Json::as_f64).unwrap();
         let phases = doc.get("phases").unwrap();
@@ -936,12 +1006,51 @@ mod tests {
     }
 
     #[test]
-    fn platforms_lists_presets() {
+    fn platforms_lists_presets_and_cluster_topologies() {
         let r = run(&args("platforms")).unwrap();
         for name in Platform::preset_names() {
             assert!(r.contains(name), "{name} missing from platform listing");
         }
         assert!(r.contains("DGX-A100"));
+        // The cluster-topology section names every preset with both of
+        // its link classes.
+        for (name, t) in ClusterTopology::presets() {
+            assert!(r.contains(name), "{name} missing from topology listing");
+            assert!(r.contains(t.intra.name), "{} missing", t.intra.name);
+            assert!(r.contains(t.inter.name), "{} missing", t.inter.name);
+        }
+    }
+
+    #[test]
+    fn cluster_match_is_identical_to_flat_and_reports_topology_metrics() {
+        let path = tmp("ldgm_cli_cluster.mtx");
+        let report = tmp("ldgm_cli_cluster_report.json");
+        run(&args(&format!("gen --vertices 400 --avg-degree 6 --seed 7 --out {path}"))).unwrap();
+        let flat = run(&args(&format!("match --input {path} --devices 8 --verify"))).unwrap();
+        let clustered = run(&args(&format!(
+            "match --input {path} --devices 16 --nodes 2 --topo-placement --verify \
+             --report-json {report}"
+        )))
+        .unwrap();
+        // Same matching line regardless of the cluster shape.
+        let matched =
+            |s: &str| s.lines().find(|l| l.contains(": matched")).map(str::to_string).unwrap();
+        assert_eq!(matched(&flat), matched(&clustered));
+        let doc = json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let metrics = doc.get("metrics").unwrap();
+        assert_eq!(
+            metrics.get("cluster.nodes").and_then(|m| m.get("value")).and_then(json::Json::as_f64),
+            Some(2.0)
+        );
+        let cut = metrics
+            .get("part.inter_node_cut")
+            .and_then(|m| m.get("value"))
+            .and_then(json::Json::as_f64)
+            .unwrap();
+        assert!((0.0..=1.0).contains(&cut), "cut {cut}");
+        for f in [&path, &report] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]
@@ -1221,7 +1330,7 @@ mod tests {
         let ovl = json::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
         // Billing-only: identical matching either way.
         assert_eq!(card_weight(&ovl), card_weight(&plain));
-        assert_eq!(ovl.get("schema_version").and_then(json::Json::as_f64), Some(2.0));
+        assert_eq!(ovl.get("schema_version").and_then(json::Json::as_f64), Some(3.0));
         let gauge = |rep: &json::Json, name: &str| {
             rep.get("metrics")
                 .and_then(|m| m.get(name))

@@ -51,6 +51,15 @@ pub struct LdGpuConfig {
     /// ([`ldgm_gpusim::SimRuntime::allreduce_chunked`]). Billing-only:
     /// kernel execution and the matching are untouched. Off by default.
     pub overlap: bool,
+    /// Topology-aware placement: on a cluster platform, group the
+    /// edge-balanced parts onto nodes so heavy cut edges stay on the
+    /// fast intra-node link, and scale the inter-node stage of every
+    /// collective by the partition's node-boundary fraction
+    /// ([`ldgm_part::placement::NodePlacement::topology_aware`]).
+    /// Billing-only: the matching is bit-identical under any placement.
+    /// Ignored on single-node platforms. Off by default (conservative
+    /// full-payload inter-node billing).
+    pub topology_placement: bool,
 }
 
 impl LdGpuConfig {
@@ -78,6 +87,7 @@ impl LdGpuConfig {
             frontier: false,
             sparse_collectives: false,
             overlap: false,
+            topology_placement: false,
         }
     }
 
@@ -109,6 +119,13 @@ impl LdGpuConfig {
     /// the comm stream, no device barrier).
     pub fn with_overlap(mut self, on: bool) -> Self {
         self.overlap = on;
+        self
+    }
+
+    /// Toggle topology-aware part→node placement (cluster platforms
+    /// only; billing-layer, matching unchanged).
+    pub fn with_topology_placement(mut self, on: bool) -> Self {
+        self.topology_placement = on;
         self
     }
 
@@ -207,6 +224,13 @@ impl LdGpuConfigBuilder {
     /// the comm stream).
     pub fn overlap(mut self, on: bool) -> Self {
         self.cfg.overlap = on;
+        self
+    }
+
+    /// Toggle topology-aware part→node placement (cluster platforms
+    /// only; billing-layer, matching unchanged).
+    pub fn topology_placement(mut self, on: bool) -> Self {
+        self.cfg.topology_placement = on;
         self
     }
 

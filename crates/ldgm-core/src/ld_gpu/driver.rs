@@ -64,6 +64,7 @@ use ldgm_gpusim::{
 };
 use ldgm_graph::csr::{CsrGraph, VertexId};
 use ldgm_graph::SortedAdjacency;
+use ldgm_part::placement::{cut_stats, NodePlacement};
 use ldgm_part::{batch, memory, Partition, VertexRange};
 
 use super::config::{LdGpuConfig, LdGpuError};
@@ -207,6 +208,33 @@ impl LdGpu {
         let mut rt = SimRuntime::new(&cfg.platform, ndev)
             .with_kernel_overhead(cfg.kernel_overhead)
             .with_trace(cfg.collect_trace);
+
+        // Cluster placement: decide which parts share a node and measure
+        // the inter-node cut. Billing-layer only — the reductions still
+        // span every device and the matching is bit-identical under any
+        // placement; what changes is how much of each collective payload
+        // the simulator sends over the slow inter-node link.
+        if let Some(topo) = cfg.platform.cluster_topology() {
+            let nodes = topo.nodes_spanned(ndev);
+            if nodes > 1 {
+                let caps: Vec<usize> =
+                    (0..nodes).map(|node| topo.devices_on_node(node, ndev)).collect();
+                let placement = if cfg.topology_placement {
+                    NodePlacement::topology_aware(g, &partition, &caps)
+                } else {
+                    NodePlacement::grouped(ndev, &caps)
+                };
+                let stats = cut_stats(g, &partition, &placement);
+                rt.gauge_set(names::PART_INTER_NODE_CUT, stats.cut_fraction());
+                if cfg.topology_placement {
+                    // Only the boundary slice of the reduced arrays needs
+                    // the leader ring; ship that fraction inter-node.
+                    rt.gauge_set(names::PART_BOUNDARY_FRACTION, stats.boundary_fraction());
+                    rt.set_inter_cut(stats.boundary_fraction());
+                }
+            }
+        }
+
         let mut iterations = 0usize;
         let total_directed = g.num_directed_edges() as u64;
 
@@ -1002,5 +1030,87 @@ mod overlap_tests {
         let trace = out.trace.expect("trace requested");
         let (_, hi) = trace.span().unwrap();
         assert!((hi - out.sim_time).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod cluster_tests {
+    use super::*;
+    use crate::ld_seq::ld_seq;
+    use ldgm_gpusim::Platform;
+    use ldgm_graph::gen::{rmat, RmatParams};
+
+    fn graph() -> CsrGraph {
+        rmat(2048, 16_000, RmatParams::GAP_KRON, 17)
+    }
+
+    #[test]
+    fn cluster_runs_match_single_node_and_ld_seq_bit_for_bit() {
+        // The placement and the hierarchical schedule are billing-layer:
+        // flat single-node, hierarchical cluster, and topology-aware
+        // cluster runs all produce the same matching.
+        let g = graph();
+        let seq = ld_seq(&g);
+        let cluster = Platform::dgx_a100_cluster(2);
+        for cfg in [
+            LdGpuConfig::new(Platform::dgx_a100()).devices(8),
+            LdGpuConfig::new(cluster.clone()).devices(16),
+            LdGpuConfig::new(cluster.clone()).devices(16).with_topology_placement(true),
+            LdGpuConfig::new(cluster.clone().flattened()).devices(16),
+        ] {
+            let out = LdGpu::new(cfg).run(&g);
+            assert_eq!(out.matching.mate_array(), seq.mate_array());
+        }
+    }
+
+    #[test]
+    fn hierarchical_collectives_beat_the_flattened_cluster() {
+        let g = graph();
+        let cluster = Platform::dgx_a100_cluster(2);
+        let hier = LdGpu::new(LdGpuConfig::new(cluster.clone()).devices(16)).run(&g);
+        let flat = LdGpu::new(LdGpuConfig::new(cluster.flattened()).devices(16)).run(&g);
+        assert_eq!(hier.matching.mate_array(), flat.matching.mate_array());
+        assert!(
+            hier.sim_time <= flat.sim_time * (1.0 + 1e-12),
+            "hierarchical {} vs flattened {}",
+            hier.sim_time,
+            flat.sim_time
+        );
+        assert_eq!(hier.metrics.gauge("cluster.nodes"), Some(2.0));
+        assert!(hier.metrics.counter("comm.inter_node_bytes") > 0);
+    }
+
+    #[test]
+    fn topology_placement_reduces_exposed_inter_node_time() {
+        let g = graph();
+        let cluster = Platform::dgx_a100_cluster(2);
+        let hier = LdGpu::new(LdGpuConfig::new(cluster.clone()).devices(16)).run(&g);
+        let aware =
+            LdGpu::new(LdGpuConfig::new(cluster).devices(16).with_topology_placement(true)).run(&g);
+        assert_eq!(aware.matching.mate_array(), hier.matching.mate_array());
+        // The boundary fraction < 1 shrinks the leader-ring payload.
+        let frac = aware.metrics.gauge("part.boundary_fraction").unwrap();
+        assert!((0.0..=1.0).contains(&frac), "boundary fraction {frac}");
+        let t_hier = hier.metrics.gauge("comm.inter_time").unwrap();
+        let t_aware = aware.metrics.gauge("comm.inter_time").unwrap();
+        assert!(t_aware <= t_hier * (1.0 + 1e-12), "aware {t_aware} vs hier {t_hier}");
+        assert!(aware.sim_time <= hier.sim_time * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn cluster_cut_gauges_are_fractions() {
+        let g = graph();
+        let out = LdGpu::new(
+            LdGpuConfig::new(Platform::dgx_a100_cluster(2))
+                .devices(16)
+                .with_topology_placement(true),
+        )
+        .run(&g);
+        let cut = out.metrics.gauge("part.inter_node_cut").unwrap();
+        assert!((0.0..=1.0).contains(&cut), "cut {cut}");
+        // Single-node prefixes of a cluster stay flat: no cluster gauges.
+        let one = LdGpu::new(LdGpuConfig::new(Platform::dgx_a100_cluster(2)).devices(8)).run(&g);
+        assert_eq!(one.metrics.gauge("part.inter_node_cut"), None);
+        assert_eq!(one.metrics.counter("comm.inter_node_bytes"), 0);
     }
 }

@@ -187,6 +187,13 @@ pub struct MatcherSetup {
     /// Communication/computation overlap for the LD-GPU matchers (chunked
     /// collectives on the comm stream; billing-only, matching unchanged).
     pub overlap: bool,
+    /// Cluster size override: `Some(n)` re-sizes the platform to `n`
+    /// nodes via [`Platform::with_nodes`] (clustering flat platforms
+    /// over InfiniBand); `None` leaves the platform untouched.
+    pub nodes: Option<usize>,
+    /// Topology-aware part→node placement for the LD-GPU matchers on
+    /// cluster platforms (billing-only, matching unchanged).
+    pub topology_placement: bool,
 }
 
 impl Default for MatcherSetup {
@@ -199,7 +206,22 @@ impl Default for MatcherSetup {
             collect_trace: false,
             blossom_limit: 2000,
             overlap: false,
+            nodes: None,
+            topology_placement: false,
         }
+    }
+}
+
+impl MatcherSetup {
+    /// Fold the `nodes` override into the platform (idempotent: the
+    /// returned setup has `nodes: None`). Call before handing the
+    /// platform to engines that don't consume the full setup.
+    pub fn resolved(&self) -> MatcherSetup {
+        let mut s = self.clone();
+        if let Some(n) = s.nodes.take() {
+            s.platform = s.platform.with_nodes(n);
+        }
+        s
     }
 }
 
@@ -217,6 +239,7 @@ impl MatcherRegistry {
 
     /// Every algorithm this crate ships, configured from `setup`.
     pub fn with_defaults(setup: &MatcherSetup) -> Self {
+        let setup = &setup.resolved();
         let mut reg = Self::new();
         reg.register(Box::new(LdGpuMatcher::from_setup(setup)));
         reg.register(Box::new(LdGpuOptMatcher::from_setup(setup)));
@@ -301,9 +324,11 @@ pub struct LdGpuMatcher {
 
 impl LdGpuMatcher {
     fn from_setup(setup: &MatcherSetup) -> Self {
+        let setup = setup.resolved();
         let mut cfg = LdGpuConfig::new(setup.platform.clone())
             .devices(setup.devices)
-            .with_overlap(setup.overlap);
+            .with_overlap(setup.overlap)
+            .with_topology_placement(setup.topology_placement);
         if let Some(b) = setup.batches {
             cfg = cfg.batches(b);
         }

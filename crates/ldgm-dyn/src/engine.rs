@@ -156,6 +156,15 @@ impl DynConfigBuilder {
         self
     }
 
+    /// Re-size the platform to `n` cluster nodes
+    /// ([`Platform::with_nodes`]): clusters flat platforms over
+    /// InfiniBand, re-sizes cluster presets, no-op at `n = 1` on flat
+    /// platforms.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.cfg.platform = self.cfg.platform.clone().with_nodes(n);
+        self
+    }
+
     /// Check the accumulated configuration without consuming the builder.
     pub fn validate(&self) -> Result<(), MatchError> {
         self.cfg.validate()
@@ -798,6 +807,17 @@ mod tests {
         let engine = IncrementalLd::new(g.clone(), dgx1());
         assert_eq!(engine.mate_array(), ld_seq(&g).mate_array());
         assert!(engine.horizon() > 0.0, "initial build must cost simulated time");
+    }
+
+    #[test]
+    fn builder_nodes_clusters_the_platform() {
+        let cfg = DynConfig::builder(Platform::dgx_a100()).devices(16).nodes(2).build().unwrap();
+        let topo = cfg.platform.cluster_topology().expect("clustered platform");
+        assert_eq!((topo.nodes, topo.gpus_per_node), (2, 8));
+        assert_eq!(cfg.platform.max_devices, 16);
+        // nodes(1) on a flat platform is the identity.
+        let flat = DynConfig::builder(Platform::dgx_a100()).nodes(1).build().unwrap();
+        assert!(flat.platform.cluster_topology().is_none());
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Multi-node cluster topology: N nodes × M GPUs with per-hop-class links.
+//!
+//! A single [`crate::Platform`] models one node — a flat peer fabric whose
+//! every hop costs the same. [`ClusterTopology`] is the next scale jump
+//! (the paper's §V distributed future work): devices are grouped into
+//! nodes, pairs on the same node communicate over the NVLink-class
+//! `intra` link, and pairs on different nodes over the much slower
+//! InfiniBand/EFA-class `inter` link. [`ClusterTopology::hop_class`]
+//! resolves a device pair to its [`HopClass`]; the hierarchical
+//! collectives in [`crate::SimRuntime`] bill wire bytes and stage
+//! durations per class.
+//!
+//! Device numbering is contiguous per node: device `d` lives on node
+//! `d / gpus_per_node`. A run may use fewer devices than the topology
+//! holds; the ragged helpers ([`ClusterTopology::devices_on_node`],
+//! [`ClusterTopology::nodes_spanned`]) answer per-node counts for a
+//! prefix of `ndev` active devices.
+
+use crate::interconnect::Link;
+
+/// Link class of a device pair within a cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HopClass {
+    /// The same device: no wire traffic.
+    Local,
+    /// Same node: NVLink/NVSwitch-class fabric.
+    IntraNode,
+    /// Different nodes: InfiniBand/EFA-class fabric.
+    InterNode,
+}
+
+/// An N-node × M-GPU cluster with one link preset per hop class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterTopology {
+    /// Topology name for reports.
+    pub name: &'static str,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// GPUs installed per node.
+    pub gpus_per_node: usize,
+    /// Intra-node peer fabric (NVLink-class).
+    pub intra: Link,
+    /// Inter-node fabric (InfiniBand/EFA-class).
+    pub inter: Link,
+}
+
+impl ClusterTopology {
+    /// Build a topology; `nodes` and `gpus_per_node` must be positive.
+    pub fn new(
+        name: &'static str,
+        nodes: usize,
+        gpus_per_node: usize,
+        intra: Link,
+        inter: Link,
+    ) -> Self {
+        assert!(nodes >= 1, "a cluster needs at least one node");
+        assert!(gpus_per_node >= 1, "a node needs at least one GPU");
+        ClusterTopology { name, nodes, gpus_per_node, intra, inter }
+    }
+
+    /// A cluster of DGX-A100 nodes joined by InfiniBand HDR.
+    pub fn dgx_a100_cluster(nodes: usize) -> Self {
+        Self::new("DGX-A100-cluster", nodes, 8, Link::NVLINK_SXM4, Link::INFINIBAND_HDR)
+    }
+
+    /// A cluster of DGX-H100 nodes joined by InfiniBand HDR.
+    pub fn dgx_h100_cluster(nodes: usize) -> Self {
+        Self::new("DGX-H100-cluster", nodes, 8, Link::NVLINK_SXM5, Link::INFINIBAND_HDR)
+    }
+
+    /// A100 nodes on an AWS-EFA-class cloud fabric (p4d-style).
+    pub fn a100_efa_cluster(nodes: usize) -> Self {
+        Self::new("A100-EFA-cluster", nodes, 8, Link::NVLINK_SXM4, Link::AWS_EFA)
+    }
+
+    /// Total devices in the topology.
+    pub fn num_devices(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// The node hosting device `dev`.
+    pub fn node_of(&self, dev: usize) -> usize {
+        dev / self.gpus_per_node
+    }
+
+    /// Link class connecting devices `a` and `b`.
+    pub fn hop_class(&self, a: usize, b: usize) -> HopClass {
+        if a == b {
+            HopClass::Local
+        } else if self.node_of(a) == self.node_of(b) {
+            HopClass::IntraNode
+        } else {
+            HopClass::InterNode
+        }
+    }
+
+    /// The link a device pair communicates over; `None` for local pairs.
+    pub fn link(&self, a: usize, b: usize) -> Option<Link> {
+        match self.hop_class(a, b) {
+            HopClass::Local => None,
+            HopClass::IntraNode => Some(self.intra),
+            HopClass::InterNode => Some(self.inter),
+        }
+    }
+
+    /// Nodes spanned by the first `ndev` devices.
+    pub fn nodes_spanned(&self, ndev: usize) -> usize {
+        ndev.div_ceil(self.gpus_per_node).max(1)
+    }
+
+    /// Devices of the first `ndev` that live on `node` (ragged last node).
+    pub fn devices_on_node(&self, node: usize, ndev: usize) -> usize {
+        let start = node * self.gpus_per_node;
+        ndev.saturating_sub(start).min(self.gpus_per_node)
+    }
+
+    /// Every exported topology preset with its CLI name, in listing
+    /// order — the cluster counterpart of [`crate::Platform::presets`]
+    /// behind the `ldgm platforms` listing. Node counts show the 4-node
+    /// default; `--nodes N` resizes any of them.
+    pub fn presets() -> Vec<(&'static str, ClusterTopology)> {
+        vec![
+            ("dgx-a100-cluster", Self::dgx_a100_cluster(4)),
+            ("dgx-h100-cluster", Self::dgx_h100_cluster(4)),
+            ("a100-efa-cluster", Self::a100_efa_cluster(4)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_class_resolves_device_pairs() {
+        let t = ClusterTopology::dgx_a100_cluster(2);
+        assert_eq!(t.num_devices(), 16);
+        assert_eq!(t.hop_class(3, 3), HopClass::Local);
+        assert_eq!(t.hop_class(0, 7), HopClass::IntraNode);
+        assert_eq!(t.hop_class(7, 8), HopClass::InterNode);
+        assert_eq!(t.hop_class(15, 0), HopClass::InterNode);
+        assert_eq!(t.link(0, 7), Some(Link::NVLINK_SXM4));
+        assert_eq!(t.link(7, 8), Some(Link::INFINIBAND_HDR));
+        assert_eq!(t.link(5, 5), None);
+    }
+
+    #[test]
+    fn ragged_prefixes_split_across_nodes() {
+        let t = ClusterTopology::dgx_a100_cluster(4);
+        assert_eq!(t.nodes_spanned(1), 1);
+        assert_eq!(t.nodes_spanned(8), 1);
+        assert_eq!(t.nodes_spanned(9), 2);
+        assert_eq!(t.nodes_spanned(32), 4);
+        assert_eq!(t.devices_on_node(0, 12), 8);
+        assert_eq!(t.devices_on_node(1, 12), 4);
+        assert_eq!(t.devices_on_node(2, 12), 0);
+    }
+
+    #[test]
+    fn presets_cover_link_classes() {
+        let presets = ClusterTopology::presets();
+        assert_eq!(presets.len(), 3);
+        for (name, t) in &presets {
+            assert!(!name.is_empty());
+            assert!(t.intra.bw_gbps > t.inter.bw_gbps, "{name}: intra must outrun inter");
+        }
+        assert!(presets.iter().any(|(_, t)| t.inter == Link::AWS_EFA));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        ClusterTopology::new("bad", 0, 8, Link::NVLINK_SXM4, Link::INFINIBAND_HDR);
+    }
+}

@@ -141,6 +141,50 @@ pub fn allreduce_max_merge(arrays: &mut [&mut [u64]]) {
     }
 }
 
+/// Staged (hierarchical) realization of the allreduce on a cluster:
+/// merge within each node group of `gpus_per_node` consecutive devices
+/// (reduce-scatter + gather, leaving every group member with the
+/// node-local merge), merge across the node leaders (the inter-node
+/// ring), then broadcast the reduced array back through every node.
+/// Bit-identical to [`allreduce_max_merge`] for disjoint ownership —
+/// only the billed schedule differs, never the reduced values.
+///
+/// # Panics
+/// In debug builds, panics on conflicting non-sentinel values for one
+/// slot (a partitioning bug), like the flat merge.
+pub fn hierarchical_max_merge(arrays: &mut [&mut [u64]], gpus_per_node: usize) {
+    let gpn = gpus_per_node.max(1);
+    if arrays.len() <= gpn {
+        return allreduce_max_merge(arrays);
+    }
+    let len = arrays[0].len();
+    debug_assert!(arrays.iter().all(|a| a.len() == len), "ragged allreduce");
+    // Stage 1: intra-node merge per group.
+    for group in arrays.chunks_mut(gpn) {
+        allreduce_max_merge(group);
+    }
+    // Stage 2: ring across the node leaders (first device of each group).
+    let mut merged = vec![NONE_SENTINEL; len];
+    for leader in (0..arrays.len()).step_by(gpn) {
+        for (slot, m) in merged.iter_mut().enumerate() {
+            let v = arrays[leader][slot];
+            if v != NONE_SENTINEL {
+                debug_assert!(
+                    *m == NONE_SENTINEL || *m == v,
+                    "conflicting values {m} vs {v} at slot {slot}"
+                );
+                if *m == NONE_SENTINEL {
+                    *m = v;
+                }
+            }
+        }
+    }
+    // Stage 3: broadcast back through every node.
+    for a in arrays.iter_mut() {
+        a.copy_from_slice(&merged);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +302,67 @@ mod hierarchical_tests {
         let t2 = h.allreduce_time(&l, 16, 1 << 20);
         let t4 = h.allreduce_time(&l, 32, 1 << 20);
         assert!(t4 > t2);
+    }
+}
+
+#[cfg(test)]
+mod staged_merge_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn staged_merge_is_exact_across_two_nodes() {
+        // 4 devices, 2 per node: slot ownership spread over all stages.
+        let mut a = vec![1, NONE_SENTINEL, NONE_SENTINEL, NONE_SENTINEL];
+        let mut b = vec![NONE_SENTINEL, 5, NONE_SENTINEL, NONE_SENTINEL];
+        let mut c = vec![NONE_SENTINEL, NONE_SENTINEL, 9, NONE_SENTINEL];
+        let mut d = vec![NONE_SENTINEL; 4];
+        hierarchical_max_merge(&mut [&mut a, &mut b, &mut c, &mut d], 2);
+        let want = vec![1, 5, 9, NONE_SENTINEL];
+        assert_eq!(a, want);
+        assert_eq!(b, want);
+        assert_eq!(c, want);
+        assert_eq!(d, want);
+    }
+
+    #[test]
+    fn single_node_degenerates_to_flat_merge() {
+        let mut a = vec![1, NONE_SENTINEL];
+        let mut b = vec![NONE_SENTINEL, 2];
+        hierarchical_max_merge(&mut [&mut a, &mut b], 8);
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(b, vec![1, 2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The hierarchical and flat allreduce realizations produce
+        /// bit-identical reduced values for every disjoint-ownership
+        /// input and node shape — only billed time may differ.
+        #[test]
+        fn hierarchical_matches_flat_bit_for_bit(
+            slots in prop::collection::vec((0usize..16, 1u64..1_000_000), 1..80),
+            ndev in 2usize..13,
+            gpn in 1usize..6,
+        ) {
+            let len = slots.len();
+            let mut flat: Vec<Vec<u64>> = vec![vec![NONE_SENTINEL; len]; ndev];
+            for (slot, &(owner, v)) in slots.iter().enumerate() {
+                flat[owner % ndev][slot] = v;
+            }
+            let mut hier = flat.clone();
+            {
+                let mut refs: Vec<&mut [u64]> =
+                    flat.iter_mut().map(Vec::as_mut_slice).collect();
+                allreduce_max_merge(&mut refs);
+            }
+            {
+                let mut refs: Vec<&mut [u64]> =
+                    hier.iter_mut().map(Vec::as_mut_slice).collect();
+                hierarchical_max_merge(&mut refs, gpn);
+            }
+            prop_assert_eq!(flat, hier);
+        }
     }
 }

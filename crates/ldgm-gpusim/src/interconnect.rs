@@ -32,6 +32,10 @@ impl Link {
     /// microsecond-scale RDMA latency.
     pub const INFINIBAND_HDR: Link =
         Link { name: "InfiniBand-HDR", bw_gbps: 25.0, latency_us: 1.5 };
+    /// AWS Elastic Fabric Adapter (p4d-class, SRD transport): ~100 Gb/s
+    /// effective per rail toward one peer, with tens-of-microseconds
+    /// user-space latency — the cloud alternative to InfiniBand.
+    pub const AWS_EFA: Link = Link { name: "AWS-EFA", bw_gbps: 12.5, latency_us: 15.0 };
     /// NVLink 4 as in DGX-H100 (SXM5): 900 GB/s per GPU.
     pub const NVLINK_SXM5: Link = Link { name: "NVLink-SXM5", bw_gbps: 900.0, latency_us: 1.5 };
     /// NVLink 5 as in GB200 NVL72: 1.8 TB/s per GPU across the rack.

@@ -11,8 +11,12 @@
 //!   warp-centric kernel cost model over [`device::KernelStats`];
 //! * [`interconnect`] — NVLink SXM3/SXM4 and PCIe link models;
 //! * [`collective`] — NCCL ring-allreduce and MPI-staged (cuGraph/RAFT)
-//!   cost models, plus the exact host-side reduction
-//!   [`collective::allreduce_max_merge`];
+//!   cost models, plus the exact host-side reductions
+//!   [`collective::allreduce_max_merge`] and
+//!   [`collective::hierarchical_max_merge`];
+//! * [`cluster`] — [`cluster::ClusterTopology`]: N nodes × M GPUs with
+//!   per-hop-class links ([`cluster::HopClass`]) behind the hierarchical
+//!   collectives and topology-aware placement;
 //! * [`timer`] — per-device multi-stream timelines (compute, copy and
 //!   collective comm streams) with dual-buffer copy/compute overlap and
 //!   explicit host synchronization;
@@ -34,6 +38,7 @@
 //!   `ldgm match --report-json`;
 //! * [`json`] — the dependency-free JSON value type the above build on.
 
+pub mod cluster;
 pub mod collective;
 pub mod device;
 pub mod export;
@@ -47,7 +52,8 @@ pub mod runtime;
 pub mod timer;
 pub mod trace;
 
-pub use collective::{allreduce_max_merge, CommModel, NONE_SENTINEL};
+pub use cluster::{ClusterTopology, HopClass};
+pub use collective::{allreduce_max_merge, hierarchical_max_merge, CommModel, NONE_SENTINEL};
 pub use device::{CostModel, DeviceSpec, KernelStats};
 pub use export::{chrome_trace_json, timeline_breakdown};
 pub use interconnect::{Interconnect, Link};

@@ -87,6 +87,33 @@ pub mod names {
     /// comm) over the run: busy seconds / (3 × devices × sim_time)
     /// (gauge).
     pub const STREAM_OCCUPANCY: &str = "stream.occupancy";
+    /// Collective wire bytes that crossed intra-node (NVLink-class) hops
+    /// of a cluster topology (counter; 0 on single-node platforms, where
+    /// `comm.collective_bytes` carries everything undifferentiated).
+    pub const COMM_INTRA_NODE_BYTES: &str = "comm.intra_node_bytes";
+    /// Collective wire bytes that crossed inter-node (InfiniBand/EFA-
+    /// class) hops of a cluster topology (counter).
+    pub const COMM_INTER_NODE_BYTES: &str = "comm.inter_node_bytes";
+    /// Simulated seconds billed to the inter-node stage of hierarchical
+    /// collectives — the leader ring over the slow link plus its launch
+    /// (gauge; fully exposed in serialized runs).
+    pub const COMM_INTER_TIME: &str = "comm.inter_time";
+    /// Hierarchical collectives that fell back to the flat single-ring
+    /// schedule because it finished earlier — small payloads where the
+    /// staged schedule's double launch overhead dominates (counter).
+    pub const COMM_HIER_FALLBACKS: &str = "comm.hier_fallbacks";
+    /// Cluster nodes spanned by the run's devices (gauge; 1 on
+    /// single-node platforms).
+    pub const CLUSTER_NODES: &str = "cluster.nodes";
+    /// Weighted inter-node cut fraction of the part placement: edge
+    /// weight crossing node boundaries / total edge weight (gauge; only
+    /// set by drivers running on a multi-node topology).
+    pub const PART_INTER_NODE_CUT: &str = "part.inter_node_cut";
+    /// Fraction of vertices with at least one neighbor on another node
+    /// under the part placement — the slice of every vertex-indexed
+    /// payload that must cross the slow link (gauge; see
+    /// `part.inter_node_cut`).
+    pub const PART_BOUNDARY_FRACTION: &str = "part.boundary_fraction";
 }
 
 /// Summary statistics of observed samples (no buckets: the consumers —

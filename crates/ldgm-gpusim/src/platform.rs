@@ -7,9 +7,10 @@
 //! the DGX-2 (16× V100, NVLink SXM3) — plus the PCIe variant used in the
 //! Fig. 9 interconnect study.
 
+use crate::cluster::ClusterTopology;
 use crate::collective::CommModel;
 use crate::device::{CostModel, DeviceSpec};
-use crate::interconnect::Interconnect;
+use crate::interconnect::{Interconnect, Link};
 
 /// A single-node multi-GPU platform.
 #[derive(Clone, Debug, PartialEq)]
@@ -104,6 +105,25 @@ impl Platform {
         }
     }
 
+    /// A cluster of A100 nodes on an AWS-EFA-class cloud fabric
+    /// (p4d-style): same NVLink islands as the DGX cluster, but the
+    /// inter-node hop runs over EFA — lower bandwidth and much higher
+    /// latency than InfiniBand HDR.
+    pub fn a100_efa_cluster(nodes: usize) -> Self {
+        assert!(nodes >= 1);
+        let base = Self::dgx_a100();
+        Platform {
+            name: "A100-EFA-cluster",
+            max_devices: 8 * nodes,
+            comm: CommModel::Hierarchical {
+                gpus_per_node: 8,
+                inter: Link::AWS_EFA,
+                launch_us: 25.0,
+            },
+            ..base
+        }
+    }
+
     /// A100 node with PCIe-only communication (Fig. 9's baseline).
     pub fn pcie_a100() -> Self {
         Platform {
@@ -120,6 +140,72 @@ impl Platform {
     pub fn with_comm(mut self, comm: CommModel) -> Self {
         self.comm = comm;
         self
+    }
+
+    /// Turn this node into an `nodes × gpus_per_node` cluster joined by
+    /// `inter`: the current peer fabric becomes the intra-node link, the
+    /// collectives become hierarchical, and `max_devices` grows to the
+    /// cluster total. The NCCL launch overhead carries over.
+    pub fn clustered(mut self, nodes: usize, gpus_per_node: usize, inter: Link) -> Self {
+        assert!(nodes >= 1 && gpus_per_node >= 1);
+        let launch_us = match self.comm {
+            CommModel::Nccl { launch_us } => launch_us,
+            CommModel::MpiStaged { launch_us, .. } => launch_us,
+            CommModel::Hierarchical { launch_us, .. } => launch_us,
+        };
+        self.max_devices = nodes * gpus_per_node;
+        self.comm = CommModel::Hierarchical { gpus_per_node, inter, launch_us };
+        self
+    }
+
+    /// Resize to `nodes` nodes (the `--nodes N` CLI knob). Cluster
+    /// platforms keep their per-node shape and inter-node link;
+    /// single-node platforms become a cluster of themselves over
+    /// InfiniBand HDR (`nodes == 1` leaves them untouched).
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        assert!(nodes >= 1);
+        match self.comm {
+            CommModel::Hierarchical { gpus_per_node, .. } => {
+                self.max_devices = gpus_per_node * nodes;
+                self
+            }
+            _ if nodes == 1 => self,
+            _ => {
+                let gpn = self.max_devices;
+                self.clustered(nodes, gpn, Link::INFINIBAND_HDR)
+            }
+        }
+    }
+
+    /// The flat baseline of a cluster: the same device count on one flat
+    /// ring whose every hop runs at the inter-node link — a fabric where
+    /// every hop costs the same, as if the topology were invisible.
+    /// Identity on single-node platforms.
+    pub fn flattened(mut self) -> Self {
+        if let CommModel::Hierarchical { inter, launch_us, .. } = self.comm {
+            self.comm = CommModel::Nccl { launch_us };
+            self.interconnect.peer = inter;
+        }
+        self
+    }
+
+    /// The cluster topology implied by a hierarchical platform: intra =
+    /// the peer fabric, inter = the hierarchical model's slow link.
+    /// `None` for single-node platforms.
+    pub fn cluster_topology(&self) -> Option<ClusterTopology> {
+        match self.comm {
+            CommModel::Hierarchical { gpus_per_node, inter, .. } => {
+                let gpn = gpus_per_node.max(1);
+                Some(ClusterTopology {
+                    name: self.name,
+                    nodes: self.max_devices.div_ceil(gpn).max(1),
+                    gpus_per_node: gpn,
+                    intra: self.interconnect.peer,
+                    inter,
+                })
+            }
+            _ => None,
+        }
     }
 
     /// Override per-device memory (scaled-down experiments force batching
@@ -172,6 +258,7 @@ impl Platform {
             ("nvl72", Self::nvl72()),
             ("pcie-a100", Self::pcie_a100()),
             ("dgx-a100-cluster", Self::dgx_a100_cluster(4)),
+            ("a100-efa-cluster", Self::a100_efa_cluster(4)),
         ]
     }
 
@@ -240,13 +327,53 @@ mod tests {
     #[test]
     fn preset_registry_is_exhaustive_and_consistent() {
         let presets = Platform::presets();
-        assert_eq!(presets.len(), 6);
+        assert_eq!(presets.len(), 7);
         for (name, p) in &presets {
             assert_eq!(Platform::by_name(name).as_ref(), Some(p), "{name}");
         }
         assert!(Platform::by_name("toy").is_none());
         assert!(Platform::by_name("bogus").is_none());
         assert_eq!(Platform::preset_names()[0], "dgx-a100");
+    }
+
+    #[test]
+    fn with_nodes_resizes_clusters_and_clusters_flat_platforms() {
+        // A cluster platform keeps its shape and just changes node count.
+        let c = Platform::dgx_a100_cluster(4).with_nodes(2);
+        assert_eq!(c.max_devices, 16);
+        assert!(matches!(c.comm, CommModel::Hierarchical { gpus_per_node: 8, .. }));
+        // A flat platform becomes a cluster of itself over IB HDR.
+        let f = Platform::dgx2().with_nodes(3);
+        assert_eq!(f.max_devices, 48);
+        let topo = f.cluster_topology().unwrap();
+        assert_eq!((topo.nodes, topo.gpus_per_node), (3, 16));
+        assert_eq!(topo.inter, Link::INFINIBAND_HDR);
+        assert_eq!(topo.intra, Link::NVLINK_SXM3);
+        // --nodes 1 leaves single-node platforms untouched.
+        assert_eq!(Platform::dgx_a100().with_nodes(1), Platform::dgx_a100());
+        assert_eq!(Platform::dgx_a100_cluster(4).with_nodes(1).max_devices, 8);
+    }
+
+    #[test]
+    fn flattened_moves_the_cluster_onto_the_slow_link() {
+        let c = Platform::dgx_a100_cluster(2);
+        let f = c.clone().flattened();
+        assert_eq!(f.max_devices, c.max_devices);
+        assert!(matches!(f.comm, CommModel::Nccl { .. }));
+        assert_eq!(f.interconnect.peer, Link::INFINIBAND_HDR);
+        assert!(f.cluster_topology().is_none());
+        // Identity off-cluster.
+        assert_eq!(Platform::dgx_a100().flattened(), Platform::dgx_a100());
+    }
+
+    #[test]
+    fn cluster_topology_derives_from_the_comm_model() {
+        let t = Platform::a100_efa_cluster(4).cluster_topology().unwrap();
+        assert_eq!((t.nodes, t.gpus_per_node), (4, 8));
+        assert_eq!(t.inter, Link::AWS_EFA);
+        assert_eq!(t.intra, Link::NVLINK_SXM4);
+        assert_eq!(t.hop_class(0, 9), crate::cluster::HopClass::InterNode);
+        assert!(Platform::dgx_a100().cluster_topology().is_none());
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! JSON run reports: one self-describing document per matcher run,
 //! written by `ldgm match --report-json` and the bench harness.
 //!
-//! Schema (version 2 — v2 added the `comm.exposed_time`,
+//! Schema (version 3 — v2 added the `comm.exposed_time`,
 //! `comm.hidden_time` and `stream.occupancy` gauges emitted by the
-//! overlap-aware runtime to the `metrics` map; the document shape is
-//! unchanged):
+//! overlap-aware runtime to the `metrics` map; v3 added the cluster
+//! metrics emitted on multi-node platforms — `cluster.nodes`,
+//! `comm.intra_node_bytes`, `comm.inter_node_bytes`, `comm.inter_time`,
+//! `comm.hier_fallbacks`, `part.inter_node_cut`,
+//! `part.boundary_fraction`; the document shape is unchanged):
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "algorithm": "ld-gpu",
 //!   "platform": "dgx-a100",
 //!   "graph":    { "vertices": N, "directed_edges": M },
@@ -72,7 +75,7 @@ impl RunReport {
     /// Serialize to the schema-versioned JSON document.
     pub fn to_json(&self) -> Json {
         Json::object()
-            .with("schema_version", 2u64)
+            .with("schema_version", 3u64)
             .with("algorithm", self.algorithm.clone())
             .with(
                 "platform",
@@ -130,7 +133,7 @@ mod tests {
     #[test]
     fn schema_fields_present() {
         let j = sample().to_json();
-        assert_eq!(j.get("schema_version").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("schema_version").and_then(Json::as_f64), Some(3.0));
         assert_eq!(j.get("algorithm").and_then(Json::as_str), Some("ld-gpu"));
         assert_eq!(j.get("platform").and_then(Json::as_str), Some("dgx-a100"));
         let g = j.get("graph").unwrap();

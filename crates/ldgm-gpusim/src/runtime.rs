@@ -26,6 +26,7 @@
 
 use std::borrow::Cow;
 
+use crate::cluster::ClusterTopology;
 use crate::collective::CommModel;
 use crate::device::{CostModel, DeviceSpec, KernelStats};
 use crate::export::timeline_breakdown;
@@ -234,11 +235,26 @@ pub struct SimRuntime {
     devices: Vec<DeviceCtx>,
     comm: CommModel,
     peer: Link,
+    topo: Option<ClusterTopology>,
+    inter_cut: f64,
     metrics: MetricsRegistry,
     iterations: Vec<IterationRecord>,
     keep_trace: bool,
     comm_exposed: f64,
     comm_hidden: f64,
+    comm_inter: f64,
+}
+
+/// Billing plan of one collective on a multi-node topology: the total
+/// schedule cost, the seconds of its inter-node stage, and the wire
+/// bytes split by hop class.
+#[derive(Clone, Copy, Debug)]
+struct HierBill {
+    cost: f64,
+    inter_time: f64,
+    intra_bytes: u64,
+    inter_bytes: u64,
+    fallback: bool,
 }
 
 impl SimRuntime {
@@ -264,11 +280,126 @@ impl SimRuntime {
             devices,
             comm: platform.comm,
             peer: platform.interconnect.peer,
+            topo: platform.cluster_topology(),
+            inter_cut: 1.0,
             metrics: MetricsRegistry::new(),
             iterations: Vec::new(),
             keep_trace: false,
             comm_exposed: 0.0,
             comm_hidden: 0.0,
+            comm_inter: 0.0,
+        }
+    }
+
+    /// Fraction of each collective payload that actually crosses the
+    /// inter-node link (the partition's node-boundary fraction, set by
+    /// topology-aware placement). Intra-node stages always carry the
+    /// full payload; only the leader ring over the slow link shrinks.
+    /// Clamped to `[0, 1]`; the default of 1.0 is the conservative
+    /// "everything is remote" assumption.
+    pub fn set_inter_cut(&mut self, frac: f64) {
+        self.inter_cut = frac.clamp(0.0, 1.0);
+    }
+
+    /// Bill plan for one `payload_bytes` collective on the cluster
+    /// topology, or `None` when the runtime is flat (no topology, a
+    /// non-hierarchical comm model, or every device on one node).
+    ///
+    /// The hierarchical schedule is reduce-scatter + allgather within
+    /// each node over the fast intra-node link, then a ring across the
+    /// node leaders over `topo.inter`, then the broadcast back (folded
+    /// into the intra allgather). Mirrors
+    /// [`CommModel::Hierarchical`]'s closed form, with the inter-node
+    /// payload scaled by [`SimRuntime::set_inter_cut`]. If a flat ring
+    /// over the slow link beats that schedule (tiny payloads, where the
+    /// second launch dominates), fall back to it — the planner is never
+    /// slower than flat.
+    fn hier_bill(&self, payload_bytes: u64) -> Option<HierBill> {
+        let topo = self.topo?;
+        let ndev = self.devices.len();
+        let gpn = topo.gpus_per_node.max(1);
+        let nodes = topo.nodes_spanned(ndev);
+        let launch_us = match self.comm {
+            CommModel::Hierarchical { launch_us, .. } => launch_us,
+            _ => return None,
+        };
+        if nodes <= 1 {
+            return None;
+        }
+
+        let local = CommModel::Nccl { launch_us };
+        let intra = local.allreduce_time(&self.peer, ndev.min(gpn), payload_bytes);
+        let inter_payload = ((payload_bytes as f64) * self.inter_cut).ceil() as u64;
+        let nn = nodes as f64;
+        let inter_ring = 2.0 * (nn - 1.0) / nn * inter_payload as f64 / (topo.inter.bw_gbps * 1e9)
+            + 2.0 * (nn - 1.0) * topo.inter.latency_us * 1e-6;
+        let hier_cost = intra + inter_ring + launch_us * 1e-6;
+
+        let intra_bytes: u64 = (0..nodes)
+            .map(|node| {
+                let m = topo.devices_on_node(node, ndev) as u64;
+                2 * m.saturating_sub(1) * payload_bytes
+            })
+            .sum();
+        let inter_bytes = 2 * (nodes as u64 - 1) * inter_payload;
+
+        // Never-slower-than-flat: a single flat ring over the slow
+        // inter-node link (what `Platform::flattened` would bill).
+        let flat_cost = local.allreduce_time(&topo.inter, ndev, payload_bytes);
+        if flat_cost < hier_cost {
+            // Every hop of the flat ring is billed; the ring crosses a
+            // node boundary on `nodes` of its `ndev` hops (p devices →
+            // p ring links, `nodes` of them inter-node), so split the
+            // 2(p−1)·payload wire bytes proportionally.
+            let total = 2 * (ndev as u64 - 1) * payload_bytes;
+            let inter_share = (total as f64 * nodes as f64 / ndev as f64).round() as u64;
+            let inter_share = inter_share.min(total);
+            return Some(HierBill {
+                cost: flat_cost,
+                inter_time: flat_cost,
+                intra_bytes: total - inter_share,
+                inter_bytes: inter_share,
+                fallback: true,
+            });
+        }
+
+        Some(HierBill {
+            cost: hier_cost,
+            inter_time: inter_ring,
+            intra_bytes,
+            inter_bytes,
+            fallback: false,
+        })
+    }
+
+    /// Schedule cost of one collective: the hierarchical plan on a
+    /// cluster, the comm model's closed form otherwise.
+    fn collective_cost(&self, payload_bytes: u64) -> f64 {
+        match self.hier_bill(payload_bytes) {
+            Some(bill) => bill.cost,
+            None => self.comm.allreduce_time(&self.peer, self.devices.len(), payload_bytes),
+        }
+    }
+
+    /// Account one collective's wire bytes (and, on clusters, its
+    /// hop-class split, exposed inter-node time and fallback count).
+    fn bill_wire(&mut self, bill: Option<HierBill>, payload_bytes: u64) {
+        match bill {
+            Some(bill) => {
+                self.metrics
+                    .counter_add(names::COMM_COLLECTIVE_BYTES, bill.intra_bytes + bill.inter_bytes);
+                self.metrics.counter_add(names::COMM_INTRA_NODE_BYTES, bill.intra_bytes);
+                self.metrics.counter_add(names::COMM_INTER_NODE_BYTES, bill.inter_bytes);
+                self.comm_inter += bill.inter_time;
+                if bill.fallback {
+                    self.metrics.counter_add(names::COMM_HIER_FALLBACKS, 1);
+                }
+            }
+            None => {
+                let ndev = self.devices.len() as u64;
+                self.metrics
+                    .counter_add(names::COMM_COLLECTIVE_BYTES, 2 * (ndev - 1) * payload_bytes);
+            }
         }
     }
 
@@ -381,8 +512,11 @@ impl SimRuntime {
         payload_bytes: u64,
     ) -> (f64, f64) {
         let label = label.into();
-        let ndev = self.devices.len();
-        let cost = self.comm.allreduce_time(&self.peer, ndev, payload_bytes);
+        let bill = self.hier_bill(payload_bytes);
+        let cost = match bill {
+            Some(bill) => bill.cost,
+            None => self.comm.allreduce_time(&self.peer, self.devices.len(), payload_bytes),
+        };
         let start = self.horizon();
         let end = start + cost;
         for d in &mut self.devices {
@@ -390,8 +524,7 @@ impl SimRuntime {
             d.trace.record(d.dev, EventKind::Collective, label.clone(), start, end);
         }
         self.metrics.counter_add(names::COMM_ALLREDUCE_CALLS, 1);
-        self.metrics
-            .counter_add(names::COMM_COLLECTIVE_BYTES, 2 * (ndev as u64 - 1) * payload_bytes);
+        self.bill_wire(bill, payload_bytes);
         // A serialized collective starts after every producer finished:
         // its whole cost sits on the critical path.
         self.comm_exposed += cost;
@@ -424,7 +557,6 @@ impl SimRuntime {
         chunks: &[CommChunk],
     ) -> (f64, f64) {
         let label = label.into();
-        let ndev = self.devices.len();
         let fallback = [CommChunk { bytes: 0, ready: self.compute_horizon() }];
         let chunks: &[CommChunk] = if chunks.is_empty() { &fallback } else { chunks };
         let mut order: Vec<&CommChunk> = chunks.iter().collect();
@@ -447,7 +579,7 @@ impl SimRuntime {
                 bytes += order[i].bytes;
                 i += 1;
             }
-            let cost = self.comm.allreduce_time(&self.peer, ndev, bytes);
+            let cost = self.collective_cost(bytes);
             plan.push((start, bytes, cost));
             fabric = start + cost;
         }
@@ -457,7 +589,7 @@ impl SimRuntime {
         // everything-at-once alternative and keep the schedule that
         // finishes first (mirroring NCCL-style runtime batching).
         let total_bytes: u64 = order.iter().map(|c| c.bytes).sum();
-        let single_cost = self.comm.allreduce_time(&self.peer, ndev, total_bytes);
+        let single_cost = self.collective_cost(total_bytes);
         let single_start = fabric0.max(ready_max);
         if single_start + single_cost < fabric {
             plan = vec![(single_start, total_bytes, single_cost)];
@@ -466,7 +598,7 @@ impl SimRuntime {
         let mut first_start = f64::INFINITY;
         let mut end = 0.0f64;
         let mut total_cost = 0.0;
-        for &(start, _bytes, cost) in &plan {
+        for &(start, bytes, cost) in &plan {
             for d in &mut self.devices {
                 let (s, e) = d.timer.schedule_comm(start, cost);
                 debug_assert_eq!(s, start);
@@ -476,8 +608,9 @@ impl SimRuntime {
             first_start = first_start.min(start);
             total_cost += cost;
             self.metrics.counter_add(names::COMM_ALLREDUCE_CALLS, 1);
+            let bill = self.hier_bill(bytes);
+            self.bill_wire(bill, bytes);
         }
-        self.metrics.counter_add(names::COMM_COLLECTIVE_BYTES, 2 * (ndev as u64 - 1) * total_bytes);
         let exposed = (end - ready_max).max(0.0);
         self.comm_exposed += exposed;
         self.comm_hidden += (total_cost - exposed).max(0.0);
@@ -583,10 +716,17 @@ impl SimRuntime {
         m.counter_add(names::KERNEL_EDGES_SCANNED, totals.edges_scanned);
         m.counter_add(names::KERNEL_WARPS_LAUNCHED, totals.warps_launched);
         m.counter_add(names::KERNEL_BYTES_MOVED, totals.bytes_moved);
-        // Schema parity across engines: the wire-traffic counter exists
+        // Schema parity across engines: the wire-traffic counters exist
         // even for runs that never issued a collective.
         m.counter_add(names::COMM_COLLECTIVE_BYTES, 0);
         m.counter_add(names::TIMER_BUFFER_STALLS, stalls);
+        if let Some(topo) = self.topo {
+            m.counter_add(names::COMM_INTRA_NODE_BYTES, 0);
+            m.counter_add(names::COMM_INTER_NODE_BYTES, 0);
+            m.counter_add(names::COMM_HIER_FALLBACKS, 0);
+            m.gauge_set(names::COMM_INTER_TIME, self.comm_inter);
+            m.gauge_set(names::CLUSTER_NODES, topo.nodes_spanned(ndev) as f64);
+        }
         m.gauge_set(names::TIMER_BUFFER_STALL_TIME, stall_time);
         m.gauge_set(
             names::KERNEL_OCCUPANCY,
@@ -905,5 +1045,143 @@ mod tests {
         let fin = rt.finish();
         assert_eq!(fin.metrics.counter(names::COMM_ALLREDUCE_CALLS), 1);
         assert_eq!(fin.metrics.counter(names::COMM_COLLECTIVE_BYTES), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Hierarchical (multi-node) collectives.
+
+    #[test]
+    fn hierarchical_wire_bytes_split_by_hop_class() {
+        // 2 nodes × 8 GPUs: each node runs its own 8-device ring
+        // (2·(8−1)·B intra), the leaders run a 2-node ring (2·(2−1)·B
+        // inter) — closed-form ring costs per hop class.
+        let b = 1_000_000u64;
+        let mut rt = SimRuntime::new(&Platform::dgx_a100_cluster(2), 16);
+        rt.allreduce("allreduce ptr", b);
+        let fin = rt.finish();
+        assert_eq!(fin.metrics.counter(names::COMM_INTRA_NODE_BYTES), 2 * 2 * 7 * b);
+        assert_eq!(fin.metrics.counter(names::COMM_INTER_NODE_BYTES), 2 * b);
+        assert_eq!(
+            fin.metrics.counter(names::COMM_COLLECTIVE_BYTES),
+            fin.metrics.counter(names::COMM_INTRA_NODE_BYTES)
+                + fin.metrics.counter(names::COMM_INTER_NODE_BYTES)
+        );
+        assert_eq!(fin.metrics.counter(names::COMM_HIER_FALLBACKS), 0);
+        assert!(fin.metrics.gauge(names::COMM_INTER_TIME).unwrap() > 0.0);
+        assert_eq!(fin.metrics.gauge(names::CLUSTER_NODES), Some(2.0));
+    }
+
+    #[test]
+    fn ragged_device_counts_bill_partial_last_node() {
+        // 12 devices on a 2×8 cluster: node 0 holds 8, node 1 holds 4.
+        let b = 1_000_000u64;
+        let mut rt = SimRuntime::new(&Platform::dgx_a100_cluster(2), 12);
+        rt.allreduce("allreduce ptr", b);
+        let fin = rt.finish();
+        assert_eq!(fin.metrics.counter(names::COMM_INTRA_NODE_BYTES), (2 * 7 + 2 * 3) * b);
+        assert_eq!(fin.metrics.counter(names::COMM_INTER_NODE_BYTES), 2 * b);
+        assert_eq!(fin.metrics.gauge(names::CLUSTER_NODES), Some(2.0));
+    }
+
+    #[test]
+    fn tiny_payloads_fall_back_to_the_flat_ring() {
+        // 8 bytes over 16 devices: the hierarchical schedule's second
+        // launch dominates, so the planner keeps the flat ring over the
+        // slow link — never slower than flat.
+        let platform = Platform::dgx_a100_cluster(2);
+        let CommModel::Hierarchical { inter, launch_us, .. } = platform.comm else {
+            panic!("cluster preset must be hierarchical");
+        };
+        let mut rt = SimRuntime::new(&platform, 16);
+        rt.allreduce("allreduce ptr", 8);
+        let fin = rt.finish();
+        assert_eq!(fin.metrics.counter(names::COMM_HIER_FALLBACKS), 1);
+        let flat = CommModel::Nccl { launch_us }.allreduce_time(&inter, 16, 8);
+        assert!(
+            (fin.sim_time - flat).abs() <= 1e-12 * flat,
+            "fallback cost {} vs flat ring {}",
+            fin.sim_time,
+            flat
+        );
+    }
+
+    #[test]
+    fn inter_cut_scales_only_the_inter_node_stage() {
+        let b = 1_000_000u64;
+        let run = |cut: Option<f64>| {
+            let mut rt = SimRuntime::new(&Platform::dgx_a100_cluster(2), 16);
+            if let Some(c) = cut {
+                rt.set_inter_cut(c);
+            }
+            rt.allreduce("allreduce ptr", b);
+            rt.finish()
+        };
+        let full = run(None);
+        let quarter = run(Some(0.25));
+        // The intra-node stages always carry the full payload …
+        assert_eq!(
+            full.metrics.counter(names::COMM_INTRA_NODE_BYTES),
+            quarter.metrics.counter(names::COMM_INTRA_NODE_BYTES)
+        );
+        // … only the leader ring shrinks with the boundary fraction.
+        assert_eq!(quarter.metrics.counter(names::COMM_INTER_NODE_BYTES), 2 * b / 4);
+        assert!(quarter.sim_time < full.sim_time);
+        assert!(
+            quarter.metrics.gauge(names::COMM_INTER_TIME).unwrap()
+                < full.metrics.gauge(names::COMM_INTER_TIME).unwrap()
+        );
+    }
+
+    #[test]
+    fn chunked_uniform_front_on_a_cluster_coalesces_to_serialized_cost() {
+        let mk = || {
+            let mut rt = SimRuntime::new(&Platform::dgx_a100_cluster(2), 16);
+            for d in 0..16 {
+                rt.device(d).launch_kernel(None, "point", &stats(1000));
+            }
+            rt
+        };
+        let mut ser = mk();
+        ser.barrier_wait();
+        ser.allreduce("allreduce ptr", 4 << 20);
+        let ser = ser.finish();
+        let mut ovl = mk();
+        let ready = ovl.compute_horizon();
+        let chunks: Vec<CommChunk> = (0..4).map(|_| CommChunk { bytes: 1 << 20, ready }).collect();
+        ovl.allreduce_chunked("allreduce ptr", &chunks);
+        let ovl = ovl.finish();
+        assert!(
+            (ovl.sim_time - ser.sim_time).abs() <= 1e-9 * ser.sim_time,
+            "uniform chunked {} vs serialized {}",
+            ovl.sim_time,
+            ser.sim_time
+        );
+        assert_eq!(
+            ovl.metrics.counter(names::COMM_INTER_NODE_BYTES),
+            ser.metrics.counter(names::COMM_INTER_NODE_BYTES)
+        );
+    }
+
+    #[test]
+    fn hierarchical_schedule_never_loses_to_the_flattened_platform() {
+        // `flattened()` runs the same devices as one flat ring over the
+        // inter-node link; the hierarchical planner must match or beat
+        // it at every payload size (fallback guarantees the tie).
+        let cluster = Platform::dgx_a100_cluster(2);
+        let flat = cluster.clone().flattened();
+        for payload in [8u64, 1 << 10, 1 << 20, 8 << 20] {
+            let mut h = SimRuntime::new(&cluster, 16);
+            h.allreduce("allreduce ptr", payload);
+            let h = h.finish();
+            let mut f = SimRuntime::new(&flat, 16);
+            f.allreduce("allreduce ptr", payload);
+            let f = f.finish();
+            assert!(
+                h.sim_time <= f.sim_time * (1.0 + 1e-12),
+                "payload {payload}: hierarchical {} > flat {}",
+                h.sim_time,
+                f.sim_time
+            );
+        }
     }
 }

@@ -1,14 +1,18 @@
 //! # ldgm-part — graph distribution for multi-device matching
 //!
 //! Implements the paper's §III-A/B data distribution: contiguous,
-//! edge-balanced vertex [`partition::Partition`]s across devices, and the
+//! edge-balanced vertex [`partition::Partition`]s across devices, the
 //! [`batch`] scheme that sub-divides a partition into working sets sized
-//! to the device-memory model in [`memory`].
+//! to the device-memory model in [`memory`], and the cluster-level
+//! [`placement`] policy that groups parts onto nodes so heavy cut edges
+//! stay on the fast intra-node link.
 
 pub mod batch;
 pub mod memory;
 pub mod partition;
+pub mod placement;
 
 pub use batch::{make_batches, min_batches_to_fit, validate_batches};
 pub use memory::{batch_buffer_bytes, device_footprint_bytes, fits, global_state_bytes};
 pub use partition::{Partition, VertexRange};
+pub use placement::{cut_stats, CutStats, NodePlacement};
