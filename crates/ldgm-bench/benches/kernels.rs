@@ -18,7 +18,7 @@ fn bench_set_pointers(c: &mut Criterion) {
         ("rmat_skewed", rmat(1 << 14, 200_000, RmatParams::GAP_KRON, 1)),
     ] {
         let part = Partition::edge_balanced(&g, 1).parts[0];
-        let mate = vec![NONE_SENTINEL; g.num_vertices()];
+        let avail = vec![1u8; g.num_vertices()];
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
                 let mut pointers = vec![NONE_SENTINEL; g.num_vertices()];
@@ -26,7 +26,7 @@ fn bench_set_pointers(c: &mut Criterion) {
                 black_box(set_pointers_batch(
                     &g,
                     &part,
-                    &mate,
+                    &avail,
                     &mut pointers,
                     &mut retired,
                     8,
@@ -48,7 +48,8 @@ fn bench_set_mates(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(n), |b| {
             b.iter(|| {
                 let mut mate = vec![NONE_SENTINEL; n];
-                black_box(set_mates(&pointers, &mut mate))
+                let mut avail = vec![1u8; n];
+                black_box(set_mates(&pointers, &mut mate, &mut avail))
             })
         });
     }

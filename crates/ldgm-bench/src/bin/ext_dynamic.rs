@@ -2,12 +2,14 @@
 //! its measurements as `BENCH_dynamic.json` in the working directory.
 //! See `ldgm_bench::exp::ext_dynamic`.
 
-use ldgm_bench::runner::records_to_json;
+use ldgm_bench::runner::{records_to_json, write_json_doc, ExtCli};
 
 fn main() {
+    let cli = ExtCli::parse_env("BENCH_dynamic.json");
+    assert!(cli.names.is_empty(), "ext_dynamic sweeps a fixed dataset set");
     let mut out = std::io::stdout().lock();
     let records = ldgm_bench::exp::ext_dynamic::run_records(&mut out).expect("report write failed");
-    let doc = records_to_json(&records).to_string_pretty();
-    std::fs::write("BENCH_dynamic.json", doc + "\n").expect("BENCH_dynamic.json write failed");
-    println!("wrote BENCH_dynamic.json ({} records)", records.len());
+    let parsed = write_json_doc(&cli.out_path, &records_to_json(&records));
+    assert_eq!(parsed.as_array().map(<[_]>::len), Some(records.len()), "row count round-trips");
+    println!("wrote {} ({} records)", cli.out_path, records.len());
 }

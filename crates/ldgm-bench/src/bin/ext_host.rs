@@ -1,0 +1,47 @@
+//! Regenerate the host-speed kernel study and record the wall-clock
+//! trajectory as `BENCH_host.json` in the working directory. See
+//! `ldgm_bench::exp::ext_host`.
+//!
+//! Usage: `ext_host [--out PATH] [--reps N]`
+//!
+//! `--reps` is the best-of count per workload (default 7; the CI smoke
+//! run uses fewer). The written JSON is parsed back and cross-checked
+//! against the in-memory records before the binary reports success.
+
+use ldgm_bench::exp::ext_host::{host_records_to_json, run_records};
+use ldgm_bench::runner::{write_json_doc, ExtCli};
+use ldgm_gpusim::json::Json;
+
+fn main() {
+    let mut reps = 7usize;
+    let cli = ExtCli::parse_env_with("BENCH_host.json", |flag, args| {
+        if flag == "--reps" {
+            let n = args.next().expect("--reps requires a count");
+            reps = n.parse().expect("--reps must be a positive count");
+            true
+        } else {
+            false
+        }
+    });
+    assert!(cli.names.is_empty(), "ext_host measures fixed seeded workloads, not datasets");
+    assert!(reps >= 1, "--reps must be a positive count");
+
+    let mut out = std::io::stdout().lock();
+    let records = run_records(reps, &mut out).expect("report write failed");
+
+    // Round-trip check: what landed on disk parses back to the same rows.
+    let parsed = write_json_doc(&cli.out_path, &host_records_to_json(&records));
+    let rows = parsed.get("records").and_then(Json::as_array).expect("records array");
+    assert_eq!(rows.len(), records.len(), "row count round-trips");
+    for (row, rec) in rows.iter().zip(&records) {
+        assert_eq!(row.get("kernel").and_then(Json::as_str), Some(rec.kernel.as_str()));
+        assert_eq!(row.get("workload").and_then(Json::as_str), Some(rec.workload.as_str()));
+        assert_eq!(row.get("ns_per_unit").and_then(Json::as_f64), Some(rec.ns_per_unit));
+    }
+    let geo = parsed.get("geomean_speedup").and_then(Json::as_f64).expect("geomean field");
+    println!(
+        "wrote {} ({} records, geomean speedup {geo:.2}x vs pinned baseline)",
+        cli.out_path,
+        records.len()
+    );
+}

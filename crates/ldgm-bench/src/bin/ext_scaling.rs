@@ -18,34 +18,34 @@ use ldgm_bench::datasets::{by_name, registry};
 use ldgm_bench::exp::ext_scaling::{
     cluster_sweep, combined_records_to_json, run_cluster_on, run_on, ClusterRecord,
 };
-use ldgm_gpusim::json::{self, Json};
+use ldgm_bench::runner::{write_json_doc, ExtCli};
+use ldgm_gpusim::json::Json;
 
 fn main() {
-    let mut out_path = "BENCH_scaling.json".to_string();
-    let mut names: Vec<String> = Vec::new();
     let mut with_cluster = true;
     let mut cluster_nodes: Option<usize> = None;
     let mut cluster_gpus: Option<usize> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--out" => out_path = args.next().expect("--out requires a path"),
-            "--no-cluster" => with_cluster = false,
-            "--cluster-nodes" => {
-                let n = args.next().expect("--cluster-nodes requires a count");
-                cluster_nodes = Some(n.parse().expect("--cluster-nodes must be a positive count"));
-            }
-            "--cluster-gpus" => {
-                let n = args.next().expect("--cluster-gpus requires a count");
-                cluster_gpus = Some(n.parse().expect("--cluster-gpus must be a positive count"));
-            }
-            _ => names.push(a),
+    let cli = ExtCli::parse_env_with("BENCH_scaling.json", |flag, args| match flag {
+        "--no-cluster" => {
+            with_cluster = false;
+            true
         }
-    }
-    let datasets = if names.is_empty() {
+        "--cluster-nodes" => {
+            let n = args.next().expect("--cluster-nodes requires a count");
+            cluster_nodes = Some(n.parse().expect("--cluster-nodes must be a positive count"));
+            true
+        }
+        "--cluster-gpus" => {
+            let n = args.next().expect("--cluster-gpus requires a count");
+            cluster_gpus = Some(n.parse().expect("--cluster-gpus must be a positive count"));
+            true
+        }
+        _ => false,
+    });
+    let datasets = if cli.names.is_empty() {
         registry()
     } else {
-        names.iter().map(|n| by_name(n).expect("known dataset")).collect()
+        cli.names.iter().map(|n| by_name(n).expect("known dataset")).collect()
     };
     let shapes = match (cluster_nodes, cluster_gpus) {
         (None, None) => cluster_sweep(),
@@ -59,11 +59,8 @@ fn main() {
     } else {
         Vec::new()
     };
-    let doc = combined_records_to_json(&records, &cluster).to_string_pretty();
-    std::fs::write(&out_path, doc.clone() + "\n").expect("JSON write failed");
-
     // Round-trip check: what landed on disk parses back to the same rows.
-    let parsed = json::parse(&doc).expect("written JSON must parse");
+    let parsed = write_json_doc(&cli.out_path, &combined_records_to_json(&records, &cluster));
     let rows = parsed.as_array().expect("array document");
     assert_eq!(rows.len(), records.len() + cluster.len(), "row count round-trips");
     for (row, rec) in rows.iter().zip(&records) {
@@ -90,9 +87,10 @@ fn main() {
         .map(|r| r.dataset.as_str())
         .collect();
     println!(
-        "wrote {out_path} ({} overlap + {} cluster records; exposed comm drops on \
+        "wrote {} ({} overlap + {} cluster records; exposed comm drops on \
          >=4 devices for {} datasets; placement trims inter-node time at >=64 GPUs \
          for {} datasets)",
+        cli.out_path,
         records.len(),
         cluster.len(),
         datasets_with_drop.len(),

@@ -11,31 +11,21 @@
 
 use ldgm_bench::datasets::by_name;
 use ldgm_bench::exp::ext_serve::{run_on, serve_records_to_json, DATASETS};
-use ldgm_gpusim::json::{self, Json};
+use ldgm_bench::runner::{write_json_doc, ExtCli};
+use ldgm_gpusim::json::Json;
 
 fn main() {
-    let mut out_path = "BENCH_serve.json".to_string();
-    let mut names: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--out" {
-            out_path = args.next().expect("--out requires a path");
-        } else {
-            names.push(a);
-        }
+    let mut cli = ExtCli::parse_env("BENCH_serve.json");
+    if cli.names.is_empty() {
+        cli.names = DATASETS.iter().map(|s| s.to_string()).collect();
     }
-    if names.is_empty() {
-        names = DATASETS.iter().map(|s| s.to_string()).collect();
-    }
-    let datasets: Vec<_> = names.iter().map(|n| by_name(n).expect("known dataset")).collect();
+    let datasets: Vec<_> = cli.names.iter().map(|n| by_name(n).expect("known dataset")).collect();
 
     let mut out = std::io::stdout().lock();
     let records = run_on(&datasets, &mut out).expect("report write failed");
-    let doc = serve_records_to_json(&records).to_string_pretty();
-    std::fs::write(&out_path, doc.clone()).expect("JSON write failed");
 
     // Round-trip check: what landed on disk parses back to the same rows.
-    let parsed = json::parse(&doc).expect("written JSON must parse");
+    let parsed = write_json_doc(&cli.out_path, &serve_records_to_json(&records));
     let rows = parsed.as_array().expect("array document");
     assert_eq!(rows.len(), records.len(), "row count round-trips");
     for (row, rec) in rows.iter().zip(&records) {
@@ -45,5 +35,5 @@ fn main() {
         assert!(rec.replay_identical, "{}: served matching diverged from replay", rec.dataset);
         assert!(rec.mean_batch > 1.0, "{}: no coalescing under load", rec.dataset);
     }
-    println!("wrote {out_path} ({} records, all replay-identical)", records.len());
+    println!("wrote {} ({} records, all replay-identical)", cli.out_path, records.len());
 }

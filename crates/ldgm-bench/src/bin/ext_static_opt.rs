@@ -11,32 +11,22 @@
 
 use ldgm_bench::datasets::{by_name, registry};
 use ldgm_bench::exp::ext_static_opt::{opt_records_to_json, run_on};
-use ldgm_gpusim::json::{self, Json};
+use ldgm_bench::runner::{write_json_doc, ExtCli};
+use ldgm_gpusim::json::Json;
 
 fn main() {
-    let mut out_path = "BENCH_static_opt.json".to_string();
-    let mut names: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--out" {
-            out_path = args.next().expect("--out requires a path");
-        } else {
-            names.push(a);
-        }
-    }
-    let datasets = if names.is_empty() {
+    let cli = ExtCli::parse_env("BENCH_static_opt.json");
+    let datasets = if cli.names.is_empty() {
         registry()
     } else {
-        names.iter().map(|n| by_name(n).expect("known dataset")).collect()
+        cli.names.iter().map(|n| by_name(n).expect("known dataset")).collect()
     };
 
     let mut out = std::io::stdout().lock();
     let records = run_on(&datasets, &mut out).expect("report write failed");
-    let doc = opt_records_to_json(&records).to_string_pretty();
-    std::fs::write(&out_path, doc.clone() + "\n").expect("JSON write failed");
 
     // Round-trip check: what landed on disk parses back to the same rows.
-    let parsed = json::parse(&doc).expect("written JSON must parse");
+    let parsed = write_json_doc(&cli.out_path, &opt_records_to_json(&records));
     let rows = parsed.as_array().expect("array document");
     assert_eq!(rows.len(), records.len(), "row count round-trips");
     for (row, rec) in rows.iter().zip(&records) {
@@ -46,7 +36,8 @@ fn main() {
     }
     let wins = records.iter().filter(|r| r.speedup() >= 2.0).count();
     println!(
-        "wrote {out_path} ({} records, {} with >=2x simulated-time reduction)",
+        "wrote {} ({} records, {} with >=2x simulated-time reduction)",
+        cli.out_path,
         records.len(),
         wins
     );

@@ -180,12 +180,23 @@ pub fn registry() -> Vec<Dataset> {
     ]
 }
 
-/// Fetch a registry entry by paper name; the error lists every available
-/// dataset so callers can surface it directly.
+/// Fetch a registry entry by paper name; the error leads with the
+/// nearest-name guesses (same edit-distance heuristic as the matcher
+/// registry) and lists every available dataset so callers can surface it
+/// directly.
 pub fn by_name(name: &str) -> Result<Dataset, String> {
     registry().into_iter().find(|d| d.name == name).ok_or_else(|| {
         let names: Vec<&str> = registry().iter().map(|d| d.name).collect();
-        format!("no dataset named '{name}' (available: {})", names.join(", "))
+        // Same "did you mean" heuristic as the matcher registry: offer
+        // the closest name only when it is a plausible typo.
+        let ranked = ldgm_core::nearest_names(name, &names);
+        let hint = match ranked.first() {
+            Some(best) if ldgm_core::edit_distance(name, best) <= 3 => {
+                format!(" — did you mean '{best}'?")
+            }
+            _ => String::new(),
+        };
+        format!("no dataset named '{name}'{hint} (available: {})", names.join(", "))
     })
 }
 
@@ -270,6 +281,13 @@ mod tests {
         let err = by_name("nope").unwrap_err();
         assert!(err.contains("no dataset named 'nope'"), "{err}");
         assert!(err.contains("GAP-kron") && err.contains("com-Orkut"), "{err}");
+        assert!(!err.contains("did you mean"), "far-off names get no guess: {err}");
+    }
+
+    #[test]
+    fn by_name_typo_suggests_nearest() {
+        let err = by_name("GAP-korn").unwrap_err();
+        assert!(err.contains("did you mean 'GAP-kron'?"), "{err}");
     }
 
     #[test]

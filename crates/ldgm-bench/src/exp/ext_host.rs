@@ -1,0 +1,335 @@
+//! Host-speed study of the LD-GPU hot kernels (extension, ROADMAP item 5).
+//!
+//! Unlike every other study in this crate, this one measures *wall-clock*
+//! nanoseconds, not simulated seconds: the simulator executes SETPOINTERS
+//! and SETMATES for real on host threads, so host ns/edge is an
+//! independent cost axis that the serving and cluster-sweep workloads
+//! (PRs 6–7) multiply thousands of times per billed second.
+//!
+//! Each workload is fixed and seeded; the measurement is best-of-N
+//! wall time divided by the workload's unit count (directed edge slots
+//! for SETPOINTERS, pointer slots for SETMATES). [`BASELINE_NS`] pins the
+//! pre-refactor numbers measured on the reference machine, so the written
+//! `BENCH_host.json` is a trajectory: every regeneration reports current
+//! ns/unit next to the frozen baseline and the resulting speedup.
+
+use std::io::{self, Write};
+use std::time::Instant;
+
+use ldgm_core::ld_gpu::{set_mates, set_pointers_batch, set_pointers_opt, PointingWork, Scratch};
+use ldgm_gpusim::json::Json;
+use ldgm_gpusim::NONE_SENTINEL;
+use ldgm_graph::csr::CsrGraph;
+use ldgm_graph::gen::{rmat, urand, RmatParams};
+use ldgm_graph::SortedAdjacency;
+use ldgm_part::Partition;
+
+/// Pre-refactor host ns/unit per workload, measured on the reference
+/// machine immediately before the SoA/scratch rewrite (same harness,
+/// same seeds). Frozen: regenerations overwrite only the `current`
+/// column of the trajectory.
+const BASELINE_NS: &[(&str, f64)] = &[
+    ("set_pointers/urand_sparse", 6.253),
+    ("set_pointers/urand_dense", 2.875),
+    ("set_pointers/rmat_skewed", 2.764),
+    ("set_pointers/half_matched", 4.384),
+    ("set_pointers/sorted_dense", 0.407),
+    ("set_mates/pointed_200k", 11.532),
+    ("set_mates/paired_1m", 3.157),
+];
+
+/// One measured workload of the trajectory.
+#[derive(Clone, Debug)]
+pub struct HostRecord {
+    /// Kernel under test (`set_pointers` or `set_mates`).
+    pub kernel: String,
+    /// Workload name within the kernel.
+    pub workload: String,
+    /// Work units the wall time is divided by (directed edge slots for
+    /// SETPOINTERS, pointer slots for SETMATES).
+    pub units: u64,
+    /// Pinned pre-refactor ns/unit ([`BASELINE_NS`]); equals
+    /// `ns_per_unit` when the workload has no pinned baseline yet.
+    pub baseline_ns_per_unit: f64,
+    /// Best-of-N measured ns/unit of the current tree.
+    pub ns_per_unit: f64,
+}
+
+impl HostRecord {
+    /// Baseline-over-current speedup (>1 means the refactor won).
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns_per_unit / self.ns_per_unit
+    }
+}
+
+fn pinned_baseline(key: &str) -> Option<f64> {
+    BASELINE_NS.iter().find(|(k, _)| *k == key).map(|&(_, ns)| ns)
+}
+
+/// Best-of-N wall time of `f` in nanoseconds (one warmup rep).
+fn best_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_nanos() as f64;
+        if dt < best {
+            best = dt;
+        }
+    }
+    best
+}
+
+/// Geometric mean of the per-record speedups.
+pub fn geomean_speedup(records: &[HostRecord]) -> f64 {
+    if records.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = records.iter().map(|r| r.speedup().ln()).sum();
+    (log_sum / records.len() as f64).exp()
+}
+
+/// Mate array pairing vertices `4i <-> 4i+1` (half the vertices matched),
+/// exercising the matched-skip and availability paths.
+fn half_matched_mate(n: usize) -> Vec<u64> {
+    let mut mate = vec![NONE_SENTINEL; n];
+    let mut i = 0;
+    while i + 1 < n {
+        mate[i] = (i + 1) as u64;
+        mate[i + 1] = i as u64;
+        i += 4;
+    }
+    mate
+}
+
+struct PointingWorkload {
+    name: &'static str,
+    g: CsrGraph,
+    mate: Vec<u64>,
+    sorted: bool,
+}
+
+fn pointing_workloads() -> Vec<PointingWorkload> {
+    let dense = urand(20_000, 400_000, 1);
+    let half = half_matched_mate(dense.num_vertices());
+    vec![
+        PointingWorkload {
+            name: "urand_sparse",
+            g: urand(20_000, 80_000, 1),
+            mate: vec![NONE_SENTINEL; 20_000],
+            sorted: false,
+        },
+        PointingWorkload {
+            name: "urand_dense",
+            g: dense.clone(),
+            mate: vec![NONE_SENTINEL; 20_000],
+            sorted: false,
+        },
+        PointingWorkload {
+            name: "rmat_skewed",
+            g: rmat(1 << 14, 200_000, RmatParams::GAP_KRON, 1),
+            mate: vec![NONE_SENTINEL; 1 << 14],
+            sorted: false,
+        },
+        PointingWorkload { name: "half_matched", g: dense.clone(), mate: half, sorted: false },
+        PointingWorkload {
+            name: "sorted_dense",
+            g: dense,
+            mate: vec![NONE_SENTINEL; 20_000],
+            sorted: true,
+        },
+    ]
+}
+
+/// Measure every workload of the study. `reps` is the best-of count
+/// (the CI smoke pass uses a smaller one than the committed trajectory).
+pub fn measure(reps: usize) -> Vec<HostRecord> {
+    let mut records = Vec::new();
+
+    for w in pointing_workloads() {
+        let part = Partition::edge_balanced(&w.g, 1).parts[0];
+        let sorted = w.sorted.then(|| SortedAdjacency::build(&w.g));
+        let mut scratch = Scratch::for_graph(&w.g);
+        scratch.sync_avail(&w.mate);
+        let mut pointers = vec![NONE_SENTINEL; w.g.num_vertices()];
+        let mut retired = vec![0u8; w.g.num_vertices()];
+        let units = w.g.num_directed_edges() as u64;
+        let ns = best_ns(reps, || {
+            let r = match &sorted {
+                Some(idx) => set_pointers_opt(
+                    &w.g,
+                    Some(idx),
+                    &part,
+                    PointingWork::Full,
+                    scratch.avail(),
+                    &mut pointers,
+                    &mut retired,
+                    8,
+                    true,
+                ),
+                None => set_pointers_batch(
+                    &w.g,
+                    &part,
+                    scratch.avail(),
+                    &mut pointers,
+                    &mut retired,
+                    8,
+                    true,
+                ),
+            };
+            std::hint::black_box(r);
+        });
+        let key = format!("set_pointers/{}", w.name);
+        let ns_per_unit = ns / units as f64;
+        records.push(HostRecord {
+            kernel: "set_pointers".into(),
+            workload: w.name.into(),
+            units,
+            baseline_ns_per_unit: pinned_baseline(&key).unwrap_or(ns_per_unit),
+            ns_per_unit,
+        });
+    }
+
+    // SETMATES over pointers produced by a real pointing round (mutual
+    // fraction as the algorithm sees it) and over a synthetic all-mutual
+    // pairing. The mate array must be re-armed per rep; the template
+    // copy is part of the timed region on both sides of the trajectory.
+    let mut mates_workloads: Vec<(&str, Vec<u64>)> = Vec::new();
+    {
+        let g = urand(200_000, 800_000, 3);
+        let part = Partition::edge_balanced(&g, 1).parts[0];
+        let mate = vec![NONE_SENTINEL; g.num_vertices()];
+        let mut scratch = Scratch::for_graph(&g);
+        scratch.sync_avail(&mate);
+        let mut pointers = vec![NONE_SENTINEL; g.num_vertices()];
+        let mut retired = vec![0u8; g.num_vertices()];
+        set_pointers_batch(&g, &part, scratch.avail(), &mut pointers, &mut retired, 8, true);
+        mates_workloads.push(("pointed_200k", pointers));
+    }
+    let n = 1_000_000u64;
+    mates_workloads
+        .push(("paired_1m", (0..n).map(|u| if u % 2 == 0 { u + 1 } else { u - 1 }).collect()));
+
+    for (name, pointers) in mates_workloads {
+        let template = vec![NONE_SENTINEL; pointers.len()];
+        let mut mate = template.clone();
+        let mut avail = vec![1u8; pointers.len()];
+        let units = pointers.len() as u64;
+        let ns = best_ns(reps, || {
+            mate.copy_from_slice(&template);
+            avail.fill(1);
+            std::hint::black_box(set_mates(&pointers, &mut mate, &mut avail));
+        });
+        let key = format!("set_mates/{name}");
+        let ns_per_unit = ns / units as f64;
+        records.push(HostRecord {
+            kernel: "set_mates".into(),
+            workload: name.into(),
+            units,
+            baseline_ns_per_unit: pinned_baseline(&key).unwrap_or(ns_per_unit),
+            ns_per_unit,
+        });
+    }
+
+    records
+}
+
+/// JSON document for `BENCH_host.json`: the record array plus the
+/// geomean the acceptance gate reads.
+pub fn host_records_to_json(records: &[HostRecord]) -> Json {
+    let rows: Vec<Json> = records
+        .iter()
+        .map(|r| {
+            Json::object()
+                .with("kernel", r.kernel.clone())
+                .with("workload", r.workload.clone())
+                .with("units", r.units)
+                .with("baseline_ns_per_unit", r.baseline_ns_per_unit)
+                .with("ns_per_unit", r.ns_per_unit)
+                .with("speedup", r.speedup())
+        })
+        .collect();
+    Json::object()
+        .with("schema_version", 1u64)
+        .with("records", Json::Array(rows))
+        .with("geomean_speedup", geomean_speedup(records))
+}
+
+/// Run the study and print the report table.
+pub fn run_records(reps: usize, w: &mut dyn Write) -> io::Result<Vec<HostRecord>> {
+    let records = measure(reps);
+    writeln!(w, "Host-speed study: LD-GPU hot kernels (wall-clock, best of {reps})")?;
+    writeln!(
+        w,
+        "{:<14} {:<14} {:>12} {:>14} {:>12} {:>9}",
+        "kernel", "workload", "units", "baseline ns/u", "ns/unit", "speedup"
+    )?;
+    for r in &records {
+        writeln!(
+            w,
+            "{:<14} {:<14} {:>12} {:>14.3} {:>12.3} {:>8.2}x",
+            r.kernel,
+            r.workload,
+            r.units,
+            r.baseline_ns_per_unit,
+            r.ns_per_unit,
+            r.speedup()
+        )?;
+    }
+    writeln!(w, "geomean speedup vs pre-refactor baseline: {:.2}x", geomean_speedup(&records))?;
+    Ok(records)
+}
+
+/// Entry point for `repro_all`-style callers.
+pub fn run(w: &mut dyn Write) -> io::Result<()> {
+    run_records(5, w).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_cover_both_hot_kernels() {
+        let records = measure(1);
+        assert!(records.iter().any(|r| r.kernel == "set_pointers"));
+        assert!(records.iter().any(|r| r.kernel == "set_mates"));
+        for r in &records {
+            assert!(r.ns_per_unit > 0.0, "{}/{}", r.kernel, r.workload);
+            assert!(r.units > 0);
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let records = vec![
+            HostRecord {
+                kernel: "set_pointers".into(),
+                workload: "w".into(),
+                units: 100,
+                baseline_ns_per_unit: 10.0,
+                ns_per_unit: 5.0,
+            },
+            HostRecord {
+                kernel: "set_mates".into(),
+                workload: "m".into(),
+                units: 50,
+                baseline_ns_per_unit: 8.0,
+                ns_per_unit: 4.0,
+            },
+        ];
+        let doc = host_records_to_json(&records).to_string_pretty();
+        let parsed = ldgm_gpusim::json::parse(&doc).unwrap();
+        let rows = parsed.get("records").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("speedup").and_then(Json::as_f64), Some(2.0));
+        let geo = parsed.get("geomean_speedup").and_then(Json::as_f64).unwrap();
+        assert!((geo - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_empty_is_one() {
+        assert_eq!(geomean_speedup(&[]), 1.0);
+    }
+}

@@ -143,6 +143,64 @@ pub fn records_to_json(records: &[BenchRecord]) -> Json {
     Json::Array(records.iter().map(BenchRecord::to_json).collect())
 }
 
+/// Common CLI of the `ext_*` study binaries: `--out PATH` overriding the
+/// study's default JSON location, plus positional dataset names. Studies
+/// with extra flags claim them through the `extra` callback.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtCli {
+    /// Where the JSON document lands (`--out`, or the study default).
+    pub out_path: String,
+    /// Positional dataset names; empty means the study's default set.
+    pub names: Vec<String>,
+}
+
+impl ExtCli {
+    /// Parse the process arguments with no study-specific flags.
+    pub fn parse_env(default_out: &str) -> Self {
+        Self::parse_env_with(default_out, |_, _| false)
+    }
+
+    /// Parse the process arguments; `extra(flag, args)` returns `true`
+    /// when the study recognized the flag (pulling any operands off
+    /// `args` itself). Unclaimed `--flags` abort with a usage error.
+    pub fn parse_env_with(
+        default_out: &str,
+        extra: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> bool,
+    ) -> Self {
+        Self::parse_from(default_out, std::env::args().skip(1), extra)
+    }
+
+    /// Parse from an explicit argument stream (testable core of
+    /// [`ExtCli::parse_env_with`]).
+    pub fn parse_from(
+        default_out: &str,
+        args: impl IntoIterator<Item = String>,
+        mut extra: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> bool,
+    ) -> Self {
+        let mut cli = ExtCli { out_path: default_out.to_string(), names: Vec::new() };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            if a == "--out" {
+                cli.out_path = it.next().expect("--out requires a path");
+            } else if a.starts_with("--") {
+                assert!(extra(&a, &mut it), "unknown flag {a}");
+            } else {
+                cli.names.push(a);
+            }
+        }
+        cli
+    }
+}
+
+/// Write the document to `out_path` (pretty-printed, newline-terminated)
+/// and parse the written text back, so every `ext_*` binary cross-checks
+/// what actually landed on disk against its in-memory records.
+pub fn write_json_doc(out_path: &str, doc: &Json) -> Json {
+    let text = doc.to_string_pretty() + "\n";
+    std::fs::write(out_path, &text).expect("JSON write failed");
+    ldgm_gpusim::json::parse(&text).expect("written JSON must parse")
+}
+
 /// The paper's sweep ranges: 1–8 devices, up to 15 batches (we sample the
 /// batch range).
 pub const DEVICE_SWEEP: &[usize] = &[1, 2, 4, 6, 8];
@@ -210,6 +268,46 @@ mod tests {
         assert_eq!(row.get("algorithm").and_then(Json::as_str), Some("ld-gpu"));
         assert_eq!(row.get("time").and_then(Json::as_f64), Some(best.output.sim_time));
         assert_eq!(row.get("cardinality").and_then(Json::as_f64), Some(rec.cardinality as f64));
+    }
+
+    #[test]
+    fn ext_cli_parses_out_names_and_extra_flags() {
+        let args = ["--out", "x.json", "alpha", "--reps", "3", "beta"];
+        let mut reps = 0usize;
+        let cli =
+            ExtCli::parse_from("default.json", args.iter().map(|s| s.to_string()), |flag, rest| {
+                if flag == "--reps" {
+                    reps = rest.next().unwrap().parse().unwrap();
+                    true
+                } else {
+                    false
+                }
+            });
+        assert_eq!(cli.out_path, "x.json");
+        assert_eq!(cli.names, ["alpha", "beta"]);
+        assert_eq!(reps, 3);
+
+        let cli = ExtCli::parse_from("default.json", std::iter::empty(), |_, _| false);
+        assert_eq!(cli, ExtCli { out_path: "default.json".into(), names: Vec::new() });
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn ext_cli_rejects_unknown_flags() {
+        ExtCli::parse_from("d.json", ["--bogus".to_string()], |_, _| false);
+    }
+
+    #[test]
+    fn write_json_doc_round_trips() {
+        let dir = std::env::temp_dir().join("ldgm_runner_json_doc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.json");
+        let doc = Json::Array(vec![Json::object().with("k", 1u64)]);
+        let parsed = write_json_doc(path.to_str().unwrap(), &doc);
+        assert_eq!(parsed.as_array().unwrap()[0].get("k").and_then(Json::as_f64), Some(1.0));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

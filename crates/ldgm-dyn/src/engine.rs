@@ -29,6 +29,7 @@
 //! value), update uploads as H2D copies, and compaction as a CSR reshard —
 //! so the speedup over from-scratch recompute is directly measurable.
 
+use ldgm_core::ld_gpu::Scratch;
 use ldgm_core::verify::half_approx_certificate;
 use ldgm_core::{prefer, MatchError, Matching, UNMATCHED};
 use ldgm_gpusim::metrics::names;
@@ -248,6 +249,9 @@ pub struct IncrementalLd {
     /// Per-round records pushed into the runtime so far (their index).
     iterations_recorded: usize,
     initial_time: f64,
+    /// Reusable stabilization buffers (`next`/`freed` worklists, overlap
+    /// comm staging) — steady-state rounds allocate nothing.
+    scratch: Scratch,
 }
 
 impl IncrementalLd {
@@ -275,6 +279,7 @@ impl IncrementalLd {
             batches: 0,
             iterations_recorded: 0,
             initial_time: 0.0,
+            scratch: Scratch::default(),
         };
         let all: Vec<VertexId> = (0..n as VertexId).collect();
         engine.stabilize(all);
@@ -605,7 +610,7 @@ impl IncrementalLd {
             let mut pointers_set = 0u64;
             let mut occ_sum = 0.0;
             let mut occ_n = 0u32;
-            let mut ptr_chunks: Vec<CommChunk> = Vec::new();
+            self.scratch.comm_staging.clear();
             let mut lo = 0usize;
             for d in 0..self.ndev {
                 let hi = if d + 1 == self.ndev {
@@ -613,7 +618,7 @@ impl IncrementalLd {
                 } else {
                     frontier.partition_point(|&u| self.owner(u) <= d)
                 };
-                let work: Vec<VertexId> = frontier[lo..hi].to_vec();
+                let work = &frontier[lo..hi];
                 lo = hi;
                 if work.is_empty() {
                     continue;
@@ -657,7 +662,9 @@ impl IncrementalLd {
                 if self.cfg.overlap {
                     // This device's frontier slice becomes reducible when
                     // its pointing kernel retires.
-                    ptr_chunks.push(CommChunk { bytes: 16 * work.len() as u64, ready: launch.end });
+                    self.scratch
+                        .comm_staging
+                        .push(CommChunk { bytes: 16 * work.len() as u64, ready: launch.end });
                 }
                 point_stats.merge(&st);
             }
@@ -676,7 +683,7 @@ impl IncrementalLd {
             // slice as soon as its kernel retires instead of waiting for
             // the slowest one.
             if self.cfg.overlap {
-                self.rt.allreduce_chunked("allreduce ptr", &ptr_chunks);
+                self.rt.allreduce_chunked("allreduce ptr", &self.scratch.comm_staging);
             } else {
                 self.rt.allreduce_sparse("allreduce ptr", frontier.len() as u64, 16);
             }
@@ -684,8 +691,10 @@ impl IncrementalLd {
             // SETMATES: commit mutual pointers, unjoining outbid mates.
             // `in_frontier` guards against stale pointers of non-frontier
             // vertices (their `ptr` entries are from earlier rounds).
-            let mut next: Vec<VertexId> = Vec::new();
-            let mut freed: Vec<VertexId> = Vec::new();
+            let mut next = std::mem::take(&mut self.scratch.next);
+            next.clear();
+            let mut freed = std::mem::take(&mut self.scratch.freed);
+            freed.clear();
             let mut new_matches = 0u64;
             for &u in &frontier {
                 let v = self.ptr[u as usize];
@@ -772,7 +781,10 @@ impl IncrementalLd {
             ));
             self.iterations_recorded += 1;
 
-            frontier = next;
+            // Recycle: the drained frontier becomes next round's spare.
+            self.scratch.freed = freed;
+            std::mem::swap(&mut frontier, &mut next);
+            self.scratch.next = next;
         }
         self.rounds += rounds;
         (rounds, new_total, broken_total)

@@ -1,22 +1,25 @@
 //! JSON run reports: one self-describing document per matcher run,
 //! written by `ldgm match --report-json` and the bench harness.
 //!
-//! Schema (version 3 — v2 added the `comm.exposed_time`,
+//! Schema (version 4 — v2 added the `comm.exposed_time`,
 //! `comm.hidden_time` and `stream.occupancy` gauges emitted by the
 //! overlap-aware runtime to the `metrics` map; v3 added the cluster
 //! metrics emitted on multi-node platforms — `cluster.nodes`,
 //! `comm.intra_node_bytes`, `comm.inter_node_bytes`, `comm.inter_time`,
 //! `comm.hier_fallbacks`, `part.inter_node_cut`,
-//! `part.boundary_fraction`; the document shape is unchanged):
+//! `part.boundary_fraction`; v4 added the top-level `wall_time_ms`
+//! field — host milliseconds the run actually took, the simulator's
+//! own execution cost next to the billed `sim_time`):
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "algorithm": "ld-gpu",
 //!   "platform": "dgx-a100",
 //!   "graph":    { "vertices": N, "directed_edges": M },
 //!   "matching": { "cardinality": C, "weight": W },
 //!   "sim_time": T,
+//!   "wall_time_ms": W,
 //!   "iterations": K,
 //!   "phases": { "pointing": .., "matching": .., "allreduce": ..,
 //!               "transfer": .., "sync": .., "total": .. },
@@ -51,6 +54,10 @@ pub struct RunReport {
     /// End-to-end run time: simulated seconds for platform algorithms,
     /// wall-clock seconds for host algorithms.
     pub sim_time: f64,
+    /// Host wall-clock milliseconds the run took to execute — the
+    /// simulator's own cost, independent of the billed `sim_time`
+    /// (schema v4). Zero when the caller did not measure it.
+    pub wall_time_ms: f64,
     /// Algorithm iterations/rounds (0 when the notion doesn't apply).
     pub iterations: u64,
     /// Phase attribution; must sum to `sim_time`.
@@ -75,7 +82,7 @@ impl RunReport {
     /// Serialize to the schema-versioned JSON document.
     pub fn to_json(&self) -> Json {
         Json::object()
-            .with("schema_version", 3u64)
+            .with("schema_version", 4u64)
             .with("algorithm", self.algorithm.clone())
             .with(
                 "platform",
@@ -95,6 +102,7 @@ impl RunReport {
                 Json::object().with("cardinality", self.cardinality).with("weight", self.weight),
             )
             .with("sim_time", self.sim_time)
+            .with("wall_time_ms", self.wall_time_ms)
             .with("iterations", self.iterations)
             .with("phases", phases_json(&self.phases))
             .with("metrics", self.metrics.to_json())
@@ -118,6 +126,7 @@ mod tests {
             cardinality: 42,
             weight: 12.5,
             sim_time: 1.0,
+            wall_time_ms: 2.75,
             iterations: 7,
             phases: PhaseBreakdown {
                 pointing: 0.4,
@@ -133,7 +142,8 @@ mod tests {
     #[test]
     fn schema_fields_present() {
         let j = sample().to_json();
-        assert_eq!(j.get("schema_version").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(j.get("schema_version").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(j.get("wall_time_ms").and_then(Json::as_f64), Some(2.75));
         assert_eq!(j.get("algorithm").and_then(Json::as_str), Some("ld-gpu"));
         assert_eq!(j.get("platform").and_then(Json::as_str), Some("dgx-a100"));
         let g = j.get("graph").unwrap();

@@ -9,6 +9,8 @@
 //! * [`gen`] — synthetic generators for every dataset family of the
 //!   paper's Table I (R-MAT/Kron, uniform random, k-mer chains, web crawl,
 //!   Mycielskian, stencil lattice, geometric, dense similarity, bipartite);
+//! * [`soa`] — SoA scan primitives (availability lane, packed preference
+//!   keys) for the host-side hot kernels;
 //! * [`sorted`] — preference-sorted adjacency index for early-exit scans;
 //! * [`io`] — Matrix Market and binary CSR cache formats;
 //! * [`weights`] — the paper's uniform 3-decimal weight scheme;
@@ -20,6 +22,7 @@ pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod rng;
+pub mod soa;
 pub mod sorted;
 pub mod stats;
 pub mod weights;

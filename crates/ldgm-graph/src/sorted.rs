@@ -74,6 +74,35 @@ impl SortedAdjacency {
         &self.weights[lo..hi]
     }
 
+    /// First *available* neighbor of `v` — the canonical argmax, since
+    /// the list is in preference order — as `(neighbor, position)`, using
+    /// the SoA availability lane (`avail[u] != 0` ⇔ `u` unmatched).
+    /// Returns `None` when every neighbor is matched.
+    #[inline]
+    pub fn first_available(
+        &self,
+        g: &CsrGraph,
+        v: VertexId,
+        avail: &[u8],
+    ) -> Option<(VertexId, usize)> {
+        let nbrs = self.neighbors(g, v);
+        crate::soa::first_available(nbrs, avail).map(|pos| (nbrs[pos], pos))
+    }
+
+    /// The full permuted id lane, indexed by the base graph's offsets —
+    /// for kernels that slice a contiguous vertex range in one go.
+    #[inline]
+    pub fn adjacency(&self) -> &[VertexId] {
+        &self.adj
+    }
+
+    /// The full permuted weight lane, parallel to
+    /// [`SortedAdjacency::adjacency`].
+    #[inline]
+    pub fn weight_array(&self) -> &[Weight] {
+        &self.weights
+    }
+
     /// Bytes of the permuted copies (adjacency ids + weights) — what a
     /// device would additionally hold resident.
     pub fn index_bytes(&self) -> u64 {

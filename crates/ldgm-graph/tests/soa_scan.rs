@@ -1,0 +1,100 @@
+//! Property tests of the SoA scan layer: the packed-key argmax and the
+//! sorted-index first-available scan must agree with the canonical
+//! preference order (weight descending, id ascending on ties) on
+//! arbitrary graphs and arbitrary availability patterns — the invariant
+//! every pointing kernel's bit-identical-matching guarantee rests on.
+
+use proptest::prelude::*;
+
+use ldgm_graph::soa::{first_available, key_id, key_weight, scan_best, NO_KEY};
+use ldgm_graph::{CsrGraph, GraphBuilder, SortedAdjacency, VertexId, Weight};
+
+/// Strategy: an arbitrary undirected weighted graph (duplicates and
+/// self-loops dropped by the builder). Weights come from a small grid so
+/// ties are common and the id tie-break is genuinely exercised.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..=8), 0..max_m).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v, w) in edges {
+                    b.push_edge(u, v, w as f64 / 8.0);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+/// The reference selection: explicit weight-then-id compare.
+fn naive_best(ids: &[VertexId], ws: &[Weight], avail: &[u8]) -> Option<(VertexId, Weight)> {
+    let mut best: Option<(VertexId, Weight)> = None;
+    for (&v, &w) in ids.iter().zip(ws) {
+        if avail[v as usize] == 0 {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((bv, bw)) => w > bw || (w == bw && v < bv),
+        };
+        if better {
+            best = Some((v, w));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn packed_key_scan_selects_the_canonical_argmax(
+        g in arb_graph(48, 160),
+        avail_bits in proptest::collection::vec(0u8..2, 48..49),
+    ) {
+        let avail: Vec<u8> = (0..g.num_vertices()).map(|v| avail_bits[v % avail_bits.len()]).collect();
+        for v in 0..g.num_vertices() as VertexId {
+            let ids = g.neighbors(v);
+            let ws = g.neighbor_weights(v);
+            let k = scan_best(ids, ws, &avail);
+            match naive_best(ids, ws, &avail) {
+                None => prop_assert_eq!(k, NO_KEY),
+                Some((bv, bw)) => {
+                    prop_assert_eq!(key_id(k), bv);
+                    prop_assert_eq!(key_weight(k).to_bits(), bw.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_scan_visits_neighbors_in_prefer_order_and_agrees(
+        g in arb_graph(48, 160),
+        avail_bits in proptest::collection::vec(0u8..2, 48..49),
+    ) {
+        let idx = SortedAdjacency::build(&g);
+        let avail: Vec<u8> = (0..g.num_vertices()).map(|v| avail_bits[v % avail_bits.len()]).collect();
+        for v in 0..g.num_vertices() as VertexId {
+            // The visit order of a sorted scan is the canonical prefer
+            // order: strictly decreasing (weight, -id) preference.
+            let ids = idx.neighbors(&g, v);
+            let ws = idx.neighbor_weights(&g, v);
+            for i in 1..ids.len() {
+                prop_assert!(
+                    ws[i - 1] > ws[i] || (ws[i - 1] == ws[i] && ids[i - 1] < ids[i]),
+                    "vertex {} slot {} out of preference order", v, i
+                );
+            }
+            // And its first available hit is exactly the flat-scan argmax.
+            let hit = idx.first_available(&g, v, &avail);
+            let k = scan_best(g.neighbors(v), g.neighbor_weights(v), &avail);
+            match hit {
+                None => prop_assert_eq!(k, NO_KEY),
+                Some((u, pos)) => {
+                    prop_assert_eq!(key_id(k), u);
+                    prop_assert!(first_available(ids, &avail) == Some(pos));
+                }
+            }
+        }
+    }
+}

@@ -35,6 +35,6 @@ pub use ldgm_core::UNMATCHED;
 pub use protocol::{ParsedRequest, Request};
 pub use server::{serve, ServerHandle};
 pub use service::{
-    AdmissionError, FlushSummary, MatchService, MateChange, ServeConfig, ServiceStats, Snapshot,
-    SubmitAck,
+    resolve_dyn_config, AdmissionError, FlushSummary, MatchService, MateChange, ServeConfig,
+    ServiceStats, Snapshot, SubmitAck,
 };

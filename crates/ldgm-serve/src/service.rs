@@ -32,6 +32,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ldgm_core::ld_gpu::{auto_tune_with, LdGpuConfig, TuneOptions};
 use ldgm_dyn::{DynConfig, EdgeUpdate, IncrementalLd};
 use ldgm_gpusim::json::Json;
 use ldgm_gpusim::metrics::names;
@@ -264,7 +265,38 @@ fn copy_gauges(engine: &IncrementalLd) -> Vec<(String, f64)> {
     out
 }
 
+/// The default config resolver for serving: probe the static LD-GPU
+/// auto-tuner grid ([`ldgm_core::ld_gpu::auto_tune_with`]) on the
+/// dataset and adopt the locked communication-overlap setting — the
+/// schedule knob the incremental engine shares with the static driver.
+/// Platform, devices and compaction stay exactly as configured; the
+/// matching is bit-identical either way (overlap is billing-only). Falls
+/// back to `base` untouched when the probe cannot run (e.g. the dataset
+/// overflows the platform's device memory).
+pub fn resolve_dyn_config(g: &CsrGraph, base: DynConfig) -> DynConfig {
+    let probe = LdGpuConfig::new(base.platform.clone()).devices(base.devices);
+    // Serving only consumes the overlap verdict, so a minimal grid
+    // (auto batch plan, top-1 shortlist, 2-iteration probes) suffices.
+    let opts = TuneOptions { probe_iterations: 2, batch_counts: vec![None], shortlist: 1 };
+    match auto_tune_with(g, &probe, &opts) {
+        Ok(report) => DynConfig { overlap: report.config.overlap, ..base },
+        Err(_) => base,
+    }
+}
+
 impl MatchService {
+    /// [`MatchService::new`] with the tuner-resolved configuration
+    /// ([`resolve_dyn_config`]) — the default boot path of `ldgm serve`.
+    pub fn with_tuned_config(
+        name: impl Into<String>,
+        base: CsrGraph,
+        dyn_cfg: DynConfig,
+        cfg: ServeConfig,
+    ) -> Self {
+        let dyn_cfg = resolve_dyn_config(&base, dyn_cfg);
+        Self::new(name, base, dyn_cfg, cfg)
+    }
+
     /// Load `base` under `name`: runs the static seeding build (the
     /// engine's initial full stabilization) and commits epoch 0.
     pub fn new(
@@ -586,6 +618,20 @@ mod tests {
             cfg(),
             ServeConfig { coalesce_target: target, ..ServeConfig::default() },
         )
+    }
+
+    #[test]
+    fn boots_with_tuner_resolved_config() {
+        let g = urand(120, 480, 5);
+        let resolved = resolve_dyn_config(&g, cfg());
+        assert_eq!(resolved.devices, cfg().devices, "tuning only moves schedule knobs");
+        let tuned =
+            MatchService::with_tuned_config("tuned", g.clone(), cfg(), ServeConfig::default());
+        let plain = MatchService::new("plain", g, cfg(), ServeConfig::default());
+        // The resolver only moves billing/schedule knobs, so the seeded
+        // matching is bit-identical to the untuned boot.
+        assert_eq!(tuned.snapshot().mate, plain.snapshot().mate);
+        assert!(tuned.snapshot().sim_time > 0.0);
     }
 
     #[test]
