@@ -1,0 +1,50 @@
+//! Regenerate the out-of-core streaming extension study and record its
+//! measurements as `BENCH_oocore.json` in the working directory. See
+//! `ldgm_bench::exp::ext_oocore`.
+//!
+//! Usage: `ext_oocore [--out PATH] [DATASET...]`
+//!
+//! With no datasets the full fourteen-graph registry is swept; naming a
+//! subset (e.g. the CI smoke run) restricts the sweep. The written JSON
+//! is parsed back and cross-checked against the in-memory records before
+//! the binary reports success.
+
+use ldgm_bench::datasets::{by_name, registry};
+use ldgm_bench::exp::ext_oocore::{ooc_records_to_json, run_on};
+use ldgm_bench::runner::{write_json_doc, ExtCli};
+use ldgm_gpusim::json::Json;
+
+fn main() {
+    let cli = ExtCli::parse_env("BENCH_oocore.json");
+    let datasets = if cli.names.is_empty() {
+        registry()
+    } else {
+        cli.names.iter().map(|n| by_name(n).expect("known dataset")).collect()
+    };
+
+    let mut out = std::io::stdout().lock();
+    let records = run_on(&datasets, &mut out).expect("report write failed");
+
+    // Round-trip check: what landed on disk parses back to the same rows.
+    let parsed = write_json_doc(&cli.out_path, &ooc_records_to_json(&records));
+    let rows = parsed.as_array().expect("array document");
+    assert_eq!(rows.len(), records.len(), "row count round-trips");
+    for (row, rec) in rows.iter().zip(&records) {
+        assert_eq!(row.get("dataset").and_then(Json::as_str), Some(rec.dataset.as_str()));
+        assert_eq!(
+            row.get("whole_graph_refused").and_then(Json::as_bool),
+            Some(rec.whole_graph_refused)
+        );
+        assert_eq!(row.get("identical").and_then(Json::as_bool), Some(rec.identical));
+    }
+    let refused = records.iter().filter(|r| r.whole_graph_refused).count();
+    let well_hidden =
+        records.iter().filter(|r| r.best().is_some_and(|p| p.hidden_frac() >= 0.5)).count();
+    println!(
+        "wrote {} ({} records, {} whole-graph refusals, {} with >=50% prefetch hidden)",
+        cli.out_path,
+        records.len(),
+        refused,
+        well_hidden
+    );
+}

@@ -8,7 +8,7 @@
 //!
 //! Each workload is fixed and seeded; the measurement is best-of-N
 //! wall time divided by the workload's unit count (directed edge slots
-//! for SETPOINTERS, pointer slots for SETMATES). [`BASELINE_NS`] pins the
+//! for SETPOINTERS, pointer slots for SETMATES). `BASELINE_NS` pins the
 //! pre-refactor numbers measured on the reference machine, so the written
 //! `BENCH_host.json` is a trajectory: every regeneration reports current
 //! ns/unit next to the frozen baseline and the resulting speedup.
@@ -48,7 +48,7 @@ pub struct HostRecord {
     /// Work units the wall time is divided by (directed edge slots for
     /// SETPOINTERS, pointer slots for SETMATES).
     pub units: u64,
-    /// Pinned pre-refactor ns/unit ([`BASELINE_NS`]); equals
+    /// Pinned pre-refactor ns/unit (`BASELINE_NS`); equals
     /// `ns_per_unit` when the workload has no pinned baseline yet.
     pub baseline_ns_per_unit: f64,
     /// Best-of-N measured ns/unit of the current tree.

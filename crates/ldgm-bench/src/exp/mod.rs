@@ -7,6 +7,7 @@ pub mod ext_distributed;
 pub mod ext_dynamic;
 pub mod ext_generations;
 pub mod ext_host;
+pub mod ext_oocore;
 pub mod ext_scaling;
 pub mod ext_serve;
 pub mod ext_static_opt;
@@ -51,6 +52,7 @@ pub fn all() -> Vec<(&'static str, ExpRunner)> {
         ("ext_dynamic", ext_dynamic::run),
         ("ext_generations", ext_generations::run),
         ("ext_host", ext_host::run),
+        ("ext_oocore", ext_oocore::run),
         ("ext_scaling", ext_scaling::run),
         ("ext_serve", ext_serve::run),
         ("ext_static_opt", ext_static_opt::run),

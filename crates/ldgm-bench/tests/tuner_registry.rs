@@ -15,7 +15,12 @@ use ldgm_core::ld_gpu::{auto_tune_with, LdGpu, LdGpuConfig, TuneOptions};
 use ldgm_gpusim::Platform;
 
 fn cheap_opts() -> TuneOptions {
-    TuneOptions { probe_iterations: 1, batch_counts: vec![None], shortlist: 1 }
+    TuneOptions {
+        probe_iterations: 1,
+        batch_counts: vec![None],
+        stream_windows: vec![None],
+        shortlist: 1,
+    }
 }
 
 #[test]

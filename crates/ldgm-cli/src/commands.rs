@@ -84,6 +84,16 @@ OPTIONS:
   --topo-placement    topology-aware part->node placement: keep heavy cut
                       edges intra-node and bill only the node-boundary
                       fraction of each collective over the slow link
+  --mem-limit BYTES   override the platform's per-device memory capacity
+                      (forces the batching/streaming paths on graphs that
+                      would otherwise fit whole)
+  --stream            out-of-core streaming for the LD-GPU matchers:
+                      band-sliced SETPOINTERS over a resident window
+                      while the copy stream prefetches the next substream
+  --mem-budget BYTES  cap the streaming window's device-memory budget
+                      below capacity (requires --stream)
+  --stream-window N   resident window depth in edge bands, >= 2 for
+                      double buffering (default 2; requires --stream)
   --seed S            seed for randomized algorithms (default 0)
   --overlap           overlap collectives with compute for the LD-GPU
                       matchers (chunked allreduce on the comm stream)
@@ -185,6 +195,10 @@ OPTIONS:
   --batches B       batches per device for ld-gpu (default auto)
   --nodes N         cluster size (see `ldgm help match`)
   --topo-placement  topology-aware part->node placement (LD-GPU matchers)
+  --mem-limit BYTES override per-device memory capacity
+  --stream          out-of-core streaming for the LD-GPU matchers
+  --mem-budget BYTES  streaming window budget (requires --stream)
+  --stream-window N   resident window depth in bands (requires --stream)
   --seed S          seed for randomized algorithms (default 0)
   --overlap         overlap collectives with compute (LD-GPU matchers)
   --auto-tune       tune the LD-GPU matchers in the list first and
@@ -209,8 +223,9 @@ ldgm platforms - list the simulated platform and cluster presets
 
 The first section shows the presets accepted by --platform: device model
 and count, per-device memory, and the peer/h2d interconnects. The second
-lists the cluster topologies (nodes x GPUs with intra-/inter-node link
-classes) behind the cluster presets and the --nodes option.
+lists the cluster topologies (nodes x GPUs with per-device memory and the
+intra-/inter-node link classes) behind the cluster presets and the
+--nodes option.
 ",
     ),
 ];
@@ -317,6 +332,37 @@ fn matcher_setup(args: &Args, collect_trace: bool) -> Result<MatcherSetup, ArgEr
             Some(n)
         }
     };
+    let parse_bytes = |name: &str| -> Result<Option<u64>, ArgError> {
+        match args.get(name) {
+            None => Ok(None),
+            Some(b) => {
+                let bytes: u64 = b.parse().map_err(|_| ArgError(format!("bad --{name} '{b}'")))?;
+                if bytes == 0 {
+                    return Err(ArgError(format!("--{name} must be at least 1 byte")));
+                }
+                Ok(Some(bytes))
+            }
+        }
+    };
+    let streaming = args.has_flag("stream");
+    let mem_budget = parse_bytes("mem-budget")?;
+    let stream_window = match args.get("stream-window") {
+        None => None,
+        Some(w) => {
+            let w: usize = w.parse().map_err(|_| ArgError(format!("bad --stream-window '{w}'")))?;
+            if w < 2 {
+                return Err(ArgError(
+                    "--stream-window must be >= 2 (double-buffer minimum)".into(),
+                ));
+            }
+            Some(w)
+        }
+    };
+    if !streaming && (mem_budget.is_some() || stream_window.is_some()) {
+        return Err(ArgError(
+            "--mem-budget/--stream-window shape the streaming window; add --stream".into(),
+        ));
+    }
     Ok(MatcherSetup {
         platform: parse_platform(args.get_or("platform", "dgx-a100"))?,
         devices: args.get_num("devices", 1usize)?,
@@ -329,6 +375,10 @@ fn matcher_setup(args: &Args, collect_trace: bool) -> Result<MatcherSetup, ArgEr
         overlap: args.has_flag("overlap"),
         nodes,
         topology_placement: args.has_flag("topo-placement"),
+        mem_limit: parse_bytes("mem-limit")?,
+        streaming,
+        mem_budget,
+        stream_window,
         ..Default::default()
     })
 }
@@ -397,6 +447,10 @@ fn cmd_match(args: &Args) -> Result<String, ArgError> {
         "overlap",
         "nodes",
         "topo-placement",
+        "mem-limit",
+        "stream",
+        "mem-budget",
+        "stream-window",
         "auto-tune",
     ])?;
     let g = load_graph(args)?;
@@ -789,6 +843,10 @@ fn cmd_profile(args: &Args) -> Result<String, ArgError> {
         "overlap",
         "nodes",
         "topo-placement",
+        "mem-limit",
+        "stream",
+        "mem-budget",
+        "stream-window",
         "auto-tune",
     ])?;
     let g = load_graph(args)?;
@@ -918,13 +976,20 @@ fn cmd_platforms() -> String {
     }
     writeln!(out, "\ncluster topologies (cluster presets; re-size with --nodes N):").unwrap();
     for (name, t) in ClusterTopology::presets() {
+        // The topology itself is link shape only; the device (and so its
+        // memory capacity) comes from the platform preset of the same
+        // name, or from the flat platform the "-cluster" suffix wraps.
+        let mem = Platform::by_name(name)
+            .or_else(|| Platform::by_name(name.strip_suffix("-cluster").unwrap_or(name)))
+            .map_or_else(|| "  ?".to_string(), |p| format!("{:>3}", p.device.mem_bytes >> 30));
         writeln!(
             out,
-            "  {:<18} {:<18} {} nodes x {} GPUs  intra {} ({} GB/s, {} us)  inter {} ({} GB/s, {} us)",
+            "  {:<18} {:<18} {} nodes x {} GPUs  mem {} GB/dev  intra {} ({} GB/s, {} us)  inter {} ({} GB/s, {} us)",
             name,
             t.name,
             t.nodes,
             t.gpus_per_node,
+            mem,
             t.intra.name,
             t.intra.bw_gbps,
             t.intra.latency_us,
@@ -1088,7 +1153,7 @@ mod tests {
         assert!(r.contains("wrote report"), "{r}");
         assert!(r.contains("wrote trace"), "{r}");
         let doc = json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(json::Json::as_f64), Some(4.0));
+        assert_eq!(doc.get("schema_version").and_then(json::Json::as_f64), Some(5.0));
         assert_eq!(doc.get("algorithm").and_then(json::Json::as_str), Some("ld-dyn-incremental"));
         let sim = doc.get("sim_time").and_then(json::Json::as_f64).unwrap();
         let phases = doc.get("phases").unwrap();
@@ -1116,11 +1181,17 @@ mod tests {
         }
         assert!(r.contains("DGX-A100"));
         // The cluster-topology section names every preset with both of
-        // its link classes.
+        // its link classes AND its per-device memory capacity.
+        let cluster_section = r.split("cluster topologies").nth(1).unwrap();
         for (name, t) in ClusterTopology::presets() {
-            assert!(r.contains(name), "{name} missing from topology listing");
-            assert!(r.contains(t.intra.name), "{} missing", t.intra.name);
-            assert!(r.contains(t.inter.name), "{} missing", t.inter.name);
+            let line = cluster_section
+                .lines()
+                .find(|l| l.contains(name))
+                .unwrap_or_else(|| panic!("{name} missing from topology listing"));
+            assert!(line.contains(t.intra.name), "{} missing", t.intra.name);
+            assert!(line.contains(t.inter.name), "{} missing", t.inter.name);
+            assert!(line.contains("GB/dev"), "{name} line lacks device memory: {line}");
+            assert!(!line.contains('?'), "{name} memory unresolved: {line}");
         }
     }
 
@@ -1433,7 +1504,7 @@ mod tests {
         let ovl = json::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
         // Billing-only: identical matching either way.
         assert_eq!(card_weight(&ovl), card_weight(&plain));
-        assert_eq!(ovl.get("schema_version").and_then(json::Json::as_f64), Some(4.0));
+        assert_eq!(ovl.get("schema_version").and_then(json::Json::as_f64), Some(5.0));
         let gauge = |rep: &json::Json, name: &str| {
             rep.get("metrics")
                 .and_then(|m| m.get(name))
@@ -1445,6 +1516,76 @@ mod tests {
         }
         std::fs::remove_file(&gpath).ok();
         std::fs::remove_file(&rpath).ok();
+    }
+
+    #[test]
+    fn stream_flag_matches_plain_and_reports_streaming_metrics() {
+        let gpath = tmp("ldgm_cli_stream.mtx");
+        let rpath = tmp("ldgm_cli_stream_report.json");
+        run(&args(&format!("gen --vertices 600 --avg-degree 6 --seed 21 --out {gpath}"))).unwrap();
+        let matched =
+            |s: &str| s.lines().find(|l| l.contains(": matched")).map(str::to_string).unwrap();
+        let plain = run(&args(&format!("match --input {gpath} --devices 2 --verify"))).unwrap();
+        // A memory limit far below the whole-graph footprint: without
+        // --stream it forces the batching fallback, with --stream it
+        // narrows the bands until the resident window fits.
+        let limited = run(&args(&format!(
+            "match --input {gpath} --devices 2 --mem-limit 50000 --verify \
+             --report-json {rpath}"
+        )))
+        .unwrap();
+        assert_eq!(matched(&plain), matched(&limited));
+        let gauge = |rep: &json::Json, name: &str| {
+            rep.get("metrics")
+                .and_then(|m| m.get(name))
+                .and_then(|g| g.get("value"))
+                .and_then(json::Json::as_f64)
+        };
+        let doc = json::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+        assert!(gauge(&doc, "driver.batches").unwrap() > 1.0, "--mem-limit must force batching");
+        let streamed = run(&args(&format!(
+            "match --input {gpath} --devices 2 --mem-limit 50000 --stream --stream-window 2 \
+             --verify --report-json {rpath}"
+        )))
+        .unwrap();
+        // Streaming is billing-only: bit-identical matching either way.
+        assert_eq!(matched(&plain), matched(&streamed));
+        let doc = json::parse(&std::fs::read_to_string(&rpath).unwrap()).unwrap();
+        assert_eq!(doc.get("schema_version").and_then(json::Json::as_f64), Some(5.0));
+        assert!(gauge(&doc, "driver.batches").unwrap() > 1.0, "tight budget must band-slice");
+        for name in
+            ["mem.resident_bytes", "copy.prefetch_hidden_time", "copy.prefetch_exposed_time"]
+        {
+            assert!(gauge(&doc, name).is_some(), "{name} missing from streaming report");
+        }
+        assert!(gauge(&doc, "mem.resident_bytes").unwrap() <= 50000.0);
+        // Streaming also rides through `ldgm profile`.
+        let prof = run(&args(&format!(
+            "profile --input {gpath} --algorithms ld-gpu --mem-limit 50000 --stream"
+        )))
+        .unwrap();
+        assert!(prof.contains("ld-gpu"), "{prof}");
+        assert!(!prof.contains("skipped:"), "{prof}");
+        std::fs::remove_file(&gpath).ok();
+        std::fs::remove_file(&rpath).ok();
+    }
+
+    #[test]
+    fn streaming_flags_are_validated() {
+        let gpath = tmp("ldgm_cli_streamval.mtx");
+        run(&args(&format!("gen --vertices 80 --avg-degree 4 --seed 2 --out {gpath}"))).unwrap();
+        let err = |cmd: String| run(&args(&cmd)).unwrap_err().0;
+        assert!(err(format!("match --input {gpath} --mem-budget 4096")).contains("add --stream"));
+        assert!(err(format!("match --input {gpath} --stream-window 4")).contains("add --stream"));
+        assert!(err(format!("match --input {gpath} --stream --stream-window 1"))
+            .contains("double-buffer minimum"));
+        assert!(err(format!("match --input {gpath} --mem-limit 0")).contains("at least 1 byte"));
+        assert!(err(format!("match --input {gpath} --stream --mem-budget junk"))
+            .contains("bad --mem-budget"));
+        // An impossible streaming budget surfaces the planner error.
+        let e = err(format!("match --input {gpath} --stream --mem-budget 64"));
+        assert!(e.contains("streaming window"), "{e}");
+        std::fs::remove_file(&gpath).ok();
     }
 
     #[test]

@@ -65,6 +65,23 @@ pub struct LdGpuConfig {
     /// simulated time ranks candidate configs without paying for full
     /// runs. `None` (the default) runs to termination.
     pub probe_iterations: Option<usize>,
+    /// Out-of-core streaming mode: instead of double-buffered batches,
+    /// stream each partition through fixed-width rank bands over the
+    /// preference-sorted adjacency ([`ldgm_part::plan_substreams`]),
+    /// keeping only a `stream_window`-band resident window per device
+    /// while the copy stream prefetches the next band under the current
+    /// kernel. Runs graphs whose batched footprint exceeds device
+    /// memory; the matching is bit-identical to the resident paths.
+    /// Off by default. When on, `batches` is ignored.
+    pub streaming: bool,
+    /// Per-device byte budget the streaming planner sizes its resident
+    /// window against; `None` uses the platform's device memory.
+    pub mem_budget: Option<u64>,
+    /// Resident band slots per device in streaming mode (must be ≥ 2,
+    /// the double-buffer minimum); `None` selects 2. Bands below the
+    /// window stay resident across iterations for vertices still in the
+    /// worklist, so steady-state rounds re-copy almost nothing.
+    pub stream_window: Option<usize>,
 }
 
 impl LdGpuConfig {
@@ -94,6 +111,9 @@ impl LdGpuConfig {
             overlap: false,
             topology_placement: false,
             probe_iterations: None,
+            streaming: false,
+            mem_budget: None,
+            stream_window: None,
         }
     }
 
@@ -132,6 +152,26 @@ impl LdGpuConfig {
     /// only; billing-layer, matching unchanged).
     pub fn with_topology_placement(mut self, on: bool) -> Self {
         self.topology_placement = on;
+        self
+    }
+
+    /// Toggle the out-of-core streaming engine (substream-pipelined
+    /// rank bands instead of double-buffered batches).
+    pub fn with_streaming(mut self, on: bool) -> Self {
+        self.streaming = on;
+        self
+    }
+
+    /// Cap the per-device byte budget the streaming planner may use
+    /// (clamped up to 1; `None`/unset uses the platform memory).
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget = Some(bytes.max(1));
+        self
+    }
+
+    /// Fix the resident streaming window (clamped to ≥ 2 bands).
+    pub fn with_stream_window(mut self, bands: usize) -> Self {
+        self.stream_window = Some(bands.max(2));
         self
     }
 
@@ -277,6 +317,27 @@ impl LdGpuConfigBuilder {
         self
     }
 
+    /// Toggle the out-of-core streaming engine (validated: `mem_budget`
+    /// and `stream_window` require it).
+    pub fn streaming(mut self, on: bool) -> Self {
+        self.cfg.streaming = on;
+        self
+    }
+
+    /// Cap the per-device streaming byte budget (validated: ≥ 1 and
+    /// only meaningful with `streaming`).
+    pub fn mem_budget(mut self, bytes: u64) -> Self {
+        self.cfg.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Fix the resident streaming window in bands (validated: ≥ 2, the
+    /// double-buffer minimum, and only meaningful with `streaming`).
+    pub fn stream_window(mut self, bands: usize) -> Self {
+        self.cfg.stream_window = Some(bands);
+        self
+    }
+
     /// Check the assembled combination without consuming the builder.
     pub fn validate(&self) -> Result<(), MatchError> {
         let c = &self.cfg;
@@ -304,6 +365,19 @@ impl LdGpuConfigBuilder {
                 "frontier requires retire_exhausted: the cross-iteration frontier is seeded \
                  from retirement bookkeeping, so a rescan-everything baseline cannot drive it"
                     .into(),
+            );
+        }
+        if c.mem_budget == Some(0) {
+            return bad("mem_budget must be >= 1 byte when set".into());
+        }
+        if let Some(w) = c.stream_window {
+            if w < 2 {
+                return bad(format!("stream_window must be >= 2 (double-buffer minimum), got {w}"));
+            }
+        }
+        if !c.streaming && (c.mem_budget.is_some() || c.stream_window.is_some()) {
+            return bad(
+                "mem_budget/stream_window configure the streaming engine; enable streaming".into(),
             );
         }
         Ok(())
@@ -338,6 +412,19 @@ pub enum LdGpuError {
         /// Device memory in bytes.
         mem_bytes: u64,
     },
+    /// The streaming planner cannot fit even the narrowest substream
+    /// window — global state plus `window` single-rank bands overflow
+    /// the per-device budget.
+    StreamPlanTooLarge {
+        /// Offending device index.
+        device: usize,
+        /// Requested resident window in bands.
+        window: usize,
+        /// Minimum bytes the narrowest pipeline needs.
+        required: u64,
+        /// The budget that was available.
+        mem_bytes: u64,
+    },
 }
 
 impl std::fmt::Display for LdGpuError {
@@ -350,6 +437,11 @@ impl std::fmt::Display for LdGpuError {
             LdGpuError::BatchPlanTooLarge { device, batches, required, mem_bytes } => write!(
                 f,
                 "device {device}: {batches}-batch plan needs {required} B, has {mem_bytes} B"
+            ),
+            LdGpuError::StreamPlanTooLarge { device, window, required, mem_bytes } => write!(
+                f,
+                "device {device}: {window}-band streaming window needs {required} B, \
+                 has {mem_bytes} B"
             ),
         }
     }
@@ -414,5 +506,30 @@ mod tests {
         let b = LdGpuConfig::builder(p()).devices(2).batches(5);
         b.validate().unwrap();
         assert_eq!(b.build().unwrap().batches, Some(5));
+    }
+
+    #[test]
+    fn builder_validates_streaming_knobs() {
+        let p = Platform::dgx_a100;
+        let ok = LdGpuConfig::builder(p())
+            .streaming(true)
+            .mem_budget(1 << 20)
+            .stream_window(4)
+            .build()
+            .unwrap();
+        assert!(ok.streaming);
+        assert_eq!(ok.mem_budget, Some(1 << 20));
+        assert_eq!(ok.stream_window, Some(4));
+        let msg = |b: LdGpuConfigBuilder| b.build().unwrap_err().to_string();
+        assert!(msg(LdGpuConfig::builder(p()).streaming(true).stream_window(1))
+            .contains("stream_window"));
+        assert!(msg(LdGpuConfig::builder(p()).streaming(true).mem_budget(0)).contains("mem_budget"));
+        assert!(msg(LdGpuConfig::builder(p()).stream_window(4)).contains("streaming"));
+        assert!(msg(LdGpuConfig::builder(p()).mem_budget(1024)).contains("streaming"));
+        // The legacy chain clamps rather than validating, like the other
+        // positional setters.
+        let legacy = LdGpuConfig::new(p()).with_streaming(true).with_stream_window(0);
+        assert_eq!(legacy.stream_window, Some(2));
+        assert_eq!(LdGpuConfig::new(p()).with_mem_budget(0).mem_budget, Some(1));
     }
 }

@@ -65,11 +65,12 @@ use ldgm_gpusim::{
 use ldgm_graph::csr::{CsrGraph, VertexId};
 use ldgm_graph::SortedAdjacency;
 use ldgm_part::placement::{cut_stats, NodePlacement};
-use ldgm_part::{batch, memory, Partition, VertexRange};
+use ldgm_part::{batch, memory, plan_substreams, Partition, SubstreamPlan, VertexRange};
 
 use super::config::{LdGpuConfig, LdGpuError};
 use super::kernels::{
-    set_mates, set_pointers_batch, set_pointers_opt, PointingResult, PointingWork,
+    set_mates, set_pointers_band, set_pointers_batch, set_pointers_opt, PointingResult,
+    PointingWork,
 };
 use super::scratch::Scratch;
 use crate::matching::Matching;
@@ -117,6 +118,18 @@ struct DeviceTask<'a> {
     /// Reusable overlap-staging buffer on loan from the [`Scratch`]
     /// arena; rides back to it through [`DeviceReport::comm_chunks`].
     chunks: Vec<(u64, f64)>,
+    /// Out-of-core mode: this device's substream plan — the band walk
+    /// replaces the batch walk entirely.
+    stream: Option<SubstreamPlan>,
+    /// This device's slice of the streaming residency lane:
+    /// `resident[i]` counts how many leading bands of vertex
+    /// `part.start + i` are still held on-device from the previous
+    /// iteration (empty outside streaming mode).
+    resident: &'a mut [u8],
+    /// Streaming band worklists on loan from the arena; ride back via
+    /// [`DeviceReport::band_bufs`].
+    work_buf: Vec<VertexId>,
+    next_buf: Vec<VertexId>,
     ctx: DeviceCtx,
 }
 
@@ -135,6 +148,131 @@ struct DeviceReport {
     /// the batch's slice of the pointer reduction becomes reducible the
     /// moment its producer kernel retires.
     comm_chunks: Vec<(u64, f64)>,
+    /// Streaming: band worklist buffers riding back to the arena.
+    band_bufs: Option<(Vec<VertexId>, Vec<VertexId>)>,
+    /// Streaming: prefetch copy time that ran under band kernels vs.
+    /// time the compute stream sat waiting on the copy.
+    prefetch_hidden: f64,
+    prefetch_exposed: f64,
+}
+
+/// One device's out-of-core pointing phase: walk the rank bands of the
+/// substream plan in preference order, prefetching band `b`'s
+/// non-resident bytes on the copy stream while the kernel of band `b-1`
+/// runs on the other stream buffer (`buf = band & 1`, the same
+/// double-buffer cycle as the batch walk). A vertex leaves the band
+/// worklist the moment it finds an available neighbor — the hit is the
+/// full scan's argmax because bands tile the sorted order — so deeper
+/// bands stream ever-shrinking worklists.
+///
+/// Residency: `task.resident[i]` counts the leading bands of vertex `i`
+/// still held from the previous iteration. A band below the window that
+/// is already resident bills zero copy bytes; scanning past the window
+/// recycles the vertex's slots (its prefix must re-stream next time).
+/// Prefetch accounting splits each copy's duration into the part that
+/// ran under compute (`hidden`) and the part the compute stream spent
+/// waiting on it (`exposed`).
+#[allow(clippy::too_many_arguments)]
+fn stream_pointing(
+    g: &CsrGraph,
+    sorted: &SortedAdjacency,
+    task: &mut DeviceTask<'_>,
+    rep: &mut DeviceReport,
+    avail: &[u8],
+    slots: usize,
+    fixed_vpw: Option<usize>,
+    retire: bool,
+    overlap: bool,
+    sparse: bool,
+) {
+    let plan = task.stream.expect("streaming task carries a plan");
+    let layout = plan.layout;
+    let window = plan.window;
+    let part = task.part;
+    let mut work = std::mem::take(&mut task.work_buf);
+    let mut next = std::mem::take(&mut task.next_buf);
+    work.clear();
+    next.clear();
+    // Iteration worklist: the frontier when the optimized mode restricts
+    // the launch, otherwise every live vertex of the partition.
+    // Degree-0 vertices can never match and never enter.
+    match task.frontier {
+        Some(f) => work.extend(f.iter().copied().filter(|&u| g.degree(u) > 0)),
+        None => work.extend((part.start..part.end).filter(|&u| {
+            avail[u as usize] != 0
+                && task.retired[(u - part.start) as usize] == 0
+                && g.degree(u) > 0
+        })),
+    }
+
+    let mut last_end: Option<f64> = None;
+    let mut band = 0usize;
+    while band < layout.num_bands() && !work.is_empty() {
+        // Prefetch billing: only bytes not already resident travel. The
+        // residency depth updates in the same pass — band data loaded
+        // below the window is pinned for the next iteration, while
+        // scanning past the window recycles the vertex's slots.
+        let mut bytes = 0u64;
+        for &u in &work {
+            let i = (u - part.start) as usize;
+            if band >= task.resident[i] as usize {
+                bytes += layout.vertex_band_bytes(g, u, band);
+            }
+            task.resident[i] = if band < window { (band + 1).min(255) as u8 } else { 0 };
+        }
+        let copy = if bytes > 0 {
+            let label = task.ctx.label("copy", || format!("stream s{band}"));
+            Some(task.ctx.h2d_copy(band, bytes, label))
+        } else {
+            None
+        };
+        // Execute the band scan for real; worklist launches derive their
+        // warp width from the (shrinking) worklist length unless pinned.
+        let vpw = fixed_vpw.unwrap_or_else(|| work.len().div_ceil(slots).max(1));
+        let res = set_pointers_band(
+            g,
+            sorted,
+            &layout,
+            band,
+            &work,
+            &mut next,
+            avail,
+            task.pointers,
+            task.retired,
+            part.start,
+            vpw,
+            retire,
+        );
+        let t0 = task.ctx.compute_done();
+        let label = task.ctx.label("point", || format!("point s{band}"));
+        let launch = task.ctx.launch_kernel(Some(band), label, &res.stats);
+        if let Some((cs, ce)) = copy {
+            let dur = ce - cs;
+            let exposed = (launch.start - t0).clamp(0.0, dur);
+            rep.prefetch_exposed += exposed;
+            rep.prefetch_hidden += dur - exposed;
+        }
+        rep.pointers_set += res.pointers_set;
+        rep.vertices_retired += res.vertices_retired;
+        rep.edges_skipped += res.edges_skipped;
+        rep.occ_weighted += launch.occupancy * res.stats.warps_launched as f64;
+        rep.occ_weight += res.stats.warps_launched as f64;
+        rep.stats.merge(&res.stats);
+        last_end = Some(launch.end);
+        std::mem::swap(&mut work, &mut next);
+        next.clear();
+        band += 1;
+    }
+    // Overlap mode: the device's whole slice of the pointer reduction is
+    // ready when its last band kernel retires.
+    if overlap {
+        let bytes =
+            if sparse { 16 * rep.stats.vertices_processed } else { 8 * part.num_vertices() as u64 };
+        rep.comm_chunks.push((bytes, last_end.unwrap_or(0.0)));
+    }
+    work.clear();
+    next.clear();
+    rep.band_bufs = Some((work, next));
 }
 
 impl LdGpu {
@@ -156,32 +294,64 @@ impl LdGpu {
         let partition = Partition::edge_balanced(g, ndev);
         let mem = cfg.platform.device.mem_bytes;
 
-        // Batch plan: identical count per device (paper §III-C).
-        let nbatches = match cfg.batches {
-            Some(b) => {
-                for (d, part) in partition.parts.iter().enumerate() {
-                    let plan = batch::make_batches(g, part, b);
-                    let required = memory::device_footprint_bytes(&plan, n);
-                    if required > mem {
-                        return Err(LdGpuError::BatchPlanTooLarge {
+        // Out-of-core streaming: size a resident band window per device
+        // instead of a batch plan. `batches` is reported as the deepest
+        // band count — the number of copy/kernel rounds a full iteration
+        // takes.
+        let stream_plans: Option<Vec<SubstreamPlan>> = if cfg.streaming {
+            let budget = cfg.mem_budget.unwrap_or(mem);
+            let window = cfg.stream_window.unwrap_or(2).max(2);
+            let mut plans = Vec::with_capacity(ndev);
+            for (d, part) in partition.parts.iter().enumerate() {
+                match plan_substreams(g, part, n, budget, window) {
+                    Ok(p) => plans.push(p),
+                    Err(e) => {
+                        return Err(LdGpuError::StreamPlanTooLarge {
                             device: d,
-                            batches: b,
-                            required,
-                            mem_bytes: mem,
-                        });
+                            window,
+                            required: e.required,
+                            mem_bytes: e.mem_bytes,
+                        })
                     }
                 }
-                b
             }
-            None => {
-                let mut needed = 1;
-                for (d, part) in partition.parts.iter().enumerate() {
-                    match batch::min_batches_to_fit(g, part, n, mem, 1) {
-                        Some(k) => needed = needed.max(k),
-                        None => return Err(LdGpuError::OutOfMemory { device: d, mem_bytes: mem }),
+            Some(plans)
+        } else {
+            None
+        };
+
+        // Batch plan: identical count per device (paper §III-C).
+        let nbatches = if let Some(plans) = &stream_plans {
+            plans.iter().map(|p| p.layout.num_bands()).max().unwrap_or(0).max(1)
+        } else {
+            match cfg.batches {
+                Some(b) => {
+                    for (d, part) in partition.parts.iter().enumerate() {
+                        let plan = batch::make_batches(g, part, b);
+                        let required = memory::device_footprint_bytes(&plan, n);
+                        if required > mem {
+                            return Err(LdGpuError::BatchPlanTooLarge {
+                                device: d,
+                                batches: b,
+                                required,
+                                mem_bytes: mem,
+                            });
+                        }
                     }
+                    b
                 }
-                needed
+                None => {
+                    let mut needed = 1;
+                    for (d, part) in partition.parts.iter().enumerate() {
+                        match batch::min_batches_to_fit(g, part, n, mem, 1) {
+                            Some(k) => needed = needed.max(k),
+                            None => {
+                                return Err(LdGpuError::OutOfMemory { device: d, mem_bytes: mem })
+                            }
+                        }
+                    }
+                    needed
+                }
             }
         };
 
@@ -197,15 +367,21 @@ impl LdGpu {
 
         // Batch plans are immutable for the whole run: compute them once
         // instead of redoing the prefix-sum binary searches per iteration.
-        let batch_plans: Vec<Vec<VertexRange>> =
-            partition.parts.iter().map(|p| batch::make_batches(g, p, nbatches)).collect();
+        // Streaming replaces the batch walk outright, so no plans there.
+        let batch_plans: Vec<Vec<VertexRange>> = if cfg.streaming {
+            vec![Vec::new(); ndev]
+        } else {
+            partition.parts.iter().map(|p| batch::make_batches(g, p, nbatches)).collect()
+        };
 
         // Optimized-mode state. The sorted index is preprocessing (built
         // once per run, excluded from timings like the initial partition
         // transfer); the scratch arena's `frontiers` hold per-device
-        // worklists once the first full iteration has run.
+        // worklists once the first full iteration has run. Streaming
+        // requires the sorted order — bands are rank bands over it.
         let optimized = cfg.is_optimized();
-        let sorted = if cfg.sorted_index { Some(SortedAdjacency::build(g)) } else { None };
+        let sorted =
+            if cfg.sorted_index || cfg.streaming { Some(SortedAdjacency::build(g)) } else { None };
         let sorted_ref = sorted.as_ref();
         let mut have_frontiers = false;
 
@@ -213,6 +389,9 @@ impl LdGpu {
         // lane the kernels scan, the frontier worklists, the overlap
         // comm staging — lives in one arena for the whole run.
         let mut scratch = Scratch::for_graph(g).with_devices(ndev);
+        if cfg.streaming {
+            scratch.resident = vec![0; n];
+        }
 
         let mut rt = SimRuntime::new(&cfg.platform, ndev)
             .with_kernel_overhead(cfg.kernel_overhead)
@@ -246,18 +425,30 @@ impl LdGpu {
 
         let mut iterations = 0usize;
         let total_directed = g.num_directed_edges() as u64;
+        let mut prefetch_hidden = 0.0f64;
+        let mut prefetch_exposed = 0.0f64;
 
         loop {
             // Split the arena into disjoint field borrows: the parallel
             // pointing phase reads `avail` and `frontiers` while taking
             // the per-device `chunk_bufs` on loan.
-            let Scratch { avail, frontiers, chunk_bufs, comm_staging, .. } = &mut scratch;
+            let Scratch {
+                avail,
+                frontiers,
+                chunk_bufs,
+                comm_staging,
+                resident,
+                band_work,
+                band_next,
+                ..
+            } = &mut scratch;
             let frontier_round = cfg.frontier && have_frontiers;
             // ---- Pointing phase (Algorithm 2 lines 3-6) ----
             let mut reports: Vec<DeviceReport> = {
                 let mut tasks: Vec<DeviceTask<'_>> = Vec::with_capacity(ndev);
                 let mut ptr_rest: &mut [u64] = &mut pointers;
                 let mut ret_rest: &mut [u8] = &mut retired;
+                let mut res_rest: &mut [u8] = resident;
                 let mut cursor: usize = 0;
                 let mut ctxs = rt.detach_devices();
                 for (d, (part, ctx)) in partition.parts.iter().zip(ctxs.drain(..)).enumerate() {
@@ -265,8 +456,13 @@ impl LdGpu {
                     let len = part.num_vertices();
                     let (ptr_here, ptr_next) = ptr_rest.split_at_mut(len);
                     let (ret_here, ret_next) = ret_rest.split_at_mut(len);
+                    // The residency lane is sized only in streaming mode;
+                    // otherwise every device gets an empty slice.
+                    let (res_here, res_next) =
+                        res_rest.split_at_mut(if cfg.streaming { len } else { 0 });
                     ptr_rest = ptr_next;
                     ret_rest = ret_next;
+                    res_rest = res_next;
                     cursor += len;
                     tasks.push(DeviceTask {
                         part: *part,
@@ -275,6 +471,10 @@ impl LdGpu {
                         pointers: ptr_here,
                         retired: ret_here,
                         chunks: std::mem::take(&mut chunk_bufs[d]),
+                        stream: stream_plans.as_ref().map(|p| p[d]),
+                        resident: res_here,
+                        work_buf: std::mem::take(&mut band_work[d]),
+                        next_buf: std::mem::take(&mut band_next[d]),
                         ctx,
                     });
                 }
@@ -286,6 +486,26 @@ impl LdGpu {
                             comm_chunks: std::mem::take(&mut task.chunks),
                             ..Default::default()
                         };
+                        // Out-of-core mode: the band walk replaces the
+                        // batch walk entirely.
+                        if task.stream.is_some() {
+                            stream_pointing(
+                                g,
+                                sorted_ref.expect("streaming builds the sorted index"),
+                                &mut task,
+                                &mut rep,
+                                avail_ref,
+                                slots,
+                                fixed_vpw,
+                                self.cfg.retire_exhausted,
+                                cfg.overlap,
+                                cfg.sparse_collectives,
+                            );
+                            if !cfg.overlap {
+                                task.ctx.drain();
+                            }
+                            return (task.ctx, rep);
+                        }
                         let nb = task.batches.len();
                         for (b, brange) in task.batches.iter().enumerate() {
                             // An empty batch (more requested batches than
@@ -414,6 +634,15 @@ impl LdGpu {
                 reports
             };
 
+            // Streaming band worklists ride back to the arena right away
+            // (the maximality break below must not drop them).
+            for (d, rep) in reports.iter_mut().enumerate() {
+                if let Some((w, nx)) = rep.band_bufs.take() {
+                    band_work[d] = w;
+                    band_next[d] = nx;
+                }
+            }
+
             let pointers_set: u64 = reports.iter().map(|r| r.pointers_set).sum();
             let mut iter_stats = KernelStats::default();
             let mut occ_weighted = 0.0;
@@ -422,10 +651,12 @@ impl LdGpu {
                 iter_stats.merge(&r.stats);
                 occ_weighted += r.occ_weighted;
                 occ_weight += r.occ_weight;
+                prefetch_hidden += r.prefetch_hidden;
+                prefetch_exposed += r.prefetch_exposed;
                 rt.counter_add(names::KERNEL_VERTICES_RETIRED, r.vertices_retired);
             }
             rt.counter_add(names::KERNEL_POINTERS_SET, pointers_set);
-            if optimized {
+            if optimized || cfg.streaming {
                 rt.counter_add(
                     names::OPT_EDGES_SKIPPED,
                     reports.iter().map(|r| r.edges_skipped).sum(),
@@ -488,6 +719,20 @@ impl LdGpu {
             let (mstats, new_matches) = set_mates(&pointers, &mut mate, avail);
             rt.counter_add(names::MATCHING_EDGES_COMMITTED, new_matches);
             rt.global_kernel("setmates", &mstats);
+
+            // Streaming residency: vertices that just left the live set
+            // (matched by this SETMATES, or retired as exhausted) release
+            // their pinned window bands.
+            if cfg.streaming {
+                let mut evicted = 0u64;
+                for (i, r) in resident.iter_mut().enumerate() {
+                    if *r != 0 && (avail[i] == 0 || retired[i] != 0) {
+                        *r = 0;
+                        evicted += 1;
+                    }
+                }
+                rt.counter_add(names::MEM_EVICTIONS, evicted);
+            }
 
             // ---- AllReduce mate (line 9) ----
             if cfg.overlap {
@@ -557,6 +802,12 @@ impl LdGpu {
 
         rt.counter_add(names::DRIVER_ITERATIONS, iterations as u64);
         rt.gauge_set(names::DRIVER_BATCHES, nbatches as f64);
+        if let Some(plans) = &stream_plans {
+            let high_water = plans.iter().map(|p| p.resident_bytes).max().unwrap_or(0);
+            rt.gauge_set(names::MEM_RESIDENT_BYTES, high_water as f64);
+            rt.gauge_set(names::COPY_PREFETCH_HIDDEN_TIME, prefetch_hidden);
+            rt.gauge_set(names::COPY_PREFETCH_EXPOSED_TIME, prefetch_exposed);
+        }
         let fin = rt.finish();
         let sim_time = fin.sim_time;
         let profile = fin.profile;
@@ -1058,6 +1309,129 @@ mod overlap_tests {
         let trace = out.trace.expect("trace requested");
         let (_, hi) = trace.span().unwrap();
         assert!((hi - out.sim_time).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use crate::ld_seq::ld_seq;
+    use ldgm_gpusim::Platform;
+    use ldgm_graph::gen::{rmat, urand, RmatParams};
+    use ldgm_graph::BandLayout;
+
+    fn dgx() -> Platform {
+        Platform::dgx_a100()
+    }
+
+    #[test]
+    fn streaming_matches_ld_seq_across_windows_and_devices() {
+        let g = rmat(1024, 8000, RmatParams::GAP_KRON, 51);
+        let seq = ld_seq(&g);
+        for ndev in [1, 2, 4] {
+            for w in [2, 3, 8] {
+                let cfg = LdGpuConfig::new(dgx())
+                    .devices(ndev)
+                    .with_streaming(true)
+                    .with_stream_window(w);
+                let out = LdGpu::new(cfg).run(&g);
+                assert_eq!(
+                    out.matching.mate_array(),
+                    seq.mate_array(),
+                    "{ndev} devices, window {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tight_budget_streams_many_bands_bit_identically() {
+        let g = urand(500, 5000, 52);
+        let seq = ld_seq(&g);
+        // Just above the narrowest feasible pipeline: single-rank bands.
+        let narrowest = BandLayout::new(&g, 0, 500, 1).band_bytes(&g, 0);
+        let budget = memory::global_state_bytes(500) + 2 * narrowest + 1024;
+        let cfg = LdGpuConfig::new(dgx()).with_streaming(true).with_mem_budget(budget);
+        let out = LdGpu::new(cfg).run(&g);
+        assert_eq!(out.matching.mate_array(), seq.mate_array());
+        assert!(out.batches > 1, "tight budget must force multiple bands, got {}", out.batches);
+        assert!(out.metrics.counter(names::MEM_EVICTIONS) > 0, "matched vertices must evict");
+        let high_water = out.metrics.gauge(names::MEM_RESIDENT_BYTES).unwrap();
+        assert!(high_water <= budget as f64, "residency {high_water} over budget {budget}");
+    }
+
+    #[test]
+    fn streaming_completes_where_whole_graph_refuses() {
+        let g = urand(2000, 30_000, 53);
+        // ~40% of the single-batch footprint: the whole-graph plan
+        // refuses, streaming finishes with the same matching.
+        let part = Partition::edge_balanced(&g, 1);
+        let single =
+            memory::device_footprint_bytes(&batch::make_batches(&g, &part.parts[0], 1), 2000);
+        let platform = dgx().with_device_memory(single * 2 / 5);
+        let err =
+            LdGpu::new(LdGpuConfig::new(platform.clone()).batches(1)).try_run(&g).unwrap_err();
+        assert!(matches!(err, LdGpuError::BatchPlanTooLarge { .. }));
+        let out = LdGpu::new(LdGpuConfig::new(platform).with_streaming(true)).run(&g);
+        assert_eq!(out.matching.mate_array(), ld_seq(&g).mate_array());
+    }
+
+    #[test]
+    fn streaming_refuses_impossible_budget() {
+        let g = urand(500, 3000, 54);
+        let cfg = LdGpuConfig::new(dgx()).with_streaming(true).with_mem_budget(100);
+        let err = LdGpu::new(cfg).try_run(&g).unwrap_err();
+        assert!(matches!(err, LdGpuError::StreamPlanTooLarge { window: 2, .. }), "{err:?}");
+        assert!(err.to_string().contains("streaming window"));
+    }
+
+    #[test]
+    fn streaming_composes_with_opt_and_overlap() {
+        let g = rmat(512, 4000, RmatParams::GAP_KRON, 55);
+        let seq = ld_seq(&g);
+        for mask in 0u8..8 {
+            let cfg = LdGpuConfig::new(dgx())
+                .devices(2)
+                .with_streaming(true)
+                .with_frontier(mask & 1 != 0)
+                .with_sparse_collectives(mask & 2 != 0)
+                .with_overlap(mask & 4 != 0);
+            let out = LdGpu::new(cfg).run(&g);
+            assert_eq!(out.matching.mate_array(), seq.mate_array(), "toggles {mask:03b}");
+        }
+    }
+
+    #[test]
+    fn prefetch_time_hides_behind_band_kernels() {
+        // Heavy graph + tight budget: many bands stream per iteration, so
+        // the copy of band b+1 runs under the kernel of band b and a
+        // nonzero share of prefetch time must be hidden.
+        let g = rmat(4096, 60_000, RmatParams::SOCIAL, 56);
+        let n = g.num_vertices();
+        let narrowest = BandLayout::new(&g, 0, n as u32, 1).band_bytes(&g, 0);
+        let budget = memory::global_state_bytes(n) + 2 * narrowest + 4096;
+        let cfg = LdGpuConfig::new(dgx()).with_streaming(true).with_mem_budget(budget);
+        let out = LdGpu::new(cfg).run(&g);
+        assert_eq!(out.matching.mate_array(), ld_seq(&g).mate_array());
+        let hidden = out.metrics.gauge(names::COPY_PREFETCH_HIDDEN_TIME).unwrap();
+        let exposed = out.metrics.gauge(names::COPY_PREFETCH_EXPOSED_TIME).unwrap();
+        assert!(hidden > 0.0, "no prefetch time hidden (exposed {exposed})");
+        assert!(exposed >= 0.0);
+    }
+
+    #[test]
+    fn resident_window_cuts_second_iteration_copies() {
+        // With everything resident (wide budget → one band), iterations
+        // after the first re-bill nothing: total h2d traffic equals one
+        // band-0 load, not one per iteration.
+        let g = urand(800, 6400, 57);
+        let out = LdGpu::new(LdGpuConfig::new(dgx()).with_streaming(true).with_trace()).run(&g);
+        assert!(out.iterations > 1, "need a multi-iteration run");
+        assert_eq!(out.batches, 1, "wide budget should take one band");
+        let trace = out.trace.expect("trace requested");
+        let copies =
+            trace.events.iter().filter(|e| e.kind == ldgm_gpusim::EventKind::H2dCopy).count();
+        assert_eq!(copies, 1, "only the first iteration streams the resident band");
     }
 }
 

@@ -31,6 +31,7 @@ use rayon::prelude::*;
 
 use ldgm_gpusim::{KernelStats, NONE_SENTINEL};
 use ldgm_graph::csr::{CsrGraph, VertexId, Weight};
+use ldgm_graph::stream::BandLayout;
 use ldgm_graph::{soa, SortedAdjacency};
 use ldgm_part::VertexRange;
 
@@ -344,6 +345,89 @@ pub fn set_pointers_opt(
             out
         }
     }
+}
+
+/// Banded SETPOINTERS of the out-of-core streaming engine: scan only
+/// rank band `band` of each worklist vertex's preference-sorted list.
+///
+/// Bands partition the sorted order, so the first available hit across
+/// bands 0, 1, 2, … is exactly the argmax a resident full scan would
+/// select — a vertex that hits in this band sets its pointer and leaves
+/// the worklist; a vertex whose list *ends* inside this band without a
+/// hit is exhausted (pointer `NONE`, retired when `retire` is on); every
+/// other miss is appended to `next` for the following band. Billing
+/// follows the worklist kernel: one warp per `vertices_per_warp`
+/// entries, a 4 B worklist read per vertex, early exit at the wave
+/// containing the hit, and `edges_skipped` counts every slot a full
+/// scan would have read but no band kernel will (later waves of this
+/// band plus all later bands).
+#[allow(clippy::too_many_arguments)]
+pub fn set_pointers_band(
+    g: &CsrGraph,
+    sorted: &SortedAdjacency,
+    layout: &BandLayout,
+    band: usize,
+    work: &[VertexId],
+    next: &mut Vec<VertexId>,
+    avail: &[u8],
+    pointers_part: &mut [u64],
+    retired_part: &mut [u8],
+    part_start: VertexId,
+    vertices_per_warp: usize,
+    retire: bool,
+) -> PointingResult {
+    let vpw = vertices_per_warp.max(1);
+    let mut out = PointingResult::default();
+    // Band launches are worklist launches: warp groups are processed
+    // sequentially per device (devices parallelize above).
+    for chunk in work.chunks(vpw) {
+        let mut stats = KernelStats { warps_launched: 1, ..Default::default() };
+        let mut warp_edges: u64 = 0;
+        let mut warp_waves: u64 = 0;
+        let mut processed: u64 = 0;
+        let mut r = PointingResult::default();
+        for &u in chunk {
+            let i = (u - part_start) as usize;
+            stats.vertices += 1;
+            if avail[u as usize] == 0 || retired_part[i] != 0 {
+                continue;
+            }
+            processed += 1;
+            let (nbrs, _) = layout.band_slice(g, sorted, u, band);
+            match soa::first_available(nbrs, avail) {
+                Some(pos) => {
+                    let waves = (pos as u64 + 1).div_ceil(32);
+                    let scanned = (nbrs.len() as u64).min(waves * 32);
+                    warp_edges += scanned;
+                    warp_waves += waves;
+                    // Everything a full scan would still have read: the
+                    // tail of this band plus every later band.
+                    let deg = g.degree(u) as u64;
+                    r.edges_skipped += deg - (band * layout.width()) as u64 - scanned;
+                    pointers_part[i] = nbrs[pos] as u64;
+                    r.pointers_set += 1;
+                }
+                None => {
+                    warp_edges += nbrs.len() as u64;
+                    warp_waves += soa::waves(nbrs.len() as u64);
+                    if layout.is_last_band(g, u, band) {
+                        pointers_part[i] = NONE_SENTINEL;
+                        if retire {
+                            retired_part[i] = 1;
+                            r.vertices_retired += 1;
+                        }
+                    } else {
+                        next.push(u);
+                    }
+                }
+            }
+        }
+        // 4 extra bytes per vertex: the worklist read.
+        fill_warp_stats(&mut stats, processed, warp_edges, warp_waves, 4);
+        r.stats = stats;
+        out.merge(&r);
+    }
+    out
 }
 
 /// Close out one warp's [`KernelStats`] with the shared byte/wave model

@@ -41,6 +41,15 @@ pub struct Scratch {
     pub next: Vec<VertexId>,
     /// Endpoints freed by delta edits, pending re-pointing.
     pub freed: Vec<VertexId>,
+    /// Streaming residency lane: `resident[v] != 0` ⇔ `v`'s window bands
+    /// are held on-device across iterations, so re-streaming them bills
+    /// no copy bytes. Sized lazily by the streaming driver; empty
+    /// otherwise.
+    pub resident: Vec<u8>,
+    /// Per-device streaming band worklist of the current band.
+    pub band_work: Vec<Vec<VertexId>>,
+    /// Per-device streaming band worklist being built for the next band.
+    pub band_next: Vec<Vec<VertexId>>,
 }
 
 impl Scratch {
@@ -58,6 +67,8 @@ impl Scratch {
     pub fn with_devices(mut self, ndev: usize) -> Self {
         self.frontiers = vec![Vec::new(); ndev];
         self.chunk_bufs = vec![Vec::new(); ndev];
+        self.band_work = vec![Vec::new(); ndev];
+        self.band_next = vec![Vec::new(); ndev];
         self
     }
 
@@ -106,5 +117,9 @@ mod tests {
         let s = Scratch::with_vertices(8).with_devices(3);
         assert_eq!(s.frontiers.len(), 3);
         assert_eq!(s.chunk_bufs.len(), 3);
+        assert_eq!(s.band_work.len(), 3);
+        assert_eq!(s.band_next.len(), 3);
+        // The residency lane is lazy: only streaming runs size it.
+        assert!(s.resident.is_empty());
     }
 }

@@ -34,7 +34,13 @@ pub struct TuneOptions {
     /// the steady-state iteration mix without paying for convergence).
     pub probe_iterations: usize,
     /// Batch counts to try; `None` is the driver's auto (minimal) plan.
+    /// Ignored when the base config streams (the band walk has no batch
+    /// knob; the window axis below replaces it).
     pub batch_counts: Vec<Option<usize>>,
+    /// Streaming windows to try when the base config has `streaming` on;
+    /// `None` is the driver's default (2 bands). Replaces the batch axis
+    /// so the grid keeps the same size either way.
+    pub stream_windows: Vec<Option<usize>>,
     /// Probe-ranked candidates promoted to full runs alongside the base
     /// config (default 2).
     pub shortlist: usize,
@@ -45,6 +51,7 @@ impl Default for TuneOptions {
         TuneOptions {
             probe_iterations: 3,
             batch_counts: vec![None, Some(2), Some(4), Some(8)],
+            stream_windows: vec![None, Some(3), Some(4), Some(8)],
             shortlist: 2,
         }
     }
@@ -90,24 +97,38 @@ impl TuneReport {
 }
 
 /// Compact `batches=.. sorted=.. frontier=.. sparse=.. overlap=..`
-/// summary of a config's tuned knobs.
+/// summary of a config's tuned knobs; streaming configs append
+/// ` stream=on window=..` (and drive the window, not the batch count).
 pub fn describe_knobs(cfg: &LdGpuConfig) -> String {
     let onoff = |b: bool| if b { "on" } else { "off" };
-    format!(
+    let mut s = format!(
         "batches={} sorted={} frontier={} sparse={} overlap={}",
         cfg.batches.map_or("auto".to_string(), |b| b.to_string()),
         onoff(cfg.sorted_index),
         onoff(cfg.frontier),
         onoff(cfg.sparse_collectives),
         onoff(cfg.overlap),
-    )
+    );
+    if cfg.streaming {
+        s.push_str(&format!(
+            " stream=on window={}",
+            cfg.stream_window.map_or("auto".to_string(), |w| w.to_string())
+        ));
+    }
+    s
 }
 
 /// The candidate grid seeded from `base`: every combination of the three
 /// optimization toggles (frontier combos are dropped when the base
 /// disables retirement, which the frontier requires) × overlap on/off ×
-/// the option's batch counts. Order is deterministic.
+/// the option's batch counts — or, when the base streams, the option's
+/// window sizes (batches have no effect on the band walk, so the window
+/// replaces that axis and the grid keeps its shape). Order is
+/// deterministic.
 fn candidates(base: &LdGpuConfig, opts: &TuneOptions) -> Vec<LdGpuConfig> {
+    let streaming = base.streaming;
+    let batch_axis: &[Option<usize>] = if streaming { &[None] } else { &opts.batch_counts };
+    let window_axis: &[Option<usize>] = if streaming { &opts.stream_windows } else { &[None] };
     let mut out = Vec::new();
     for toggle_bits in 0..8u32 {
         let sorted = toggle_bits & 1 != 0;
@@ -117,14 +138,20 @@ fn candidates(base: &LdGpuConfig, opts: &TuneOptions) -> Vec<LdGpuConfig> {
             continue;
         }
         for &overlap in &[false, true] {
-            for &batches in &opts.batch_counts {
-                let mut c = base.clone();
-                c.sorted_index = sorted;
-                c.frontier = frontier;
-                c.sparse_collectives = sparse;
-                c.overlap = overlap;
-                c.batches = batches;
-                out.push(c);
+            for &batches in batch_axis {
+                for &window in window_axis {
+                    let mut c = base.clone();
+                    c.sorted_index = sorted;
+                    c.frontier = frontier;
+                    c.sparse_collectives = sparse;
+                    c.overlap = overlap;
+                    if streaming {
+                        c.stream_window = window;
+                    } else {
+                        c.batches = batches;
+                    }
+                    out.push(c);
+                }
             }
         }
     }
@@ -212,7 +239,12 @@ mod tests {
     use ldgm_graph::gen::{rmat, urand, RmatParams};
 
     fn small_opts() -> TuneOptions {
-        TuneOptions { probe_iterations: 2, batch_counts: vec![None, Some(2)], shortlist: 2 }
+        TuneOptions {
+            probe_iterations: 2,
+            batch_counts: vec![None, Some(2)],
+            stream_windows: vec![None, Some(4)],
+            shortlist: 2,
+        }
     }
 
     #[test]
@@ -256,6 +288,28 @@ mod tests {
     }
 
     #[test]
+    fn streaming_base_tunes_the_window_axis() {
+        let base = LdGpuConfig::new(Platform::dgx_a100()).with_streaming(true);
+        let opts = TuneOptions::default();
+        let grid = candidates(&base, &opts);
+        // Same grid shape as the batch search: the window axis replaces
+        // the batch axis one for one.
+        assert_eq!(grid.len(), 8 * 2 * opts.stream_windows.len());
+        assert!(grid.iter().all(|c| c.streaming && c.batches == base.batches));
+        assert!(grid.iter().any(|c| c.stream_window == Some(8)));
+
+        // End to end: tuning a streaming base stays streaming, never
+        // slower, and bit-identical.
+        let g = urand(1_200, 8_000, 19);
+        let report = auto_tune_with(&g, &base, &small_opts()).unwrap();
+        assert!(report.sim_time <= report.base_sim_time);
+        assert!(report.config.streaming);
+        let tuned = LdGpu::new(report.config.clone()).run(&g);
+        let default = LdGpu::new(base).run(&g);
+        assert_eq!(tuned.matching.mate_array(), default.matching.mate_array());
+    }
+
+    #[test]
     fn knob_summary_reads_back() {
         let cfg = LdGpuConfig::new(Platform::dgx_a100()).batches(4).with_overlap(true);
         assert_eq!(describe_knobs(&cfg), "batches=4 sorted=off frontier=off sparse=off overlap=on");
@@ -263,6 +317,12 @@ mod tests {
         assert_eq!(
             describe_knobs(&auto),
             "batches=auto sorted=on frontier=on sparse=on overlap=off"
+        );
+        let streamed =
+            LdGpuConfig::new(Platform::dgx_a100()).with_streaming(true).with_stream_window(4);
+        assert_eq!(
+            describe_knobs(&streamed),
+            "batches=auto sorted=off frontier=off sparse=off overlap=off stream=on window=4"
         );
     }
 }

@@ -194,6 +194,19 @@ pub struct MatcherSetup {
     /// Topology-aware part→node placement for the LD-GPU matchers on
     /// cluster platforms (billing-only, matching unchanged).
     pub topology_placement: bool,
+    /// Per-device memory override: `Some(bytes)` shrinks (or grows) the
+    /// platform's device memory via [`Platform::with_device_memory`], so
+    /// batching/streaming paths can be forced on datasets that would
+    /// otherwise fit whole. `None` leaves the platform untouched.
+    pub mem_limit: Option<u64>,
+    /// Out-of-core streaming mode for the LD-GPU matchers (substream-
+    /// pipelined rank bands; matching bit-identical to the resident
+    /// paths).
+    pub streaming: bool,
+    /// Streaming byte budget per device (`None` = device memory).
+    pub mem_budget: Option<u64>,
+    /// Streaming resident window in bands (`None` = driver default).
+    pub stream_window: Option<usize>,
 }
 
 impl Default for MatcherSetup {
@@ -208,18 +221,26 @@ impl Default for MatcherSetup {
             overlap: false,
             nodes: None,
             topology_placement: false,
+            mem_limit: None,
+            streaming: false,
+            mem_budget: None,
+            stream_window: None,
         }
     }
 }
 
 impl MatcherSetup {
-    /// Fold the `nodes` override into the platform (idempotent: the
-    /// returned setup has `nodes: None`). Call before handing the
-    /// platform to engines that don't consume the full setup.
+    /// Fold the `nodes` and `mem_limit` overrides into the platform
+    /// (idempotent: the returned setup has both cleared). Call before
+    /// handing the platform to engines that don't consume the full
+    /// setup.
     pub fn resolved(&self) -> MatcherSetup {
         let mut s = self.clone();
         if let Some(n) = s.nodes.take() {
             s.platform = s.platform.with_nodes(n);
+        }
+        if let Some(bytes) = s.mem_limit.take() {
+            s.platform = s.platform.with_device_memory(bytes);
         }
         s
     }
@@ -338,6 +359,15 @@ impl LdGpuMatcher {
             .with_topology_placement(setup.topology_placement);
         if let Some(b) = setup.batches {
             cfg = cfg.batches(b);
+        }
+        if setup.streaming {
+            cfg = cfg.with_streaming(true);
+            if let Some(bytes) = setup.mem_budget {
+                cfg = cfg.with_mem_budget(bytes);
+            }
+            if let Some(w) = setup.stream_window {
+                cfg = cfg.with_stream_window(w);
+            }
         }
         if setup.collect_trace {
             cfg = cfg.with_trace();
@@ -656,6 +686,36 @@ mod tests {
             assert!(p.phases.total() > 0.0, "{name}");
             assert!(!r.metrics.is_empty(), "{name}");
         }
+    }
+
+    #[test]
+    fn mem_limit_and_streaming_flow_through_setup() {
+        // The memory override folds into the platform exactly once.
+        let setup = MatcherSetup { mem_limit: Some(123_456), ..Default::default() };
+        let resolved = setup.resolved();
+        assert_eq!(resolved.platform.device.mem_bytes, 123_456);
+        assert_eq!(resolved.mem_limit, None);
+        assert_eq!(resolved.resolved().platform.device.mem_bytes, 123_456);
+
+        // Streaming knobs land on the ld-gpu configs (base and opt).
+        let setup = MatcherSetup {
+            streaming: true,
+            mem_budget: Some(1 << 22),
+            stream_window: Some(4),
+            ..Default::default()
+        };
+        let cfg = LdGpuMatcher::config_from_setup(&setup);
+        assert!(cfg.streaming);
+        assert_eq!(cfg.mem_budget, Some(1 << 22));
+        assert_eq!(cfg.stream_window, Some(4));
+
+        // A mem-limited streaming run still matches correctly.
+        let g = urand(400, 3000, 6);
+        let setup =
+            MatcherSetup { streaming: true, mem_limit: Some(1 << 20), ..Default::default() };
+        let reg = MatcherRegistry::with_defaults(&setup);
+        let r = reg.get("ld-gpu").unwrap().run(&g).unwrap();
+        assert_eq!(r.matching.verify(&g), Ok(()));
     }
 
     #[test]

@@ -114,6 +114,22 @@ pub mod names {
     /// payload that must cross the slow link (gauge; see
     /// `part.inter_node_cut`).
     pub const PART_BOUNDARY_FRACTION: &str = "part.boundary_fraction";
+    /// High-water device residency of the streaming engine: global state
+    /// plus the full band window, in bytes (gauge; only set by streaming
+    /// runs).
+    pub const MEM_RESIDENT_BYTES: &str = "mem.resident_bytes";
+    /// Vertices whose retained window bands were dropped after they left
+    /// the streaming worklist — the frontier-informed eviction policy at
+    /// work (counter; only set by streaming runs).
+    pub const MEM_EVICTIONS: &str = "mem.evictions";
+    /// Simulated seconds of substream prefetch copies that ran under the
+    /// previous band's kernel — transfer time the streaming pipeline hid
+    /// (gauge; only set by streaming runs).
+    pub const COPY_PREFETCH_HIDDEN_TIME: &str = "copy.prefetch_hidden_time";
+    /// Simulated seconds substream prefetch copies kept the compute
+    /// stream waiting — transfer time the pipeline failed to hide
+    /// (gauge; counterpart of `copy.prefetch_hidden_time`).
+    pub const COPY_PREFETCH_EXPOSED_TIME: &str = "copy.prefetch_exposed_time";
 }
 
 /// Summary statistics of observed samples (no buckets: the consumers —

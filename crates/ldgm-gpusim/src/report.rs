@@ -1,7 +1,7 @@
 //! JSON run reports: one self-describing document per matcher run,
 //! written by `ldgm match --report-json` and the bench harness.
 //!
-//! Schema (version 4 — v2 added the `comm.exposed_time`,
+//! Schema (version 5 — v2 added the `comm.exposed_time`,
 //! `comm.hidden_time` and `stream.occupancy` gauges emitted by the
 //! overlap-aware runtime to the `metrics` map; v3 added the cluster
 //! metrics emitted on multi-node platforms — `cluster.nodes`,
@@ -9,11 +9,14 @@
 //! `comm.hier_fallbacks`, `part.inter_node_cut`,
 //! `part.boundary_fraction`; v4 added the top-level `wall_time_ms`
 //! field — host milliseconds the run actually took, the simulator's
-//! own execution cost next to the billed `sim_time`):
+//! own execution cost next to the billed `sim_time`; v5 added the
+//! out-of-core streaming metrics emitted by `--stream` runs —
+//! `mem.resident_bytes`, `mem.evictions`, `copy.prefetch_hidden_time`,
+//! `copy.prefetch_exposed_time`):
 //!
 //! ```json
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "algorithm": "ld-gpu",
 //!   "platform": "dgx-a100",
 //!   "graph":    { "vertices": N, "directed_edges": M },
@@ -82,7 +85,7 @@ impl RunReport {
     /// Serialize to the schema-versioned JSON document.
     pub fn to_json(&self) -> Json {
         Json::object()
-            .with("schema_version", 4u64)
+            .with("schema_version", 5u64)
             .with("algorithm", self.algorithm.clone())
             .with(
                 "platform",
@@ -142,7 +145,7 @@ mod tests {
     #[test]
     fn schema_fields_present() {
         let j = sample().to_json();
-        assert_eq!(j.get("schema_version").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(j.get("schema_version").and_then(Json::as_f64), Some(5.0));
         assert_eq!(j.get("wall_time_ms").and_then(Json::as_f64), Some(2.75));
         assert_eq!(j.get("algorithm").and_then(Json::as_str), Some("ld-gpu"));
         assert_eq!(j.get("platform").and_then(Json::as_str), Some("dgx-a100"));
@@ -180,6 +183,29 @@ mod tests {
         let text = sample().to_json().to_string_pretty();
         let parsed = json::parse(&text).unwrap();
         assert_eq!(parsed, sample().to_json());
+    }
+
+    #[test]
+    fn v5_streaming_metrics_round_trip() {
+        // The schema-5 additions: out-of-core streaming metrics must
+        // survive a serialize/parse cycle with their values intact.
+        let mut r = sample();
+        r.metrics.gauge_set(crate::metrics::names::MEM_RESIDENT_BYTES, 8.5e6);
+        r.metrics.counter_add(crate::metrics::names::MEM_EVICTIONS, 42);
+        r.metrics.gauge_set(crate::metrics::names::COPY_PREFETCH_HIDDEN_TIME, 2.5e-3);
+        r.metrics.gauge_set(crate::metrics::names::COPY_PREFETCH_EXPOSED_TIME, 5.0e-4);
+        let parsed = json::parse(&r.to_json().to_string_pretty()).unwrap();
+        assert_eq!(parsed, r.to_json());
+        let ms = parsed.get("metrics").unwrap();
+        for (name, want) in [
+            ("mem.resident_bytes", 8.5e6),
+            ("mem.evictions", 42.0),
+            ("copy.prefetch_hidden_time", 2.5e-3),
+            ("copy.prefetch_exposed_time", 5.0e-4),
+        ] {
+            let v = ms.get(name).and_then(|m| m.get("value")).and_then(Json::as_f64);
+            assert_eq!(v, Some(want), "{name}");
+        }
     }
 
     #[test]

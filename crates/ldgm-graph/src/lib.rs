@@ -12,6 +12,8 @@
 //! * [`soa`] — SoA scan primitives (availability lane, packed preference
 //!   keys) for the host-side hot kernels;
 //! * [`sorted`] — preference-sorted adjacency index for early-exit scans;
+//! * [`stream`] — fixed-width rank-band substream layout over the sorted
+//!   index, the geometry of the out-of-core streaming engine;
 //! * [`io`] — Matrix Market and binary CSR cache formats;
 //! * [`weights`] — the paper's uniform 3-decimal weight scheme;
 //! * [`stats`] — Table-I-style property summaries;
@@ -25,9 +27,11 @@ pub mod rng;
 pub mod soa;
 pub mod sorted;
 pub mod stats;
+pub mod stream;
 pub mod weights;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId, Weight};
 pub use rng::Xoshiro256;
 pub use sorted::SortedAdjacency;
+pub use stream::BandLayout;

@@ -1,0 +1,183 @@
+//! Edge-band substream layout over a preference-sorted adjacency.
+//!
+//! The out-of-core streaming engine never holds a partition's full
+//! adjacency resident. Instead it slices every vertex's *sorted* neighbor
+//! list (weight descending, id ascending — [`crate::sorted`]) into fixed-
+//! width rank bands: band `k` of vertex `u` covers sorted positions
+//! `[k·W, (k+1)·W)` of `u`'s list. Processing bands in order preserves
+//! the canonical preference order exactly — the first available neighbor
+//! found across bands 0, 1, 2, … is the same argmax a resident full scan
+//! would select — so streaming changes residency and billing, never the
+//! matching. Band 0 holds every vertex's heaviest edges and is therefore
+//! the largest band and the one worth keeping resident across iterations;
+//! later bands shrink as only high-degree vertices reach into them.
+//!
+//! This module is pure geometry (band extents, slices, and the byte
+//! footprint a band occupies on a device); window sizing against a memory
+//! budget lives in `ldgm-part`, and the banded kernels in `ldgm-core`.
+
+use crate::csr::{CsrGraph, VertexId, Weight};
+use crate::sorted::SortedAdjacency;
+
+/// Bytes one adjacency slot occupies on-device: 64-bit neighbor id plus
+/// 64-bit weight, as in the paper's memory model.
+pub const BAND_EDGE_BYTES: u64 = 16;
+/// Bytes of the per-vertex slice descriptor shipped with each band (one
+/// 64-bit offset, mirroring the batch buffer's offset slice).
+pub const BAND_VERTEX_BYTES: u64 = 8;
+
+/// Fixed-width rank-band layout over a contiguous vertex range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BandLayout {
+    start: VertexId,
+    end: VertexId,
+    width: usize,
+    num_bands: usize,
+}
+
+impl BandLayout {
+    /// Lay `width`-wide rank bands over `[start, end)` of `g`. The band
+    /// count is driven by the largest degree in the range: `0` when the
+    /// range holds no edges (nothing to stream).
+    pub fn new(g: &CsrGraph, start: VertexId, end: VertexId, width: usize) -> Self {
+        assert!(width >= 1, "band width must be >= 1");
+        assert!(start <= end, "inverted vertex range");
+        let max_deg = (start..end).map(|v| g.degree(v)).max().unwrap_or(0);
+        BandLayout { start, end, width, num_bands: max_deg.div_ceil(width) }
+    }
+
+    /// Sorted-rank slots per vertex per band.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Bands needed to cover every neighbor list in the range (0 when the
+    /// range is edgeless).
+    pub fn num_bands(&self) -> usize {
+        self.num_bands
+    }
+
+    /// Covered vertex range.
+    pub fn range(&self) -> (VertexId, VertexId) {
+        (self.start, self.end)
+    }
+
+    /// Slots of `v`'s list that fall in `band`.
+    #[inline]
+    pub fn band_edges(&self, g: &CsrGraph, v: VertexId, band: usize) -> usize {
+        let deg = g.degree(v);
+        deg.saturating_sub(band * self.width).min(self.width)
+    }
+
+    /// Whether `band` reaches the end of `v`'s list — after scanning it,
+    /// `v`'s neighborhood is exhausted.
+    #[inline]
+    pub fn is_last_band(&self, g: &CsrGraph, v: VertexId, band: usize) -> bool {
+        g.degree(v) <= (band + 1) * self.width
+    }
+
+    /// `v`'s sorted neighbors and weights restricted to `band` (both
+    /// empty when the band lies past the end of `v`'s list).
+    #[inline]
+    pub fn band_slice<'a>(
+        &self,
+        g: &CsrGraph,
+        sorted: &'a SortedAdjacency,
+        v: VertexId,
+        band: usize,
+    ) -> (&'a [VertexId], &'a [Weight]) {
+        let lo = (band * self.width).min(g.degree(v));
+        let hi = ((band + 1) * self.width).min(g.degree(v));
+        (&sorted.neighbors(g, v)[lo..hi], &sorted.neighbor_weights(g, v)[lo..hi])
+    }
+
+    /// Device bytes `band` occupies for one vertex: the slice descriptor
+    /// plus its in-band adjacency slots.
+    #[inline]
+    pub fn vertex_band_bytes(&self, g: &CsrGraph, v: VertexId, band: usize) -> u64 {
+        BAND_VERTEX_BYTES + self.band_edges(g, v, band) as u64 * BAND_EDGE_BYTES
+    }
+
+    /// Device bytes `band` occupies across the whole covered range — the
+    /// band-slot size the window planner budgets against. Band 0 is the
+    /// maximum: every vertex with any edges contributes there, and
+    /// per-vertex contributions only shrink with the band index.
+    pub fn band_bytes(&self, g: &CsrGraph, band: usize) -> u64 {
+        (self.start..self.end).map(|v| self.vertex_band_bytes(g, v, band)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::gen::urand;
+
+    fn star_plus_edge() -> CsrGraph {
+        // Vertex 0 has degree 4; vertices 1..=4 degree 1 or 2.
+        GraphBuilder::new(6)
+            .add_edge(0, 1, 4.0)
+            .add_edge(0, 2, 3.0)
+            .add_edge(0, 3, 2.0)
+            .add_edge(0, 4, 1.0)
+            .add_edge(4, 5, 9.0)
+            .build()
+    }
+
+    #[test]
+    fn band_count_follows_max_degree() {
+        let g = star_plus_edge();
+        assert_eq!(BandLayout::new(&g, 0, 6, 1).num_bands(), 4);
+        assert_eq!(BandLayout::new(&g, 0, 6, 2).num_bands(), 2);
+        assert_eq!(BandLayout::new(&g, 0, 6, 4).num_bands(), 1);
+        // A sub-range without the hub needs fewer bands; an empty range
+        // or an edgeless graph needs none.
+        assert_eq!(BandLayout::new(&g, 1, 4, 2).num_bands(), 1);
+        assert_eq!(BandLayout::new(&g, 3, 3, 2).num_bands(), 0);
+        let empty = CsrGraph::empty(3);
+        assert_eq!(BandLayout::new(&empty, 0, 3, 2).num_bands(), 0);
+    }
+
+    #[test]
+    fn band_slices_tile_the_sorted_list() {
+        let g = urand(200, 1600, 9);
+        let sorted = SortedAdjacency::build(&g);
+        for width in [1, 3, 7] {
+            let layout = BandLayout::new(&g, 0, 200, width);
+            for v in 0..200u32 {
+                let mut ids = Vec::new();
+                let mut last_hit = None;
+                for b in 0..layout.num_bands() {
+                    let (nbrs, ws) = layout.band_slice(&g, &sorted, v, b);
+                    assert_eq!(nbrs.len(), ws.len());
+                    assert_eq!(nbrs.len(), layout.band_edges(&g, v, b));
+                    assert!(nbrs.len() <= width);
+                    ids.extend_from_slice(nbrs);
+                    if !nbrs.is_empty() {
+                        last_hit = Some(b);
+                    }
+                    if layout.is_last_band(&g, v, b) {
+                        assert_eq!(layout.band_edges(&g, v, b + 1), 0);
+                    }
+                }
+                assert_eq!(ids, sorted.neighbors(&g, v), "vertex {v} width {width}");
+                if let Some(b) = last_hit {
+                    assert!(layout.is_last_band(&g, v, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn band_zero_bytes_dominate() {
+        let g = urand(300, 2400, 4);
+        let layout = BandLayout::new(&g, 0, 300, 4);
+        let b0 = layout.band_bytes(&g, 0);
+        for b in 1..layout.num_bands() {
+            assert!(layout.band_bytes(&g, b) <= b0, "band {b}");
+        }
+        // The byte model: descriptor + 16 B per in-band slot.
+        let hand: u64 = (0..300u32).map(|v| 8 + (g.degree(v) as u64).min(4) * 16).sum();
+        assert_eq!(b0, hand);
+    }
+}

@@ -213,4 +213,53 @@ mod tests {
         let batches = make_batches(&g, &p.parts[1], 3);
         assert_eq!(validate_batches(&g, &p.parts[1], &batches), Ok(()));
     }
+
+    #[test]
+    fn min_batches_on_zero_edge_partition() {
+        // An edgeless graph still pays for offsets and globals; as long
+        // as those fit, one batch suffices — and the floor is honored.
+        // Edge-balanced splitting of an edgeless graph pushes all
+        // vertices into the trailing part; use that one.
+        let g = ldgm_graph::CsrGraph::empty(64);
+        let part = Partition::edge_balanced(&g, 2).parts[1];
+        assert!(part.num_vertices() > 0 && part.num_edges() == 0);
+        let need = memory::device_footprint_bytes(&make_batches(&g, &part, 1), 64);
+        assert_eq!(min_batches_to_fit(&g, &part, 64, need, 1), Some(1));
+        assert_eq!(min_batches_to_fit(&g, &part, 64, need, 3), Some(3));
+        // Globals overflowing is still fatal even with zero edges...
+        assert_eq!(min_batches_to_fit(&g, &part, 64, memory::global_state_bytes(64) - 1, 1), None);
+        // ...but a zero-*vertex* partition asks for nothing at all.
+        let empty = VertexRange { start: 5, end: 5, edge_start: 0, edge_end: 0 };
+        assert_eq!(min_batches_to_fit(&g, &empty, 64, 0, 2), Some(2));
+    }
+
+    #[test]
+    fn min_batches_none_when_one_vertex_overflows() {
+        // Budget big enough for the globals but smaller than a single
+        // vertex's double-buffered adjacency: no batch count can help.
+        let g = urand(200, 4000, 7);
+        let p = Partition::edge_balanced(&g, 1);
+        let hub = (0..200u32).max_by_key(|&v| g.degree(v)).unwrap();
+        let single = VertexRange {
+            start: hub,
+            end: hub + 1,
+            edge_start: g.offsets()[hub as usize],
+            edge_end: g.offsets()[hub as usize + 1],
+        };
+        let budget = memory::global_state_bytes(200) + 2 * memory::batch_buffer_bytes(&single) - 1;
+        assert_eq!(min_batches_to_fit(&g, &p.parts[0], 200, budget, 1), None);
+    }
+
+    #[test]
+    fn min_batches_exact_fit_boundary() {
+        let g = urand(1000, 8000, 8);
+        let p = Partition::edge_balanced(&g, 1);
+        // Exactly the single-batch footprint fits in one batch; one byte
+        // less forces at least two.
+        let whole = memory::device_footprint_bytes(&make_batches(&g, &p.parts[0], 1), 1000);
+        assert_eq!(min_batches_to_fit(&g, &p.parts[0], 1000, whole, 1), Some(1));
+        let k = min_batches_to_fit(&g, &p.parts[0], 1000, whole - 1, 1).unwrap();
+        assert!(k > 1, "k = {k}");
+        assert!(memory::fits(&make_batches(&g, &p.parts[0], k), 1000, whole - 1));
+    }
 }

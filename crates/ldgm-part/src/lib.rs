@@ -3,7 +3,9 @@
 //! Implements the paper's §III-A/B data distribution: contiguous,
 //! edge-balanced vertex [`partition::Partition`]s across devices, the
 //! [`batch`] scheme that sub-divides a partition into working sets sized
-//! to the device-memory model in [`memory`], and the cluster-level
+//! to the device-memory model in [`memory`], the [`stream`] window
+//! planner that sizes an out-of-core substream pipeline when even the
+//! batched footprint overflows the budget, and the cluster-level
 //! [`placement`] policy that groups parts onto nodes so heavy cut edges
 //! stay on the fast intra-node link.
 
@@ -11,8 +13,12 @@ pub mod batch;
 pub mod memory;
 pub mod partition;
 pub mod placement;
+pub mod stream;
 
 pub use batch::{make_batches, min_batches_to_fit, validate_batches};
-pub use memory::{batch_buffer_bytes, device_footprint_bytes, fits, global_state_bytes};
+pub use memory::{
+    batch_buffer_bytes, device_footprint_bytes, fits, global_state_bytes, DeviceMemory,
+};
 pub use partition::{Partition, VertexRange};
 pub use placement::{cut_stats, CutStats, NodePlacement};
+pub use stream::{plan_substreams, StreamPlanError, SubstreamPlan};

@@ -35,6 +35,56 @@ pub fn fits(batches: &[VertexRange], n_global_vertices: usize, mem_bytes: u64) -
     device_footprint_bytes(batches, n_global_vertices) <= mem_bytes
 }
 
+/// Per-device memory budget ledger.
+///
+/// The batch planner above works on raw byte totals; the streaming
+/// window planner instead makes a *sequence* of reservations (global
+/// state, then one slot per resident band) and needs to ask "what is
+/// still free?" between them. `DeviceMemory` keeps that arithmetic in
+/// one place: a fixed capacity, a running reservation, and saturating
+/// queries — reservations past capacity are refused, never wrapped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceMemory {
+    capacity: u64,
+    reserved: u64,
+}
+
+impl DeviceMemory {
+    /// Fresh budget of `capacity` bytes with nothing reserved.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory { capacity, reserved: 0 }
+    }
+
+    /// Total device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes already reserved.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Bytes still unreserved.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.reserved
+    }
+
+    /// Whether `bytes` more would still fit.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.remaining()
+    }
+
+    /// Reserve `bytes`; `false` (and no change) when they do not fit.
+    pub fn reserve(&mut self, bytes: u64) -> bool {
+        if !self.fits(bytes) {
+            return false;
+        }
+        self.reserved += bytes;
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +118,37 @@ mod tests {
         let need = device_footprint_bytes(&b, 50);
         assert!(fits(&b, 50, need));
         assert!(!fits(&b, 50, need - 1));
+    }
+
+    #[test]
+    fn zero_edge_batch_still_bills_offsets() {
+        // A vertex range with no edges is not free: its offset slice is
+        // still resident, so the footprint is the offsets plus globals.
+        let r = range(10, 0);
+        assert_eq!(batch_buffer_bytes(&r), 11 * 8);
+        let fp = device_footprint_bytes(&[r], 10);
+        assert_eq!(fp, 2 * 11 * 8 + global_state_bytes(10));
+        // Empty batch *lists* degrade to globals only.
+        assert_eq!(device_footprint_bytes(&[], 10), global_state_bytes(10));
+        assert!(fits(&[], 10, global_state_bytes(10)));
+        assert!(!fits(&[], 10, global_state_bytes(10) - 1));
+    }
+
+    #[test]
+    fn device_memory_ledger_reserves_and_refuses() {
+        let mut m = DeviceMemory::new(100);
+        assert_eq!((m.capacity(), m.reserved(), m.remaining()), (100, 0, 100));
+        assert!(m.reserve(60));
+        assert_eq!(m.remaining(), 40);
+        assert!(m.fits(40));
+        assert!(!m.fits(41));
+        // A refused reservation leaves the ledger untouched.
+        assert!(!m.reserve(41));
+        assert_eq!(m.reserved(), 60);
+        // Exact fit is allowed; after it nothing remains.
+        assert!(m.reserve(40));
+        assert_eq!(m.remaining(), 0);
+        assert!(m.fits(0));
+        assert!(!m.reserve(1));
     }
 }

@@ -1,0 +1,179 @@
+//! Substream window planning for the out-of-core streaming engine.
+//!
+//! When a device partition's batched footprint exceeds the per-device
+//! budget — or the caller forces it — the driver streams the partition
+//! through fixed-width rank bands over the preference-sorted adjacency
+//! ([`ldgm_graph::stream::BandLayout`]). The planner here sizes that
+//! pipeline: it reserves the |V|-sized global state on a
+//! [`memory::DeviceMemory`] ledger, splits the remainder into `window`
+//! equal band slots (`window >= 2`, the double-buffer minimum), and picks
+//! the widest band that fits a slot — wider bands mean fewer
+//! copy/kernel rounds per iteration, so the plan maximizes width the
+//! same way the batch planner minimizes batch count. Band 0 is the
+//! largest band by construction, so "band 0 fits a slot" is the binding
+//! constraint.
+
+use crate::memory::{self, DeviceMemory};
+use crate::partition::VertexRange;
+use ldgm_graph::csr::CsrGraph;
+use ldgm_graph::stream::BandLayout;
+
+/// A sized substream pipeline for one device partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubstreamPlan {
+    /// The partition being streamed.
+    pub part: VertexRange,
+    /// Rank-band geometry (width + band count) over the partition.
+    pub layout: BandLayout,
+    /// Resident band slots (>= 2); bands cycle through them while the
+    /// copy stream prefetches ahead of the kernels.
+    pub window: usize,
+    /// Bytes of one band slot — the band-0 footprint, the largest band.
+    pub slot_bytes: u64,
+    /// High-water device residency: global state plus the full window.
+    pub resident_bytes: u64,
+}
+
+/// Why a partition cannot be streamed under a budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamPlanError {
+    /// Minimum bytes streaming would need: globals plus `window`
+    /// width-1 band slots.
+    pub required: u64,
+    /// The budget that was available.
+    pub mem_bytes: u64,
+}
+
+impl std::fmt::Display for StreamPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "streaming needs at least {} B resident, budget is {} B",
+            self.required, self.mem_bytes
+        )
+    }
+}
+
+impl std::error::Error for StreamPlanError {}
+
+/// Size a substream pipeline for `part` of `g` under `mem_bytes` of
+/// device memory, keeping `window` bands resident.
+///
+/// Fails when even the narrowest pipeline — global state plus `window`
+/// single-rank bands — overflows the budget; otherwise the band width is
+/// the largest value whose band-0 footprint fits one of the `window`
+/// equal slots carved from the post-globals remainder (binary search:
+/// the footprint is monotone in the width).
+pub fn plan_substreams(
+    g: &CsrGraph,
+    part: &VertexRange,
+    n_global_vertices: usize,
+    mem_bytes: u64,
+    window: usize,
+) -> Result<SubstreamPlan, StreamPlanError> {
+    assert!(window >= 2, "streaming needs >= 2 resident bands (double buffering)");
+    let narrowest = BandLayout::new(g, part.start, part.end, 1);
+    let min_slot = narrowest.band_bytes(g, 0);
+    let required = memory::global_state_bytes(n_global_vertices) + window as u64 * min_slot;
+
+    let mut mem = DeviceMemory::new(mem_bytes);
+    if !mem.reserve(memory::global_state_bytes(n_global_vertices)) {
+        return Err(StreamPlanError { required, mem_bytes });
+    }
+    let slot_budget = mem.remaining() / window as u64;
+    if min_slot > slot_budget {
+        return Err(StreamPlanError { required, mem_bytes });
+    }
+
+    // Widest width whose band-0 footprint fits the slot. Degenerate
+    // partitions (no vertices or no edges) stream nothing; keep width 1.
+    let max_deg = (part.start..part.end).map(|v| g.degree(v)).max().unwrap_or(0);
+    let band0 = |w: usize| BandLayout::new(g, part.start, part.end, w).band_bytes(g, 0);
+    let (mut lo, mut hi) = (1usize, max_deg.max(1));
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if band0(mid) <= slot_budget {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let layout = BandLayout::new(g, part.start, part.end, lo);
+    let slot_bytes = layout.band_bytes(g, 0);
+    for _ in 0..window {
+        assert!(mem.reserve(slot_bytes), "slot sizing must fit the ledger");
+    }
+    Ok(SubstreamPlan {
+        part: *part,
+        layout,
+        window,
+        slot_bytes,
+        resident_bytes: memory::global_state_bytes(n_global_vertices) + window as u64 * slot_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+    use ldgm_graph::gen::{urand, web};
+
+    #[test]
+    fn wide_budget_takes_one_band() {
+        let g = urand(1000, 8000, 1);
+        let p = Partition::edge_balanced(&g, 1);
+        let plan = plan_substreams(&g, &p.parts[0], 1000, u64::MAX, 2).unwrap();
+        assert_eq!(plan.layout.num_bands(), 1);
+        assert!(plan.layout.width() >= g.max_degree());
+        assert_eq!(plan.resident_bytes, memory::global_state_bytes(1000) + 2 * plan.slot_bytes);
+    }
+
+    #[test]
+    fn tight_budget_narrows_bands() {
+        let g = web(2000, 8, 0.5, 4);
+        let p = Partition::edge_balanced(&g, 1);
+        let whole = plan_substreams(&g, &p.parts[0], 2000, u64::MAX, 2).unwrap();
+        // A quarter of the whole-window residency forces narrower bands
+        // and therefore more of them.
+        let budget = whole.resident_bytes / 4;
+        let tight = plan_substreams(&g, &p.parts[0], 2000, budget, 2).unwrap();
+        assert!(tight.layout.width() < whole.layout.width());
+        assert!(tight.layout.num_bands() > 1);
+        assert!(tight.resident_bytes <= budget);
+        // The planner maximizes width: one rank wider must overflow.
+        let wider = BandLayout::new(&g, tight.part.start, tight.part.end, tight.layout.width() + 1);
+        let slot_budget = (budget - memory::global_state_bytes(2000)) / 2;
+        assert!(wider.band_bytes(&g, 0) > slot_budget);
+    }
+
+    #[test]
+    fn exact_fit_boundary() {
+        let g = urand(500, 3000, 2);
+        let p = Partition::edge_balanced(&g, 1);
+        let narrowest = BandLayout::new(&g, p.parts[0].start, p.parts[0].end, 1);
+        let need = memory::global_state_bytes(500) + 3 * narrowest.band_bytes(&g, 0);
+        let plan = plan_substreams(&g, &p.parts[0], 500, need, 3).unwrap();
+        assert_eq!(plan.layout.width(), 1);
+        let err = plan_substreams(&g, &p.parts[0], 500, need - 1, 3).unwrap_err();
+        assert_eq!(err, StreamPlanError { required: need, mem_bytes: need - 1 });
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn refuses_when_globals_overflow() {
+        let g = urand(500, 3000, 3);
+        let p = Partition::edge_balanced(&g, 1);
+        let err = plan_substreams(&g, &p.parts[0], 500, 100, 2).unwrap_err();
+        assert!(err.required > 100);
+    }
+
+    #[test]
+    fn zero_edge_partition_plans_trivially() {
+        let g = ldgm_graph::CsrGraph::empty(64);
+        let p = Partition::edge_balanced(&g, 2);
+        let plan =
+            plan_substreams(&g, &p.parts[1], 64, memory::global_state_bytes(64) + 1024, 2).unwrap();
+        assert_eq!(plan.layout.num_bands(), 0);
+        assert_eq!(plan.layout.width(), 1);
+    }
+}

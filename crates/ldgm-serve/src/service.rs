@@ -277,7 +277,12 @@ pub fn resolve_dyn_config(g: &CsrGraph, base: DynConfig) -> DynConfig {
     let probe = LdGpuConfig::new(base.platform.clone()).devices(base.devices);
     // Serving only consumes the overlap verdict, so a minimal grid
     // (auto batch plan, top-1 shortlist, 2-iteration probes) suffices.
-    let opts = TuneOptions { probe_iterations: 2, batch_counts: vec![None], shortlist: 1 };
+    let opts = TuneOptions {
+        probe_iterations: 2,
+        batch_counts: vec![None],
+        stream_windows: vec![None],
+        shortlist: 1,
+    };
     match auto_tune_with(g, &probe, &opts) {
         Ok(report) => DynConfig { overlap: report.config.overlap, ..base },
         Err(_) => base,

@@ -124,7 +124,10 @@ fn concurrent_reads_only_observe_committed_snapshots() {
             std::thread::spawn(move || {
                 let mut observed: Vec<(u64, Vec<u32>)> = Vec::new();
                 let mut last_epoch = 0u64;
-                while !stop.load(Ordering::SeqCst) {
+                // Check `stop` only after each observation so every reader
+                // records at least one snapshot even if the writer finishes
+                // before this thread is first scheduled.
+                loop {
                     let s = svc.snapshot();
                     // Epochs only move forward for any single reader.
                     assert!(s.epoch >= last_epoch, "epoch went backwards");
@@ -141,6 +144,9 @@ fn concurrent_reads_only_observe_committed_snapshots() {
                         }
                     }
                     observed.push((s.epoch, s.mate.clone()));
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
                 }
                 observed
             })
