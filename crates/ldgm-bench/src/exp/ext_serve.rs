@@ -2,32 +2,51 @@
 //!
 //! Every other study drives an engine directly; this one measures the
 //! `ldgm-serve` stack end to end — TCP framing, the update coalescer, the
-//! snapshot read path — with a seeded in-process load generator. N client
-//! threads each stream single-edge updates interleaved with timed `mate`
-//! point queries; the server coalesces the concurrent streams into
-//! engine batches. Reported per dataset: wall-clock p50/p99 query
-//! latency, the coalesced batch-size histogram (the whole point of the
-//! coalescer: mean committed batch size must exceed 1 under concurrent
-//! load), per-tenant billed simulated time, and whether the final
-//! matching survived the offline replay check at shutdown.
+//! snapshot read path — with seeded in-process load generators. Two
+//! complementary measurements per run:
+//!
+//! 1. **Coalescing records** (one per dataset, latency-comparable across
+//!    PRs): N closed-loop client threads each stream single-edge updates
+//!    interleaved with timed `mate` point queries. Reported: wall-clock
+//!    p50/p99 query latency, the coalesced batch-size histogram (the
+//!    whole point of the coalescer: mean committed batch size must
+//!    exceed 1 under concurrent load), per-tenant billed simulated time,
+//!    and whether the final matching survived the offline replay check.
+//! 2. **Throughput trajectory** (first dataset): a single-threaded
+//!    multiplexed loadgen — every connection non-blocking behind one
+//!    poller, a bounded window of pipelined in-flight requests per
+//!    connection — sweeps the client count over both I/O models
+//!    (`blocking` thread-per-connection baseline vs the epoll `reactor`)
+//!    and records rps with p50/p99/p999 completion latency. The summary
+//!    pins the headline ratio: reactor rps at the largest client count
+//!    over the baseline's best rps at any client count.
+//!
+//! `BENCH_serve.json` is a schema-version-2 document:
+//! `{schema_version, records, throughput, summary}`.
 
-use std::io::{self, BufRead, BufReader, Write as IoWrite};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write as IoWrite};
 use std::net::TcpStream;
+use std::os::fd::AsRawFd;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use epoll_shim::{Event, Interest, Poller};
 use ldgm_dyn::DynConfig;
 use ldgm_gpusim::json::{self, Json};
 use ldgm_gpusim::Platform;
 use ldgm_graph::{CsrGraph, Xoshiro256};
-use ldgm_serve::{serve, MatchService, ServeConfig};
+use ldgm_serve::{
+    serve, serve_opts, FrameSplitter, IoModel, MatchService, ServeConfig, ServerOptions,
+    SplitFrame, MAX_FRAME_LEN,
+};
 
 use crate::datasets::{by_name, scaled_platform, Dataset};
 use crate::table::Table;
 
-/// Concurrent load-generator clients per dataset.
+/// Concurrent load-generator clients per dataset (coalescing records).
 pub const CLIENTS: usize = 4;
-/// Updates each client submits.
+/// Updates each client submits (coalescing records).
 pub const UPDATES_PER_CLIENT: usize = 80;
 /// Coalescer flush target (smaller than the 64 default so a short
 /// benchmark still commits many batches).
@@ -39,6 +58,44 @@ pub const SEED: u64 = 11;
 /// Default datasets: the three smallest Table I stand-ins, one per
 /// family shape (social rmat, stencil lattice, dense similarity).
 pub const DATASETS: &[&str] = &["com-Orkut", "Queen_4147", "mouse_gene"];
+/// Default client-count sweep of the throughput trajectory.
+pub const THROUGHPUT_CLIENTS: &[usize] = &[4, 32, 128, 512];
+/// Default duration of one throughput point, milliseconds.
+pub const THROUGHPUT_DURATION_MS: u64 = 2000;
+/// Default pipelined in-flight requests per loadgen connection.
+pub const WINDOW: usize = 16;
+/// Reactor event-loop threads used by the throughput sweep (the blocking
+/// baseline gets one handler thread per client, its native shape).
+pub const REACTOR_THREADS: usize = 2;
+/// One update is interleaved per this many loadgen requests.
+const UPDATE_EVERY: usize = 64;
+
+/// Knobs of one study run; every field has a CLI flag in `ext_serve`.
+#[derive(Clone, Debug)]
+pub struct StudyConfig {
+    /// Closed-loop clients per coalescing record.
+    pub clients: usize,
+    /// Updates per closed-loop client.
+    pub updates_per_client: usize,
+    /// Duration of each throughput point, ms (0 skips the sweep).
+    pub duration_ms: u64,
+    /// Client counts of the throughput sweep.
+    pub throughput_clients: Vec<usize>,
+    /// Pipelined in-flight requests per loadgen connection.
+    pub window: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            clients: CLIENTS,
+            updates_per_client: UPDATES_PER_CLIENT,
+            duration_ms: THROUGHPUT_DURATION_MS,
+            throughput_clients: THROUGHPUT_CLIENTS.to_vec(),
+            window: WINDOW,
+        }
+    }
+}
 
 /// One dataset's service-under-load measurement.
 #[derive(Clone, Debug)]
@@ -113,7 +170,118 @@ impl ServeRecord {
     }
 }
 
-/// Serialize a result set as a JSON array document.
+/// One (io model, client count) point of the throughput trajectory.
+#[derive(Clone, Debug)]
+pub struct ThroughputPoint {
+    /// Dataset name.
+    pub dataset: String,
+    /// I/O model label (`"reactor"` / `"blocking"`).
+    pub io: String,
+    /// Concurrent loadgen connections.
+    pub clients: usize,
+    /// Server threads (event loops, or blocking handlers).
+    pub threads: usize,
+    /// Pipelined in-flight requests per connection.
+    pub window: usize,
+    /// Measurement window, ms.
+    pub duration_ms: u64,
+    /// Requests completed inside the measurement window.
+    pub requests: u64,
+    /// Updates interleaved into the request stream (rest are `mate`).
+    pub updates: u64,
+    /// Completed requests per second.
+    pub rps: f64,
+    /// Median completion latency (enqueue to response), microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile completion latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile completion latency, microseconds.
+    pub p999_us: f64,
+    /// Server-side flushes that hit `WouldBlock` (reactor only).
+    pub backpressure_stalls: u64,
+    /// Offline replay check at shutdown.
+    pub replay_identical: bool,
+}
+
+impl ThroughputPoint {
+    /// Serialize for `BENCH_serve.json`.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("dataset", self.dataset.clone())
+            .with("io", self.io.clone())
+            .with("clients", self.clients)
+            .with("threads", self.threads)
+            .with("window", self.window)
+            .with("duration_ms", self.duration_ms)
+            .with("requests", self.requests)
+            .with("updates", self.updates)
+            .with("rps", self.rps)
+            .with("p50_us", self.p50_us)
+            .with("p99_us", self.p99_us)
+            .with("p999_us", self.p999_us)
+            .with("backpressure_stalls", self.backpressure_stalls)
+            .with("replay_identical", self.replay_identical)
+    }
+}
+
+/// Everything one study run produced.
+#[derive(Clone, Debug, Default)]
+pub struct Study {
+    /// Per-dataset coalescing records.
+    pub records: Vec<ServeRecord>,
+    /// The throughput trajectory (empty when the sweep was skipped).
+    pub throughput: Vec<ThroughputPoint>,
+}
+
+impl Study {
+    /// The headline ratio: reactor rps at its largest measured client
+    /// count over the blocking baseline's best rps at any client count.
+    /// `None` until both models have at least one point.
+    pub fn speedup(&self) -> Option<f64> {
+        let best_baseline = self
+            .throughput
+            .iter()
+            .filter(|p| p.io == "blocking")
+            .max_by(|a, b| a.rps.total_cmp(&b.rps))?;
+        let reactor_at_max =
+            self.throughput.iter().filter(|p| p.io == "reactor").max_by_key(|p| p.clients)?;
+        Some(reactor_at_max.rps / best_baseline.rps.max(1e-9))
+    }
+
+    /// Serialize the schema-version-2 `BENCH_serve.json` document.
+    pub fn to_json(&self) -> Json {
+        let mut summary = Json::object();
+        if let Some(best) = self
+            .throughput
+            .iter()
+            .filter(|p| p.io == "blocking")
+            .max_by(|a, b| a.rps.total_cmp(&b.rps))
+        {
+            summary.set("baseline_best_rps", best.rps);
+            summary.set("baseline_best_clients", best.clients);
+        }
+        if let Some(peak) =
+            self.throughput.iter().filter(|p| p.io == "reactor").max_by_key(|p| p.clients)
+        {
+            summary.set("reactor_rps_at_max_clients", peak.rps);
+            summary.set("reactor_max_clients", peak.clients);
+        }
+        if let Some(s) = self.speedup() {
+            summary.set("speedup", s);
+        }
+        Json::object()
+            .with("schema_version", 2u64)
+            .with("records", Json::Array(self.records.iter().map(ServeRecord::to_json).collect()))
+            .with(
+                "throughput",
+                Json::Array(self.throughput.iter().map(ThroughputPoint::to_json).collect()),
+            )
+            .with("summary", summary)
+    }
+}
+
+/// Serialize a coalescing-record set as a flat JSON array (the schema-v1
+/// body, still used by tests comparing individual records).
 pub fn serve_records_to_json(records: &[ServeRecord]) -> Json {
     Json::Array(records.iter().map(ServeRecord::to_json).collect())
 }
@@ -207,20 +375,24 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-/// Serve `g` on a loopback server, drive it with `clients` concurrent
-/// seeded sessions, and collect the record.
-pub fn measure(name: &str, g: CsrGraph, clients: usize, updates_per_client: usize) -> ServeRecord {
+fn service_for(name: &str, g: CsrGraph, coalesce_target: usize) -> Arc<MatchService> {
     let dyn_cfg = DynConfig::builder(scaled_platform(Platform::dgx_a100()))
         .devices(DEVICES)
         .build()
         .expect("device count is positive");
     let cfg = ServeConfig {
-        coalesce_target: COALESCE_TARGET,
+        coalesce_target,
         deadline: Duration::from_millis(25),
         max_pending_per_tenant: 1_000_000,
     };
-    let service = Arc::new(MatchService::new(name, g, dyn_cfg, cfg));
-    let handle = serve(vec![service], "127.0.0.1:0", clients).expect("bind loopback");
+    Arc::new(MatchService::new(name, g, dyn_cfg, cfg))
+}
+
+/// Serve `g` on a loopback server, drive it with `clients` concurrent
+/// seeded sessions, and collect the record.
+pub fn measure(name: &str, g: CsrGraph, clients: usize, updates_per_client: usize) -> ServeRecord {
+    let service = service_for(name, g, COALESCE_TARGET);
+    let handle = serve(vec![service], "127.0.0.1:0", 2).expect("bind loopback");
     let addr = handle.addr.to_string();
 
     let sessions: Vec<_> = (0..clients)
@@ -279,15 +451,238 @@ pub fn measure(name: &str, g: CsrGraph, clients: usize, updates_per_client: usiz
     }
 }
 
-/// Run the study over `datasets`, returning one record per dataset.
-pub fn run_on(datasets: &[Dataset], w: &mut dyn IoWrite) -> io::Result<Vec<ServeRecord>> {
+/// One multiplexed loadgen connection: non-blocking socket, reusable
+/// frame splitter and send buffer, a bounded window of in-flight
+/// requests stamped with their enqueue times.
+struct PipeConn {
+    stream: TcpStream,
+    splitter: FrameSplitter,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    inflight: VecDeque<Instant>,
+    write_armed: bool,
+    sent: u64,
+}
+
+impl PipeConn {
+    fn unsent(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Enqueue one request: mostly compact `mate` frames (the server's
+    /// zero-allocation fast path), one insert per [`UPDATE_EVERY`].
+    fn enqueue(&mut self, n: u64, rng: &mut Xoshiro256, updates_sent: &mut u64) {
+        if self.sent % UPDATE_EVERY as u64 == UPDATE_EVERY as u64 - 1 {
+            let u = rng.below(n) as u32;
+            let v = (u + 1 + rng.below(n - 1) as u32) % n as u32;
+            let w = 0.05 + rng.next_f64();
+            self.wbuf.extend_from_slice(
+                format!(
+                    "{{\"op\":\"update\",\"kind\":\"insert\",\"u\":{u},\"v\":{v},\"w\":{w}}}\n"
+                )
+                .as_bytes(),
+            );
+            *updates_sent += 1;
+        } else {
+            let q = rng.below(n);
+            self.wbuf.extend_from_slice(b"{\"op\":\"mate\",\"v\":");
+            self.wbuf.extend_from_slice(q.to_string().as_bytes());
+            self.wbuf.extend_from_slice(b"}\n");
+        }
+        self.sent += 1;
+        self.inflight.push_back(Instant::now());
+    }
+
+    /// Write as much of the send buffer as the socket takes; returns
+    /// whether the socket would block (write interest should be armed).
+    fn flush(&mut self) -> bool {
+        while self.unsent() > 0 {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => panic!("loadgen socket closed mid-benchmark"),
+                Ok(k) => self.wpos += k,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("loadgen write failed: {e}"),
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+        false
+    }
+}
+
+/// Serve `g` with the chosen I/O model and drive it with a multiplexed
+/// windowed-pipelining loadgen for `duration_ms`; returns the point.
+pub fn measure_throughput(
+    name: &str,
+    g: CsrGraph,
+    io_model: IoModel,
+    clients: usize,
+    duration_ms: u64,
+    window: usize,
+) -> ThroughputPoint {
+    assert!(clients > 0 && window > 0 && duration_ms > 0);
+    let service = service_for(name, g, 64);
+    let n = service.snapshot().mate.len() as u64;
+    assert!(n > 2, "throughput graph too small");
+    let threads = match io_model {
+        // A couple of event loops carry every connection…
+        IoModel::Reactor => REACTOR_THREADS,
+        // …the baseline gets its native shape: a thread per connection.
+        IoModel::Blocking => clients,
+    };
+    let handle = serve_opts(
+        vec![service],
+        "127.0.0.1:0",
+        ServerOptions { io: io_model, threads, max_frame: MAX_FRAME_LEN },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr;
+
+    let poller = Poller::new().expect("loadgen poller");
+    let mut conns: Vec<PipeConn> = (0..clients)
+        .map(|i| {
+            let stream = TcpStream::connect(addr).expect("loadgen connect");
+            stream.set_nodelay(true).expect("nodelay");
+            stream.set_nonblocking(true).expect("nonblocking");
+            poller.add(stream.as_raw_fd(), i as u64, Interest::READ).expect("register");
+            PipeConn {
+                stream,
+                splitter: FrameSplitter::new(MAX_FRAME_LEN),
+                wbuf: Vec::new(),
+                wpos: 0,
+                inflight: VecDeque::new(),
+                write_armed: false,
+                sent: 0,
+            }
+        })
+        .collect();
+
+    let mut rng = Xoshiro256::seed_from_u64(SEED ^ (clients as u64) << 8 ^ threads as u64);
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut completed_in_window = 0u64;
+    let mut updates_sent = 0u64;
+    let mut bad_frames = 0u64;
+    let mut scratch = vec![0u8; 64 * 1024];
+
+    let t0 = Instant::now();
+    let t_end = t0 + Duration::from_millis(duration_ms);
+    let t_grace = t_end + Duration::from_secs(10);
+
+    // Prime every window, then let readiness drive the rest.
+    for (i, c) in conns.iter_mut().enumerate() {
+        for _ in 0..window {
+            c.enqueue(n, &mut rng, &mut updates_sent);
+        }
+        if c.flush() && !c.write_armed {
+            c.write_armed = true;
+            let _ = poller.modify(c.stream.as_raw_fd(), i as u64, Interest::READ_WRITE);
+        }
+    }
+
+    let mut events: Vec<Event> = Vec::new();
+    loop {
+        let now = Instant::now();
+        let sending = now < t_end;
+        if !sending
+            && (conns.iter().all(|c| c.inflight.is_empty() && c.unsent() == 0) || now > t_grace)
+        {
+            break;
+        }
+        events.clear();
+        poller.wait(&mut events, 100).expect("loadgen wait");
+        for ev in &events {
+            let i = ev.token as usize;
+            let c = &mut conns[i];
+            if ev.readable {
+                loop {
+                    match c.stream.read(&mut scratch) {
+                        Ok(0) => panic!("server hung up mid-benchmark"),
+                        Ok(k) => {
+                            c.splitter.push(&scratch[..k]);
+                            if k < scratch.len() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => panic!("loadgen read failed: {e}"),
+                    }
+                }
+                let now = Instant::now();
+                let counting = now < t_end;
+                while let Some(frame) = c.splitter.next() {
+                    let SplitFrame::Line(r) = frame else { panic!("oversized response frame") };
+                    if !c.splitter.slice(r).starts_with(b"{\"ok\":true") {
+                        bad_frames += 1;
+                    }
+                    let sent_at =
+                        c.inflight.pop_front().expect("response without an in-flight request");
+                    if counting {
+                        completed_in_window += 1;
+                        latencies.push(now.duration_since(sent_at).as_secs_f64() * 1e6);
+                    }
+                }
+                if sending {
+                    while c.inflight.len() < window {
+                        c.enqueue(n, &mut rng, &mut updates_sent);
+                    }
+                }
+            }
+            let blocked = c.flush();
+            if blocked != c.write_armed {
+                c.write_armed = blocked;
+                let want = if blocked { Interest::READ_WRITE } else { Interest::READ };
+                let _ = poller.modify(c.stream.as_raw_fd(), i as u64, want);
+            }
+        }
+    }
+    assert_eq!(bad_frames, 0, "loadgen saw {bad_frames} non-ok responses");
+    drop(conns); // close every loadgen socket before the control session
+
+    let mut ctl = LoadClient::connect(&addr.to_string());
+    let stats = ctl.call(&Json::object().with("op", "stats"));
+    let stalls = stats
+        .get("server")
+        .and_then(|s| s.get("backpressure_stalls"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0) as u64;
+    let bye = ctl.call(&Json::object().with("op", "shutdown"));
+    handle.join();
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    ThroughputPoint {
+        dataset: name.to_string(),
+        io: io_model.label().to_string(),
+        clients,
+        threads,
+        window,
+        duration_ms,
+        requests: completed_in_window,
+        updates: updates_sent,
+        rps: completed_in_window as f64 / (duration_ms as f64 / 1e3),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        p999_us: percentile(&latencies, 0.999),
+        backpressure_stalls: stalls,
+        replay_identical: bye.get("replay_identical").and_then(Json::as_bool).unwrap_or(false),
+    }
+}
+
+/// Run the study over `datasets` with `cfg`, returning every record.
+pub fn run_on_with(
+    datasets: &[Dataset],
+    cfg: &StudyConfig,
+    w: &mut dyn IoWrite,
+) -> io::Result<Study> {
     writeln!(w, "# Extension: matching-as-a-service under concurrent load\n")?;
     writeln!(
         w,
-        "{CLIENTS} loadgen clients per dataset, {UPDATES_PER_CLIENT} updates each with\n\
+        "{} loadgen clients per dataset, {} updates each with\n\
          interleaved timed point queries, coalesce target {COALESCE_TARGET}, {DEVICES}\n\
          simulated devices. `replay` checks the served matching against an\n\
-         offline replay of the full update history (canonical uniqueness).\n"
+         offline replay of the full update history (canonical uniqueness).\n",
+        cfg.clients, cfg.updates_per_client
     )?;
     let mut t = Table::new(vec![
         "dataset",
@@ -299,9 +694,9 @@ pub fn run_on(datasets: &[Dataset], w: &mut dyn IoWrite) -> io::Result<Vec<Serve
         "p99 query",
         "replay",
     ]);
-    let mut records = Vec::new();
+    let mut study = Study::default();
     for ds in datasets {
-        let rec = measure(ds.name, ds.build(), CLIENTS, UPDATES_PER_CLIENT);
+        let rec = measure(ds.name, ds.build(), cfg.clients, cfg.updates_per_client);
         t.row(vec![
             rec.dataset.clone(),
             format!("{}", rec.clients),
@@ -312,10 +707,59 @@ pub fn run_on(datasets: &[Dataset], w: &mut dyn IoWrite) -> io::Result<Vec<Serve
             format!("{:.0} us", rec.p99_query_us),
             if rec.replay_identical { "identical" } else { "DIVERGED" }.to_string(),
         ]);
-        records.push(rec);
+        study.records.push(rec);
     }
     writeln!(w, "{t}")?;
-    Ok(records)
+
+    let Some(first) = datasets.first() else { return Ok(study) };
+    if cfg.duration_ms == 0 || cfg.throughput_clients.is_empty() {
+        return Ok(study);
+    }
+    writeln!(w, "## Throughput trajectory ({}): blocking baseline vs epoll reactor\n", first.name)?;
+    writeln!(
+        w,
+        "Multiplexed loadgen, window {} pipelined requests per connection,\n\
+         {} ms per point; 1 update per {UPDATE_EVERY} requests, rest are fast-path\n\
+         `mate` queries.\n",
+        cfg.window, cfg.duration_ms
+    )?;
+    let mut tt = Table::new(vec![
+        "io", "clients", "threads", "rps", "p50", "p99", "p99.9", "stalls", "replay",
+    ]);
+    for &io_model in &[IoModel::Blocking, IoModel::Reactor] {
+        for &clients in &cfg.throughput_clients {
+            let p = measure_throughput(
+                first.name,
+                first.build(),
+                io_model,
+                clients,
+                cfg.duration_ms,
+                cfg.window,
+            );
+            tt.row(vec![
+                p.io.clone(),
+                format!("{}", p.clients),
+                format!("{}", p.threads),
+                format!("{:.0}", p.rps),
+                format!("{:.0} us", p.p50_us),
+                format!("{:.0} us", p.p99_us),
+                format!("{:.0} us", p.p999_us),
+                format!("{}", p.backpressure_stalls),
+                if p.replay_identical { "identical" } else { "DIVERGED" }.to_string(),
+            ]);
+            study.throughput.push(p);
+        }
+    }
+    writeln!(w, "{tt}")?;
+    if let Some(s) = study.speedup() {
+        writeln!(w, "reactor @ max clients vs best blocking baseline: {s:.1}x\n")?;
+    }
+    Ok(study)
+}
+
+/// Run the study over `datasets` with the default knobs.
+pub fn run_on(datasets: &[Dataset], w: &mut dyn IoWrite) -> io::Result<Study> {
+    run_on_with(datasets, &StudyConfig::default(), w)
 }
 
 /// Run the study on the default dataset subset, writing the report to `w`.
@@ -343,6 +787,66 @@ mod tests {
         assert!(rec.billed_sim_time > 0.0);
         let total_in_hist: u64 = rec.batch_histogram.iter().map(|&(_, n)| n).sum();
         assert_eq!(total_in_hist, rec.flushes, "histogram covers every flush");
+    }
+
+    #[test]
+    fn throughput_point_measures_both_io_models() {
+        for io_model in [IoModel::Reactor, IoModel::Blocking] {
+            let p = measure_throughput("test-urand", urand(300, 1200, 3), io_model, 8, 250, 8);
+            assert_eq!(p.io, io_model.label());
+            assert!(p.requests > 0, "{io_model:?}: no completions");
+            assert!(p.rps > 0.0, "{io_model:?}");
+            assert!(p.p99_us >= p.p50_us && p.p999_us >= p.p99_us, "{io_model:?}");
+            assert!(p.replay_identical, "{io_model:?}: replay diverged");
+            assert!(p.updates > 0, "{io_model:?}: stream had no updates");
+        }
+    }
+
+    #[test]
+    fn study_document_has_schema_v2_shape() {
+        let point = |io: &str, clients: usize, rps: f64| ThroughputPoint {
+            dataset: "x".into(),
+            io: io.into(),
+            clients,
+            threads: 2,
+            window: 16,
+            duration_ms: 100,
+            requests: (rps / 10.0) as u64,
+            updates: 3,
+            rps,
+            p50_us: 50.0,
+            p99_us: 200.0,
+            p999_us: 400.0,
+            backpressure_stalls: 1,
+            replay_identical: true,
+        };
+        let study = Study {
+            records: Vec::new(),
+            throughput: vec![
+                point("blocking", 4, 2000.0),
+                point("blocking", 32, 1500.0),
+                point("reactor", 4, 3000.0),
+                point("reactor", 32, 12000.0),
+            ],
+        };
+        // Speedup = reactor at its largest client count (32 → 12000) over
+        // the baseline's best anywhere (4 → 2000).
+        assert!((study.speedup().unwrap() - 6.0).abs() < 1e-9);
+        let doc = study.to_json();
+        assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("throughput").and_then(Json::as_array).unwrap().len(), 4);
+        let summary = doc.get("summary").unwrap();
+        assert_eq!(summary.get("baseline_best_rps").and_then(Json::as_f64), Some(2000.0));
+        assert_eq!(summary.get("baseline_best_clients").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(summary.get("reactor_rps_at_max_clients").and_then(Json::as_f64), Some(12000.0));
+        assert_eq!(summary.get("speedup").and_then(Json::as_f64), Some(6.0));
+        // Round-trip through the parser (what the CI gate does).
+        let parsed = json::parse(&doc.to_string_pretty()).unwrap();
+        let rows = parsed.get("throughput").and_then(Json::as_array).unwrap();
+        assert!(rows.iter().all(|r| {
+            r.get("rps").and_then(Json::as_f64).unwrap() > 0.0
+                && r.get("p99_us").and_then(Json::as_f64).is_some()
+        }));
     }
 
     #[test]

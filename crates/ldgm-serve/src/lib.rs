@@ -3,8 +3,8 @@
 //! Everything else in this workspace is batch-shaped: an engine runs once
 //! and exits. This crate keeps graphs and their locally-dominant matchings
 //! *resident* and multiplexes concurrent callers over a minimal TCP layer
-//! (blocking `std::net` sockets on a thread pool — no async runtime),
-//! speaking a line-delimited JSON protocol.
+//! speaking a line-delimited JSON protocol — no async runtime, no crates.io
+//! dependencies.
 //!
 //! The load-bearing piece is the **update coalescer**
 //! ([`service::MatchService`]): concurrent small updates from many clients
@@ -18,22 +18,40 @@
 //! a pure function of the final graph state, so any batching of an
 //! order-preserved update sequence commits the same matching.
 //!
+//! The transport comes in two interchangeable models ([`server::IoModel`]):
+//! the default **reactor** — a few epoll event-loop threads (via the
+//! vendored [`epoll_shim`], `poll(2)` off Linux) driving non-blocking
+//! per-connection state machines with a zero-allocation fast path for hot
+//! `mate`/`update` frames — and the legacy **blocking**
+//! thread-per-connection pool, kept as the measured baseline of the
+//! `ext_serve` throughput study. Both emit bit-identical wire responses.
+//!
 //! Modules:
 //! - [`protocol`] — typed requests/responses over the hand-rolled
-//!   [`ldgm_gpusim::json::Json`] value (the workspace is dependency-free).
+//!   [`ldgm_gpusim::json::Json`] value, plus the incremental
+//!   [`protocol::FrameSplitter`] and the allocation-free
+//!   [`protocol::wire`] serializers the reactor's hot path uses.
 //! - [`service`] — the coalescing service core: pending buffer, snapshot
 //!   discipline, `subscribe` notifications, per-tenant sim-time billing
 //!   with admission control.
-//! - [`server`] — the TCP layer: accept loop, worker pool, deadline
-//!   flusher, graceful shutdown with an offline replay check.
+//! - [`reactor`] — the epoll event loops: shard routing, batched flushes,
+//!   write-interest management, backpressure, subscription fan-out via
+//!   per-shard notifier queues.
+//! - [`server`] — the shared TCP front door: [`server::serve`] /
+//!   [`server::serve_blocking`] / [`server::serve_opts`], the deadline
+//!   flusher, transport stats, graceful shutdown with an offline replay
+//!   check.
 
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod service;
 
 pub use ldgm_core::UNMATCHED;
-pub use protocol::{ParsedRequest, Request};
-pub use server::{serve, ServerHandle};
+pub use protocol::{FrameSplitter, ParsedRequest, Request, SplitFrame, MAX_FRAME_LEN};
+pub use server::{
+    serve, serve_blocking, serve_opts, IoModel, ServerHandle, ServerOptions, ServerStats,
+};
 pub use service::{
     resolve_dyn_config, AdmissionError, FlushSummary, MatchService, MateChange, ServeConfig,
     ServiceStats, Snapshot, SubmitAck,

@@ -23,9 +23,25 @@
 //! Every request may carry `"dataset": <name>` to address one of several
 //! resident datasets; it defaults to the first one loaded.
 
+use std::ops::Range;
+
 use ldgm_dyn::EdgeUpdate;
 use ldgm_gpusim::json::{self, Json};
 use ldgm_graph::csr::VertexId;
+
+/// Default cap on one wire frame (one line), in bytes. Anything longer is
+/// answered with [`ERR_FRAME_TOO_LARGE`] and discarded up to the next
+/// newline; the connection stays alive.
+pub const MAX_FRAME_LEN: usize = 256 * 1024;
+
+/// Stable error tag carried in the `error` message of a `413` response to
+/// an oversized frame, so clients can match it without parsing prose.
+pub const ERR_FRAME_TOO_LARGE: &str = "ERR_FRAME_TOO_LARGE";
+
+/// Build the `413` response for a frame that blew past `max` bytes.
+pub fn frame_too_large_response(len: usize, max: usize) -> Json {
+    err_response(413, format!("{ERR_FRAME_TOO_LARGE}: frame of {len}+ bytes exceeds cap {max}"))
+}
 
 /// A decoded request operation.
 #[derive(Clone, Debug, PartialEq)]
@@ -163,6 +179,216 @@ pub fn err_response(code: u32, message: impl Into<String>) -> Json {
     Json::object().with("ok", false).with("code", code).with("error", message.into())
 }
 
+/// One item out of [`FrameSplitter::next`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SplitFrame {
+    /// A complete line (newline excluded); slice it out of the splitter
+    /// with [`FrameSplitter::slice`].
+    Line(Range<usize>),
+    /// The frame in progress exceeded the cap; `len` bytes were dropped
+    /// and input is discarded up to the next newline.
+    TooLarge {
+        /// Bytes seen for the oversized frame so far (≥ the cap).
+        len: usize,
+    },
+}
+
+/// Incremental newline-delimited frame splitter over a reusable buffer.
+///
+/// [`FrameSplitter::push`] appends raw socket bytes (any chunking — the
+/// reassembly is byte-chunking-invariant, property-tested in
+/// `tests/frame_splitter.rs`); [`FrameSplitter::next`] yields complete
+/// frames in order. The buffer compacts itself on `push`, so steady-state
+/// operation allocates nothing once the buffer has grown to the largest
+/// frame seen.
+///
+/// Frames longer than the cap surface as [`SplitFrame::TooLarge`] exactly
+/// once, immediately when the cap is crossed (not only when the newline
+/// finally arrives), and the splitter silently discards input until the
+/// frame's terminating newline — the connection keeps working.
+#[derive(Debug)]
+pub struct FrameSplitter {
+    buf: Vec<u8>,
+    /// Start of the first unconsumed frame.
+    start: usize,
+    /// Bytes `< scanned` contain no unexamined newline.
+    scanned: usize,
+    /// Discarding an oversized frame up to its newline.
+    discarding: bool,
+    /// Bytes already dropped for the oversized frame being discarded.
+    discarded: usize,
+    max_frame: usize,
+}
+
+impl FrameSplitter {
+    /// A splitter enforcing `max_frame` bytes per line.
+    pub fn new(max_frame: usize) -> FrameSplitter {
+        assert!(max_frame > 0, "frame cap must be positive");
+        FrameSplitter {
+            buf: Vec::new(),
+            start: 0,
+            scanned: 0,
+            discarding: false,
+            discarded: 0,
+            max_frame,
+        }
+    }
+
+    /// Append raw bytes from the socket.
+    pub fn push(&mut self, data: &[u8]) {
+        // Compact: drop consumed prefix before growing.
+        if self.start > 0 {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(self.buf.len() - self.start);
+            self.scanned -= self.start;
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet consumed (diagnostic).
+    pub fn pending_len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// The next complete frame, if one is buffered.
+    ///
+    /// Deliberately *not* an `Iterator` impl: the returned ranges are
+    /// invalidated by the next [`FrameSplitter::push`], so handing the
+    /// splitter to iterator adapters that buffer items would be a trap.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<SplitFrame> {
+        loop {
+            if self.discarding {
+                match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                    Some(off) => {
+                        // Oversized frame fully skipped; resume normal
+                        // framing after its newline.
+                        let nl = self.scanned + off;
+                        self.discarding = false;
+                        self.discarded = 0;
+                        self.start = nl + 1;
+                        self.scanned = nl + 1;
+                        continue;
+                    }
+                    None => {
+                        self.discarded += self.buf.len() - self.scanned;
+                        // Everything pending belongs to the oversized
+                        // frame: drop it now so memory stays bounded.
+                        self.buf.clear();
+                        self.start = 0;
+                        self.scanned = 0;
+                        return None;
+                    }
+                }
+            }
+            match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                Some(off) => {
+                    let nl = self.scanned + off;
+                    let frame = self.start..nl;
+                    self.scanned = nl + 1;
+                    self.start = nl + 1;
+                    if frame.len() > self.max_frame {
+                        // Newline arrived in the same chunk the cap was
+                        // crossed in: reject, no discard phase needed.
+                        return Some(SplitFrame::TooLarge { len: frame.len() });
+                    }
+                    return Some(SplitFrame::Line(frame));
+                }
+                None => {
+                    self.scanned = self.buf.len();
+                    if self.buf.len() - self.start > self.max_frame {
+                        let len = self.buf.len() - self.start;
+                        self.discarding = true;
+                        self.discarded = len;
+                        self.buf.clear();
+                        self.start = 0;
+                        self.scanned = 0;
+                        return Some(SplitFrame::TooLarge { len });
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Resolve a [`SplitFrame::Line`] range to its bytes. Only valid
+    /// until the next [`FrameSplitter::push`].
+    pub fn slice(&self, r: Range<usize>) -> &[u8] {
+        &self.buf[r]
+    }
+}
+
+/// Allocation-free serializers (and a fast-path parser) for the hot wire
+/// messages. Output is byte-identical to the [`Json`] builder path — the
+/// unit tests below pin that equivalence — so switching a response onto
+/// the fast path can never change the wire protocol.
+pub mod wire {
+    /// Append `v`'s decimal digits.
+    pub fn push_u64(out: &mut Vec<u8>, v: u64) {
+        let mut digits = [0u8; 20];
+        let mut i = digits.len();
+        let mut v = v;
+        loop {
+            i -= 1;
+            digits[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        out.extend_from_slice(&digits[i..]);
+    }
+
+    /// `{"ok":true,"v":V,"mate":M|null,"epoch":E}` + newline — the hot
+    /// `mate` response, written straight into the send buffer.
+    pub fn mate_response(out: &mut Vec<u8>, v: u32, mate: Option<u32>, epoch: u64) {
+        out.extend_from_slice(b"{\"ok\":true,\"v\":");
+        push_u64(out, v as u64);
+        out.extend_from_slice(b",\"mate\":");
+        match mate {
+            Some(m) => push_u64(out, m as u64),
+            None => out.extend_from_slice(b"null"),
+        }
+        out.extend_from_slice(b",\"epoch\":");
+        push_u64(out, epoch);
+        out.extend_from_slice(b"}\n");
+    }
+
+    /// `{"ok":true,"admitted":A,"pending":P,"flushed":B}` + newline —
+    /// the hot `update`/`update-batch` ack.
+    pub fn update_ack(out: &mut Vec<u8>, admitted: u64, pending: u64, flushed: bool) {
+        out.extend_from_slice(b"{\"ok\":true,\"admitted\":");
+        push_u64(out, admitted);
+        out.extend_from_slice(b",\"pending\":");
+        push_u64(out, pending);
+        out.extend_from_slice(b",\"flushed\":");
+        out.extend_from_slice(if flushed { b"true" } else { b"false" });
+        out.extend_from_slice(b"}\n");
+    }
+
+    /// Parse exactly `{"op":"mate","v":DIGITS}` (the compact form every
+    /// loadgen/client library emits); anything else — extra whitespace,
+    /// a `dataset` route, float or out-of-range `v` — returns `None` and
+    /// falls back to the full parser.
+    pub fn parse_mate_fast(line: &[u8]) -> Option<u32> {
+        const PREFIX: &[u8] = b"{\"op\":\"mate\",\"v\":";
+        let rest = line.strip_prefix(PREFIX)?;
+        let rest = rest.strip_suffix(b"}")?;
+        if rest.is_empty() || rest.len() > 10 || (rest.len() > 1 && rest[0] == b'0') {
+            return None;
+        }
+        let mut v: u64 = 0;
+        for &b in rest {
+            if !b.is_ascii_digit() {
+                return None;
+            }
+            v = v * 10 + (b - b'0') as u64;
+        }
+        u32::try_from(v).ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +459,102 @@ mod tests {
             let line = update_to_json(&u).with("op", "update").to_string_compact();
             let got = ParsedRequest::parse(&line).unwrap();
             assert_eq!(got.request, Request::Update { update: u });
+        }
+    }
+
+    #[test]
+    fn splitter_reassembles_frames_across_pushes() {
+        let mut s = FrameSplitter::new(64);
+        s.push(b"{\"op\":\"sta");
+        assert_eq!(s.next(), None);
+        s.push(b"ts\"}\n{\"op\":\"flush\"}\n{\"op\":");
+        let f1 = s.next().expect("first frame complete");
+        let SplitFrame::Line(r) = f1 else { panic!("line expected") };
+        assert_eq!(s.slice(r), b"{\"op\":\"stats\"}");
+        let SplitFrame::Line(r) = s.next().unwrap() else { panic!() };
+        assert_eq!(s.slice(r), b"{\"op\":\"flush\"}");
+        assert_eq!(s.next(), None, "third frame still partial");
+        s.push(b"\"shutdown\"}\n");
+        let SplitFrame::Line(r) = s.next().unwrap() else { panic!() };
+        assert_eq!(s.slice(r), b"{\"op\":\"shutdown\"}");
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn splitter_caps_oversized_frames_and_recovers() {
+        let mut s = FrameSplitter::new(8);
+        // Cap crossed before any newline: error surfaces immediately…
+        s.push(b"0123456789abc");
+        assert!(matches!(s.next(), Some(SplitFrame::TooLarge { len: 13 })));
+        assert_eq!(s.next(), None);
+        // …and everything up to the newline is discarded silently.
+        s.push(b"defgh\nok\n");
+        let SplitFrame::Line(r) = s.next().unwrap() else { panic!() };
+        assert_eq!(s.slice(r), b"ok");
+        // Newline and cap-crossing in the same chunk also reject.
+        s.push(b"0123456789\nfine\n");
+        assert!(matches!(s.next(), Some(SplitFrame::TooLarge { len: 10 })));
+        let SplitFrame::Line(r) = s.next().unwrap() else { panic!() };
+        assert_eq!(s.slice(r), b"fine");
+        let resp = frame_too_large_response(13, 8);
+        assert_eq!(resp.get("code").and_then(Json::as_f64), Some(413.0));
+        assert!(resp.get("error").and_then(Json::as_str).unwrap().contains(ERR_FRAME_TOO_LARGE));
+    }
+
+    #[test]
+    fn wire_serializers_match_the_json_builder_byte_for_byte() {
+        for (v, mate, epoch) in
+            [(0u32, Some(3u32), 0u64), (7, None, 1), (4_294_967_295, Some(0), u64::MAX)]
+        {
+            let mut fast = Vec::new();
+            wire::mate_response(&mut fast, v, mate, epoch);
+            let mate_json = match mate {
+                Some(m) => Json::from(m),
+                None => Json::Null,
+            };
+            let slow = ok_response().with("v", v).with("mate", mate_json).with("epoch", epoch);
+            let epoch_note = format!("epoch {epoch}");
+            if epoch < 9_000_000_000_000_000 {
+                // Json prints integral f64 as integers only below 9e15;
+                // the hot path never crosses it (epochs count flushes).
+                let mut line = slow.to_string_compact();
+                line.push('\n');
+                assert_eq!(fast, line.into_bytes(), "{epoch_note}");
+            }
+        }
+        for (admitted, pending, flushed) in [(1u64, 0u64, true), (64, 63, false), (0, 0, false)] {
+            let mut fast = Vec::new();
+            wire::update_ack(&mut fast, admitted, pending, flushed);
+            let mut line = ok_response()
+                .with("admitted", admitted)
+                .with("pending", pending)
+                .with("flushed", flushed)
+                .to_string_compact();
+            line.push('\n');
+            assert_eq!(fast, line.into_bytes());
+        }
+    }
+
+    #[test]
+    fn fast_mate_parser_agrees_with_the_full_parser() {
+        for v in [0u32, 1, 42, 99_999, u32::MAX] {
+            let line = format!("{{\"op\":\"mate\",\"v\":{v}}}");
+            assert_eq!(wire::parse_mate_fast(line.as_bytes()), Some(v), "{line}");
+            let full = ParsedRequest::parse(&line).unwrap();
+            assert_eq!(full.request, Request::Mate { v });
+        }
+        // Everything else must fall back (None), never misparse.
+        for line in [
+            "{\"op\": \"mate\", \"v\": 2}", // spaced (python json.dumps)
+            "{\"op\":\"mate\",\"v\":1,\"dataset\":\"g\"}", // routed
+            "{\"op\":\"mate\",\"v\":1.5}",
+            "{\"op\":\"mate\",\"v\":-1}",
+            "{\"op\":\"mate\",\"v\":4294967296}", // u32 overflow
+            "{\"op\":\"mate\",\"v\":007}",        // leading zeros
+            "{\"op\":\"mate\",\"v\":}",
+            "{\"op\":\"stats\"}",
+        ] {
+            assert_eq!(wire::parse_mate_fast(line.as_bytes()), None, "{line}");
         }
     }
 

@@ -360,6 +360,20 @@ impl MatchService {
         (snap.mate(v), snap)
     }
 
+    /// Credit `n` point queries to `tenant` in one accounting write.
+    ///
+    /// The reactor's sharded read path answers `mate` from the committed
+    /// snapshot without touching any service lock; each connection counts
+    /// its queries locally and merges them here when it closes, renames
+    /// its tenant, or a `stats`/`shutdown` op asks for current numbers —
+    /// so the per-query hot path never crosses the stats mutex.
+    pub fn credit_queries(&self, tenant: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.stats.lock().tenants.entry(tenant.to_string()).or_default().queries += n;
+    }
+
     /// Updates currently admitted but not yet flushed.
     pub fn pending_len(&self) -> usize {
         self.pending.lock().queue.len()

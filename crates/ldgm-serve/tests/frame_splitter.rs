@@ -1,0 +1,110 @@
+//! Frame-splitter properties.
+//!
+//! The reactor feeds the [`FrameSplitter`] whatever byte chunks the
+//! kernel hands it, so the splitter must be **chunking-invariant**: for
+//! any stream of newline-terminated frames and any partition of that
+//! stream into read-sized pieces, draining the splitter after every push
+//! must yield exactly the original frames, in order — with frames over
+//! the cap surfacing as [`SplitFrame::TooLarge`] exactly once each and
+//! never corrupting their neighbors.
+
+use proptest::prelude::*;
+
+use ldgm_serve::{FrameSplitter, SplitFrame};
+
+const CAP: usize = 150;
+
+/// What the property expects per input frame.
+#[derive(Debug, PartialEq)]
+enum Expected {
+    Line(Vec<u8>),
+    TooLarge,
+}
+
+/// Feed `stream` into a fresh splitter in `chunks`-sized pieces,
+/// draining after every push (exactly the reactor's read loop).
+fn split_all(stream: &[u8], chunks: &[usize]) -> Vec<Expected> {
+    let mut s = FrameSplitter::new(CAP);
+    let mut got = Vec::new();
+    let mut drain = |s: &mut FrameSplitter| {
+        while let Some(item) = s.next() {
+            got.push(match item {
+                SplitFrame::Line(r) => {
+                    let bytes = s.slice(r).to_vec();
+                    Expected::Line(bytes)
+                }
+                SplitFrame::TooLarge { len } => {
+                    assert!(len > CAP, "TooLarge must only fire past the cap, got {len}");
+                    Expected::TooLarge
+                }
+            });
+        }
+    };
+    let mut pos = 0;
+    for &c in chunks {
+        if pos >= stream.len() {
+            break;
+        }
+        let end = (pos + c.max(1)).min(stream.len());
+        s.push(&stream[pos..end]);
+        pos = end;
+        drain(&mut s);
+    }
+    if pos < stream.len() {
+        s.push(&stream[pos..]);
+        drain(&mut s);
+    }
+    assert_eq!(s.pending_len(), 0, "a newline-terminated stream must drain fully");
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn any_chunking_reassembles_identical_frames(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..(2 * CAP)),
+            0..24,
+        ),
+        chunks in proptest::collection::vec(1usize..64, 0..256),
+    ) {
+        // Newlines are the frame delimiter; frame bodies cannot contain
+        // them (the wire protocol is line-delimited JSON).
+        let frames: Vec<Vec<u8>> = frames
+            .into_iter()
+            .map(|f| f.into_iter().map(|b| if b == b'\n' { b' ' } else { b }).collect())
+            .collect();
+        let mut stream = Vec::new();
+        let mut want = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(f);
+            stream.push(b'\n');
+            want.push(if f.len() > CAP {
+                Expected::TooLarge
+            } else {
+                Expected::Line(f.clone())
+            });
+        }
+
+        let got = split_all(&stream, &chunks);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_push_equals_byte_at_a_time(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(0x20u8..0x7f, 0..(CAP + 40)),
+            1..12,
+        ),
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(f);
+            stream.push(b'\n');
+        }
+        let whole = split_all(&stream, &[stream.len()]);
+        let trickled = split_all(&stream, &vec![1; stream.len()]);
+        prop_assert_eq!(whole, trickled);
+    }
+}

@@ -1,0 +1,445 @@
+//! Minimal readiness polling over raw OS primitives.
+//!
+//! The workspace is dependency-free, so the `ldgm-serve` reactor cannot
+//! pull `mio`/`polling` from crates.io. This shim declares the handful of
+//! syscalls it needs directly against the C library that `std` already
+//! links:
+//!
+//! - on **Linux**, `epoll_create1`/`epoll_ctl`/`epoll_wait` — the
+//!   production backend, O(ready) per wakeup;
+//! - on **other Unixes** (macOS CI, BSDs), a `poll(2)` fallback with the
+//!   same API — O(registered) per wakeup, which is fine for test-scale
+//!   connection counts.
+//!
+//! Semantics are deliberately the simple subset the reactor uses:
+//! **level-triggered** readiness, one `u64` token per registered fd, and
+//! explicit interest updates (`modify`) so write-interest can be armed
+//! only while a send buffer is non-empty. A pipe-based [`Waker`] lets
+//! other threads interrupt a blocked [`Poller::wait`].
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::c_int;
+
+/// Readiness interest for a registered fd.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Read + write interest.
+    pub const READ_WRITE: Interest = Interest { readable: true, writable: true };
+    /// Registered but currently dormant (backpressure: reads paused).
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+    /// Write-only interest (reads paused while draining a full buffer).
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (includes EOF/peer-closed: a read will not block).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup was flagged; the fd should be torn down after
+    /// draining.
+    pub error: bool,
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+extern "C" {
+    fn close(fd: c_int) -> c_int;
+    fn pipe(fds: *mut c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+}
+
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+#[cfg(target_os = "linux")]
+const O_NONBLOCK: c_int = 0o4000;
+#[cfg(not(target_os = "linux"))]
+const O_NONBLOCK: c_int = 0x0004;
+
+fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    let flags = cvt(unsafe { fcntl(fd, F_GETFL, 0) })?;
+    cvt(unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) })?;
+    Ok(())
+}
+
+/// Cross-thread wakeup for a blocked [`Poller::wait`]: register
+/// [`Waker::fd`] with a reserved token; [`Waker::wake`] makes that fd
+/// readable, [`Waker::drain`] clears it.
+#[derive(Debug)]
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Waker {
+    /// A fresh non-blocking pipe pair.
+    pub fn new() -> io::Result<Waker> {
+        let mut fds = [0 as c_int; 2];
+        cvt(unsafe { pipe(fds.as_mut_ptr()) })?;
+        let (r, w) = (fds[0], fds[1]);
+        set_nonblocking(r)?;
+        set_nonblocking(w)?;
+        Ok(Waker { read_fd: r, write_fd: w })
+    }
+
+    /// The fd to register for read interest.
+    pub fn fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Make the wake fd readable. Safe from any thread; a full pipe
+    /// already guarantees a pending wakeup, so EAGAIN is ignored.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        unsafe {
+            let _ = write(self.write_fd, &byte, 1);
+        }
+    }
+
+    /// Consume queued wakeups so the fd goes quiet again.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+// SAFETY: the pipe fds are plain ints; write/read on pipes are
+// thread-safe at the kernel level.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+#[cfg(target_os = "linux")]
+mod backend {
+    use super::*;
+
+    // On x86_64 the kernel ABI packs epoll_event to 12 bytes.
+    #[repr(C, packed)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP; // always learn about peer hangups
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    /// Level-triggered epoll instance.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        /// A fresh epoll instance.
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller { epfd })
+        }
+
+        /// Register `fd` under `token` with `interest`.
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent { events: mask(interest), data: token };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Update the interest (and token) of a registered fd.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent { events: mask(interest), data: token };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Deregister a fd.
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Block up to `timeout_ms` (-1 = forever) and append ready
+        /// events to `out`; returns how many arrived. EINTR reads as an
+        /// empty wakeup.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            const CAP: usize = 256;
+            let mut buf: [EpollEvent; CAP] = unsafe { std::mem::zeroed() };
+            let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), CAP as c_int, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            for ev in buf.iter().take(n as usize) {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(n as usize)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+
+    // SAFETY: epoll fds may be operated on from multiple threads; the
+    // reactor only ever waits from one.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod backend {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x0001;
+    const POLLOUT: i16 = 0x0004;
+    const POLLERR: i16 = 0x0008;
+    const POLLHUP: i16 = 0x0010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: c_int) -> c_int;
+    }
+
+    /// `poll(2)`-backed fallback with the same level-triggered API.
+    #[derive(Debug)]
+    pub struct Poller {
+        registered: Mutex<Vec<(RawFd, u64, Interest)>>,
+    }
+
+    impl Poller {
+        /// A fresh (empty) registration set.
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller { registered: Mutex::new(Vec::new()) })
+        }
+
+        /// Register `fd` under `token` with `interest`.
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            if reg.iter().any(|&(f, _, _)| f == fd) {
+                return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd registered"));
+            }
+            reg.push((fd, token, interest));
+            Ok(())
+        }
+
+        /// Update the interest (and token) of a registered fd.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            match reg.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(slot) => {
+                    *slot = (fd, token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        /// Deregister a fd.
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            let before = reg.len();
+            reg.retain(|&(f, _, _)| f != fd);
+            if reg.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        /// Block up to `timeout_ms` (-1 = forever) and append ready
+        /// events to `out`.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            let snapshot: Vec<(RawFd, u64, Interest)> = self.registered.lock().unwrap().clone();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: (if interest.readable { POLLIN } else { 0 })
+                        | (if interest.writable { POLLOUT } else { 0 }),
+                    revents: 0,
+                })
+                .collect();
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            let mut count = 0;
+            for (pfd, &(_, token, _)) in fds.iter().zip(&snapshot) {
+                let re = pfd.revents;
+                if re == 0 {
+                    continue;
+                }
+                count += 1;
+                out.push(Event {
+                    token,
+                    readable: re & (POLLIN | POLLHUP) != 0,
+                    writable: re & POLLOUT != 0,
+                    error: re & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(count)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!("epoll_shim supports Unix targets only (epoll on Linux, poll elsewhere)");
+
+pub use backend::Poller;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn waker_wakes_a_blocked_wait() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller.add(waker.fd(), 7, Interest::READ).unwrap();
+        let w = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            w.wake();
+        });
+        let mut events = Vec::new();
+        // Generous timeout: the waker must fire long before it.
+        poller.wait(&mut events, 5_000).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+        waker.drain();
+        // Drained: an immediate wait sees nothing.
+        events.clear();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.iter().all(|e| e.token != 7));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_updates() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        let fd = server.as_raw_fd();
+        poller.add(fd, 42, Interest::READ).unwrap();
+
+        // Nothing to read yet.
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.iter().all(|e| e.token != 42));
+
+        client.write_all(b"ping").unwrap();
+        events.clear();
+        poller.wait(&mut events, 5_000).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        // Write interest on an empty socket buffer reports writable.
+        poller.modify(fd, 42, Interest::READ_WRITE).unwrap();
+        events.clear();
+        poller.wait(&mut events, 5_000).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.writable));
+
+        // Dormant interest reports nothing even with pending bytes.
+        poller.modify(fd, 42, Interest::NONE).unwrap();
+        events.clear();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.iter().all(|e| e.token != 42));
+
+        poller.remove(fd).unwrap();
+        let mut buf = [0u8; 8];
+        let mut s = server;
+        let n = s.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+    }
+}
